@@ -1,0 +1,157 @@
+// Package pathprof's repository-level benchmarks regenerate every
+// table and figure of Bond & McKinley, "Practical Path Profiling for
+// Dynamic Optimizers" (CGO 2005) over the 18 SPEC2000-shaped synthetic
+// workloads:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its table/figure once and reports the headline
+// numbers as benchmark metrics. The workload suite is staged and
+// profiled once and shared across benchmarks, so the first benchmark
+// pays the full cost (~half a minute) and the rest reuse it.
+package pathprof
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"pathprof/internal/bench"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+func sharedSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = bench.NewSuite()
+		if _, err := suite.RunAll(); err != nil {
+			b.Fatalf("staging suite: %v", err)
+		}
+	})
+	return suite
+}
+
+// emit renders the experiment once to stdout (first iteration only)
+// and to io.Discard afterwards, so -bench output stays readable while
+// b.N timing still exercises the regeneration path.
+func emit(b *testing.B, name string, run func(io.Writer) error) {
+	s := sharedSuite(b)
+	_ = s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if i == 0 {
+			fmt.Fprintf(os.Stdout, "\n")
+			w = os.Stdout
+		}
+		if err := run(w); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: dynamic path characteristics
+// with and without profile-guided inlining and unrolling.
+func BenchmarkTable1(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "table1", s.Table1)
+}
+
+// BenchmarkTable2 regenerates Table 2: distinct and hot paths at the
+// 0.125% and 1% flow thresholds.
+func BenchmarkTable2(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "table2", s.Table2)
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (accuracy) and reports the
+// suite-average accuracy of edge profiling, TPP, and PPP.
+func BenchmarkFigure9(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "fig9", s.Figure9)
+	rs, err := s.RunAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var e, t, p float64
+	for _, r := range rs {
+		ea, ta, pa := r.Accuracy()
+		e += ea
+		t += ta
+		p += pa
+	}
+	n := float64(len(rs))
+	b.ReportMetric(100*e/n, "edge-acc-%")
+	b.ReportMetric(100*t/n, "tpp-acc-%")
+	b.ReportMetric(100*p/n, "ppp-acc-%")
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (coverage).
+func BenchmarkFigure10(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "fig10", s.Figure10)
+	rs, err := s.RunAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var e, t, p float64
+	for _, r := range rs {
+		ec, tc, pc := r.Coverage()
+		e += ec
+		t += tc
+		p += pc
+	}
+	n := float64(len(rs))
+	b.ReportMetric(100*e/n, "edge-cov-%")
+	b.ReportMetric(100*t/n, "tpp-cov-%")
+	b.ReportMetric(100*p/n, "ppp-cov-%")
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (fraction of dynamic paths
+// instrumented, with the hashed portion).
+func BenchmarkFigure11(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "fig11", s.Figure11)
+}
+
+// BenchmarkFigure12 regenerates Figure 12 (runtime overhead) and
+// reports the suite-average overheads — the paper's headline result.
+func BenchmarkFigure12(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "fig12", s.Figure12)
+	rs, err := s.RunAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pp, tpp, ppp float64
+	for _, r := range rs {
+		pp += r.Profilers["PP"].Overhead()
+		tpp += r.Profilers["TPP"].Overhead()
+		ppp += r.Profilers["PPP"].Overhead()
+	}
+	n := float64(len(rs))
+	b.ReportMetric(100*pp/n, "pp-overhead-%")
+	b.ReportMetric(100*tpp/n, "tpp-overhead-%")
+	b.ReportMetric(100*ppp/n, "ppp-overhead-%")
+}
+
+// BenchmarkFigure13 regenerates Figure 13 (the leave-one-out ablation
+// of PPP's techniques, normalized to TPP).
+func BenchmarkFigure13(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "fig13", s.Figure13)
+}
+
+// BenchmarkSACReport verifies the Section 4.3 claim that the
+// self-adjusting criterion engages for few routines with few
+// iterations.
+func BenchmarkSACReport(b *testing.B) {
+	s := sharedSuite(b)
+	emit(b, "sac", s.SACReport)
+}

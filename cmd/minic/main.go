@@ -1,0 +1,61 @@
+// Command minic compiles and runs a mini-C program directly, without
+// any profiling — the plain front door to the language the workloads
+// and examples are written in.
+//
+// Usage:
+//
+//	minic prog.mc            # run main()
+//	minic -entry f prog.mc   # run another zero-argument function
+//	minic -dump prog.mc      # print the IR instead of running
+//	minic -stats prog.mc     # also print executed steps and model cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathprof/internal/lower"
+	"pathprof/internal/vm"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "function to run")
+	dump := flag.Bool("dump", false, "print the compiled IR and exit")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	maxSteps := flag.Int64("max-steps", 0, "abort after this many executed statements (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minic [flags] prog.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := lower.Compile(string(src), lower.Options{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dump {
+		fmt.Print(prog.Dump())
+		return
+	}
+	res, err := vm.Run(prog, vm.Options{
+		Entry:    *entry,
+		Output:   os.Stdout,
+		MaxSteps: *maxSteps,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "return=%d steps=%d cost=%d calls=%d\n",
+			res.Ret, res.Steps, res.Cost(), res.DynCalls)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "minic: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command pppbench regenerates the paper's tables and figures over
+// the synthetic SPEC2000-shaped workload suite.
+//
+// Usage:
+//
+//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac] [-workloads a,b,c] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static)")
+	names := flag.String("workloads", "", "comma-separated subset of workloads (default: all 18)")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	flag.Parse()
+
+	s := bench.NewSuite()
+	if *verbose {
+		s.Log = os.Stderr
+	}
+	if *names != "" {
+		var sel []workloads.Workload
+		for _, n := range strings.Split(*names, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q; available: %s\n",
+					n, strings.Join(workloads.Names(), ", "))
+				os.Exit(2)
+			}
+			sel = append(sel, w)
+		}
+		s.Workloads = sel
+	}
+
+	type experiment struct {
+		name string
+		run  func(io.Writer) error
+	}
+	all := []experiment{
+		{"table1", s.Table1},
+		{"table2", s.Table2},
+		{"fig9", s.Figure9},
+		{"fig10", s.Figure10},
+		{"fig11", s.Figure11},
+		{"fig12", s.Figure12},
+		{"fig13", s.Figure13},
+		{"sac", s.SACReport},
+		{"net", s.NETReport},
+		{"static", s.StaticReport},
+	}
+	ran := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		if err := e.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

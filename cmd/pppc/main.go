@@ -1,0 +1,172 @@
+// Command pppc compiles a mini-C program (a file or a named built-in
+// workload), runs the staged-optimization pipeline, instruments it
+// with a chosen path profiler, executes it, and reports the measured
+// hot paths, accuracy, coverage, and runtime overhead.
+//
+// Usage:
+//
+//	pppc -workload mcf -profiler PPP
+//	pppc -src prog.mc -profiler TPP -hot 10
+//	pppc -src prog.mc -profiler PPP -dump-plans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/core"
+	"pathprof/internal/eval"
+	"pathprof/internal/instr"
+	"pathprof/internal/profile"
+	"pathprof/internal/workloads"
+)
+
+func main() {
+	src := flag.String("src", "", "mini-C source file to profile")
+	workload := flag.String("workload", "", "built-in workload name instead of -src")
+	profiler := flag.String("profiler", "PPP", "profiler: PP, TPP, PPP, or PPP-{SAC,FP,Push,SPN,LC}")
+	hot := flag.Int("hot", 10, "number of hot paths to print")
+	noOpt := flag.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
+	dumpPlans := flag.Bool("dump-plans", false, "dump per-routine instrumentation plans")
+	saveProfile := flag.String("save-profile", "", "write the optimized run's edge profile to a file")
+	loadProfile := flag.String("load-profile", "", "guide instrumentation with this edge profile instead of the run's own")
+	dumpIR := flag.Bool("dump-ir", false, "dump the optimized IR")
+	flag.Parse()
+
+	var name, source string
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fatalf("unknown workload %q", *workload)
+		}
+		name, source = w.Name, w.Source
+	case *src != "":
+		data, err := os.ReadFile(*src)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		name, source = *src, string(data)
+	default:
+		fatalf("need -src or -workload (try -workload mcf)")
+	}
+
+	tech, ok := techFor(*profiler)
+	if !ok {
+		fatalf("unknown profiler %q", *profiler)
+	}
+
+	pipe := core.NewPipeline(name, source)
+	pipe.NoOpt = *noOpt
+	staged, err := pipe.Stage()
+	if err != nil {
+		fatalf("stage: %v", err)
+	}
+	if *dumpIR {
+		fmt.Print(staged.Prog.Dump())
+	}
+
+	stats := core.StatsOf(staged.Base)
+	fmt.Printf("%s: %d dynamic paths, %.2f branches/path, %.2f instrs/path\n",
+		name, stats.DynPaths, stats.AvgBranches, stats.AvgInstrs)
+	if !*noOpt {
+		fmt.Printf("inlining: %.0f%% of dynamic calls removed; unrolling avg factor applied; speedup %.2fx\n",
+			100*staged.PctCallsInlined(), staged.Speedup())
+	}
+
+	if *saveProfile != "" {
+		f, err := os.Create(*saveProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := profile.WriteEdgeProfiles(f, staged.Base.Edges); err != nil {
+			fatalf("save profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("save profile: %v", err)
+		}
+		fmt.Printf("edge profile saved to %s\n", *saveProfile)
+	}
+	guide := staged.Base.Edges
+	if *loadProfile != "" {
+		f, err := os.Open(*loadProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		guide, err = profile.ReadEdgeProfiles(f)
+		f.Close()
+		if err != nil {
+			fatalf("load profile: %v", err)
+		}
+		fmt.Printf("guiding instrumentation with %s\n", *loadProfile)
+	}
+
+	pr, err := staged.ProfileWith(*profiler, tech, guide)
+	if err != nil {
+		fatalf("profile: %v", err)
+	}
+	if *dumpPlans {
+		names := make([]string, 0, len(pr.Plans))
+		for n := range pr.Plans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Print(pr.Plans[n].Dump())
+		}
+	}
+
+	fmt.Printf("%s overhead: %.1f%% (base cost %d, instrumentation cost %d)\n",
+		*profiler, 100*pr.Overhead(), pr.Run.BaseCost, pr.Run.InstrCost)
+
+	hotPaths := pr.Eval.HotPaths(bench.HotTheta)
+	est := pr.Eval.EstimatedProfile(bench.HotTheta)
+	fmt.Printf("accuracy %.1f%%, coverage %.1f%% (edge profile alone: %.1f%%)\n",
+		100*eval.Accuracy(hotPaths, est), 100*pr.Eval.Coverage().Value(),
+		100*pr.Eval.EdgeCoverage().Value())
+	if pr.SACAdjusted > 0 {
+		fmt.Printf("self-adjusting criterion: %d routine(s), max %d iteration(s)\n",
+			pr.SACAdjusted, pr.MaxSACIterations)
+	}
+
+	fmt.Printf("\nhottest %d paths (of %d hot at %.3f%% of flow):\n",
+		min(*hot, len(hotPaths)), len(hotPaths), 100*bench.HotTheta)
+	for i, h := range hotPaths {
+		if i >= *hot {
+			break
+		}
+		fmt.Printf("  %8d x  %s | %s\n", h.Freq, h.Routine, h.Path)
+	}
+}
+
+func techFor(name string) (instr.Techniques, bool) {
+	switch name {
+	case "PP":
+		return instr.PP(), true
+	case "TPP":
+		return instr.TPP(), true
+	case "PPP":
+		return instr.PPP(), true
+	}
+	for ab, tech := range core.Ablations() {
+		if name == "PPP-"+ab {
+			return tech, true
+		}
+	}
+	return instr.Techniques{}, false
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

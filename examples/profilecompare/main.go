@@ -1,0 +1,63 @@
+// Profile comparison: run Ball-Larus path profiling (PP), targeted
+// path profiling (TPP), and practical path profiling (PPP) on one of
+// the SPEC2000-shaped workloads, reproducing a single row of the
+// paper's Figures 9-12 with all the intermediate detail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/core"
+	"pathprof/internal/eval"
+	"pathprof/internal/workloads"
+)
+
+func main() {
+	name := "twolf"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (choose from %v)", name, workloads.Names())
+	}
+	fmt.Printf("workload %s: %s\n\n", w.Name, w.Desc)
+
+	staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := core.StatsOf(staged.Base)
+	fmt.Printf("after inlining (%.0f%% of calls) and unrolling: %d paths, %.2f branches/path\n\n",
+		100*staged.PctCallsInlined(), stats.DynPaths, stats.AvgBranches)
+
+	fmt.Printf("%-8s %10s %10s %10s %12s %8s\n",
+		"profiler", "overhead", "accuracy", "coverage", "instrumented", "hashed")
+	var hot []eval.HotPath
+	for _, p := range core.Profilers() {
+		pr, err := staged.Profile(p.Name, p.Tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hot == nil {
+			hot = pr.Eval.HotPaths(bench.HotTheta) // PP measures everything
+		}
+		acc := eval.Accuracy(hot, pr.Eval.EstimatedProfile(bench.HotTheta))
+		frac := pr.Eval.InstrumentedFraction()
+		fmt.Printf("%-8s %9.1f%% %9.1f%% %9.1f%% %11.1f%% %7.1f%%\n",
+			p.Name, 100*pr.Overhead(), 100*acc, 100*pr.Eval.Coverage().Value(),
+			100*frac.Total(), 100*frac.Hash)
+	}
+
+	// The edge-profile baseline for reference.
+	pp, err := staged.Profile("PP", core.Profilers()[0].Tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edgeAcc := eval.Accuracy(hot, pp.Eval.EdgeEstimatedProfile(bench.HotTheta))
+	fmt.Printf("%-8s %10s %9.1f%% %9.1f%% %12s %8s\n",
+		"edge", "~0%", 100*edgeAcc, 100*pp.Eval.EdgeCoverage().Value(), "0.0%", "")
+}

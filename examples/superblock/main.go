@@ -1,0 +1,96 @@
+// Superblock formation: the complete dynamic-optimizer loop the paper
+// targets. Collect a PPP path profile at ~5% overhead, turn the
+// measured hot paths into superblock traces (tail duplication +
+// straightening), and measure the speedup of the optimized program —
+// against both the original and a cleanup-only baseline, to isolate
+// what the *path* information buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/core"
+	"pathprof/internal/instr"
+	"pathprof/internal/superblock"
+	"pathprof/internal/vm"
+	"pathprof/internal/workloads"
+)
+
+func main() {
+	name := "vpr"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q", name)
+	}
+
+	// Stage twice: one copy stays as the cleanup-only baseline.
+	staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := core.NewPipeline(w.Name, w.Source).Stage()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plain, err := vm.Run(staged.Prog, vm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile with PPP: this is the measurement a dynamic optimizer
+	// would pay ~5% for.
+	pr, err := staged.Profile("PPP", instr.PPP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := pr.Eval.HotPaths(bench.HotTheta)
+	var traces []superblock.Trace
+	for _, h := range hot {
+		if tr, ok := superblock.TraceFromPath(h.Routine, h.Path); ok {
+			tr.Freq = h.Freq
+			traces = append(traces, tr)
+		}
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Freq > traces[j].Freq })
+
+	res, err := superblock.Form(staged.Prog, traces, superblock.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := vm.Run(staged.Prog, vm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if opt.Ret != plain.Ret {
+		log.Fatalf("transformation changed the program result")
+	}
+
+	superblock.Cleanup(baseline.Prog)
+	clean, err := vm.Run(baseline.Prog, vm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s\n", w.Name)
+	fmt.Printf("PPP profiling overhead:        %5.1f%%\n", 100*pr.Overhead())
+	fmt.Printf("traces formed:                 %d (%d blocks cloned, %d merged, +%.0f%% code)\n",
+		res.TracesFormed, res.BlocksCloned, res.BlocksMerged,
+		100*(float64(res.SizeTo)/float64(res.SizeFrom)-1))
+	speedup := func(c int64) float64 { return float64(plain.BaseCost)/float64(c) - 1 }
+	fmt.Printf("cleanup-only speedup:          %5.1f%%\n", 100*speedup(clean.BaseCost))
+	fmt.Printf("superblock speedup:            %5.1f%%\n", 100*speedup(opt.BaseCost))
+	fmt.Printf("path-profile-specific benefit: %5.1f%%\n",
+		100*(float64(clean.BaseCost)/float64(opt.BaseCost)-1))
+	fmt.Println("\nthe last line is what edge profiles cannot provide: knowing which")
+	fmt.Println("joins to duplicate away. It concentrates where hot paths cross joins")
+	fmt.Println("(branchy loop bodies: vpr, bzip2); straight-line kernels get their")
+	fmt.Println("win from generic straightening alone.")
+}

@@ -1,0 +1,201 @@
+// Package bench regenerates the paper's tables and figures over the
+// synthetic workload suite: Table 1 (path characteristics under
+// inlining+unrolling), Table 2 (hot paths), Figure 9 (accuracy),
+// Figure 10 (coverage), Figure 11 (fraction of paths instrumented),
+// Figure 12 (overhead), and Figure 13 (leave-one-out ablation), plus
+// the Section 4.3 self-adjusting-criterion report.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pathprof/internal/core"
+	"pathprof/internal/eval"
+	"pathprof/internal/workloads"
+)
+
+// HotTheta is the hot-path threshold used throughout the evaluation
+// (0.125% of total program flow, Section 8.1).
+const HotTheta = 0.00125
+
+// WorkloadResult caches everything computed for one workload.
+type WorkloadResult struct {
+	W         workloads.Workload
+	Staged    *core.Staged
+	Orig, Opt core.PathStats
+	Profilers map[string]*core.ProfilerResult // PP, TPP, PPP
+	hot       []eval.HotPath
+}
+
+// Hot returns the actual hot set at HotTheta, computed once from the
+// PP run (which measures every path).
+func (wr *WorkloadResult) Hot() []eval.HotPath {
+	if wr.hot == nil {
+		wr.hot = wr.Profilers["PP"].Eval.HotPaths(HotTheta)
+	}
+	return wr.hot
+}
+
+// Suite runs workloads once each and caches results.
+type Suite struct {
+	Workloads []workloads.Workload
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+
+	results map[string]*WorkloadResult
+	ablated map[string]*core.ProfilerResult
+}
+
+// NewSuite returns a suite over all workloads.
+func NewSuite() *Suite {
+	return &Suite{Workloads: workloads.All()}
+}
+
+func (s *Suite) logf(format string, args ...interface{}) {
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, format+"\n", args...)
+	}
+}
+
+// Run stages the named workload and profiles it with PP, TPP, and PPP.
+func (s *Suite) Run(name string) (*WorkloadResult, error) {
+	if s.results == nil {
+		s.results = map[string]*WorkloadResult{}
+	}
+	if wr, ok := s.results[name]; ok {
+		return wr, nil
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q", name)
+	}
+	s.logf("staging %s", name)
+	staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+	if err != nil {
+		return nil, err
+	}
+	wr := &WorkloadResult{
+		W:         w,
+		Staged:    staged,
+		Orig:      core.StatsOf(staged.OriginalRun),
+		Opt:       core.StatsOf(staged.Base),
+		Profilers: map[string]*core.ProfilerResult{},
+	}
+	for _, p := range core.Profilers() {
+		s.logf("  profiling %s with %s", name, p.Name)
+		pr, err := staged.Profile(p.Name, p.Tech)
+		if err != nil {
+			return nil, err
+		}
+		wr.Profilers[p.Name] = pr
+	}
+	s.results[name] = wr
+	return wr, nil
+}
+
+// Ablate profiles the named workload with one PPP technique disabled
+// (Figure 13), caching the result.
+func (s *Suite) Ablate(name, technique string) (*core.ProfilerResult, error) {
+	key := name + "/" + technique
+	if s.ablated == nil {
+		s.ablated = map[string]*core.ProfilerResult{}
+	}
+	if pr, ok := s.ablated[key]; ok {
+		return pr, nil
+	}
+	tech, ok := core.Ablations()[technique]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown ablation %q", technique)
+	}
+	wr, err := s.Run(name)
+	if err != nil {
+		return nil, err
+	}
+	s.logf("  ablating %s without %s", name, technique)
+	pr, err := wr.Staged.Profile("PPP-"+technique, tech)
+	if err != nil {
+		return nil, err
+	}
+	s.ablated[key] = pr
+	return pr, nil
+}
+
+// RunAll runs every workload in the suite.
+func (s *Suite) RunAll() ([]*WorkloadResult, error) {
+	var out []*WorkloadResult
+	for _, w := range s.Workloads {
+		wr, err := s.Run(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wr)
+	}
+	return out, nil
+}
+
+// EdgeOverhead measures software edge-counter overhead for reference.
+func (s *Suite) EdgeOverhead(name string) (float64, error) {
+	wr, err := s.Run(name)
+	if err != nil {
+		return 0, err
+	}
+	res, err := wr.Staged.EdgeOverheadRun()
+	if err != nil {
+		return 0, err
+	}
+	return res.Overhead(), nil
+}
+
+// Accuracy returns the Figure 9 numbers for one workload: edge, TPP,
+// and PPP accuracy against the actual hot set.
+func (wr *WorkloadResult) Accuracy() (edge, tpp, ppp float64) {
+	hot := wr.Hot()
+	edge = eval.Accuracy(hot, wr.Profilers["PP"].Eval.EdgeEstimatedProfile(HotTheta))
+	tpp = eval.Accuracy(hot, wr.Profilers["TPP"].Eval.EstimatedProfile(HotTheta))
+	ppp = eval.Accuracy(hot, wr.Profilers["PPP"].Eval.EstimatedProfile(HotTheta))
+	return edge, tpp, ppp
+}
+
+// Coverage returns the Figure 10 numbers for one workload.
+func (wr *WorkloadResult) Coverage() (edge, tpp, ppp float64) {
+	edge = wr.Profilers["PP"].Eval.EdgeCoverage().Value()
+	tpp = wr.Profilers["TPP"].Eval.Coverage().Value()
+	ppp = wr.Profilers["PPP"].Eval.Coverage().Value()
+	return edge, tpp, ppp
+}
+
+// geomeanSafe and mean helpers for table footers.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// classRows splits results into INT, FP, and all, preserving order.
+func classRows(rs []*WorkloadResult) (ints, fps []*WorkloadResult) {
+	for _, r := range rs {
+		if r.W.Class == "INT" {
+			ints = append(ints, r)
+		} else {
+			fps = append(fps, r)
+		}
+	}
+	return ints, fps
+}
+
+// sortedNames returns map keys sorted, for deterministic iteration.
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pathprof/internal/netprof"
+	"pathprof/internal/vm"
+)
+
+// NETReport quantifies the Section 2 comparison with Dynamo's NET
+// predictor: for each workload, the fraction of actual hot-path flow
+// covered by NET's one-trace-per-head selection versus by PPP's
+// estimated profile (taking the same number of paths as there are
+// actual hot paths). NET is cheap but cannot tell a few dominant hot
+// paths from many warm paths; the gap is widest on the warm-path
+// integer programs.
+func (s *Suite) NETReport(w io.Writer) error {
+	rs, err := s.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Section 2: NET (Dynamo) trace selection vs PPP, %% of hot flow covered\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "bench", "NET", "PPP", "traces")
+	var nets, ppps []float64
+	for _, r := range rs {
+		pred := netprof.New(netprof.DefaultThreshold)
+		_, err := vm.Run(r.Staged.Prog, vm.Options{
+			CollectPaths: true, PathHook: pred.Hook(),
+		})
+		if err != nil {
+			return err
+		}
+		hot := r.Hot()
+		flowByKey := map[string]int64{}
+		var total int64
+		for _, h := range hot {
+			flowByKey[h.Key] = h.Flow
+			total += h.Flow
+		}
+		netCov := pred.CoverageOf(flowByKey)
+
+		est := r.Profilers["PPP"].Eval.EstimatedProfile(HotTheta)
+		var covered int64
+		for i, e := range est {
+			if i >= len(hot) {
+				break
+			}
+			covered += flowByKey[e.Key]
+		}
+		pppCov := 0.0
+		if total > 0 {
+			pppCov = float64(covered) / float64(total)
+		}
+		fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%% %8d\n",
+			r.W.Name, 100*netCov, 100*pppCov, len(pred.Traces()))
+		nets = append(nets, netCov)
+		ppps = append(ppps, pppCov)
+	}
+	fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%%\n", "avg", 100*mean(nets), 100*mean(ppps))
+	return nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// StaticReport summarises the compile-time side of each profiler
+// (Section 4.7 discusses PPP's analysis cost qualitatively): the
+// number of instrumentation operations inserted, the number of
+// instrumented routines, hash-table routines, and attributed paths.
+// PPP inserts markedly fewer static operations than PP even before any
+// dynamic savings.
+func (s *Suite) StaticReport(w io.Writer) error {
+	rs, err := s.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Static instrumentation (ops inserted / routines instrumented / hashed / attributed paths)\n")
+	fmt.Fprintf(w, "%-10s %22s %22s %22s\n", "bench", "PP", "TPP", "PPP")
+	totals := map[string]int{}
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-10s", r.W.Name)
+		for _, p := range []string{"PP", "TPP", "PPP"} {
+			pr := r.Profilers[p]
+			ops, instrd, attr := 0, 0, 0
+			for _, plan := range pr.Plans {
+				ops += plan.StaticOps()
+				if plan.Instrumented {
+					instrd++
+				}
+				attr += len(plan.Attr)
+			}
+			totals[p] += ops
+			fmt.Fprintf(w, " %7d/%3d/%2d/%4d", ops, instrd, pr.HashedRoutines, attr)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "total ops")
+	for _, p := range []string{"PP", "TPP", "PPP"} {
+		fmt.Fprintf(w, " %22d", totals[p])
+	}
+	fmt.Fprintln(w)
+	return nil
+}

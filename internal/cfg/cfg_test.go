@@ -1,0 +1,391 @@
+package cfg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+)
+
+func TestDiamondBasics(t *testing.T) {
+	g := cfgtest.Diamond()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(g.Blocks); got != 6 {
+		t.Fatalf("blocks = %d, want 6", got)
+	}
+	rpo := g.RPO()
+	if rpo[0] != g.Entry {
+		t.Errorf("RPO[0] = %s, want entry", rpo[0])
+	}
+	if rpo[len(rpo)-1] != g.Exit {
+		t.Errorf("RPO last = %s, want exit", rpo[len(rpo)-1])
+	}
+	if len(g.Loops()) != 0 {
+		t.Errorf("loops = %d, want 0", len(g.Loops()))
+	}
+	for _, e := range g.Edges {
+		if e.Back {
+			t.Errorf("edge %s marked back in acyclic graph", e)
+		}
+	}
+}
+
+func TestDiamondDominators(t *testing.T) {
+	g := cfgtest.Diamond()
+	byName := map[string]*cfg.Block{}
+	for _, b := range g.Blocks {
+		byName[b.Name] = b
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"entry", "d", true},
+		{"a", "d", true},
+		{"b", "d", false},
+		{"c", "d", false},
+		{"a", "exit", true},
+		{"d", "exit", true},
+		{"exit", "d", false},
+	}
+	for _, c := range cases {
+		if got := g.Dominates(byName[c.a], byName[c.b]); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDiamondDAG(t *testing.T) {
+	g := cfgtest.Diamond()
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	if len(d.Edges) != len(g.Edges) {
+		t.Fatalf("DAG edges = %d, want %d (no dummies)", len(d.Edges), len(g.Edges))
+	}
+	if n := d.TotalPaths(nil, -1); n != 2 {
+		t.Errorf("TotalPaths = %d, want 2", n)
+	}
+	paths := d.EnumeratePaths(nil, -1)
+	if len(paths) != 2 {
+		t.Fatalf("EnumeratePaths = %d, want 2", len(paths))
+	}
+	// Each diamond path has exactly one branch edge (out of a).
+	for _, p := range paths {
+		if got := p.Branches(d); got != 1 {
+			t.Errorf("path %s branches = %d, want 1", p, got)
+		}
+	}
+}
+
+// loopGraph builds: entry -> h; h -> b1, b2; b1 -> t; b2 -> t;
+// t -> h (back); t -> exit.
+func loopGraph() *cfg.Graph {
+	g := cfg.New("loop")
+	entry := g.AddBlock("entry")
+	h := g.AddBlock("h")
+	b1 := g.AddBlock("b1")
+	b2 := g.AddBlock("b2")
+	tl := g.AddBlock("t")
+	exit := g.AddBlock("exit")
+	g.Connect(entry, h)
+	g.Connect(h, b1)
+	g.Connect(h, b2)
+	g.Connect(b1, tl)
+	g.Connect(b2, tl)
+	g.Connect(tl, h)
+	g.Connect(tl, exit)
+	g.Entry = entry
+	g.Exit = exit
+	return g
+}
+
+func TestLoopDetection(t *testing.T) {
+	g := loopGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header.Name != "h" {
+		t.Errorf("header = %s, want h", l.Header)
+	}
+	if len(l.Backs) != 1 || l.Backs[0].Src.Name != "t" {
+		t.Errorf("back edges = %v", l.Backs)
+	}
+	if len(l.Blocks) != 4 { // h, b1, b2, t
+		t.Errorf("loop body size = %d, want 4", len(l.Blocks))
+	}
+	if err := g.CheckReducible(); err != nil {
+		t.Errorf("CheckReducible: %v", err)
+	}
+}
+
+func TestLoopDAGAndDummies(t *testing.T) {
+	g := loopGraph()
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	// Back edge t->h removed; dummies entry=>h and t=>exit added.
+	if len(d.Edges) != len(g.Edges)-1+2 {
+		t.Fatalf("DAG edges = %d, want %d", len(d.Edges), len(g.Edges)+1)
+	}
+	byName := map[string]*cfg.Block{}
+	for _, b := range g.Blocks {
+		byName[b.Name] = b
+	}
+	ed := d.EntryDummyFor(byName["h"])
+	if ed == nil || ed.Src != g.Entry {
+		t.Fatalf("EntryDummyFor(h) = %v", ed)
+	}
+	xd := d.ExitDummyFor(byName["t"])
+	if xd == nil || xd.Dst != g.Exit {
+		t.Fatalf("ExitDummyFor(t) = %v", xd)
+	}
+	// Paths: {entry->h, entry=>h} x {b1, b2} x {t->exit, t=>exit} = 8.
+	if n := d.TotalPaths(nil, -1); n != 8 {
+		t.Errorf("TotalPaths = %d, want 8", n)
+	}
+	if n := len(d.EnumeratePaths(nil, -1)); n != 8 {
+		t.Errorf("EnumeratePaths = %d, want 8", n)
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	g := loopGraph()
+	byName := map[string]*cfg.Block{}
+	for _, b := range g.Blocks {
+		byName[b.Name] = b
+	}
+	// 10 calls; each call iterates the loop 5 times: header freq 50,
+	// back edge 40, exit 10.
+	g.Calls = 10
+	g.FindEdge(g.Entry, byName["h"]).Freq = 10
+	g.FindEdge(byName["h"], byName["b1"]).Freq = 30
+	g.FindEdge(byName["h"], byName["b2"]).Freq = 20
+	g.FindEdge(byName["b1"], byName["t"]).Freq = 30
+	g.FindEdge(byName["b2"], byName["t"]).Freq = 20
+	g.FindEdge(byName["t"], byName["h"]).Freq = 40
+	g.FindEdge(byName["t"], g.Exit).Freq = 10
+	if err := g.CheckFlow(); err != nil {
+		t.Fatalf("CheckFlow: %v", err)
+	}
+	l := g.Loops()[0]
+	if got := g.TripCount(l); got != 5 {
+		t.Errorf("TripCount = %v, want 5", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// entry -> oh; oh -> ih; ih -> ib; ib -> ih (back); ib -> ot;
+	// ot -> oh (back); ot -> exit.
+	g := cfg.New("nested")
+	entry := g.AddBlock("entry")
+	oh := g.AddBlock("oh")
+	ih := g.AddBlock("ih")
+	ib := g.AddBlock("ib")
+	ot := g.AddBlock("ot")
+	exit := g.AddBlock("exit")
+	g.Connect(entry, oh)
+	g.Connect(oh, ih)
+	g.Connect(ih, ib)
+	g.Connect(ib, ih)
+	g.Connect(ib, ot)
+	g.Connect(ot, oh)
+	g.Connect(ot, exit)
+	g.Entry = entry
+	g.Exit = exit
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	loops := g.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	var inner, outer *cfg.Loop
+	for _, l := range loops {
+		if l.Header == ih {
+			inner = l
+		}
+		if l.Header == oh {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatal("missing inner or outer loop")
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v, want outer", inner.Parent)
+	}
+	if outer.Parent != nil {
+		t.Errorf("outer.Parent = %v, want nil", outer.Parent)
+	}
+	il := g.InnerLoops()
+	if len(il) != 1 || il[0] != inner {
+		t.Errorf("InnerLoops = %v", il)
+	}
+	if got := g.LoopOf(ib); got != inner {
+		t.Errorf("LoopOf(ib) = %v, want inner", got)
+	}
+	if got := g.LoopOf(ot); got != outer {
+		t.Errorf("LoopOf(ot) = %v, want outer", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := cfg.New("self")
+	entry := g.AddBlock("entry")
+	b := g.AddBlock("b")
+	exit := g.AddBlock("exit")
+	g.Connect(entry, b)
+	g.Connect(b, b)
+	g.Connect(b, exit)
+	g.Entry = entry
+	g.Exit = exit
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	loops := g.Loops()
+	if len(loops) != 1 || len(loops[0].Blocks) != 1 {
+		t.Fatalf("self loop detection failed: %v", loops)
+	}
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	// Paths: {entry->b, entry=>b} x {b->exit, b=>exit} = 4.
+	if n := d.TotalPaths(nil, -1); n != 4 {
+		t.Errorf("TotalPaths = %d, want 4", n)
+	}
+}
+
+func TestTotalPathsExclusionAndLimit(t *testing.T) {
+	g := cfgtest.Diamond()
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	excluded := make([]bool, len(d.Edges))
+	for _, e := range d.Edges {
+		if e.Src.Name == "a" && e.Dst.Name == "b" {
+			excluded[e.ID] = true
+		}
+	}
+	if n := d.TotalPaths(excluded, -1); n != 1 {
+		t.Errorf("TotalPaths with exclusion = %d, want 1", n)
+	}
+	if n := d.TotalPaths(nil, 1); n != 1 {
+		t.Errorf("TotalPaths with limit 1 = %d, want 1 (saturated)", n)
+	}
+	paths := d.EnumeratePaths(excluded, -1)
+	if len(paths) != 1 {
+		t.Errorf("EnumeratePaths with exclusion = %d, want 1", len(paths))
+	}
+}
+
+func TestParallelEdgePanics(t *testing.T) {
+	g := cfg.New("par")
+	a := g.AddBlock("a")
+	b := g.AddBlock("b")
+	g.Connect(a, b)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on parallel edge")
+		}
+	}()
+	g.Connect(a, b)
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	g := cfg.New("bad")
+	a := g.AddBlock("a")
+	b := g.AddBlock("b")
+	g.Connect(a, b)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate passed with nil entry/exit")
+	}
+	g.Entry = a
+	g.Exit = b
+	c := g.AddBlock("c") // unreachable
+	if err := g.Validate(); err == nil {
+		t.Error("Validate passed with unreachable block")
+	}
+	g.Connect(a, c) // now c cannot reach exit
+	if err := g.Validate(); err == nil {
+		t.Error("Validate passed with block that cannot reach exit")
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		g := cfgtest.Random(rng, 3+rng.Intn(20))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("iter %d: Validate: %v\n%s", i, err, g.Dump())
+		}
+		if err := g.CheckReducible(); err != nil {
+			t.Fatalf("iter %d: CheckReducible: %v\n%s", i, err, g.Dump())
+		}
+		d, err := cfg.BuildDAG(g)
+		if err != nil {
+			t.Fatalf("iter %d: BuildDAG: %v\n%s", i, err, g.Dump())
+		}
+		// Topological order covers all blocks, entry first, exit last.
+		if d.Topo[0] != g.Entry {
+			t.Fatalf("iter %d: topo[0] != entry", i)
+		}
+		if d.Topo[len(d.Topo)-1] != g.Exit {
+			t.Fatalf("iter %d: topo last != exit", i)
+		}
+		// Path count matches enumeration (bounded).
+		n := d.TotalPaths(nil, 100000)
+		if n < 100000 {
+			paths := d.EnumeratePaths(nil, -1)
+			if int64(len(paths)) != n {
+				t.Fatalf("iter %d: TotalPaths=%d enumerate=%d\n%s", i, n, len(paths), g.Dump())
+			}
+		}
+	}
+}
+
+func TestRandomProfileFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		g := cfgtest.Random(rng, 3+rng.Intn(15))
+		cfgtest.Profile(g, rng, 50, 200)
+		if err := g.CheckFlow(); err != nil {
+			t.Fatalf("iter %d: %v\n%s", i, err, g.Dump())
+		}
+		// DAG node frequencies are consistent: entry out == exit in.
+		d, err := cfg.BuildDAG(g)
+		if err != nil {
+			t.Fatalf("iter %d: BuildDAG: %v", i, err)
+		}
+		if in, out := d.NodeFreq(g.Exit), d.NodeFreq(g.Entry); in != out {
+			t.Fatalf("iter %d: DAG flow entry=%d exit=%d", i, out, in)
+		}
+		for _, b := range g.Blocks {
+			if b == g.Entry || b == g.Exit {
+				continue
+			}
+			var in, out int64
+			for _, e := range d.In[b.ID] {
+				in += e.Freq
+			}
+			for _, e := range d.Out[b.ID] {
+				out += e.Freq
+			}
+			if in != out {
+				t.Fatalf("iter %d: DAG flow not conserved at %s: in=%d out=%d", i, b, in, out)
+			}
+		}
+	}
+}

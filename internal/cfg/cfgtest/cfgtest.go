@@ -1,0 +1,224 @@
+// Package cfgtest generates random structured control-flow graphs and
+// flow-conserving edge profiles for property-based testing of the path
+// profiling algorithms. Generated graphs are always reducible because
+// they are built from nested structured regions (sequences, diamonds,
+// one-armed ifs, while and do-while loops).
+package cfgtest
+
+import (
+	"math/rand"
+
+	"pathprof/internal/cfg"
+)
+
+// Random builds a random structured CFG with roughly size interior
+// blocks. It always has distinct entry and exit blocks and validates.
+func Random(rng *rand.Rand, size int) *cfg.Graph {
+	g := cfg.New("random")
+	entry := g.AddBlock("entry")
+	budget := size
+	head, tail := genRegion(g, rng, 3, &budget)
+	exit := g.AddBlock("exit")
+	g.Connect(entry, head)
+	g.Connect(tail, exit)
+	g.Entry = entry
+	g.Exit = exit
+	for _, b := range g.Blocks {
+		b.Instrs = 1 + rng.Intn(8)
+	}
+	if err := g.Validate(); err != nil {
+		panic("cfgtest: generated invalid graph: " + err.Error())
+	}
+	return g
+}
+
+// genRegion creates a fresh single-entry single-exit region and returns
+// its head and tail blocks. depth bounds nesting; budget bounds size.
+func genRegion(g *cfg.Graph, rng *rand.Rand, depth int, budget *int) (head, tail *cfg.Block) {
+	*budget--
+	if depth <= 0 || *budget <= 0 {
+		b := g.AddBlock("")
+		return b, b
+	}
+	switch rng.Intn(6) {
+	case 0: // leaf
+		b := g.AddBlock("")
+		return b, b
+	case 1: // sequence
+		h1, t1 := genRegion(g, rng, depth-1, budget)
+		h2, t2 := genRegion(g, rng, depth-1, budget)
+		g.Connect(t1, h2)
+		return h1, t2
+	case 2: // if-else
+		c := g.AddBlock("")
+		j := g.AddBlock("")
+		h1, t1 := genRegion(g, rng, depth-1, budget)
+		h2, t2 := genRegion(g, rng, depth-1, budget)
+		g.Connect(c, h1)
+		g.Connect(c, h2)
+		g.Connect(t1, j)
+		g.Connect(t2, j)
+		return c, j
+	case 3: // if-then
+		c := g.AddBlock("")
+		j := g.AddBlock("")
+		h1, t1 := genRegion(g, rng, depth-1, budget)
+		g.Connect(c, h1)
+		g.Connect(c, j)
+		g.Connect(t1, j)
+		return c, j
+	case 4: // while loop: header tests, body loops back
+		h := g.AddBlock("")
+		bh, bt := genRegion(g, rng, depth-1, budget)
+		g.Connect(h, bh)
+		g.Connect(bt, h) // back edge
+		return h, h
+	default: // do-while loop: body then latch test
+		bh, bt := genRegion(g, rng, depth-1, budget)
+		latch := g.AddBlock("")
+		g.Connect(bt, latch)
+		g.Connect(latch, bh) // back edge
+		return bh, latch
+	}
+}
+
+// Profile fills in a flow-conserving edge profile by simulating walks
+// random walks from entry to exit. Walks pick a uniformly random
+// successor until they exceed maxSteps, after which they follow a
+// shortest path to the exit, guaranteeing termination.
+func Profile(g *cfg.Graph, rng *rand.Rand, walks, maxSteps int) {
+	for _, e := range g.Edges {
+		e.Freq = 0
+	}
+	dist := distToExit(g)
+	g.Calls = int64(walks)
+	for w := 0; w < walks; w++ {
+		b := g.Entry
+		steps := 0
+		for b != g.Exit {
+			var e *cfg.Edge
+			if steps < maxSteps {
+				e = b.Out[rng.Intn(len(b.Out))]
+			} else {
+				for _, cand := range b.Out {
+					if e == nil || dist[cand.Dst.ID] < dist[e.Dst.ID] {
+						e = cand
+					}
+				}
+			}
+			e.Freq++
+			b = e.Dst
+			steps++
+		}
+	}
+}
+
+// PathCount is a ground-truth Ball-Larus path and its execution count.
+type PathCount struct {
+	Path  cfg.Path
+	Count int64
+}
+
+// ProfilePaths fills in a flow-conserving edge profile (like Profile)
+// and additionally returns the exact Ball-Larus path profile of the
+// simulated walks: paths are truncated at back edges (ending with the
+// tail's exit dummy and restarting with the header's entry dummy), per
+// the path semantics of Ball-Larus profiling.
+func ProfilePaths(g *cfg.Graph, d *cfg.DAG, rng *rand.Rand, walks, maxSteps int) []PathCount {
+	for _, e := range g.Edges {
+		e.Freq = 0
+	}
+	dist := distToExit(g)
+	g.Calls = int64(walks)
+	counts := map[string]*PathCount{}
+	var order []string
+	record := func(p cfg.Path) {
+		key := p.String()
+		pc := counts[key]
+		if pc == nil {
+			cp := make(cfg.Path, len(p))
+			copy(cp, p)
+			pc = &PathCount{Path: cp}
+			counts[key] = pc
+			order = append(order, key)
+		}
+		pc.Count++
+	}
+	for w := 0; w < walks; w++ {
+		b := g.Entry
+		steps := 0
+		var cur cfg.Path
+		for b != g.Exit {
+			var e *cfg.Edge
+			if steps < maxSteps {
+				e = b.Out[rng.Intn(len(b.Out))]
+			} else {
+				for _, cand := range b.Out {
+					if e == nil || dist[cand.Dst.ID] < dist[e.Dst.ID] {
+						e = cand
+					}
+				}
+			}
+			e.Freq++
+			if e.Back {
+				cur = append(cur, d.ExitDummyFor(e.Src))
+				record(cur)
+				cur = cur[:0]
+				cur = append(cur, d.EntryDummyFor(e.Dst))
+			} else {
+				cur = append(cur, d.Real(e.Src, e.Dst))
+			}
+			b = e.Dst
+			steps++
+		}
+		record(cur)
+	}
+	d.RefreshFreqs()
+	out := make([]PathCount, 0, len(order))
+	for _, k := range order {
+		out = append(out, *counts[k])
+	}
+	return out
+}
+
+func distToExit(g *cfg.Graph) []int {
+	const inf = 1 << 30
+	dist := make([]int, len(g.Blocks))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[g.Exit.ID] = 0
+	queue := []*cfg.Block{g.Exit}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, e := range b.In {
+			if dist[e.Src.ID] > dist[b.ID]+1 {
+				dist[e.Src.ID] = dist[b.ID] + 1
+				queue = append(queue, e.Src)
+			}
+		}
+	}
+	return dist
+}
+
+// Diamond builds the canonical two-path diamond graph used in many
+// tests: entry -> a -> {b, c} -> d -> exit.
+func Diamond() *cfg.Graph {
+	g := cfg.New("diamond")
+	entry := g.AddBlock("entry")
+	a := g.AddBlock("a")
+	b := g.AddBlock("b")
+	c := g.AddBlock("c")
+	d := g.AddBlock("d")
+	exit := g.AddBlock("exit")
+	g.Connect(entry, a)
+	g.Connect(a, b)
+	g.Connect(a, c)
+	g.Connect(b, d)
+	g.Connect(c, d)
+	g.Connect(d, exit)
+	g.Entry = entry
+	g.Exit = exit
+	return g
+}

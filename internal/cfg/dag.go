@@ -1,0 +1,350 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DAGEdgeKind distinguishes real CFG edges from the dummy edges that the
+// Ball-Larus conversion introduces when breaking back edges.
+type DAGEdgeKind int
+
+const (
+	// RealEdge is an original CFG edge that is not a back edge.
+	RealEdge DAGEdgeKind = iota
+	// EntryDummy is a dummy edge entry->header standing for the start of
+	// paths that begin at a loop header (after a back edge).
+	EntryDummy
+	// ExitDummy is a dummy edge tail->exit standing for the end of paths
+	// that terminate at a loop back edge.
+	ExitDummy
+)
+
+func (k DAGEdgeKind) String() string {
+	switch k {
+	case RealEdge:
+		return "real"
+	case EntryDummy:
+		return "entry-dummy"
+	case ExitDummy:
+		return "exit-dummy"
+	}
+	return fmt.Sprintf("DAGEdgeKind(%d)", int(k))
+}
+
+// DAGEdge is an edge of the acyclic graph derived from a CFG. Real
+// edges reference the CFG edge they came from; dummy edges reference the
+// back edges they stand for. Freq is the measured frequency: the CFG
+// edge's for real edges, the sum of the represented back edges' for
+// dummies.
+type DAGEdge struct {
+	ID   int
+	Src  *Block
+	Dst  *Block
+	Kind DAGEdgeKind
+	Freq int64
+	CFG  *Edge   // the original edge (real edges only)
+	Back []*Edge // represented back edges (dummy edges only)
+}
+
+func (e *DAGEdge) String() string {
+	switch e.Kind {
+	case EntryDummy:
+		return fmt.Sprintf("%s=>%s", e.Src, e.Dst)
+	case ExitDummy:
+		return fmt.Sprintf("%s=>%s", e.Src, e.Dst)
+	}
+	return fmt.Sprintf("%s->%s", e.Src, e.Dst)
+}
+
+// DAG is the acyclic form of a routine CFG used for path numbering.
+// Node identity is shared with the CFG (block IDs index Out/In).
+type DAG struct {
+	G     *Graph
+	Edges []*DAGEdge
+	Out   [][]*DAGEdge // indexed by block ID
+	In    [][]*DAGEdge // indexed by block ID
+	Topo  []*Block     // topological order, entry first
+}
+
+// BuildDAG converts g into a DAG: back edges are removed, and for each
+// loop header a dummy edge entry->header is added, and for each back
+// edge source a dummy edge source->exit is added (dummy edges are
+// deduplicated per header and per source, so a block sequence identifies
+// a unique DAG path). Requires a reducible graph.
+func BuildDAG(g *Graph) (*DAG, error) {
+	if err := g.CheckReducible(); err != nil {
+		return nil, err
+	}
+	d := &DAG{
+		G:   g,
+		Out: make([][]*DAGEdge, len(g.Blocks)),
+		In:  make([][]*DAGEdge, len(g.Blocks)),
+	}
+	add := func(src, dst *Block, kind DAGEdgeKind, freq int64, cfgEdge *Edge, backs []*Edge) *DAGEdge {
+		e := &DAGEdge{ID: len(d.Edges), Src: src, Dst: dst, Kind: kind, Freq: freq, CFG: cfgEdge, Back: backs}
+		d.Edges = append(d.Edges, e)
+		d.Out[src.ID] = append(d.Out[src.ID], e)
+		d.In[dst.ID] = append(d.In[dst.ID], e)
+		return e
+	}
+
+	entryDummies := map[int][]*Edge{} // header ID -> back edges
+	exitDummies := map[int][]*Edge{}  // tail ID -> back edges
+	var headerOrder, tailOrder []*Block
+	for _, e := range g.Edges {
+		if !e.Back {
+			add(e.Src, e.Dst, RealEdge, e.Freq, e, nil)
+			continue
+		}
+		if entryDummies[e.Dst.ID] == nil {
+			headerOrder = append(headerOrder, e.Dst)
+		}
+		entryDummies[e.Dst.ID] = append(entryDummies[e.Dst.ID], e)
+		if exitDummies[e.Src.ID] == nil {
+			tailOrder = append(tailOrder, e.Src)
+		}
+		exitDummies[e.Src.ID] = append(exitDummies[e.Src.ID], e)
+	}
+	for _, h := range headerOrder {
+		backs := entryDummies[h.ID]
+		var freq int64
+		for _, b := range backs {
+			freq += b.Freq
+		}
+		add(g.Entry, h, EntryDummy, freq, nil, backs)
+	}
+	for _, t := range tailOrder {
+		backs := exitDummies[t.ID]
+		var freq int64
+		for _, b := range backs {
+			freq += b.Freq
+		}
+		add(t, g.Exit, ExitDummy, freq, nil, backs)
+	}
+
+	if err := d.topoSort(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *DAG) topoSort() error {
+	n := len(d.G.Blocks)
+	indeg := make([]int, n)
+	for _, e := range d.Edges {
+		indeg[e.Dst.ID]++
+	}
+	queue := make([]*Block, 0, n)
+	for _, b := range d.G.Blocks {
+		if indeg[b.ID] == 0 {
+			queue = append(queue, b)
+		}
+	}
+	d.Topo = d.Topo[:0]
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		d.Topo = append(d.Topo, b)
+		for _, e := range d.Out[b.ID] {
+			indeg[e.Dst.ID]--
+			if indeg[e.Dst.ID] == 0 {
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	if len(d.Topo) != n {
+		return fmt.Errorf("cfg %s: cycle remains after back edge removal", d.G.Name)
+	}
+	return nil
+}
+
+// RefreshFreqs re-derives DAG edge frequencies from the CFG edge
+// profile: real edges copy their CFG edge's frequency and dummy edges
+// sum the back edges they stand for. Call after the CFG profile
+// changes.
+func (d *DAG) RefreshFreqs() {
+	for _, e := range d.Edges {
+		switch e.Kind {
+		case RealEdge:
+			e.Freq = e.CFG.Freq
+		default:
+			var sum int64
+			for _, b := range e.Back {
+				sum += b.Freq
+			}
+			e.Freq = sum
+		}
+	}
+}
+
+// FindEdge returns the DAG edge src->dst of any kind, or nil.
+func (d *DAG) FindEdge(src, dst *Block) *DAGEdge {
+	for _, e := range d.Out[src.ID] {
+		if e.Dst == dst {
+			return e
+		}
+	}
+	return nil
+}
+
+// Real returns the DAG edge corresponding to the real CFG edge
+// src->dst, or nil.
+func (d *DAG) Real(src, dst *Block) *DAGEdge {
+	for _, e := range d.Out[src.ID] {
+		if e.Kind == RealEdge && e.Dst == dst {
+			return e
+		}
+	}
+	return nil
+}
+
+// EntryDummyFor returns the dummy edge entry->header for the given loop
+// header, or nil. There is at most one per header.
+func (d *DAG) EntryDummyFor(header *Block) *DAGEdge {
+	for _, e := range d.In[header.ID] {
+		if e.Kind == EntryDummy {
+			return e
+		}
+	}
+	return nil
+}
+
+// ExitDummyFor returns the dummy edge tail->exit for the given back
+// edge source, or nil. There is at most one per tail.
+func (d *DAG) ExitDummyFor(tail *Block) *DAGEdge {
+	for _, e := range d.Out[tail.ID] {
+		if e.Kind == ExitDummy {
+			return e
+		}
+	}
+	return nil
+}
+
+// IsBranch reports whether e is a branch edge: its source block has at
+// least one other outgoing DAG edge. The branch-flow metric counts
+// branch edges on a path.
+func (d *DAG) IsBranch(e *DAGEdge) bool {
+	return len(d.Out[e.Src.ID]) >= 2
+}
+
+// NodeFreq returns the DAG-level frequency of block b: the sum of
+// incoming DAG edge frequencies, or of outgoing ones for the entry.
+func (d *DAG) NodeFreq(b *Block) int64 {
+	var sum int64
+	if b == d.G.Entry {
+		for _, e := range d.Out[b.ID] {
+			sum += e.Freq
+		}
+		return sum
+	}
+	for _, e := range d.In[b.ID] {
+		sum += e.Freq
+	}
+	return sum
+}
+
+// TotalPaths counts entry->exit paths in the DAG, skipping excluded
+// edges (excluded[e.ID] == true; a nil slice excludes nothing). The
+// count saturates at limit; a negative limit means no saturation bound.
+func (d *DAG) TotalPaths(excluded []bool, limit int64) int64 {
+	counts := make([]int64, len(d.G.Blocks))
+	counts[d.G.Exit.ID] = 1
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		b := d.Topo[i]
+		if b == d.G.Exit {
+			continue
+		}
+		var sum int64
+		for _, e := range d.Out[b.ID] {
+			if excluded != nil && excluded[e.ID] {
+				continue
+			}
+			sum += counts[e.Dst.ID]
+			if limit >= 0 && sum >= limit {
+				sum = limit
+				break
+			}
+		}
+		counts[b.ID] = sum
+	}
+	return counts[d.G.Entry.ID]
+}
+
+// Path is a sequence of DAG edges from entry to exit.
+type Path []*DAGEdge
+
+// String renders the path as the block sequence it visits. Dummy edges
+// print as "=>" so that a path starting at a loop header (after a back
+// edge) or ending at a back edge is distinguished from one using a real
+// edge between the same blocks.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "<empty>"
+	}
+	var sb strings.Builder
+	sb.WriteString(p[0].Src.String())
+	for _, e := range p {
+		if e.Kind == RealEdge {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString("=>")
+		}
+		sb.WriteString(e.Dst.String())
+	}
+	return sb.String()
+}
+
+// Branches returns the number of branch edges on the path.
+func (p Path) Branches(d *DAG) int {
+	n := 0
+	for _, e := range p {
+		if d.IsBranch(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Instrs returns the number of IR statements on the path's blocks.
+func (p Path) Instrs() int {
+	if len(p) == 0 {
+		return 0
+	}
+	n := p[0].Src.Instrs
+	for _, e := range p {
+		n += e.Dst.Instrs
+	}
+	return n
+}
+
+// EnumeratePaths returns all entry->exit DAG paths, skipping excluded
+// edges, up to limit paths (limit < 0 means unbounded). Intended for
+// tests and small routines.
+func (d *DAG) EnumeratePaths(excluded []bool, limit int) []Path {
+	var out []Path
+	var cur Path
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == d.G.Exit {
+			cp := make(Path, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return limit < 0 || len(out) < limit
+		}
+		for _, e := range d.Out[b.ID] {
+			if excluded != nil && excluded[e.ID] {
+				continue
+			}
+			cur = append(cur, e)
+			ok := walk(e.Dst)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	walk(d.G.Entry)
+	return out
+}

@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"testing"
+
+	"pathprof/internal/core"
+	"pathprof/internal/instr"
+)
+
+var demoSrc = func() string {
+	pad := "func pad(x) {\n\tvar a = x;\n"
+	for i := 0; i < 120; i++ {
+		pad += "\ta = a * 3 + 1;\n"
+	}
+	pad += "\treturn a;\n}\n"
+	return pad + demoBody
+}()
+
+const demoBody = `
+var total = 0;
+array data[128];
+
+func weight(x) { return x * 3 % 17 + 1; }
+
+func score(i) {
+	var s = 0;
+	if (data[i % 128] % 2 == 0) { s = s + weight(i); } else { s = s - 1; }
+	if (data[(i + 1) % 128] % 4 < 2) { s = s + 2; } else { s = s - weight(i + 1); }
+	return s;
+}
+
+func main() {
+	total = total + pad(3);
+	for (var i = 0; i < 128; i = i + 1) { data[i] = (i * 2654435761) % 1009; }
+	var it = 0;
+	while (it < 3000) {
+		total = total + score(it);
+		if (total % 7 == 0) { total = total + 1; }
+		it = it + 1;
+	}
+	print(total);
+	return total;
+}
+`
+
+func stage(t *testing.T) *core.Staged {
+	t.Helper()
+	s, err := core.NewPipeline("demo", demoSrc).Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStageInvariants(t *testing.T) {
+	s := stage(t)
+	if s.Base.Ret != s.OriginalRun.Ret {
+		t.Fatal("optimization changed the program result")
+	}
+	if s.Speedup() < 1 {
+		t.Errorf("speedup = %v < 1 with call-cost savings available", s.Speedup())
+	}
+	if got := s.PctCallsInlined(); got <= 0 || got > 1 {
+		t.Errorf("%% calls inlined = %v, want in (0, 1]", got)
+	}
+	if s.TotalUnitFlow() <= 0 {
+		t.Error("no dynamic paths recorded")
+	}
+	stats := core.StatsOf(s.Base)
+	if stats.DynPaths == 0 || stats.AvgInstrs <= 0 {
+		t.Errorf("bad stats %+v", stats)
+	}
+	// Inlining+unrolling must lengthen paths.
+	orig := core.StatsOf(s.OriginalRun)
+	if stats.AvgInstrs <= orig.AvgInstrs {
+		t.Errorf("paths did not lengthen: %v vs %v", stats.AvgInstrs, orig.AvgInstrs)
+	}
+}
+
+func TestNoOptPipeline(t *testing.T) {
+	p := core.NewPipeline("demo", demoSrc)
+	p.NoOpt = true
+	s, err := p.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Prog != s.Original {
+		t.Error("NoOpt should reuse the original program")
+	}
+	if s.Speedup() != 1 {
+		t.Errorf("NoOpt speedup = %v, want 1", s.Speedup())
+	}
+}
+
+func TestProfilersOrdering(t *testing.T) {
+	s := stage(t)
+	overheads := map[string]float64{}
+	for _, p := range core.Profilers() {
+		pr, err := s.Profile(p.Name, p.Tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overheads[p.Name] = pr.Overhead()
+		if pr.Run.Ret != s.Base.Ret {
+			t.Fatalf("%s changed the program result", p.Name)
+		}
+		if pr.Overhead() < 0 {
+			t.Errorf("%s negative overhead %v", p.Name, pr.Overhead())
+		}
+	}
+	if overheads["PP"] <= 0 {
+		t.Error("PP overhead must be positive")
+	}
+	if overheads["TPP"] > overheads["PP"] {
+		t.Errorf("TPP %v exceeds PP %v", overheads["TPP"], overheads["PP"])
+	}
+	if overheads["PPP"] > overheads["TPP"]+1e-9 {
+		t.Errorf("PPP %v exceeds TPP %v", overheads["PPP"], overheads["TPP"])
+	}
+}
+
+func TestProfileEvalSanity(t *testing.T) {
+	s := stage(t)
+	pp, err := s.Profile("PP", instr.PP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := pp.Eval.HotPaths(0.00125)
+	if len(hot) == 0 {
+		t.Fatal("no hot paths")
+	}
+	// PP measures everything exactly.
+	cov := pp.Eval.Coverage()
+	if cov.Value() < 0.999 {
+		t.Errorf("PP coverage = %v (%+v)", cov.Value(), cov)
+	}
+	frac := pp.Eval.InstrumentedFraction()
+	if frac.Total() < 0.999 {
+		t.Errorf("PP instrumented fraction = %v", frac.Total())
+	}
+}
+
+func TestAblationsComplete(t *testing.T) {
+	ab := core.Ablations()
+	for _, name := range []string{"SAC", "FP", "Push", "SPN", "LC"} {
+		tech, ok := ab[name]
+		if !ok {
+			t.Fatalf("missing ablation %s", name)
+		}
+		if tech == instr.PPP() {
+			t.Errorf("ablation %s identical to PPP", name)
+		}
+	}
+	s := stage(t)
+	for name, tech := range ab {
+		pr, err := s.Profile("PPP-"+name, tech)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pr.Run.Ret != s.Base.Ret {
+			t.Fatalf("%s changed the result", name)
+		}
+	}
+}
+
+func TestEdgeOverheadRun(t *testing.T) {
+	s := stage(t)
+	res, err := s.EdgeOverheadRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead() <= 0 {
+		t.Error("edge instrumentation should cost something")
+	}
+	if res.Ret != s.Base.Ret {
+		t.Error("edge instrumentation changed the result")
+	}
+}
+
+func TestStageRejectsBadSource(t *testing.T) {
+	if _, err := core.NewPipeline("bad", "func main() {").Stage(); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := core.NewPipeline("bad", "func main() { return f(); }").Stage(); err == nil {
+		t.Error("expected undefined function error")
+	}
+}

@@ -1,0 +1,419 @@
+// Package eval implements the paper's evaluation machinery: actual
+// hot-path identification (Table 2), estimated path profile
+// construction from measured counters, edge attribution and definite
+// flow (Section 5), the accuracy metric via Wall's weight matching
+// (Section 6.1), and coverage with the overcount penalty (Section
+// 6.2).
+package eval
+
+import (
+	"sort"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/flow"
+	"pathprof/internal/instr"
+	"pathprof/internal/profile"
+)
+
+// Routine bundles everything the evaluation needs about one routine:
+// the plan (with its DAG carrying the guiding edge profile), the
+// counter table from the instrumented run (nil when uninstrumented),
+// and the exact path profile of the same run.
+type Routine struct {
+	Name  string
+	Plan  *instr.Plan
+	Table *profile.Table
+	Truth *profile.PathProfile
+}
+
+// Program is the evaluation view of a whole benchmark run.
+type Program struct {
+	Metric   flow.Metric
+	Routines []*Routine
+
+	// EnumCap bounds definite/potential path enumeration per routine.
+	EnumCap int
+}
+
+// New returns a Program evaluation over the given routines using the
+// branch-flow metric.
+func New(routines []*Routine) *Program {
+	return &Program{Metric: flow.Branch, Routines: routines, EnumCap: 20000}
+}
+
+// HotPath is a path with its actual execution statistics.
+type HotPath struct {
+	Routine string
+	Key     string
+	Path    cfg.Path
+	Freq    int64
+	Flow    int64
+}
+
+// TotalFlow returns the program's actual total flow under the metric.
+func (p *Program) TotalFlow() int64 {
+	var sum int64
+	for _, r := range p.Routines {
+		d := r.Plan.D
+		for _, pc := range r.Truth.Paths() {
+			sum += flow.PathFlow(d, pc.Path, pc.Count, p.Metric)
+		}
+	}
+	return sum
+}
+
+// HotPaths returns the actual paths whose flow is at least theta of
+// total program flow, sorted hottest first.
+func (p *Program) HotPaths(theta float64) []HotPath {
+	total := p.TotalFlow()
+	cut := theta * float64(total)
+	var out []HotPath
+	for _, r := range p.Routines {
+		d := r.Plan.D
+		for _, pc := range r.Truth.Paths() {
+			fl := flow.PathFlow(d, pc.Path, pc.Count, p.Metric)
+			if float64(fl) >= cut && fl > 0 {
+				out = append(out, HotPath{
+					Routine: r.Name, Key: r.Name + "|" + pc.Path.String(),
+					Path: pc.Path, Freq: pc.Count, Flow: fl,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flow != out[j].Flow {
+			return out[i].Flow > out[j].Flow
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// EstimateSource says where an estimated path frequency came from.
+type EstimateSource int
+
+const (
+	// Counted: measured by path instrumentation counters.
+	Counted EstimateSource = iota
+	// Attributed: an obvious path estimated by its defining edge.
+	Attributed
+	// Definite: computed from the edge profile's definite flow.
+	Definite
+	// Potential: computed from the edge profile's potential flow.
+	Potential
+)
+
+// Estimate is one entry of an estimated path profile.
+type Estimate struct {
+	Routine string
+	Key     string
+	Path    cfg.Path
+	Freq    int64
+	Flow    int64
+	Source  EstimateSource
+}
+
+// estimationCutoff returns the per-routine flow cutoff used when
+// enumerating definite/potential paths: a tenth of the given hot
+// threshold, so borderline candidates still surface.
+func (p *Program) estimationCutoff(theta float64) int64 {
+	c := int64(theta * 0.1 * float64(p.TotalFlow()))
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// EstimatedProfile builds the profiler's estimated path profile
+// (Section 5): measured counts for instrumented paths, defining-edge
+// frequencies for attributed obvious paths, and definite flow for
+// everything else. If no routine was instrumented at all, it falls
+// back to the potential-flow profile, matching the paper's treatment
+// of swim and mgrid (Section 6.1).
+func (p *Program) EstimatedProfile(theta float64) []Estimate {
+	any := false
+	for _, r := range p.Routines {
+		if r.Plan.Instrumented {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return p.EdgeEstimatedProfile(theta)
+	}
+	cutoff := p.estimationCutoff(theta)
+	var out []Estimate
+	for _, r := range p.Routines {
+		seen := map[string]bool{}
+		d := r.Plan.D
+		add := func(path cfg.Path, freq int64, src EstimateSource) {
+			key := r.Name + "|" + path.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			out = append(out, Estimate{
+				Routine: r.Name, Key: key, Path: path, Freq: freq,
+				Flow: flow.PathFlow(d, path, freq, p.Metric), Source: src,
+			})
+		}
+		if r.Plan.Instrumented && r.Table != nil {
+			for _, ic := range r.Table.HotCounts() {
+				path, err := r.Plan.Num.Reconstruct(ic.Index)
+				if err != nil {
+					continue // hash artifacts cannot happen for arrays
+				}
+				add(path, ic.Count, Counted)
+			}
+		}
+		for _, a := range r.Plan.Attr {
+			// The defining edge's frequency bounds the obvious path's
+			// frequency from above, but so does every other edge on the
+			// path; the minimum (the path's potential frequency) is the
+			// tightest estimate the edge profile offers and reduces the
+			// overcount on disconnected loop bodies, whose defining
+			// edges also carry loop-boundary executions.
+			add(a.Path, flow.PotentialFreq(d, a.Path), Attributed)
+		}
+		ests, _ := flow.DefiniteProfile(d).HotPaths(p.Metric, cutoff, p.EnumCap)
+		for _, e := range ests {
+			add(e.Path, e.Freq, Definite)
+		}
+	}
+	sortEstimates(out)
+	return out
+}
+
+// EdgeEstimatedProfile builds the edge-profiling baseline's estimated
+// path profile from potential flow, which Ball et al. found predicts
+// hot paths best.
+func (p *Program) EdgeEstimatedProfile(theta float64) []Estimate {
+	cutoff := p.estimationCutoff(theta)
+	var out []Estimate
+	for _, r := range p.Routines {
+		d := r.Plan.D
+		best := map[string]int{}
+		ests, _ := flow.PotentialProfile(d).HotPaths(p.Metric, cutoff, p.EnumCap)
+		for _, e := range ests {
+			key := r.Name + "|" + e.Path.String()
+			if i, ok := best[key]; ok {
+				if e.Freq > out[i].Freq {
+					out[i].Freq = e.Freq
+					out[i].Flow = flow.PathFlow(d, e.Path, e.Freq, p.Metric)
+				}
+				continue
+			}
+			best[key] = len(out)
+			out = append(out, Estimate{
+				Routine: r.Name, Key: key, Path: e.Path, Freq: e.Freq,
+				Flow: flow.PathFlow(d, e.Path, e.Freq, p.Metric), Source: Potential,
+			})
+		}
+	}
+	sortEstimates(out)
+	return out
+}
+
+func sortEstimates(es []Estimate) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Flow != es[j].Flow {
+			return es[i].Flow > es[j].Flow
+		}
+		return es[i].Key < es[j].Key
+	})
+}
+
+// Accuracy computes Wall's weight matching (Section 6.1): select the
+// |H_actual| hottest estimated paths and return the fraction of actual
+// hot flow they cover.
+func Accuracy(actualHot []HotPath, estimated []Estimate) float64 {
+	if len(actualHot) == 0 {
+		return 1
+	}
+	actual := map[string]int64{}
+	var totalHot int64
+	for _, h := range actualHot {
+		actual[h.Key] = h.Flow
+		totalHot += h.Flow
+	}
+	var matched int64
+	n := 0
+	for _, e := range estimated {
+		if n >= len(actualHot) {
+			break
+		}
+		n++
+		if fl, ok := actual[e.Key]; ok {
+			matched += fl
+			delete(actual, e.Key)
+		}
+	}
+	return float64(matched) / float64(totalHot)
+}
+
+// CoverageResult breaks the coverage computation into its terms.
+type CoverageResult struct {
+	Total      int64 // F(P): actual flow
+	Measured   int64 // F(P_instr): actual flow of measured paths
+	DefUninstr int64 // DF(P_uninstr)
+	Overcount  int64 // F_overcount = MF(P_instr) - F(P_instr), clamped per path
+}
+
+// Value returns the coverage fraction (Section 6.2).
+func (c CoverageResult) Value() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	v := float64(c.Measured+c.DefUninstr-c.Overcount) / float64(c.Total)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Coverage computes the profiler's coverage: counted paths contribute
+// their actual flow, minus the overcount penalty where the measurement
+// exceeds the truth (Section 4.4's pushing overcounts); all other
+// paths — including edge-attributed obvious paths, whose guarantee is
+// only what the edge profile pins down — contribute their definite
+// flow. This keeps every profiler's coverage at or above the edge
+// profile's, as in the paper's Figure 10.
+func (p *Program) Coverage() CoverageResult {
+	var res CoverageResult
+	type meas struct {
+		freq int64
+		path cfg.Path
+	}
+	for _, r := range p.Routines {
+		d := r.Plan.D
+		measured := map[string]meas{}
+		if r.Plan.Instrumented && r.Table != nil {
+			for _, ic := range r.Table.HotCounts() {
+				path, err := r.Plan.Num.Reconstruct(ic.Index)
+				if err != nil {
+					continue
+				}
+				measured[path.String()] = meas{ic.Count, path}
+			}
+		}
+		for _, pc := range r.Truth.Paths() {
+			b := pc.Path.Branches(d)
+			actualFlow := p.Metric.Weight(pc.Count, b)
+			res.Total += actualFlow
+			if m, ok := measured[pc.Path.String()]; ok {
+				res.Measured += actualFlow
+				if m.freq > pc.Count {
+					res.Overcount += p.Metric.Weight(m.freq-pc.Count, b)
+				}
+				delete(measured, pc.Path.String())
+				continue
+			}
+			def := flow.DefiniteFreq(d, pc.Path)
+			if def > pc.Count {
+				def = pc.Count
+			}
+			res.DefUninstr += p.Metric.Weight(def, b)
+		}
+		// Measured paths that never actually executed are pure
+		// overcount.
+		for _, m := range measured {
+			if m.freq > 0 {
+				res.Overcount += p.Metric.Weight(m.freq, m.path.Branches(d))
+			}
+		}
+	}
+	return res
+}
+
+// EdgeCoverage computes the edge profile's coverage: the attribution
+// of definite flow (Ball et al.), i.e. per-path definite flow over
+// actual flow.
+func (p *Program) EdgeCoverage() CoverageResult {
+	var res CoverageResult
+	for _, r := range p.Routines {
+		d := r.Plan.D
+		for _, pc := range r.Truth.Paths() {
+			b := pc.Path.Branches(d)
+			res.Total += p.Metric.Weight(pc.Count, b)
+			def := flow.DefiniteFreq(d, pc.Path)
+			if def > pc.Count {
+				def = pc.Count
+			}
+			res.DefUninstr += p.Metric.Weight(def, b)
+		}
+	}
+	return res
+}
+
+// InstrumentedFraction reports which share of dynamic path executions
+// ran counting instrumentation (Figure 11), split into array-counted
+// and hash-counted.
+type InstrumentedFraction struct {
+	Array float64
+	Hash  float64
+}
+
+// Total returns the overall instrumented fraction.
+func (f InstrumentedFraction) Total() float64 { return f.Array + f.Hash }
+
+// InstrumentedFraction computes the Figure 11 statistic from the
+// ground truth: a dynamic path counts as instrumented when its static
+// path is hot in the plan's numbering, not edge-attributed, and its
+// routine is instrumented.
+func (p *Program) InstrumentedFraction() InstrumentedFraction {
+	var arr, hash, total int64
+	for _, r := range p.Routines {
+		attr := map[string]bool{}
+		for _, a := range r.Plan.Attr {
+			attr[a.Path.String()] = true
+		}
+		for _, pc := range r.Truth.Paths() {
+			total += pc.Count
+			if !r.Plan.Instrumented {
+				continue
+			}
+			if attr[pc.Path.String()] {
+				continue
+			}
+			if _, ok := r.Plan.Num.PathNumber(pc.Path); !ok {
+				continue // cold or disconnected
+			}
+			if r.Plan.Hash {
+				hash += pc.Count
+			} else {
+				arr += pc.Count
+			}
+		}
+	}
+	if total == 0 {
+		return InstrumentedFraction{}
+	}
+	return InstrumentedFraction{
+		Array: float64(arr) / float64(total),
+		Hash:  float64(hash) / float64(total),
+	}
+}
+
+// DistinctPaths returns the number of distinct dynamic paths (Table 2).
+func (p *Program) DistinctPaths() int {
+	n := 0
+	for _, r := range p.Routines {
+		n += r.Truth.Distinct()
+	}
+	return n
+}
+
+// HotStats summarises a hot set for Table 2: its size and its share of
+// total program flow.
+func (p *Program) HotStats(theta float64) (count int, share float64) {
+	hot := p.HotPaths(theta)
+	var sum int64
+	for _, h := range hot {
+		sum += h.Flow
+	}
+	total := p.TotalFlow()
+	if total == 0 {
+		return len(hot), 0
+	}
+	return len(hot), float64(sum) / float64(total)
+}

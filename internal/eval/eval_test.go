@@ -1,0 +1,279 @@
+package eval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/eval"
+	"pathprof/internal/flow"
+	"pathprof/internal/instr"
+	"pathprof/internal/profile"
+)
+
+// buildRoutine makes an eval.Routine from a graph: it applies the
+// given technique, simulates the given ground-truth paths through the
+// plan's instrumentation, and fills a counter table accordingly.
+func buildRoutine(t *testing.T, g *cfg.Graph, tech instr.Techniques, truth []cfgtest.PathCount) *eval.Routine {
+	t.Helper()
+	plan, err := instr.Build(g, tech, instr.DefaultParams(), g.Calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := profile.NewPathProfile(g.Name)
+	var table *profile.Table
+	if plan.Instrumented {
+		kind := profile.ArrayTable
+		if plan.Hash {
+			kind = profile.HashTable
+		}
+		table = profile.NewTable(kind, plan.N, plan.TableSize)
+	}
+	for _, pc := range truth {
+		// Re-map the path onto the plan's DAG (same structure, fresh
+		// edge objects).
+		mapped := remap(t, plan.D, pc.Path)
+		pp.Add(mapped, pc.Count)
+		if table != nil {
+			if idx, fired := plan.SimulatePath(mapped); fired > 0 {
+				for i := int64(0); i < pc.Count; i++ {
+					table.Inc(idx)
+				}
+			}
+		}
+	}
+	return &eval.Routine{Name: g.Name, Plan: plan, Table: table, Truth: pp}
+}
+
+func remap(t *testing.T, d *cfg.DAG, p cfg.Path) cfg.Path {
+	t.Helper()
+	out := make(cfg.Path, 0, len(p))
+	for _, e := range p {
+		var ne *cfg.DAGEdge
+		switch e.Kind {
+		case cfg.RealEdge:
+			ne = d.Real(d.G.Blocks[e.Src.ID], d.G.Blocks[e.Dst.ID])
+		case cfg.EntryDummy:
+			ne = d.EntryDummyFor(d.G.Blocks[e.Dst.ID])
+		case cfg.ExitDummy:
+			ne = d.ExitDummyFor(d.G.Blocks[e.Src.ID])
+		}
+		if ne == nil {
+			t.Fatalf("cannot remap edge %s", e)
+		}
+		out = append(out, ne)
+	}
+	return out
+}
+
+// groundTruth simulates walks and returns the graph with a consistent
+// profile plus the exact path counts.
+func groundTruth(seed int64, size, walks int) (*cfg.Graph, []cfgtest.PathCount) {
+	rng := rand.New(rand.NewSource(seed))
+	g := cfgtest.Random(rng, size)
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		panic(err)
+	}
+	pcs := cfgtest.ProfilePaths(g, d, rng, walks, 300)
+	return g, pcs
+}
+
+func TestPPEvaluatesPerfectly(t *testing.T) {
+	g, truth := groundTruth(3, 10, 200)
+	r := buildRoutine(t, g, instr.PP(), truth)
+	p := eval.New([]*eval.Routine{r})
+
+	hot := p.HotPaths(0.00125)
+	if len(hot) == 0 {
+		t.Fatal("no hot paths")
+	}
+	est := p.EstimatedProfile(0.00125)
+	if acc := eval.Accuracy(hot, est); acc != 1 {
+		t.Errorf("PP accuracy = %v, want 1", acc)
+	}
+	cov := p.Coverage()
+	if cov.Value() < 0.999 {
+		t.Errorf("PP coverage = %v, want ~1 (%+v)", cov.Value(), cov)
+	}
+	if cov.Overcount != 0 {
+		t.Errorf("PP overcount = %d, want 0", cov.Overcount)
+	}
+	frac := p.InstrumentedFraction()
+	if frac.Total() != 1 {
+		t.Errorf("PP instrumented fraction = %v, want 1", frac.Total())
+	}
+}
+
+func TestEdgeBaselineBounds(t *testing.T) {
+	g, truth := groundTruth(7, 12, 300)
+	r := buildRoutine(t, g, instr.PP(), truth)
+	p := eval.New([]*eval.Routine{r})
+	hot := p.HotPaths(0.00125)
+	accEdge := eval.Accuracy(hot, p.EdgeEstimatedProfile(0.00125))
+	accPP := eval.Accuracy(hot, p.EstimatedProfile(0.00125))
+	if accEdge > accPP {
+		t.Errorf("edge accuracy %v exceeds PP accuracy %v", accEdge, accPP)
+	}
+	edgeCov := p.EdgeCoverage().Value()
+	ppCov := p.Coverage().Value()
+	if edgeCov > ppCov+1e-9 {
+		t.Errorf("edge coverage %v exceeds PP coverage %v", edgeCov, ppCov)
+	}
+	if edgeCov < 0 || edgeCov > 1 {
+		t.Errorf("edge coverage out of range: %v", edgeCov)
+	}
+}
+
+func TestHotPathsThreshold(t *testing.T) {
+	g, truth := groundTruth(11, 10, 400)
+	r := buildRoutine(t, g, instr.PP(), truth)
+	p := eval.New([]*eval.Routine{r})
+	total := p.TotalFlow()
+	for _, theta := range []float64{0.00125, 0.01, 0.1} {
+		hot := p.HotPaths(theta)
+		for _, h := range hot {
+			if float64(h.Flow) < theta*float64(total) {
+				t.Errorf("theta %v: path %s flow %d below threshold", theta, h.Key, h.Flow)
+			}
+		}
+		// Sorted hottest first.
+		for i := 1; i < len(hot); i++ {
+			if hot[i].Flow > hot[i-1].Flow {
+				t.Errorf("hot paths not sorted at %d", i)
+			}
+		}
+	}
+	n1, s1 := p.HotStats(0.00125)
+	n2, s2 := p.HotStats(0.01)
+	if n2 > n1 || s2 > s1 {
+		t.Errorf("hot stats not monotone: (%d,%v) vs (%d,%v)", n1, s1, n2, s2)
+	}
+}
+
+func TestAccuracyMatching(t *testing.T) {
+	// Hand-rolled: two actual hot paths; estimates rank a phantom
+	// first, then one real one. With |H|=2 picks, accuracy = matched
+	// flow / total hot flow.
+	hot := []eval.HotPath{
+		{Key: "f|a", Flow: 60},
+		{Key: "f|b", Flow: 40},
+	}
+	est := []eval.Estimate{
+		{Key: "f|phantom", Flow: 100},
+		{Key: "f|b", Flow: 90},
+		{Key: "f|a", Flow: 80},
+	}
+	if acc := eval.Accuracy(hot, est); acc != 0.4 {
+		t.Errorf("accuracy = %v, want 0.4", acc)
+	}
+	if acc := eval.Accuracy(nil, est); acc != 1 {
+		t.Errorf("accuracy with empty hot set = %v, want 1", acc)
+	}
+}
+
+func TestCoveragePenalizesOvercount(t *testing.T) {
+	// A routine with a cold edge under PPP: executions through the
+	// cold edge that record hot numbers must surface as overcount.
+	g, truth := groundTruth(17, 14, 500)
+	tech := instr.PPP()
+	tech.LowCoverage = false
+	r := buildRoutine(t, g, tech, truth)
+	p := eval.New([]*eval.Routine{r})
+	cov := p.Coverage()
+	if cov.Value() < 0 || cov.Value() > 1 {
+		t.Fatalf("coverage out of range: %+v", cov)
+	}
+	if cov.Total <= 0 {
+		t.Fatalf("no total flow")
+	}
+	// Identity: Measured + DefUninstr <= Total + Overcount tolerance.
+	if cov.Measured > cov.Total {
+		t.Errorf("measured %d exceeds total %d", cov.Measured, cov.Total)
+	}
+}
+
+func TestUninstrumentedFallsBackToPotential(t *testing.T) {
+	// A heavily biased diamond has near-perfect edge coverage, so PPP
+	// skips it (LC); the estimated profile must fall back to potential
+	// flow so accuracy is still computable (the paper's swim/mgrid
+	// case, Section 6.1).
+	g := cfgtest.Diamond()
+	byName := map[string]*cfg.Block{}
+	for _, b := range g.Blocks {
+		byName[b.Name] = b
+	}
+	set := func(a, b string, f int64) { g.FindEdge(byName[a], byName[b]).Freq = f }
+	set("entry", "a", 1000)
+	set("a", "b", 999)
+	set("a", "c", 1)
+	set("b", "d", 999)
+	set("c", "d", 1)
+	set("d", "exit", 1000)
+	g.Calls = 1000
+	d, _ := cfg.BuildDAG(g)
+	hotPath := cfg.Path{d.Real(byName["entry"], byName["a"]), d.Real(byName["a"], byName["b"]),
+		d.Real(byName["b"], byName["d"]), d.Real(byName["d"], g.Exit)}
+	coldPath := cfg.Path{d.Real(byName["entry"], byName["a"]), d.Real(byName["a"], byName["c"]),
+		d.Real(byName["c"], byName["d"]), d.Real(byName["d"], g.Exit)}
+	truth := []cfgtest.PathCount{{Path: hotPath, Count: 999}, {Path: coldPath, Count: 1}}
+	r := buildRoutine(t, g, instr.PPP(), truth)
+	if r.Plan.Instrumented {
+		t.Fatal("expected LC skip")
+	}
+	p := eval.New([]*eval.Routine{r})
+	est := p.EstimatedProfile(0)
+	if len(est) == 0 {
+		t.Fatal("no estimates from potential fallback")
+	}
+	if est[0].Source != eval.Potential {
+		t.Errorf("source = %v, want Potential", est[0].Source)
+	}
+	hot := p.HotPaths(0.00125)
+	if acc := eval.Accuracy(hot, est); acc != 1 {
+		t.Errorf("accuracy = %v, want 1 (single path)", acc)
+	}
+}
+
+func TestInstrumentedFractionSplitsHash(t *testing.T) {
+	// Force hashing by exceeding the path threshold with a smaller
+	// hash limit.
+	g, truth := groundTruth(23, 12, 300)
+	par := instr.DefaultParams()
+	par.HashThreshold = 1 // everything hashes
+	plan, err := instr.Build(g, instr.PP(), par, g.Calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N > 1 && !plan.Hash {
+		t.Fatal("expected hash table")
+	}
+	pp := profile.NewPathProfile(g.Name)
+	table := profile.NewTable(profile.HashTable, plan.N, plan.TableSize)
+	for _, pc := range truth {
+		mapped := remap(t, plan.D, pc.Path)
+		pp.Add(mapped, pc.Count)
+		if idx, fired := plan.SimulatePath(mapped); fired > 0 {
+			for i := int64(0); i < pc.Count; i++ {
+				table.Inc(idx)
+			}
+		}
+	}
+	p := eval.New([]*eval.Routine{{Name: g.Name, Plan: plan, Table: table, Truth: pp}})
+	frac := p.InstrumentedFraction()
+	if plan.N > 1 {
+		if frac.Hash == 0 || frac.Array != 0 {
+			t.Errorf("fraction = %+v, want all hash", frac)
+		}
+	}
+}
+
+func TestMetricIsBranchFlowByDefault(t *testing.T) {
+	g, truth := groundTruth(29, 8, 100)
+	r := buildRoutine(t, g, instr.PP(), truth)
+	p := eval.New([]*eval.Routine{r})
+	if p.Metric != flow.Branch {
+		t.Errorf("default metric = %v, want branch", p.Metric)
+	}
+}

@@ -1,0 +1,369 @@
+// Package flow implements the paper's flow metrics and the Ball,
+// Mataga & Sagiv estimation algorithms adapted to them: the unit-flow
+// and branch-flow metrics (Section 5.1), definite flow (Figure 14),
+// potential flow (Figure 15), and hot-path selection from either
+// (Figure 16, including the fix the paper confirmed with Ball).
+//
+// All algorithms operate on a routine DAG with a measured edge profile.
+// Definite flow is the minimum flow an edge profile guarantees for a
+// path; potential flow is the maximum it allows. For every path p,
+//
+//	definite(p) <= actual(p) <= potential(p).
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/cfg"
+)
+
+// Metric selects how a path's flow is weighted.
+type Metric int
+
+const (
+	// Unit weights every path equally: flow(p) = freq(p). This is the
+	// metric of prior work; it is not invariant under inlining.
+	Unit Metric = iota
+	// Branch weights paths by their branch count: flow(p) = freq(p) *
+	// branches(p). The paper introduces this metric because it is
+	// invariant under inlining (Figure 7).
+	Branch
+)
+
+func (m Metric) String() string {
+	if m == Unit {
+		return "unit"
+	}
+	return "branch"
+}
+
+// Weight returns the flow of a path with the given frequency and branch
+// count under the metric.
+func (m Metric) Weight(freq int64, branches int) int64 {
+	if m == Unit {
+		return freq
+	}
+	return freq * int64(branches)
+}
+
+// PathFlow returns the flow of path p executed freq times.
+func PathFlow(d *cfg.DAG, p cfg.Path, freq int64, m Metric) int64 {
+	return m.Weight(freq, p.Branches(d))
+}
+
+// TotalFlow returns the total flow of the routine under the edge
+// profile: the number of path executions (unit) or the sum of branch
+// edge frequencies (branch).
+func TotalFlow(d *cfg.DAG, m Metric) int64 {
+	if m == Unit {
+		return d.NodeFreq(d.G.Exit)
+	}
+	var sum int64
+	for _, e := range d.Edges {
+		if d.IsBranch(e) {
+			sum += e.Freq
+		}
+	}
+	return sum
+}
+
+// DefiniteFreq returns the definite (guaranteed minimum) frequency of
+// path p under the edge profile: the total frequency minus the flow
+// slack diverted away at each edge, clamped at zero.
+func DefiniteFreq(d *cfg.DAG, p cfg.Path) int64 {
+	f := d.NodeFreq(d.G.Exit)
+	for _, e := range p {
+		f -= d.NodeFreq(e.Dst) - e.Freq
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// PotentialFreq returns the potential (maximum possible) frequency of
+// path p under the edge profile: the minimum edge frequency along p.
+func PotentialFreq(d *cfg.DAG, p cfg.Path) int64 {
+	if len(p) == 0 {
+		return 0
+	}
+	min := p[0].Freq
+	for _, e := range p[1:] {
+		if e.Freq < min {
+			min = e.Freq
+		}
+	}
+	return min
+}
+
+// fv is a flow value: Delta paths share frequency F and branch count B.
+type fv struct {
+	F int64
+	B int
+}
+
+// valueSet is the [(f, b) -> Delta] multiset of Figures 14-15.
+type valueSet map[fv]int64
+
+func (s valueSet) add(k fv, delta int64) {
+	if delta <= 0 {
+		return
+	}
+	s[k] += delta
+}
+
+// Profile is a per-node/per-edge family of value sets resulting from
+// the definite- or potential-flow dynamic programs.
+type Profile struct {
+	D     *cfg.DAG
+	kind  string
+	nodes []valueSet // by block ID
+	edges []valueSet // by DAG edge ID
+}
+
+// DefiniteProfile runs the Figure 14 dynamic program, computing for
+// every node and edge the multiset of definite flows of the suffix
+// paths that start there.
+func DefiniteProfile(d *cfg.DAG) *Profile {
+	p := &Profile{D: d, kind: "definite",
+		nodes: make([]valueSet, len(d.G.Blocks)),
+		edges: make([]valueSet, len(d.Edges))}
+	exit := d.G.Exit
+	total := d.NodeFreq(exit)
+	p.nodes[exit.ID] = valueSet{fv{total, 0}: 1}
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		v := d.Topo[i]
+		if v == exit {
+			continue
+		}
+		nv := valueSet{}
+		for _, e := range d.Out[v.ID] {
+			slack := d.NodeFreq(e.Dst) - e.Freq
+			ev := valueSet{}
+			for k, delta := range p.nodes[e.Dst.ID] {
+				if k.F > slack {
+					ev.add(fv{k.F - slack, k.B}, delta)
+				}
+			}
+			p.edges[e.ID] = ev
+			branch := d.IsBranch(e)
+			for k, delta := range ev {
+				if branch {
+					nv.add(fv{k.F, k.B + 1}, delta)
+				} else {
+					nv.add(k, delta)
+				}
+			}
+		}
+		p.nodes[v.ID] = nv
+	}
+	return p
+}
+
+// PotentialProfile runs the Figure 15 dynamic program: edge value sets
+// cap the suffix frequency at the edge's own frequency.
+func PotentialProfile(d *cfg.DAG) *Profile {
+	p := &Profile{D: d, kind: "potential",
+		nodes: make([]valueSet, len(d.G.Blocks)),
+		edges: make([]valueSet, len(d.Edges))}
+	exit := d.G.Exit
+	total := d.NodeFreq(exit)
+	p.nodes[exit.ID] = valueSet{fv{total, 0}: 1}
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		v := d.Topo[i]
+		if v == exit {
+			continue
+		}
+		nv := valueSet{}
+		for _, e := range d.Out[v.ID] {
+			ev := valueSet{}
+			for k, delta := range p.nodes[e.Dst.ID] {
+				f := k.F
+				if e.Freq < f {
+					f = e.Freq
+				}
+				if f > 0 {
+					ev.add(fv{f, k.B}, delta)
+				}
+			}
+			p.edges[e.ID] = ev
+			branch := d.IsBranch(e)
+			for k, delta := range ev {
+				if branch {
+					nv.add(fv{k.F, k.B + 1}, delta)
+				} else {
+					nv.add(k, delta)
+				}
+			}
+		}
+		p.nodes[v.ID] = nv
+	}
+	return p
+}
+
+// Total returns the total flow the profile attributes to the routine
+// under metric m: the sum of weight(f, b) * Delta over the entry node's
+// value set. For a definite profile this is the routine's definite
+// flow, the numerator of the paper's coverage metric.
+func (p *Profile) Total(m Metric) int64 {
+	var sum int64
+	for k, delta := range p.nodes[p.D.G.Entry.ID] {
+		sum += m.Weight(k.F, k.B) * delta
+	}
+	return sum
+}
+
+// Estimate is a reconstructed path with its estimated frequency.
+type Estimate struct {
+	Path cfg.Path
+	Freq int64
+}
+
+// Flow returns the estimate's flow under metric m.
+func (e Estimate) Flow(d *cfg.DAG, m Metric) int64 {
+	return m.Weight(e.Freq, e.Path.Branches(d))
+}
+
+// HotPaths enumerates the paths whose flow under metric m exceeds
+// cutoff, per the Figure 16 selection algorithm (with the confirmed
+// fix: a candidate edge's value-set entry must match both the current
+// frequency and the remaining branch count, and each (edge, entry) pair
+// is debited at most its multiplicity). maxPaths bounds the result as a
+// safety valve. The second result is false if enumeration got stuck,
+// which indicates an inconsistent profile.
+func (p *Profile) HotPaths(m Metric, cutoff int64, maxPaths int) ([]Estimate, bool) {
+	type top struct {
+		k     fv
+		delta int64
+	}
+	var tops []top
+	for k, delta := range p.nodes[p.D.G.Entry.ID] {
+		if m.Weight(k.F, k.B) > cutoff {
+			tops = append(tops, top{k, delta})
+		}
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		wi, wj := m.Weight(tops[i].k.F, tops[i].k.B), m.Weight(tops[j].k.F, tops[j].k.B)
+		if wi != wj {
+			return wi > wj
+		}
+		if tops[i].k.F != tops[j].k.F {
+			return tops[i].k.F > tops[j].k.F
+		}
+		return tops[i].k.B > tops[j].k.B
+	})
+	var out []Estimate
+	ok := true
+	for _, t := range tops {
+		if len(out) >= maxPaths {
+			break
+		}
+		if !p.enumerate(p.D.G.Entry, nil, t.k.F, t.k.B, t.k.F, t.delta, &out, maxPaths) {
+			ok = false
+		}
+	}
+	return out, ok
+}
+
+// enumerate descends from v reconstructing delta paths whose remaining
+// definite/potential frequency is f with b branches left, recording
+// them with top-level frequency f0.
+func (p *Profile) enumerate(v *cfg.Block, prefix cfg.Path, f int64, b int, f0, delta int64, out *[]Estimate, maxPaths int) bool {
+	if v == p.D.G.Exit {
+		cp := make(cfg.Path, len(prefix))
+		copy(cp, prefix)
+		*out = append(*out, Estimate{Path: cp, Freq: f0})
+		return true
+	}
+	if len(*out) >= maxPaths {
+		return true
+	}
+	type usedKey struct {
+		edge int
+		k    fv
+	}
+	used := map[usedKey]bool{}
+	remaining := delta
+	for remaining > 0 {
+		// Select an out-edge whose value set matches: exact frequency
+		// for definite profiles, the smallest frequency >= f for
+		// potential profiles; the branch count must match exactly.
+		var selEdge *cfg.DAGEdge
+		var selKey fv
+		var selDelta int64
+		for _, e := range p.D.Out[v.ID] {
+			want := b
+			if p.D.IsBranch(e) {
+				want = b - 1
+			}
+			if want < 0 {
+				continue
+			}
+			for k, dg := range p.edges[e.ID] {
+				if k.B != want || dg <= 0 {
+					continue
+				}
+				if used[usedKey{e.ID, k}] {
+					continue
+				}
+				if p.kind == "definite" {
+					if k.F != f {
+						continue
+					}
+				} else {
+					if k.F < f {
+						continue
+					}
+					if selEdge != nil && k.F >= selKey.F {
+						continue
+					}
+				}
+				selEdge, selKey, selDelta = e, k, dg
+				if p.kind == "definite" {
+					break
+				}
+			}
+			if selEdge != nil && p.kind == "definite" {
+				break
+			}
+		}
+		if selEdge == nil {
+			return false
+		}
+		debit := remaining
+		if selDelta < debit {
+			debit = selDelta
+		}
+		nextF := f + (p.D.NodeFreq(selEdge.Dst) - selEdge.Freq)
+		if p.kind == "potential" {
+			nextF = selKey.F
+		}
+		nextB := b
+		if p.D.IsBranch(selEdge) {
+			nextB = b - 1
+		}
+		if !p.enumerate(selEdge.Dst, append(prefix, selEdge), nextF, nextB, f0, debit, out, maxPaths) {
+			return false
+		}
+		used[usedKey{selEdge.ID, selKey}] = true
+		remaining -= debit
+	}
+	return true
+}
+
+// Coverage returns the fraction of actual flow that the edge profile
+// definitely measures for this routine: definite flow over total flow
+// (Section 6.2; Ball et al.'s "attribution of definite flow"). Returns
+// 1 for routines with no flow.
+func Coverage(d *cfg.DAG, m Metric) float64 {
+	total := TotalFlow(d, m)
+	if total == 0 {
+		return 1
+	}
+	return float64(DefiniteProfile(d).Total(m)) / float64(total)
+}
+
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s-flow profile of %s", p.kind, p.D.G.Name)
+}

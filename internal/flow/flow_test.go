@@ -1,0 +1,371 @@
+package flow_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/flow"
+)
+
+// figure8 builds the paper's Figure 8 example: A branches to B (50) and
+// C (30), rejoining at D, which branches to E (60) and F (20),
+// rejoining at G.
+func figure8() (*cfg.Graph, *cfg.DAG) {
+	g := cfg.New("fig8")
+	names := []string{"entry", "A", "B", "C", "D", "E", "F", "G", "exit"}
+	bs := map[string]*cfg.Block{}
+	for _, n := range names {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry = bs["entry"]
+	g.Exit = bs["exit"]
+	conn := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	conn("entry", "A", 80)
+	conn("A", "B", 50)
+	conn("A", "C", 30)
+	conn("B", "D", 50)
+	conn("C", "D", 30)
+	conn("D", "E", 60)
+	conn("D", "F", 20)
+	conn("E", "G", 60)
+	conn("F", "G", 20)
+	conn("G", "exit", 80)
+	g.Calls = 80
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		panic(err)
+	}
+	return g, d
+}
+
+func pathByBlocks(d *cfg.DAG, names ...string) cfg.Path {
+	byName := map[string]*cfg.Block{}
+	for _, b := range d.G.Blocks {
+		byName[b.Name] = b
+	}
+	var p cfg.Path
+	for i := 0; i+1 < len(names); i++ {
+		e := d.Real(byName[names[i]], byName[names[i+1]])
+		if e == nil {
+			panic("no edge " + names[i] + "->" + names[i+1])
+		}
+		p = append(p, e)
+	}
+	return p
+}
+
+func TestFigure8DefiniteFlow(t *testing.T) {
+	_, d := figure8()
+	if got := flow.TotalFlow(d, flow.Branch); got != 160 {
+		t.Errorf("total branch flow = %d, want 160", got)
+	}
+	if got := flow.TotalFlow(d, flow.Unit); got != 80 {
+		t.Errorf("total unit flow = %d, want 80", got)
+	}
+	cases := []struct {
+		blocks []string
+		want   int64 // definite branch flow per the paper
+	}{
+		{[]string{"entry", "A", "B", "D", "E", "G", "exit"}, 60},
+		{[]string{"entry", "A", "C", "D", "E", "G", "exit"}, 20},
+		{[]string{"entry", "A", "B", "D", "F", "G", "exit"}, 0},
+		{[]string{"entry", "A", "C", "D", "F", "G", "exit"}, 0},
+	}
+	var sum int64
+	for _, c := range cases {
+		p := pathByBlocks(d, c.blocks...)
+		got := flow.Branch.Weight(flow.DefiniteFreq(d, p), p.Branches(d))
+		if got != c.want {
+			t.Errorf("definite branch flow of %v = %d, want %d", c.blocks, got, c.want)
+		}
+		sum += got
+	}
+	if sum != 80 {
+		t.Errorf("routine definite flow = %d, want 80", sum)
+	}
+	if got := flow.DefiniteProfile(d).Total(flow.Branch); got != 80 {
+		t.Errorf("DefiniteProfile.Total = %d, want 80", got)
+	}
+	// Coverage = 80 / 160 = 50% per Section 6.2.
+	if got := flow.Coverage(d, flow.Branch); got != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+}
+
+// TestFigure7BranchFlowInvariance reproduces the paper's Figure 7:
+// unit flow changes under inlining (20 -> 10) but branch flow does not
+// (30 -> 30).
+func TestFigure7BranchFlowInvariance(t *testing.T) {
+	// Routine X: A -> {B, C} rejoin D; D -> {E, F} rejoin G. The hot
+	// path ACDEG runs 10 times; everything else is cold.
+	x := cfg.New("x")
+	xn := map[string]*cfg.Block{}
+	for _, n := range []string{"entry", "A", "B", "C", "D", "E", "F", "G", "exit"} {
+		xn[n] = x.AddBlock(n)
+	}
+	x.Entry, x.Exit = xn["entry"], xn["exit"]
+	xc := func(a, b string, f int64) { x.Connect(xn[a], xn[b]).Freq = f }
+	xc("entry", "A", 10)
+	xc("A", "B", 0)
+	xc("A", "C", 10)
+	xc("B", "D", 0)
+	xc("C", "D", 10)
+	xc("D", "E", 10)
+	xc("D", "F", 0)
+	xc("E", "G", 10)
+	xc("F", "G", 0)
+	xc("G", "exit", 10)
+	x.Calls = 10
+
+	// Routine Y: H -> {I, J} rejoin K. Hot path HJK runs 10 times.
+	y := cfg.New("y")
+	yn := map[string]*cfg.Block{}
+	for _, n := range []string{"entry", "H", "I", "J", "K", "exit"} {
+		yn[n] = y.AddBlock(n)
+	}
+	y.Entry, y.Exit = yn["entry"], yn["exit"]
+	yc := func(a, b string, f int64) { y.Connect(yn[a], yn[b]).Freq = f }
+	yc("entry", "H", 10)
+	yc("H", "I", 0)
+	yc("H", "J", 10)
+	yc("I", "K", 0)
+	yc("J", "K", 10)
+	yc("K", "exit", 10)
+	y.Calls = 10
+
+	// Inlined: Y spliced into X at the call site in D.
+	in := cfg.New("x+y")
+	inn := map[string]*cfg.Block{}
+	for _, n := range []string{"entry", "A", "B", "C", "D1", "H", "I", "J", "K", "D2", "E", "F", "G", "exit"} {
+		inn[n] = in.AddBlock(n)
+	}
+	in.Entry, in.Exit = inn["entry"], inn["exit"]
+	ic := func(a, b string, f int64) { in.Connect(inn[a], inn[b]).Freq = f }
+	ic("entry", "A", 10)
+	ic("A", "B", 0)
+	ic("A", "C", 10)
+	ic("B", "D1", 0)
+	ic("C", "D1", 10)
+	ic("D1", "H", 10)
+	ic("H", "I", 0)
+	ic("H", "J", 10)
+	ic("I", "K", 0)
+	ic("J", "K", 10)
+	ic("K", "D2", 10)
+	ic("D2", "E", 10)
+	ic("D2", "F", 0)
+	ic("E", "G", 10)
+	ic("F", "G", 0)
+	ic("G", "exit", 10)
+	in.Calls = 10
+
+	dx, err := cfg.BuildDAG(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, err := cfg.BuildDAG(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	din, err := cfg.BuildDAG(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unitBefore := flow.TotalFlow(dx, flow.Unit) + flow.TotalFlow(dy, flow.Unit)
+	unitAfter := flow.TotalFlow(din, flow.Unit)
+	if unitBefore != 20 || unitAfter != 10 {
+		t.Errorf("unit flow before/after inlining = %d/%d, want 20/10", unitBefore, unitAfter)
+	}
+	branchBefore := flow.TotalFlow(dx, flow.Branch) + flow.TotalFlow(dy, flow.Branch)
+	branchAfter := flow.TotalFlow(din, flow.Branch)
+	if branchBefore != 30 || branchAfter != 30 {
+		t.Errorf("branch flow before/after inlining = %d/%d, want 30/30", branchBefore, branchAfter)
+	}
+	// Per-path flows from the paper's text.
+	if got := flow.PathFlow(dx, pathByBlocks(dx, "entry", "A", "C", "D", "E", "G", "exit"), 10, flow.Branch); got != 20 {
+		t.Errorf("branch flow of ACDEG = %d, want 20", got)
+	}
+	if got := flow.PathFlow(dy, pathByBlocks(dy, "entry", "H", "J", "K", "exit"), 10, flow.Branch); got != 10 {
+		t.Errorf("branch flow of HJK = %d, want 10", got)
+	}
+	if got := flow.PathFlow(din, pathByBlocks(din, "entry", "A", "C", "D1", "H", "J", "K", "D2", "E", "G", "exit"), 10, flow.Branch); got != 30 {
+		t.Errorf("branch flow of inlined hot path = %d, want 30", got)
+	}
+}
+
+func TestDefiniteHotPathsFigure8(t *testing.T) {
+	_, d := figure8()
+	got, ok := flow.DefiniteProfile(d).HotPaths(flow.Branch, 0, 100)
+	if !ok {
+		t.Fatal("enumeration got stuck")
+	}
+	want := map[string]int64{
+		"entry A B D E G exit": 30,
+		"entry A C D E G exit": 10,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d hot paths, want %d: %v", len(got), len(want), got)
+	}
+	for _, e := range got {
+		if want[e.Path.String()] != e.Freq {
+			t.Errorf("path %s freq %d, want %d", e.Path, e.Freq, want[e.Path.String()])
+		}
+	}
+}
+
+func TestPotentialHotPathsFigure8(t *testing.T) {
+	_, d := figure8()
+	got, ok := flow.PotentialProfile(d).HotPaths(flow.Branch, 0, 100)
+	if !ok {
+		t.Fatal("enumeration got stuck")
+	}
+	// Potential frequency is the min edge frequency along each path.
+	want := map[string]int64{
+		"entry A B D E G exit": 50,
+		"entry A C D E G exit": 30,
+		"entry A B D F G exit": 20,
+		"entry A C D F G exit": 20,
+	}
+	seen := map[string]int64{}
+	for _, e := range got {
+		seen[e.Path.String()] = e.Freq
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Errorf("path %s potential %d, want %d", k, seen[k], v)
+		}
+	}
+}
+
+// TestBoundsProperty checks definite(p) <= actual(p) <= potential(p)
+// on random graphs with simulated ground-truth path profiles.
+func TestBoundsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 3+rng.Intn(14))
+		d, err := cfg.BuildDAG(g)
+		if err != nil {
+			return false
+		}
+		actual := cfgtest.ProfilePaths(g, d, rng, 50, 250)
+		for _, pc := range actual {
+			def := flow.DefiniteFreq(d, pc.Path)
+			pot := flow.PotentialFreq(d, pc.Path)
+			if def > pc.Count || pc.Count > pot {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProfileMultisetsProperty checks that the dynamic programs compute
+// exactly the per-path definite/potential values: the entry node's
+// value set must equal the brute-force multiset over all paths.
+func TestProfileMultisetsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 3+rng.Intn(12))
+		d, err := cfg.BuildDAG(g)
+		if err != nil {
+			return false
+		}
+		cfgtest.Profile(g, rng, 60, 250)
+		d.RefreshFreqs()
+		if d.TotalPaths(nil, 3000) >= 3000 {
+			return true
+		}
+		paths := d.EnumeratePaths(nil, -1)
+
+		// Brute-force totals.
+		var wantDef, wantPot int64
+		for _, p := range paths {
+			b := int64(p.Branches(d))
+			wantDef += flow.DefiniteFreq(d, p) * b
+			wantPot += flow.PotentialFreq(d, p) * b
+		}
+		if got := flow.DefiniteProfile(d).Total(flow.Branch); got != wantDef {
+			return false
+		}
+		if got := flow.PotentialProfile(d).Total(flow.Branch); got != wantPot {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDefiniteEnumerationProperty checks that Figure 16 enumeration
+// recovers every path with positive definite flow, each with its exact
+// definite frequency.
+func TestDefiniteEnumerationProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 3+rng.Intn(12))
+		d, err := cfg.BuildDAG(g)
+		if err != nil {
+			return false
+		}
+		cfgtest.Profile(g, rng, 60, 250)
+		d.RefreshFreqs()
+		if d.TotalPaths(nil, 2000) >= 2000 {
+			return true
+		}
+		got, ok := flow.DefiniteProfile(d).HotPaths(flow.Branch, 0, 100000)
+		if !ok {
+			return false
+		}
+		gotMap := map[string]int64{}
+		for _, e := range got {
+			if _, dup := gotMap[e.Path.String()]; dup {
+				return false
+			}
+			gotMap[e.Path.String()] = e.Freq
+		}
+		for _, p := range d.EnumeratePaths(nil, -1) {
+			def := flow.DefiniteFreq(d, p)
+			w := flow.Branch.Weight(def, p.Branches(d))
+			if w > 0 {
+				if gotMap[p.String()] != def {
+					return false
+				}
+				delete(gotMap, p.String())
+			}
+		}
+		// Anything left over must have zero branch flow (e.g. zero
+		// branches): allowed since cutoff compares branch flow.
+		for k, v := range gotMap {
+			_ = k
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricWeights(t *testing.T) {
+	if flow.Unit.Weight(7, 3) != 7 {
+		t.Error("unit weight should ignore branches")
+	}
+	if flow.Branch.Weight(7, 3) != 21 {
+		t.Error("branch weight should multiply")
+	}
+	if flow.Unit.String() != "unit" || flow.Branch.String() != "branch" {
+		t.Error("metric names")
+	}
+}

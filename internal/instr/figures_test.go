@@ -1,0 +1,214 @@
+package instr_test
+
+// Golden tests for the paper's worked examples: Figure 1 (the PP
+// pipeline on a routine with a loop), Figure 3 (free poisoning of cold
+// paths into [N, ...]), and Figure 4 (a routine whose paths are all
+// obvious).
+
+import (
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/instr"
+)
+
+// figure1Graph builds a routine in the spirit of Figure 1: a loop
+// whose body branches, so the DAG (after breaking the back edge) has 8
+// acyclic paths.
+func figure1Graph() (*cfg.Graph, map[string]*cfg.Block) {
+	g := cfg.New("fig1")
+	bs := map[string]*cfg.Block{}
+	for _, n := range []string{"entry", "h", "b1", "b2", "t", "exit"} {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	conn("entry", "h", 100)
+	conn("h", "b1", 700)
+	conn("h", "b2", 300)
+	conn("b1", "t", 700)
+	conn("b2", "t", 300)
+	conn("t", "h", 900) // back edge
+	conn("t", "exit", 100)
+	g.Calls = 100
+	return g, bs
+}
+
+func TestFigure1PPPipeline(t *testing.T) {
+	g, bs := figure1Graph()
+	p := build(t, g, instr.PP(), 1000)
+	if !p.Instrumented {
+		t.Fatalf("PP must instrument: %s", p.Dump())
+	}
+	// Figure 1(c): N = 8 unique path numbers.
+	if p.N != 8 {
+		t.Fatalf("N = %d, want 8", p.N)
+	}
+	if p.Hash || p.TableSize != 8 {
+		t.Errorf("hash=%v table=%d, want array of 8", p.Hash, p.TableSize)
+	}
+	checkPlan(t, p, "figure1")
+
+	// Figure 1(g): converting back to a CFG moves dummy-edge
+	// instrumentation to the back edge. The exit dummy must end in a
+	// counter update (paths ending at the back edge are counted there)
+	// and the entry dummy must re-initialize the register (paths
+	// starting at the loop header).
+	xd := p.D.ExitDummyFor(bs["t"])
+	ed := p.D.EntryDummyFor(bs["h"])
+	hasCount := false
+	for _, op := range p.Ops[xd.ID] {
+		if op.Kind == instr.OpCountR || op.Kind == instr.OpCountRV || op.Kind == instr.OpCountC {
+			hasCount = true
+		}
+	}
+	if !hasCount {
+		t.Errorf("exit dummy carries no count: %s", p.Dump())
+	}
+	hasInit := false
+	for _, op := range p.Ops[ed.ID] {
+		if op.Kind == instr.OpSet {
+			hasInit = true
+		}
+	}
+	if !hasInit {
+		t.Errorf("entry dummy carries no initialization: %s", p.Dump())
+	}
+}
+
+// TestFigure3FreePoisoning mirrors Figure 3(e): after removing a cold
+// edge, the remaining hot paths get [0, N) and the cold edge assigns
+// the register so every cold continuation lands in [N, tableSize).
+func TestFigure3FreePoisoning(t *testing.T) {
+	// Two diamonds in sequence: A -> {B, C} -> D -> {E, F} -> G, with
+	// A->B cold. 4 paths originally; 2 hot after removal.
+	g := cfg.New("fig3")
+	bs := map[string]*cfg.Block{}
+	for _, n := range []string{"entry", "A", "B", "C", "D", "E", "F", "G", "exit"} {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	conn("entry", "A", 1000)
+	conn("A", "B", 10) // cold: 1% of A
+	conn("A", "C", 990)
+	conn("B", "D", 10)
+	conn("C", "D", 990)
+	conn("D", "E", 500)
+	conn("D", "F", 500)
+	conn("E", "G", 500)
+	conn("F", "G", 500)
+	conn("G", "exit", 1000)
+	g.Calls = 1000
+
+	tech := instr.Techniques{ColdLocal: true, FreePoison: true}
+	p := build(t, g, tech, 1000)
+	if !p.Instrumented {
+		t.Fatalf("not instrumented: %s", p.Dump())
+	}
+	if p.N != 2 {
+		t.Fatalf("N = %d, want 2 hot paths", p.N)
+	}
+	ab := p.D.Real(bs["A"], bs["B"])
+	if !p.Cold[ab.ID] {
+		t.Fatalf("A->B not cold: %s", p.Dump())
+	}
+	// The cold edge must carry exactly one poisoning assignment with a
+	// value >= N.
+	ops := p.Ops[ab.ID]
+	if len(ops) != 1 || ops[0].Kind != instr.OpSet || ops[0].V < p.N {
+		t.Fatalf("cold edge ops = %v, want r=<poison >= %d>", ops, p.N)
+	}
+	if p.PoisonCheck {
+		t.Error("free poisoning must not use checks")
+	}
+	// Every execution through the cold edge must count in [N, table).
+	excl := make([]bool, len(p.D.Edges))
+	for _, path := range p.D.EnumeratePaths(excl, -1) {
+		usesCold := false
+		for _, e := range path {
+			if p.Cold[e.ID] {
+				usesCold = true
+			}
+		}
+		events := simulate(p, path)
+		if len(events) != 1 {
+			t.Fatalf("path %s fired %d counts", path, len(events))
+		}
+		idx := events[0].index
+		if usesCold {
+			if idx < p.N || idx >= p.TableSize {
+				t.Errorf("cold path %s counted at %d, want [%d,%d)", path, idx, p.N, p.TableSize)
+			}
+		} else {
+			if idx < 0 || idx >= p.N {
+				t.Errorf("hot path %s counted at %d, want [0,%d)", path, idx, p.N)
+			}
+		}
+	}
+	// The paper's bound: the table never exceeds 3N.
+	if p.TableSize > 3*p.N {
+		t.Errorf("table %d exceeds 3N = %d", p.TableSize, 3*p.N)
+	}
+}
+
+// TestFigure4AllObvious mirrors Figure 4: every path has a defining
+// edge, so TPP and PPP leave the routine uninstrumented and attribute
+// each path to its defining edge.
+func TestFigure4AllObvious(t *testing.T) {
+	// An else-if ladder: a -> {b, a2}; a2 -> {c, d}; b, c, d -> join.
+	// Each of the three paths owns its arm edge, so all are obvious.
+	g := cfg.New("fig4")
+	bs := map[string]*cfg.Block{}
+	for _, n := range []string{"entry", "a", "b", "a2", "c", "d", "join", "exit"} {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	conn("entry", "a", 100)
+	conn("a", "b", 60)
+	conn("a", "a2", 40)
+	conn("b", "join", 60)
+	conn("a2", "c", 30)
+	conn("a2", "d", 10)
+	conn("c", "join", 30)
+	conn("d", "join", 10)
+	conn("join", "exit", 100)
+	g.Calls = 100
+
+	for _, tc := range []struct {
+		name string
+		tech instr.Techniques
+	}{{"TPP", instr.TPP()}, {"PPP", func() instr.Techniques {
+		x := instr.PPP()
+		x.LowCoverage = false // let the obvious check decide, not LC
+		return x
+	}()}} {
+		p := build(t, g, tc.tech, 100)
+		if p.Instrumented || p.Reason != "all-obvious" {
+			t.Errorf("%s: want all-obvious skip, got %s", tc.name, p.Dump())
+			continue
+		}
+		if len(p.Attr) != 3 {
+			t.Errorf("%s: attributed %d paths, want 3", tc.name, len(p.Attr))
+		}
+		for _, a := range p.Attr {
+			if p.Num.PathsThrough(a.Edge) != 1 {
+				t.Errorf("%s: attribution edge %s is not defining", tc.name, a.Edge)
+			}
+		}
+	}
+
+	// PP still instruments it (PP ignores obviousness).
+	p := build(t, g, instr.PP(), 100)
+	if !p.Instrumented {
+		t.Error("PP must instrument the all-obvious routine")
+	}
+	checkPlan(t, p, "fig4-pp")
+}

@@ -1,0 +1,293 @@
+// Package instr plans path-profiling instrumentation for a routine
+// following Ball-Larus path profiling (PP), Joshi et al. targeted path
+// profiling (TPP), and Bond & McKinley practical path profiling (PPP).
+//
+// A Plan assigns small operation lists to DAG edges. Executing the ops
+// along any hot path updates a per-invocation path register r and fires
+// exactly one counter update with the path's unique number in [0, N-1].
+// Cold edges carry a poisoning assignment that maps any execution
+// through them into the counter range [N, tableSize), so cold
+// executions never corrupt hot counts and need no per-count poison
+// check ("free poisoning", Section 4.6). Obvious paths whose counter
+// updates collapse to constant indices are removed from the
+// instrumentation entirely and estimated from the edge profile instead
+// (Section 4.4).
+package instr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/flow"
+	"pathprof/internal/pathnum"
+)
+
+// OpKind enumerates the instrumentation operations.
+type OpKind int
+
+const (
+	// OpInc adds V to the path register: r += V.
+	OpInc OpKind = iota
+	// OpSet assigns V to the path register: r = V. Used both for
+	// combined path-register initialization (r = 0 merged with r += v)
+	// and for cold-edge poisoning.
+	OpSet
+	// OpCountR increments the counter indexed by the path register:
+	// count[r]++.
+	OpCountR
+	// OpCountRV increments the counter at a register offset:
+	// count[r+V]++.
+	OpCountRV
+	// OpCountC increments the counter at constant index V: count[V]++.
+	OpCountC
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInc:
+		return "r+="
+	case OpSet:
+		return "r="
+	case OpCountR:
+		return "count[r]++"
+	case OpCountRV:
+		return "count[r+v]++"
+	case OpCountC:
+		return "count[c]++"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one instrumentation operation.
+type Op struct {
+	Kind OpKind
+	V    int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpInc:
+		return fmt.Sprintf("r+=%d", o.V)
+	case OpSet:
+		return fmt.Sprintf("r=%d", o.V)
+	case OpCountR:
+		return "count[r]++"
+	case OpCountRV:
+		return fmt.Sprintf("count[r+%d]++", o.V)
+	case OpCountC:
+		return fmt.Sprintf("count[%d]++", o.V)
+	}
+	return "?"
+}
+
+// NegPoison is the poison value used when free poisoning is disabled
+// (TPP-style poisoning with an explicit r < 0 check at each count).
+const NegPoison = math.MinInt64 / 4
+
+// Techniques selects which profiling techniques are active. PP, TPP
+// and PPP are particular combinations; individual toggles support the
+// paper's leave-one-out ablation (Figure 13).
+type Techniques struct {
+	// ColdLocal marks an edge cold when its frequency is below a
+	// fraction of its source block's frequency (TPP, Section 3.2).
+	ColdLocal bool
+	// ColdOnlyToAvoidHash restricts cold-path elimination to routines
+	// that would need a hash table without it but an array with it
+	// (TPP's rule; PPP removes cold edges everywhere).
+	ColdOnlyToAvoidHash bool
+	// ObviousPaths skips all-obvious routines, disconnects obvious
+	// high-trip-count loops, and drops constant counter updates on
+	// obvious paths in favour of edge attribution (Sections 3.2, 4.4).
+	ObviousPaths bool
+	// LowCoverage skips routines whose edge profile already covers at
+	// least Params.CoverageSkip of the path flow (PPP, Section 4.1).
+	LowCoverage bool
+	// GlobalCold marks an edge cold when its frequency is below a
+	// fraction of total program unit flow (PPP, Section 4.2).
+	GlobalCold bool
+	// SelfAdjust raises the global threshold geometrically until the
+	// path count drops below the hashing threshold (PPP, Section 4.3).
+	SelfAdjust bool
+	// PushFurther ignores cold edges when pushing instrumentation,
+	// exposing more combining and obvious paths (PPP, Section 4.4).
+	PushFurther bool
+	// SmartNumber orders numbering by measured edge frequency and
+	// drives the event-counting spanning tree with the edge profile
+	// instead of static heuristics (PPP, Section 4.5).
+	SmartNumber bool
+	// FreePoison poisons cold paths into [N, tableSize) instead of
+	// adding a poison check before every count (PPP, Section 4.6).
+	// The paper's own TPP implementation also uses free poisoning.
+	FreePoison bool
+}
+
+// PP returns the Ball-Larus configuration: no profile guidance at all.
+func PP() Techniques {
+	return Techniques{FreePoison: true} // no cold edges exist, so moot
+}
+
+// TPP returns the Joshi et al. configuration as implemented by the
+// paper (Section 7.4): local cold criterion applied only to avoid
+// hashing, obvious path/loop elimination, free poisoning.
+func TPP() Techniques {
+	return Techniques{
+		ColdLocal:           true,
+		ColdOnlyToAvoidHash: true,
+		ObviousPaths:        true,
+		FreePoison:          true,
+	}
+}
+
+// PPP returns the full practical path profiling configuration: all six
+// techniques of Section 4 on top of TPP, with cold removal everywhere.
+func PPP() Techniques {
+	return Techniques{
+		ColdLocal:    true,
+		ObviousPaths: true,
+		LowCoverage:  true,
+		GlobalCold:   true,
+		SelfAdjust:   true,
+		PushFurther:  true,
+		SmartNumber:  true,
+		FreePoison:   true,
+	}
+}
+
+// Params holds the profiling thresholds; defaults follow Section 7.4.
+type Params struct {
+	// LocalColdRatio: an edge is cold if freq(e) < ratio * freq(src).
+	LocalColdRatio float64
+	// GlobalColdRatio: an edge is cold if freq(e) < ratio * total
+	// program unit flow.
+	GlobalColdRatio float64
+	// SelfAdjustFactor multiplies the global ratio per SAC iteration.
+	SelfAdjustFactor float64
+	// SelfAdjustMax bounds SAC iterations as a safety valve.
+	SelfAdjustMax int
+	// ObviousTrip is the minimum average trip count for disconnecting
+	// an obvious loop.
+	ObviousTrip float64
+	// CoverageSkip: routines with at least this edge-profile coverage
+	// are not instrumented (LC).
+	CoverageSkip float64
+	// HashThreshold: routines with more possible paths use a hash
+	// table instead of a counter array.
+	HashThreshold int64
+	// Metric used for coverage computations.
+	Metric flow.Metric
+}
+
+// DefaultParams returns the paper's parameter settings.
+func DefaultParams() Params {
+	return Params{
+		LocalColdRatio:   0.05,
+		GlobalColdRatio:  0.001,
+		SelfAdjustFactor: 1.5,
+		SelfAdjustMax:    60,
+		ObviousTrip:      10,
+		CoverageSkip:     0.75,
+		HashThreshold:    4000,
+		Metric:           flow.Branch,
+	}
+}
+
+// EdgeAttr records a path whose profile is attributed from the edge
+// profile rather than measured: the path's frequency is estimated as
+// its defining edge's frequency.
+type EdgeAttr struct {
+	Num  int64 // path number in the plan's numbering, or -1
+	Path cfg.Path
+	Edge *cfg.DAGEdge // defining edge
+}
+
+// Plan is the instrumentation plan for one routine.
+type Plan struct {
+	G    *cfg.Graph
+	D    *cfg.DAG
+	Tech Techniques
+	Par  Params
+
+	// Instrumented is false when the routine gets no instrumentation;
+	// Reason says why (no-flow, low-coverage, all-obvious,
+	// too-many-paths).
+	Instrumented bool
+	Reason       string
+
+	// Num is the final numbering with cold/disconnected edges
+	// excluded. Nil when not instrumented (except all-obvious
+	// routines, which keep it for attribution).
+	Num *pathnum.Numbering
+	// Cold edges are poisoned; Disc(onnected) edges (obvious-loop back
+	// edges) carry no instrumentation at all. Indexed by DAG edge ID.
+	Cold []bool
+	Disc []bool
+	// Ops holds the instrumentation per DAG edge.
+	Ops [][]Op
+
+	// N is the hot path count; counters for hot paths occupy [0, N).
+	N int64
+	// Hash selects a hash table; otherwise an array of TableSize
+	// counters (the poison region occupies [N, TableSize)).
+	Hash      bool
+	TableSize int64
+	// PoisonCheck is set when free poisoning is off: every count op
+	// first tests r < 0 and diverts to a cold counter.
+	PoisonCheck bool
+
+	// Attr lists paths estimated from the edge profile (obvious paths
+	// whose instrumentation was removed, and disconnected loop bodies).
+	Attr []EdgeAttr
+
+	// SACIterations counts self-adjusting rounds; FinalGlobalRatio is
+	// the global cold ratio after adjustment.
+	SACIterations    int
+	FinalGlobalRatio float64
+}
+
+// Dump renders the plan as text for debugging and golden tests.
+func (p *Plan) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan %s: instrumented=%v", p.G.Name, p.Instrumented)
+	if p.Reason != "" {
+		fmt.Fprintf(&sb, " (%s)", p.Reason)
+	}
+	if p.Instrumented {
+		fmt.Fprintf(&sb, " N=%d hash=%v table=%d", p.N, p.Hash, p.TableSize)
+	}
+	sb.WriteByte('\n')
+	if p.Ops != nil {
+		for _, e := range p.D.Edges {
+			tags := ""
+			if p.Cold != nil && p.Cold[e.ID] {
+				tags += " cold"
+			}
+			if p.Disc != nil && p.Disc[e.ID] {
+				tags += " disc"
+			}
+			if len(p.Ops[e.ID]) == 0 && tags == "" {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %s:%s", e, tags)
+			for _, op := range p.Ops[e.ID] {
+				fmt.Fprintf(&sb, " %s;", op)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	for _, a := range p.Attr {
+		fmt.Fprintf(&sb, "  attr %s <- freq(%s)\n", a.Path, a.Edge)
+	}
+	return sb.String()
+}
+
+// StaticOps counts instrumentation operations in the plan, a measure
+// of code growth.
+func (p *Plan) StaticOps() int {
+	n := 0
+	for _, ops := range p.Ops {
+		n += len(ops)
+	}
+	return n
+}

@@ -1,0 +1,632 @@
+package instr_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/instr"
+)
+
+func build(t testing.TB, g *cfg.Graph, tech instr.Techniques, total int64) *instr.Plan {
+	t.Helper()
+	p, err := instr.Build(g, tech, instr.DefaultParams(), total)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+// simulate executes a plan's ops along a DAG path, returning every
+// fired counter index together with whether the register was poisoned
+// (last Set was on a cold edge) at fire time.
+type fired struct {
+	index    int64
+	poisoned bool
+}
+
+func simulate(p *instr.Plan, path cfg.Path) []fired {
+	var r int64
+	poisoned := false
+	var out []fired
+	for _, e := range path {
+		for _, op := range p.Ops[e.ID] {
+			switch op.Kind {
+			case instr.OpInc:
+				r += op.V
+			case instr.OpSet:
+				r = op.V
+				poisoned = p.Cold[e.ID]
+			case instr.OpCountR:
+				out = append(out, fired{r, poisoned})
+			case instr.OpCountRV:
+				out = append(out, fired{r + op.V, poisoned})
+			case instr.OpCountC:
+				out = append(out, fired{op.V, false})
+			}
+		}
+	}
+	return out
+}
+
+// checkPlan verifies the core instrumentation invariants of an
+// instrumented plan:
+//
+//  1. every hot path fires exactly one count, at its own number, OR is
+//     edge-attributed and fires none;
+//  2. every count fired while poisoned lands in the cold region.
+func checkPlan(t testing.TB, p *instr.Plan, context string) {
+	t.Helper()
+	if !p.Instrumented {
+		return
+	}
+	attributed := map[string]bool{}
+	for _, a := range p.Attr {
+		attributed[a.Path.String()] = true
+	}
+	excl := make([]bool, len(p.D.Edges))
+	for i := range excl {
+		excl[i] = p.Cold[i] || p.Disc[i]
+	}
+	if p.N > 4096 {
+		return // enumeration too large; covered by smaller cases
+	}
+	hot := p.D.EnumeratePaths(excl, -1)
+	seen := map[int64]bool{}
+	for _, path := range hot {
+		want, ok := p.Num.PathNumber(path)
+		if !ok {
+			t.Fatalf("%s: hot path %s rejected by numbering", context, path)
+		}
+		events := simulate(p, path)
+		if attributed[path.String()] {
+			if len(events) != 0 {
+				t.Fatalf("%s: attributed path %s fires %v", context, path, events)
+			}
+			continue
+		}
+		if len(events) != 1 {
+			t.Fatalf("%s: hot path %s fires %d counts (%v)\n%s", context, path, len(events), events, p.Dump())
+		}
+		if events[0].index != want {
+			t.Fatalf("%s: hot path %s counted as %d, want %d\n%s", context, path, events[0].index, want, p.Dump())
+		}
+		if seen[want] {
+			t.Fatalf("%s: duplicate number %d", context, want)
+		}
+		seen[want] = true
+	}
+
+	// Paths that cross cold edges (but not disconnected ones): counts
+	// fired while poisoned must land in the cold region.
+	discOnly := make([]bool, len(p.D.Edges))
+	for i := range discOnly {
+		discOnly[i] = p.Disc[i]
+	}
+	all := p.D.EnumeratePaths(discOnly, 4096)
+	for _, path := range all {
+		cold := false
+		for _, e := range path {
+			if p.Cold[e.ID] {
+				cold = true
+			}
+		}
+		if !cold {
+			continue
+		}
+		for _, ev := range simulate(p, path) {
+			if !ev.poisoned {
+				// Deliberate overcount (Section 4.4) or constant count:
+				// must record a valid hot number.
+				if ev.index < 0 || ev.index >= p.N {
+					t.Fatalf("%s: unpoisoned cold-path count %d outside [0,%d) on %s\n%s",
+						context, ev.index, p.N, path, p.Dump())
+				}
+				continue
+			}
+			if p.PoisonCheck {
+				if ev.index >= 0 {
+					t.Fatalf("%s: check-poisoned count %d not negative on %s", context, ev.index, path)
+				}
+				continue
+			}
+			if ev.index < p.N || ev.index >= p.TableSize {
+				t.Fatalf("%s: poisoned count %d outside [%d,%d) on %s\n%s",
+					context, ev.index, p.N, p.TableSize, path, p.Dump())
+			}
+		}
+	}
+}
+
+func TestPPDiamond(t *testing.T) {
+	g := cfgtest.Diamond()
+	rng := rand.New(rand.NewSource(1))
+	cfgtest.Profile(g, rng, 100, 100)
+	p := build(t, g, instr.PP(), 100)
+	if !p.Instrumented {
+		t.Fatalf("PP must instrument: %s", p.Dump())
+	}
+	if p.N != 2 || p.Hash || p.TableSize != 2 {
+		t.Errorf("N=%d hash=%v table=%d, want 2/false/2", p.N, p.Hash, p.TableSize)
+	}
+	checkPlan(t, p, "pp-diamond")
+	if len(p.Attr) != 0 {
+		t.Errorf("PP attributed paths: %v", p.Attr)
+	}
+}
+
+func TestTPPSkipsAllObvious(t *testing.T) {
+	g := cfgtest.Diamond()
+	rng := rand.New(rand.NewSource(2))
+	cfgtest.Profile(g, rng, 100, 100)
+	p := build(t, g, instr.TPP(), 100)
+	if p.Instrumented || p.Reason != "all-obvious" {
+		t.Fatalf("TPP should skip all-obvious diamond, got %s", p.Dump())
+	}
+	if len(p.Attr) != 2 {
+		t.Fatalf("want 2 attributed paths, got %d", len(p.Attr))
+	}
+	for _, a := range p.Attr {
+		if a.Edge == nil || p.Num.PathsThrough(a.Edge) != 1 {
+			t.Errorf("attribution edge %v not defining", a.Edge)
+		}
+	}
+}
+
+// doubleDiamond builds the 4-path graph where no path is obvious.
+func doubleDiamond() *cfg.Graph {
+	g := cfg.New("dd")
+	names := []string{"entry", "a", "b", "c", "m", "x", "y", "j", "exit"}
+	bs := map[string]*cfg.Block{}
+	for _, n := range names {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := [][2]string{{"entry", "a"}, {"a", "b"}, {"a", "c"}, {"b", "m"}, {"c", "m"},
+		{"m", "x"}, {"m", "y"}, {"x", "j"}, {"y", "j"}, {"j", "exit"}}
+	for _, c := range conn {
+		g.Connect(bs[c[0]], bs[c[1]])
+	}
+	return g
+}
+
+func TestTPPInstrumentsNonObvious(t *testing.T) {
+	g := doubleDiamond()
+	rng := rand.New(rand.NewSource(3))
+	cfgtest.Profile(g, rng, 200, 100)
+	p := build(t, g, instr.TPP(), 200)
+	if !p.Instrumented {
+		t.Fatalf("TPP should instrument double diamond: %s", p.Dump())
+	}
+	if p.N != 4 {
+		t.Errorf("N = %d, want 4", p.N)
+	}
+	// Small routine: TPP's cold elimination is hash-avoidance only.
+	for i, c := range p.Cold {
+		if c {
+			t.Errorf("TPP marked edge %d cold in array-sized routine", i)
+		}
+	}
+	checkPlan(t, p, "tpp-dd")
+}
+
+// coldDiamond builds a triple diamond with one first-stage arm almost
+// never taken, so the local criterion makes it cold while the rest of
+// the routine stays non-obvious (four surviving paths, every hot edge
+// on at least two of them).
+func coldDiamond() *cfg.Graph {
+	g := cfg.New("cold3")
+	names := []string{"entry", "a", "b", "c", "m", "x", "y", "j", "p", "q", "w", "exit"}
+	bs := map[string]*cfg.Block{}
+	for _, n := range names {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	set := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	set("entry", "a", 1000)
+	set("a", "b", 10) // cold: 1% of a
+	set("a", "c", 990)
+	set("b", "m", 10)
+	set("c", "m", 990)
+	set("m", "x", 500)
+	set("m", "y", 500)
+	set("x", "j", 500)
+	set("y", "j", 500)
+	set("j", "p", 400)
+	set("j", "q", 600)
+	set("p", "w", 400)
+	set("q", "w", 600)
+	set("w", "exit", 1000)
+	g.Calls = 1000
+	return g
+}
+
+func TestPPPColdRemovalAndFreePoison(t *testing.T) {
+	g := coldDiamond()
+	tech := instr.PPP()
+	tech.LowCoverage = false // force instrumentation for this test
+	p := build(t, g, tech, 1000)
+	if !p.Instrumented {
+		t.Fatalf("not instrumented: %s", p.Dump())
+	}
+	// a->b and b->m are cold under both criteria (freq 10 < 5% of 1000
+	// local for a->b; 10 < 0.1%*1000000? global uses total program
+	// flow=1000 -> cut=1: not global). Local: a->b is 1% of a's 1000.
+	coldCount := 0
+	for _, e := range p.D.Edges {
+		if p.Cold[e.ID] {
+			coldCount++
+		}
+	}
+	if coldCount == 0 {
+		t.Fatalf("no cold edges marked: %s", p.Dump())
+	}
+	if p.N != 4 {
+		t.Errorf("N = %d, want 4 (paths through c only)", p.N)
+	}
+	if p.TableSize < p.N {
+		t.Errorf("table %d < N %d", p.TableSize, p.N)
+	}
+	checkPlan(t, p, "ppp-cold")
+}
+
+func TestPoisonCheckVariant(t *testing.T) {
+	g := coldDiamond()
+	tech := instr.PPP()
+	tech.LowCoverage = false
+	tech.FreePoison = false
+	p := build(t, g, tech, 1000)
+	if !p.Instrumented || !p.PoisonCheck {
+		t.Fatalf("expected check-based poisoning: %s", p.Dump())
+	}
+	if p.TableSize != p.N {
+		t.Errorf("check-based table = %d, want N = %d", p.TableSize, p.N)
+	}
+	checkPlan(t, p, "poison-check")
+}
+
+func TestLowCoverageSkip(t *testing.T) {
+	// A single-path routine has 100% edge-profile coverage.
+	g := cfg.New("line")
+	entry := g.AddBlock("entry")
+	a := g.AddBlock("a")
+	exit := g.AddBlock("exit")
+	g.Connect(entry, a).Freq = 10
+	g.Connect(a, exit).Freq = 10
+	g.Entry, g.Exit = entry, exit
+	g.Calls = 10
+	p := build(t, g, instr.PPP(), 10)
+	if p.Instrumented || p.Reason != "low-coverage" {
+		t.Fatalf("PPP should skip perfectly covered routine, got %q", p.Reason)
+	}
+	// PP still instruments it.
+	p2 := build(t, g, instr.PP(), 10)
+	if !p2.Instrumented {
+		t.Fatal("PP must instrument")
+	}
+	checkPlan(t, p2, "pp-line")
+}
+
+// deepDiamonds chains k diamonds for 2^k paths.
+func deepDiamonds(k int) *cfg.Graph {
+	g := cfg.New("deep")
+	entry := g.AddBlock("entry")
+	prev := entry
+	for i := 0; i < k; i++ {
+		a := g.AddBlock("")
+		b := g.AddBlock("")
+		c := g.AddBlock("")
+		j := g.AddBlock("")
+		g.Connect(prev, a)
+		g.Connect(a, b)
+		g.Connect(a, c)
+		g.Connect(b, j)
+		g.Connect(c, j)
+		prev = j
+	}
+	exit := g.AddBlock("exit")
+	g.Connect(prev, exit)
+	g.Entry, g.Exit = entry, exit
+	return g
+}
+
+func TestSelfAdjustingCriterion(t *testing.T) {
+	// 2^13 = 8192 paths > 4000. Seven diamonds split 90/10, six split
+	// 50/50: the global criterion (cut starting at 1) self-adjusts by
+	// 1.5x until the 100-frequency arms go cold, leaving 2^6 = 64
+	// non-obvious paths through the balanced diamonds.
+	g := deepDiamonds(13)
+	g.Calls = 1000
+	diamond := 0
+	for _, b := range g.Blocks { // construction order is topological
+		inflow := g.BlockFreq(b)
+		if len(b.Out) == 2 {
+			if diamond < 7 {
+				b.Out[0].Freq, b.Out[1].Freq = inflow*9/10, inflow/10
+			} else {
+				b.Out[0].Freq, b.Out[1].Freq = inflow/2, inflow/2
+			}
+			diamond++
+		} else if len(b.Out) == 1 {
+			b.Out[0].Freq = inflow
+		}
+	}
+	if err := g.CheckFlow(); err != nil {
+		t.Fatal(err)
+	}
+	tech := instr.PPP()
+	tech.ColdLocal = false // isolate the global criterion
+	tech.LowCoverage = false
+	p := build(t, g, tech, 1000)
+	if !p.Instrumented {
+		t.Fatalf("not instrumented: %s", p.Dump())
+	}
+	if p.Hash {
+		t.Errorf("SAC failed to eliminate hashing (N=%d, iters=%d)", p.N, p.SACIterations)
+	}
+	if p.SACIterations == 0 {
+		t.Errorf("expected SAC iterations, ratio stayed %v", p.FinalGlobalRatio)
+	}
+	checkPlan(t, p, "sac")
+
+	// Without SAC the routine must hash.
+	tech.SelfAdjust = false
+	tech.GlobalCold = false
+	p2 := build(t, g, tech, 1000)
+	if !p2.Instrumented || !p2.Hash {
+		t.Errorf("without SAC expected hashing, got hash=%v N=%d", p2.Hash, p2.N)
+	}
+	checkPlan(t, p2, "no-sac")
+}
+
+func TestObviousLoopDisconnection(t *testing.T) {
+	// entry -> pre -> h; h -> x | y; x,y -> tl; tl -> h (back);
+	// tl -> post -> exit. Body paths are obvious (x and y are defining
+	// edges); trip count 20 >= 10.
+	g := cfg.New("oloop")
+	names := []string{"entry", "pre", "h", "x", "y", "tl", "post", "exit"}
+	bs := map[string]*cfg.Block{}
+	for _, n := range names {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := func(a, b string, f int64) *cfg.Edge {
+		e := g.Connect(bs[a], bs[b])
+		e.Freq = f
+		return e
+	}
+	conn("entry", "pre", 50)
+	conn("pre", "h", 50)
+	conn("h", "x", 600)
+	conn("h", "y", 400)
+	conn("x", "tl", 600)
+	conn("y", "tl", 400)
+	conn("tl", "h", 950) // back edge; trip = 1000/50 = 20
+	conn("tl", "post", 50)
+	conn("post", "exit", 50)
+	g.Calls = 50
+
+	tech := instr.TPP()
+	p := build(t, g, tech, 1000)
+	// After disconnection every remaining path is cold or the routine
+	// may become all-obvious / no-hot-paths; either way the loop body
+	// must be attributed and carry no ops.
+	entryDummy := p.D.EntryDummyFor(bs["h"])
+	exitDummy := p.D.ExitDummyFor(bs["tl"])
+	if entryDummy == nil || exitDummy == nil {
+		t.Fatal("missing dummies")
+	}
+	if !p.Disc[entryDummy.ID] || !p.Disc[exitDummy.ID] {
+		t.Fatalf("loop dummies not disconnected: %s", p.Dump())
+	}
+	preH := p.D.Real(bs["pre"], bs["h"])
+	tlPost := p.D.Real(bs["tl"], bs["post"])
+	if !p.Cold[preH.ID] || !p.Cold[tlPost.ID] {
+		t.Fatalf("loop entrance/exit not cold: %s", p.Dump())
+	}
+	if len(p.Attr) < 2 {
+		t.Fatalf("want >= 2 attributed body paths, got %v", p.Attr)
+	}
+	wantFreq := map[string]int64{
+		"entry=>h x tl=>exit": 600,
+		"entry=>h y tl=>exit": 400,
+	}
+	found := 0
+	for _, a := range p.Attr {
+		if f, ok := wantFreq[a.Path.String()]; ok {
+			found++
+			if a.Edge.Freq != f {
+				t.Errorf("body path %s attributed freq %d, want %d", a.Path, a.Edge.Freq, f)
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d/2 body paths in attribution: %s", found, p.Dump())
+	}
+	if p.Ops != nil {
+		for _, e := range p.D.Edges {
+			inBody := e.Kind == cfg.RealEdge &&
+				(e.Src == bs["h"] || e.Src == bs["x"] || e.Src == bs["y"]) &&
+				e.Dst != bs["post"]
+			if inBody && len(p.Ops[e.ID]) > 0 {
+				t.Errorf("loop body edge %s carries ops %v", e, p.Ops[e.ID])
+			}
+		}
+	}
+	checkPlan(t, p, "obvious-loop")
+}
+
+func TestLowTripLoopNotDisconnected(t *testing.T) {
+	g := cfg.New("lowtrip")
+	names := []string{"entry", "pre", "h", "x", "y", "tl", "post", "exit"}
+	bs := map[string]*cfg.Block{}
+	for _, n := range names {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	conn("entry", "pre", 100)
+	conn("pre", "h", 100)
+	conn("h", "x", 150)
+	conn("h", "y", 150)
+	conn("x", "tl", 150)
+	conn("y", "tl", 150)
+	conn("tl", "h", 200) // trip = 300/100 = 3 < 10
+	conn("tl", "post", 100)
+	conn("post", "exit", 100)
+	g.Calls = 100
+	p := build(t, g, instr.TPP(), 300)
+	for i := range p.Disc {
+		if p.Disc[i] {
+			t.Fatalf("low-trip loop was disconnected: %s", p.Dump())
+		}
+	}
+}
+
+// TestPushFurtherExposesObviousPaths reproduces the Figure 5 effect:
+// with a cold edge joining below a merge, PPP pushes the counter above
+// the merge and removes instrumentation from obvious paths, while TPP
+// pushing (cold edges block) keeps counts below.
+func TestPushFurtherExposesObviousPaths(t *testing.T) {
+	// Left side of the merge: two chained diamonds (four non-obvious
+	// paths). Right side: one diamond (two obvious paths). Both sides
+	// merge at m, which has a cold side exit z. With PushFurther the
+	// counter is pushed above m (ignoring the cold m->z) and meets the
+	// initialization on the right side's arms, turning the right-side
+	// paths into removable constant counts.
+	g := cfg.New("fig5ish")
+	names := []string{"entry", "s", "a", "b", "c", "m1", "d", "e", "m2",
+		"i", "j", "k", "l", "m", "o", "z", "exit"}
+	bs := map[string]*cfg.Block{}
+	for _, n := range names {
+		bs[n] = g.AddBlock(n)
+	}
+	g.Entry, g.Exit = bs["entry"], bs["exit"]
+	conn := func(a, b string, f int64) {
+		g.Connect(bs[a], bs[b]).Freq = f
+	}
+	conn("entry", "s", 1000)
+	conn("s", "a", 500)
+	conn("a", "b", 250)
+	conn("a", "c", 250)
+	conn("b", "m1", 250)
+	conn("c", "m1", 250)
+	conn("m1", "d", 250)
+	conn("m1", "e", 250)
+	conn("d", "m2", 250)
+	conn("e", "m2", 250)
+	conn("m2", "m", 500)
+	conn("s", "i", 500)
+	conn("i", "j", 250)
+	conn("i", "k", 250)
+	conn("j", "l", 250)
+	conn("k", "l", 250)
+	conn("l", "m", 500)
+	conn("m", "o", 999)
+	conn("m", "z", 1) // cold
+	conn("o", "exit", 999)
+	conn("z", "exit", 1)
+	g.Calls = 1000
+
+	// SmartNumber in both variants keeps the hot edge m->o on the
+	// spanning tree (increment-free), so the only difference between
+	// the two plans is whether pushing ignores the cold edge m->z.
+	base := instr.Techniques{ColdLocal: true, ObviousPaths: true, FreePoison: true, SmartNumber: true}
+	ppp := base
+	ppp.PushFurther = true
+
+	pTPP := build(t, g, base, 1000)
+	pPPP := build(t, g, ppp, 1000)
+	if !pTPP.Instrumented || !pPPP.Instrumented {
+		t.Fatalf("both must instrument:\n%s\n%s", pTPP.Dump(), pPPP.Dump())
+	}
+	checkPlan(t, pTPP, "fig5-tpp")
+	checkPlan(t, pPPP, "fig5-ppp")
+	if len(pPPP.Attr) <= len(pTPP.Attr) {
+		t.Errorf("PushFurther attributed %d paths, TPP-style %d; want more",
+			len(pPPP.Attr), len(pTPP.Attr))
+	}
+}
+
+func TestPlanProperty(t *testing.T) {
+	techs := map[string]instr.Techniques{
+		"pp":      instr.PP(),
+		"tpp":     instr.TPP(),
+		"ppp":     instr.PPP(),
+		"no-fp":   func() instr.Techniques { x := instr.PPP(); x.FreePoison = false; return x }(),
+		"no-push": func() instr.Techniques { x := instr.PPP(); x.PushFurther = false; return x }(),
+		"no-spn":  func() instr.Techniques { x := instr.PPP(); x.SmartNumber = false; return x }(),
+		"no-lc":   func() instr.Techniques { x := instr.PPP(); x.LowCoverage = false; return x }(),
+		"no-sac": func() instr.Techniques {
+			x := instr.PPP()
+			x.SelfAdjust = false
+			x.GlobalCold = false
+			return x
+		}(),
+		"no-obvious": func() instr.Techniques { x := instr.PPP(); x.ObviousPaths = false; return x }(),
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 3+rng.Intn(16))
+		cfgtest.Profile(g, rng, 100+rng.Intn(400), 400)
+		for name, tech := range techs {
+			p, err := instr.Build(g, tech, instr.DefaultParams(), g.Calls)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, name, err)
+				return false
+			}
+			if !checkPlanQuiet(t, p, name) {
+				t.Logf("seed %d %s failed invariants", seed, name)
+				return false
+			}
+			if p.Instrumented && p.TableSize < p.N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkPlanQuiet runs checkPlan but converts its aborts into a boolean
+// so quick.Check can report the failing seed.
+func checkPlanQuiet(t *testing.T, p *instr.Plan, context string) (ok bool) {
+	ft := &failTB{TB: t}
+	defer func() {
+		if r := recover(); r != nil {
+			if r != abortCheck {
+				panic(r)
+			}
+		}
+		ok = !ft.failed
+	}()
+	checkPlan(ft, p, context)
+	return true
+}
+
+var abortCheck = new(int)
+
+// failTB records failures without aborting the whole test.
+type failTB struct {
+	testing.TB
+	failed bool
+}
+
+func (f *failTB) Fatalf(format string, args ...interface{}) {
+	f.failed = true
+	f.TB.Logf("FATAL: "+format, args...)
+	panic(abortCheck)
+}
+
+func (f *failTB) Errorf(format string, args ...interface{}) {
+	f.failed = true
+	f.TB.Logf("ERROR: "+format, args...)
+}

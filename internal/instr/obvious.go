@@ -1,0 +1,184 @@
+package instr
+
+import (
+	"pathprof/internal/cfg"
+	"pathprof/internal/pathnum"
+)
+
+// disconnectObviousLoops finds inner loops whose body paths are all
+// obvious and whose average trip count is at least Params.ObviousTrip,
+// and disconnects them (Section 3.2): the loop's entrance and exit
+// edges are marked cold (the paper's implementation note 2) and its
+// back-edge dummies are disconnected, so iterations execute no
+// instrumentation at all. The body paths are recorded as
+// edge-attributed: each one's frequency is estimated by its defining
+// edge's frequency in the edge profile.
+func (p *Plan) disconnectObviousLoops() {
+	for _, l := range p.G.InnerLoops() {
+		p.tryDisconnect(l)
+	}
+}
+
+func (p *Plan) tryDisconnect(l *cfg.Loop) {
+	if p.G.TripCount(l) < p.Par.ObviousTrip {
+		return
+	}
+	header := l.Header
+	// Tails and dummy edges. If a tail's exit dummy also stands for a
+	// back edge of another loop, disconnecting would damage that loop;
+	// skip such (rare) loops.
+	tailSet := map[int]bool{}
+	for _, b := range l.Backs {
+		tailSet[b.Src.ID] = true
+	}
+	var tails []*cfg.Block
+	for id := range tailSet {
+		tails = append(tails, p.G.Blocks[id])
+	}
+	entryDummy := p.D.EntryDummyFor(header)
+	if entryDummy == nil {
+		return
+	}
+	var exitDummies []*cfg.DAGEdge
+	for _, t := range tails {
+		xd := p.D.ExitDummyFor(t)
+		if xd == nil {
+			return
+		}
+		for _, be := range xd.Back {
+			if be.Dst != header {
+				return // shared with another loop
+			}
+		}
+		exitDummies = append(exitDummies, xd)
+	}
+
+	// Body blocks: reachable from the header and reaching a tail using
+	// only non-cold real DAG edges inside the loop.
+	inLoop := func(b *cfg.Block) bool { return l.Blocks[b.ID] }
+	bodyEdge := func(e *cfg.DAGEdge) bool {
+		return e.Kind == cfg.RealEdge && !p.Cold[e.ID] && inLoop(e.Src) && inLoop(e.Dst)
+	}
+	fromHeader := map[int]bool{header.ID: true}
+	stack := []*cfg.Block{header}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range p.D.Out[b.ID] {
+			if bodyEdge(e) && !fromHeader[e.Dst.ID] {
+				fromHeader[e.Dst.ID] = true
+				stack = append(stack, e.Dst)
+			}
+		}
+	}
+	toTail := map[int]bool{}
+	for _, t := range tails {
+		if !fromHeader[t.ID] {
+			return // a tail unreachable through non-cold body edges
+		}
+		if !toTail[t.ID] {
+			toTail[t.ID] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range p.D.In[b.ID] {
+			if bodyEdge(e) && !toTail[e.Src.ID] {
+				toTail[e.Src.ID] = true
+				stack = append(stack, e.Src)
+			}
+		}
+	}
+	body := map[int]bool{}
+	for id := range fromHeader {
+		if toTail[id] {
+			body[id] = true
+		}
+	}
+	if !body[header.ID] {
+		return
+	}
+
+	// Build the body subgraph: pseudo entry -> header, tails -> pseudo
+	// exit, non-cold real body edges in between.
+	sub := cfg.New(p.G.Name + ".loop")
+	subEntry := sub.AddBlock("entry")
+	toSub := map[int]*cfg.Block{}
+	toMain := map[int]*cfg.Block{}
+	for id := range body {
+		mb := p.G.Blocks[id]
+		sb := sub.AddBlock(mb.Name)
+		toSub[mb.ID] = sb
+		toMain[sb.ID] = mb
+	}
+	subExit := sub.AddBlock("exit")
+	sub.Entry, sub.Exit = subEntry, subExit
+	sub.Connect(subEntry, toSub[header.ID]).Freq = entryDummy.Freq
+	type subEdgeKey struct{ s, d int }
+	mainEdge := map[subEdgeKey]*cfg.DAGEdge{}
+	for _, e := range p.D.Edges {
+		if !bodyEdge(e) || !body[e.Src.ID] || !body[e.Dst.ID] {
+			continue
+		}
+		se := sub.Connect(toSub[e.Src.ID], toSub[e.Dst.ID])
+		se.Freq = e.Freq
+		mainEdge[subEdgeKey{se.Src.ID, se.Dst.ID}] = e
+	}
+	exitDummyFor := map[int]*cfg.DAGEdge{}
+	for _, xd := range exitDummies {
+		se := sub.Connect(toSub[xd.Src.ID], subExit)
+		se.Freq = xd.Freq
+		exitDummyFor[se.Src.ID] = xd
+	}
+	if sub.Validate() != nil {
+		return
+	}
+	subDAG, err := cfg.BuildDAG(sub)
+	if err != nil {
+		return
+	}
+	num, err := pathnum.Number(subDAG, nil, pathnum.OrderBallLarus)
+	if err != nil || num.N == 0 || !num.AllObvious() {
+		return
+	}
+
+	// The loop qualifies: disconnect it.
+	p.Disc[entryDummy.ID] = true
+	for _, xd := range exitDummies {
+		p.Disc[xd.ID] = true
+	}
+	for _, e := range p.D.In[header.ID] {
+		if e.Kind == cfg.RealEdge && !inLoop(e.Src) {
+			p.Cold[e.ID] = true
+		}
+	}
+	for _, e := range p.D.Edges {
+		if e.Kind == cfg.RealEdge && inLoop(e.Src) && !inLoop(e.Dst) {
+			p.Cold[e.ID] = true
+		}
+	}
+
+	// Attribute the body paths from the edge profile.
+	mapEdge := func(se *cfg.DAGEdge) *cfg.DAGEdge {
+		if se.Src == subDAG.G.Entry {
+			return entryDummy
+		}
+		if se.Dst == subDAG.G.Exit {
+			return exitDummyFor[se.Src.ID]
+		}
+		return mainEdge[subEdgeKey{se.Src.ID, se.Dst.ID}]
+	}
+	for _, sp := range subDAG.EnumeratePaths(nil, int(num.N)+1) {
+		full := make(cfg.Path, 0, len(sp))
+		for _, se := range sp {
+			full = append(full, mapEdge(se))
+		}
+		def := num.DefiningEdge(sp)
+		if def == nil {
+			continue // guarded by AllObvious
+		}
+		p.Attr = append(p.Attr, EdgeAttr{Num: -1, Path: full, Edge: mapEdge(def)})
+	}
+}

@@ -1,0 +1,118 @@
+package instr
+
+// poison places poisoning assignments on cold edges and sizes the
+// counter table.
+//
+// With free poisoning (Section 4.6) each cold edge assigns the path
+// register a value chosen so that any counter update executed after it
+// (without an intervening re-initialization) lands in the cold region
+// [N, TableSize). The choice compensates for negative event-counting
+// increments: a reverse-topological pass computes, for every block,
+// the range of "increment sum so far plus count offset" over all hot
+// suffixes, and the cold edge targeting that block assigns
+// N - min(range).
+//
+// Without free poisoning (the paper's ablation of FP, approximating
+// TPP's original check-based scheme) cold edges assign a large
+// negative value and every counter update is preceded by an r < 0
+// check that diverts to a cold counter; the VM charges the check.
+func (p *Plan) poison() {
+	anyCold := false
+	for _, c := range p.Cold {
+		if c {
+			anyCold = true
+			break
+		}
+	}
+	if !anyCold {
+		p.TableSize = p.N
+		return
+	}
+	if !p.Tech.FreePoison {
+		for _, e := range p.D.Edges {
+			if p.Cold[e.ID] {
+				p.Ops[e.ID] = []Op{{Kind: OpSet, V: NegPoison}}
+			}
+		}
+		p.PoisonCheck = true
+		p.TableSize = p.N
+		return
+	}
+
+	lo, hi, has := p.suffixCountRanges()
+	maxIdx := p.N - 1
+	for _, e := range p.D.Edges {
+		if !p.Cold[e.ID] {
+			continue
+		}
+		v := p.N
+		if has[e.Dst.ID] {
+			v = p.N - lo[e.Dst.ID]
+			if top := v + hi[e.Dst.ID]; top > maxIdx {
+				maxIdx = top
+			}
+		}
+		p.Ops[e.ID] = []Op{{Kind: OpSet, V: v}}
+	}
+	p.TableSize = maxIdx + 1
+}
+
+// suffixCountRanges computes, for each block, the min/max over all hot
+// suffix paths of the accumulated increment at each counter update
+// (plus the update's offset). Cold and disconnected out-edges are
+// skipped: cold edges re-poison, and disconnected obvious-loop dummies
+// lead only to regions whose every escape is cold (the disconnection
+// invariant), so neither can reach a count with the current register.
+// An OpSet on a hot edge is a pushed-down initialization: counts beyond
+// it are based on the new value, not the poisoned register, so
+// propagation stops there (such executions are the deliberate
+// overcounts of Section 4.4).
+func (p *Plan) suffixCountRanges() (lo, hi []int64, has []bool) {
+	nblocks := len(p.G.Blocks)
+	lo = make([]int64, nblocks)
+	hi = make([]int64, nblocks)
+	has = make([]bool, nblocks)
+	add := func(id int, a, b int64) {
+		if !has[id] {
+			lo[id], hi[id], has[id] = a, b, true
+			return
+		}
+		if a < lo[id] {
+			lo[id] = a
+		}
+		if b > hi[id] {
+			hi[id] = b
+		}
+	}
+	for i := len(p.D.Topo) - 1; i >= 0; i-- {
+		v := p.D.Topo[i]
+		for _, e := range p.D.Out[v.ID] {
+			if !p.hot(e) {
+				continue
+			}
+			var cur int64
+			stopped := false
+			for _, op := range p.Ops[e.ID] {
+				switch op.Kind {
+				case OpInc:
+					cur += op.V
+				case OpSet:
+					stopped = true
+				case OpCountR:
+					add(v.ID, cur, cur)
+				case OpCountRV:
+					add(v.ID, cur+op.V, cur+op.V)
+				case OpCountC:
+					// Constant index: not register-based.
+				}
+				if stopped {
+					break
+				}
+			}
+			if !stopped && has[e.Dst.ID] {
+				add(v.ID, cur+lo[e.Dst.ID], cur+hi[e.Dst.ID])
+			}
+		}
+	}
+	return lo, hi, has
+}

@@ -1,0 +1,166 @@
+package instr
+
+import (
+	"pathprof/internal/cfg"
+)
+
+// hot reports whether e participates in hot-path instrumentation: it
+// is neither cold nor disconnected.
+func (p *Plan) hot(e *cfg.DAGEdge) bool {
+	return !p.Cold[e.ID] && !p.Disc[e.ID]
+}
+
+// inDeg counts the incoming edges of w that block pushing
+// initialization past it. Disconnected edges never block. With
+// PushFurther (PPP, Section 4.4) cold edges do not block either; TPP
+// stops pushing even when the merging edge is cold.
+func (p *Plan) inDeg(w *cfg.Block) int {
+	n := 0
+	for _, e := range p.D.In[w.ID] {
+		if p.Disc[e.ID] {
+			continue
+		}
+		if p.Tech.PushFurther && p.Cold[e.ID] {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// outDeg counts the outgoing edges of w that block pushing the counter
+// update above it, with the same cold-edge treatment as inDeg.
+func (p *Plan) outDeg(w *cfg.Block) int {
+	n := 0
+	for _, e := range p.D.Out[w.ID] {
+		if p.Disc[e.ID] {
+			continue
+		}
+		if p.Tech.PushFurther && p.Cold[e.ID] {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// place performs the Ball-Larus instrumentation placement (Section
+// 3.1): path-register increments on event-counting chords, the
+// initialization r = 0 pushed down from the entry, and the counter
+// update count[r]++ pushed up from the exit, combining where they meet
+// increments. Pushing is what moves the dummy-edge instrumentation
+// onto back edges when the DAG is converted back to a CFG.
+func (p *Plan) place(inc []int64, chord []bool) {
+	p.Ops = make([][]Op, len(p.D.Edges))
+	for _, e := range p.D.Edges {
+		if chord[e.ID] && inc[e.ID] != 0 && p.hot(e) {
+			p.Ops[e.ID] = []Op{{Kind: OpInc, V: inc[e.ID]}}
+		}
+	}
+	for _, e := range p.D.Out[p.G.Entry.ID] {
+		if p.hot(e) {
+			p.placeInit(0, e)
+		}
+	}
+	for _, e := range p.D.In[p.G.Exit.ID] {
+		if p.hot(e) {
+			p.placeCount(e)
+		}
+	}
+}
+
+// placeInit pushes the initialization r = val down edge e: it combines
+// with an increment into r = val+v, or continues through merge-free
+// nodes, or lands on e as r = val.
+func (p *Plan) placeInit(val int64, e *cfg.DAGEdge) {
+	ops := p.Ops[e.ID]
+	if len(ops) == 1 && ops[0].Kind == OpInc {
+		p.Ops[e.ID] = []Op{{Kind: OpSet, V: val + ops[0].V}}
+		return
+	}
+	w := e.Dst
+	if w != p.G.Exit && p.inDeg(w) == 1 {
+		pushed := false
+		for _, f := range p.D.Out[w.ID] {
+			if p.hot(f) {
+				p.placeInit(val, f)
+				pushed = true
+			}
+		}
+		if pushed {
+			return
+		}
+		// No hot continuation: e lies on no complete hot path, so the
+		// initialization is dead and can be dropped.
+		return
+	}
+	p.Ops[e.ID] = append(p.Ops[e.ID], Op{Kind: OpSet, V: val})
+}
+
+// placeCount pushes the counter update count[r]++ up edge e: it
+// combines with an increment into count[r+v]++, with an initialization
+// into the constant count[c]++, or continues through nodes with a
+// single hot successor, or lands on e as count[r]++.
+func (p *Plan) placeCount(e *cfg.DAGEdge) {
+	ops := p.Ops[e.ID]
+	if len(ops) == 1 {
+		switch ops[0].Kind {
+		case OpInc:
+			p.Ops[e.ID] = []Op{{Kind: OpCountRV, V: ops[0].V}}
+			return
+		case OpSet:
+			p.Ops[e.ID] = []Op{{Kind: OpCountC, V: ops[0].V}}
+			return
+		}
+	}
+	w := e.Src
+	if w != p.G.Entry && p.outDeg(w) == 1 {
+		pushed := false
+		for _, f := range p.D.In[w.ID] {
+			if p.hot(f) {
+				p.placeCount(f)
+				pushed = true
+			}
+		}
+		if pushed {
+			return
+		}
+		// No hot path reaches e; the counter update is dead.
+		return
+	}
+	p.Ops[e.ID] = append(p.Ops[e.ID], Op{Kind: OpCountR})
+}
+
+// SimulatePath executes the plan's ops along a DAG path and returns
+// the counter index recorded, or -1 if no counter fired (obvious paths
+// whose instrumentation was removed). Used by tests and by the
+// evaluation to classify instrumented paths. A second counter firing
+// on the same path (possible only for executions that cross cold
+// edges) is reported via the extra count.
+func (p *Plan) SimulatePath(path cfg.Path) (index int64, counts int) {
+	var r int64
+	index = -1
+	for _, e := range path {
+		if p.Ops == nil {
+			break
+		}
+		for _, op := range p.Ops[e.ID] {
+			switch op.Kind {
+			case OpInc:
+				r += op.V
+			case OpSet:
+				r = op.V
+			case OpCountR:
+				index = r
+				counts++
+			case OpCountRV:
+				index = r + op.V
+				counts++
+			case OpCountC:
+				index = op.V
+				counts++
+			}
+		}
+	}
+	return index, counts
+}

@@ -1,0 +1,332 @@
+// Package ir defines the low-level intermediate representation that the
+// mini-C front end (package lang / lower) compiles to and that the VM
+// (package vm) executes. Routines are control-flow graphs of basic
+// blocks holding simple three-address instructions over int64 virtual
+// registers, with global scalars and fixed-size global arrays.
+//
+// The IR plays the role of Scale's low-level internal representation in
+// the paper: path lengths are measured in IR statements, the inliner's
+// size budgets are in IR statements, and the VM's cost model charges
+// per executed IR instruction.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"pathprof/internal/cfg"
+)
+
+// Opcode enumerates IR instructions.
+type Opcode int
+
+const (
+	Const  Opcode = iota // Dst = Imm
+	Mov                  // Dst = A
+	Add                  // Dst = A + B
+	Sub                  // Dst = A - B
+	Mul                  // Dst = A * B
+	Div                  // Dst = A / B (x/0 = 0 by definition)
+	Mod                  // Dst = A % B (x%0 = 0 by definition)
+	Neg                  // Dst = -A
+	Not                  // Dst = (A == 0)
+	Eq                   // Dst = (A == B)
+	Ne                   // Dst = (A != B)
+	Lt                   // Dst = (A < B)
+	Le                   // Dst = (A <= B)
+	Gt                   // Dst = (A > B)
+	Ge                   // Dst = (A >= B)
+	BAnd                 // Dst = A & B
+	BOr                  // Dst = A | B
+	BXor                 // Dst = A ^ B
+	Shl                  // Dst = A << (B & 63)
+	Shr                  // Dst = A >> (B & 63) (arithmetic)
+	LoadG                // Dst = globals[Sym]
+	StoreG               // globals[Sym] = A
+	LoadA                // Dst = arrays[Sym][A] (index mod size)
+	StoreA               // arrays[Sym][A] = B
+	Call                 // Dst = call funcs[Sym](Args...)
+	Print                // print A
+)
+
+var opNames = [...]string{
+	Const: "const", Mov: "mov", Add: "add", Sub: "sub", Mul: "mul",
+	Div: "div", Mod: "mod", Neg: "neg", Not: "not", Eq: "eq", Ne: "ne",
+	Lt: "lt", Le: "le", Gt: "gt", Ge: "ge", BAnd: "and", BOr: "or",
+	BXor: "xor", Shl: "shl", Shr: "shr", LoadG: "loadg", StoreG: "storeg",
+	LoadA: "loada", StoreA: "storea", Call: "call", Print: "print",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// Instr is one IR instruction. Register operands are indices into the
+// frame's register file; Sym indexes globals, arrays, or functions
+// depending on the opcode.
+type Instr struct {
+	Op   Opcode
+	Dst  int
+	A, B int
+	Imm  int64
+	Sym  int
+	Args []int
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("r%d = %d", in.Dst, in.Imm)
+	case Call:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("r%d", a)
+		}
+		return fmt.Sprintf("r%d = call f%d(%s)", in.Dst, in.Sym, strings.Join(args, ", "))
+	case LoadG:
+		return fmt.Sprintf("r%d = g%d", in.Dst, in.Sym)
+	case StoreG:
+		return fmt.Sprintf("g%d = r%d", in.Sym, in.A)
+	case LoadA:
+		return fmt.Sprintf("r%d = a%d[r%d]", in.Dst, in.Sym, in.A)
+	case StoreA:
+		return fmt.Sprintf("a%d[r%d] = r%d", in.Sym, in.A, in.B)
+	case Print:
+		return fmt.Sprintf("print r%d", in.A)
+	case Mov:
+		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+	case Neg, Not:
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Op, in.A)
+	default:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+// TermKind enumerates block terminators.
+type TermKind int
+
+const (
+	// Jump transfers to block To.
+	Jump TermKind = iota
+	// Branch transfers to To if register Cond is nonzero, else to Else.
+	Branch
+	// Ret returns register Ret (or 0 if Ret < 0) to the caller.
+	Ret
+)
+
+// Term is a block terminator.
+type Term struct {
+	Kind TermKind
+	Cond int
+	To   int
+	Else int
+	Ret  int
+}
+
+func (t Term) String() string {
+	switch t.Kind {
+	case Jump:
+		return fmt.Sprintf("jump b%d", t.To)
+	case Branch:
+		return fmt.Sprintf("branch r%d ? b%d : b%d", t.Cond, t.To, t.Else)
+	case Ret:
+		if t.Ret < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", t.Ret)
+	}
+	return "?"
+}
+
+// Block is a basic block.
+type Block struct {
+	Index  int
+	Name   string
+	Instrs []Instr
+	Term   Term
+}
+
+// LoopInfo records a syntactic loop from the front end, keyed by a
+// stable ID ("func#ordinal") so profile-guided unrolling can target it
+// across recompilations.
+type LoopInfo struct {
+	ID     string
+	Header int    // header block index
+	Kind   string // "for" or "while"
+}
+
+// Func is one routine.
+type Func struct {
+	Name    string
+	NParams int
+	NRegs   int
+	Blocks  []*Block
+	Entry   int
+	Exit    int
+	Loops   []LoopInfo
+}
+
+// NewBlock appends an empty block and returns it.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Index: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Size returns the number of IR statements in the routine (instructions
+// plus terminators), the unit of the paper's inlining and unrolling
+// budgets.
+func (f *Func) Size() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs) + 1
+	}
+	return n
+}
+
+// CFG derives the control-flow graph of the routine. Block indices are
+// preserved as cfg block IDs; block instruction counts include the
+// terminator.
+func (f *Func) CFG() *cfg.Graph {
+	g := cfg.New(f.Name)
+	for _, b := range f.Blocks {
+		name := b.Name
+		if name == "" {
+			name = fmt.Sprintf("b%d", b.Index)
+		}
+		nb := g.AddBlock(name)
+		nb.Instrs = len(b.Instrs) + 1
+	}
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case Jump:
+			g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.To])
+		case Branch:
+			g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.To])
+			g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.Else])
+		}
+	}
+	g.Entry = g.Blocks[f.Entry]
+	g.Exit = g.Blocks[f.Exit]
+	return g
+}
+
+// Dump renders the routine as text.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d regs=%d entry=b%d exit=b%d)\n",
+		f.Name, f.NParams, f.NRegs, f.Entry, f.Exit)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d", b.Index)
+		if b.Name != "" {
+			fmt.Fprintf(&sb, " (%s)", b.Name)
+		}
+		sb.WriteString(":\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+		fmt.Fprintf(&sb, "  %s\n", b.Term)
+	}
+	return sb.String()
+}
+
+// Array is a global array declaration.
+type Array struct {
+	Name string
+	Size int64
+}
+
+// Program is a compiled program.
+type Program struct {
+	Funcs       []*Func
+	FuncIndex   map[string]int
+	Globals     []string
+	GlobalInit  []int64
+	GlobalIndex map[string]int
+	Arrays      []Array
+	ArrayIndex  map[string]int
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *Func {
+	i, ok := p.FuncIndex[name]
+	if !ok {
+		return nil
+	}
+	return p.Funcs[i]
+}
+
+// Size returns the total IR statement count of the program.
+func (p *Program) Size() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.Size()
+	}
+	return n
+}
+
+// Dump renders the whole program.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	for i, g := range p.Globals {
+		fmt.Fprintf(&sb, "var %s = %d ; g%d\n", g, p.GlobalInit[i], i)
+	}
+	for i, a := range p.Arrays {
+		fmt.Fprintf(&sb, "array %s[%d] ; a%d\n", a.Name, a.Size, i)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.Dump())
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants of every routine: terminator
+// targets in range, entry/exit designated, a Ret only on the exit
+// block, and the derived CFG valid and reducible.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			t := b.Term
+			check := func(idx int) error {
+				if idx < 0 || idx >= len(f.Blocks) {
+					return fmt.Errorf("ir %s b%d: target %d out of range", f.Name, b.Index, idx)
+				}
+				return nil
+			}
+			switch t.Kind {
+			case Jump:
+				if err := check(t.To); err != nil {
+					return err
+				}
+			case Branch:
+				if err := check(t.To); err != nil {
+					return err
+				}
+				if err := check(t.Else); err != nil {
+					return err
+				}
+				if t.To == t.Else {
+					return fmt.Errorf("ir %s b%d: branch with equal targets", f.Name, b.Index)
+				}
+			case Ret:
+				if b.Index != f.Exit {
+					return fmt.Errorf("ir %s b%d: ret outside exit block", f.Name, b.Index)
+				}
+			}
+		}
+		if f.Blocks[f.Exit].Term.Kind != Ret {
+			return fmt.Errorf("ir %s: exit block does not ret", f.Name)
+		}
+		g := f.CFG()
+		if err := g.Validate(); err != nil {
+			return err
+		}
+		if err := g.CheckReducible(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/ir"
+)
+
+// buildDiamond constructs a minimal valid routine:
+// entry -> a; a -> b|c; b,c -> exit-bound join; join is exit.
+func buildDiamond() *ir.Func {
+	f := &ir.Func{Name: "f", NRegs: 4}
+	entry := f.NewBlock("entry")
+	exit := f.NewBlock("exit")
+	a := f.NewBlock("a")
+	b := f.NewBlock("b")
+	c := f.NewBlock("c")
+	f.Entry, f.Exit = entry.Index, exit.Index
+
+	entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.Const, Dst: 0, Imm: 7})
+	entry.Term = ir.Term{Kind: ir.Jump, To: a.Index}
+	a.Instrs = append(a.Instrs, ir.Instr{Op: ir.Const, Dst: 1, Imm: 1})
+	a.Term = ir.Term{Kind: ir.Branch, Cond: 1, To: b.Index, Else: c.Index}
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Add, Dst: 2, A: 0, B: 1})
+	b.Term = ir.Term{Kind: ir.Jump, To: exit.Index}
+	c.Instrs = append(c.Instrs, ir.Instr{Op: ir.Sub, Dst: 2, A: 0, B: 1})
+	c.Term = ir.Term{Kind: ir.Jump, To: exit.Index}
+	exit.Term = ir.Term{Kind: ir.Ret, Ret: 2}
+	return f
+}
+
+func wrap(f *ir.Func) *ir.Program {
+	return &ir.Program{
+		Funcs:       []*ir.Func{f},
+		FuncIndex:   map[string]int{f.Name: 0},
+		GlobalIndex: map[string]int{},
+		ArrayIndex:  map[string]int{},
+	}
+}
+
+func TestFuncSizeAndCFG(t *testing.T) {
+	f := buildDiamond()
+	// 4 instructions + 5 terminators.
+	if got := f.Size(); got != 9 {
+		t.Errorf("Size = %d, want 9", got)
+	}
+	g := f.CFG()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("CFG invalid: %v", err)
+	}
+	if len(g.Edges) != 5 {
+		t.Errorf("edges = %d, want 5", len(g.Edges))
+	}
+	if g.Entry.ID != f.Entry || g.Exit.ID != f.Exit {
+		t.Error("entry/exit not preserved")
+	}
+	// Block instruction counts include the terminator.
+	if g.Blocks[f.Entry].Instrs != 2 {
+		t.Errorf("entry weight = %d, want 2", g.Blocks[f.Entry].Instrs)
+	}
+}
+
+func TestValidateCatchesBadTerms(t *testing.T) {
+	f := buildDiamond()
+	p := wrap(f)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	// Out-of-range target.
+	f.Blocks[2].Term = ir.Term{Kind: ir.Jump, To: 99}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("want out-of-range error, got %v", err)
+	}
+
+	// Branch with equal targets.
+	f = buildDiamond()
+	f.Blocks[2].Term = ir.Term{Kind: ir.Branch, Cond: 0, To: 3, Else: 3}
+	if err := wrap(f).Validate(); err == nil || !strings.Contains(err.Error(), "equal targets") {
+		t.Errorf("want equal-targets error, got %v", err)
+	}
+
+	// Ret outside the exit block.
+	f = buildDiamond()
+	f.Blocks[3].Term = ir.Term{Kind: ir.Ret, Ret: 0}
+	if err := wrap(f).Validate(); err == nil || !strings.Contains(err.Error(), "ret outside exit") {
+		t.Errorf("want ret-outside-exit error, got %v", err)
+	}
+
+	// Exit block must ret.
+	f = buildDiamond()
+	f.Blocks[1].Term = ir.Term{Kind: ir.Jump, To: 1}
+	if err := wrap(f).Validate(); err == nil {
+		t.Error("exit without ret accepted")
+	}
+}
+
+func TestDumpRendersEveryOpcode(t *testing.T) {
+	ops := []ir.Instr{
+		{Op: ir.Const, Dst: 0, Imm: 42},
+		{Op: ir.Mov, Dst: 1, A: 0},
+		{Op: ir.Add, Dst: 2, A: 0, B: 1},
+		{Op: ir.Neg, Dst: 3, A: 2},
+		{Op: ir.Not, Dst: 3, A: 2},
+		{Op: ir.LoadG, Dst: 1, Sym: 0},
+		{Op: ir.StoreG, Sym: 0, A: 1},
+		{Op: ir.LoadA, Dst: 1, Sym: 0, A: 2},
+		{Op: ir.StoreA, Sym: 0, A: 2, B: 1},
+		{Op: ir.Call, Dst: 1, Sym: 0, Args: []int{0, 2}},
+		{Op: ir.Print, A: 1},
+	}
+	for _, in := range ops {
+		if s := in.String(); s == "" || strings.Contains(s, "?") {
+			t.Errorf("bad render for %v: %q", in.Op, s)
+		}
+	}
+	if ir.Opcode(99).String() != "op99" {
+		t.Error("unknown opcode rendering")
+	}
+	terms := []ir.Term{
+		{Kind: ir.Jump, To: 3},
+		{Kind: ir.Branch, Cond: 1, To: 2, Else: 4},
+		{Kind: ir.Ret, Ret: -1},
+		{Kind: ir.Ret, Ret: 2},
+	}
+	for _, tm := range terms {
+		if s := tm.String(); s == "" || s == "?" {
+			t.Errorf("bad term render: %q", s)
+		}
+	}
+}
+
+func TestProgramLookupAndDump(t *testing.T) {
+	f := buildDiamond()
+	p := wrap(f)
+	p.Globals = []string{"g"}
+	p.GlobalInit = []int64{5}
+	p.GlobalIndex["g"] = 0
+	p.Arrays = []ir.Array{{Name: "arr", Size: 8}}
+	p.ArrayIndex["arr"] = 0
+
+	if p.Func("f") != f {
+		t.Error("Func lookup failed")
+	}
+	if p.Func("missing") != nil {
+		t.Error("missing function lookup returned non-nil")
+	}
+	if p.Size() != f.Size() {
+		t.Error("program size mismatch")
+	}
+	dump := p.Dump()
+	for _, want := range []string{"var g = 5", "array arr[8]", "func f", "branch r1 ? b3 : b4", "ret r2"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package lang
+
+// The AST. Nodes carry the source line of their introducing token for
+// diagnostics.
+
+// Program is the parsed translation unit.
+type Program struct {
+	Vars   []*VarDecl
+	Arrays []*ArrayDecl
+	Funcs  []*FuncDecl
+}
+
+// VarDecl is a global scalar: var name = init;
+type VarDecl struct {
+	Name string
+	Init int64
+	Line int
+}
+
+// ArrayDecl is a global array: array name[size];
+type ArrayDecl struct {
+	Name string
+	Size int64
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a { ... } statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// LocalStmt declares a local: var name = expr;
+type LocalStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns a scalar: name = expr;
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// StoreStmt assigns an array element: name[idx] = expr;
+type StoreStmt struct {
+	Name string
+	Idx  Expr
+	Val  Expr
+	Line int
+}
+
+// IfStmt is if (cond) then else else-part (else may be nil).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt or *IfStmt or nil
+	Line int
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is for (init; cond; post) body. Init and Post may be nil;
+// Cond may be nil (meaning true, which requires a break to exit).
+type ForStmt struct {
+	Init Stmt // *LocalStmt, *AssignStmt, *StoreStmt or nil
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt is return expr; (expr may be nil).
+type ReturnStmt struct {
+	Val  Expr
+	Line int
+}
+
+// BreakStmt / ContinueStmt affect the innermost loop.
+type BreakStmt struct{ Line int }
+type ContinueStmt struct{ Line int }
+
+// PrintStmt is print(expr);
+type PrintStmt struct {
+	Val  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*BlockStmt) stmt()    {}
+func (*LocalStmt) stmt()    {}
+func (*AssignStmt) stmt()   {}
+func (*StoreStmt) stmt()    {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*PrintStmt) stmt()    {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  int64
+	Line int
+}
+
+// VarExpr reads a scalar (local, parameter, or global).
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name string
+	Idx  Expr
+	Line int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinExpr is a binary operation. && and || short-circuit.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+func (*NumExpr) expr()   {}
+func (*VarExpr) expr()   {}
+func (*IndexExpr) expr() {}
+func (*CallExpr) expr()  {}
+func (*UnaryExpr) expr() {}
+func (*BinExpr) expr()   {}

@@ -1,0 +1,81 @@
+package lang_test
+
+import (
+	"testing"
+
+	"pathprof/internal/lang"
+	"pathprof/internal/lower"
+)
+
+// FuzzParse checks that the front end never panics and that whatever
+// it accepts also survives lowering's structural validation. Run as a
+// unit test it exercises the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { return 0; }",
+		"var g = -5; array a[3]; func main() { a[g] = 1; return a[0]; }",
+		"func f(x) { if (x > 0 && x < 9 || !x) { return 1; } return 0; }",
+		"func f() { for (var i = 0; i < 3; i = i + 1) { continue; } return 1; }",
+		"func f() { while (1) { break; } return 2; }",
+		"func f() { print(1 + 2 * 3 % 4 / 5 - 6); }",
+		"func f() { var x = 1 << 3 >> 1 & 7 | 8 ^ 2; return x; }",
+		"func f(a,b,c) { return f(c,b,a); } ",
+		"/* comment */ // line\nfunc main() { return 0; }",
+		"func main() { return 9223372036854775807; }",
+		"func f() { if (1) { } else if (2) { } else { } }",
+		"func broken( { }",
+		"array a[-1];",
+		"var \x00;",
+		"func f() { return a[; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything that parses must lower cleanly or produce a proper
+		// error, never invalid IR.
+		ir, err := lower.Lower(prog, lower.Options{})
+		if err != nil {
+			return
+		}
+		if err := ir.Validate(); err != nil {
+			t.Fatalf("lowered program invalid: %v\nsource: %q", err, src)
+		}
+	})
+}
+
+// FuzzLex checks the lexer's robustness and position monotonicity.
+func FuzzLex(f *testing.F) {
+	f.Add("func main() { return 1; }")
+	f.Add("a\nb\r\n\tc /* x */ 0123")
+	f.Add("<<>>==!=&&||")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		toks, err := lang.Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != lang.EOF {
+			t.Fatal("missing EOF token")
+		}
+		prevLine, prevCol := 0, 0
+		for _, tok := range toks {
+			if tok.Line < prevLine || (tok.Line == prevLine && tok.Col < prevCol) {
+				t.Fatalf("token positions not monotone: %d:%d after %d:%d",
+					tok.Line, tok.Col, prevLine, prevCol)
+			}
+			prevLine, prevCol = tok.Line, tok.Col
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/lang"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lang.Lex("func main() { var x = 1 + 23; // c\n /* b */ return x<=2 && x!=0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == lang.EOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	want := "func main ( ) { var x = 1 + 23 ; return x <= 2 && x != 0 ; }"
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lang.Lex("func @"); err == nil {
+		t.Error("expected error for @")
+	}
+	if _, err := lang.Lex("/* unterminated"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lang.Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	src := `
+var g = 5;
+array tab[100];
+func add(a, b) { return a + b; }
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0 && i != 4) { s = s + add(i, g); }
+		else if (i == 5) { continue; }
+		else { tab[i] = s; }
+	}
+	while (s > 100) { s = s - 1; break; }
+	print(s);
+	return s;
+}`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Vars) != 1 || prog.Vars[0].Name != "g" || prog.Vars[0].Init != 5 {
+		t.Errorf("vars = %+v", prog.Vars)
+	}
+	if len(prog.Arrays) != 1 || prog.Arrays[0].Size != 100 {
+		t.Errorf("arrays = %+v", prog.Arrays)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	if prog.Funcs[0].Name != "add" || len(prog.Funcs[0].Params) != 2 {
+		t.Errorf("func add = %+v", prog.Funcs[0])
+	}
+	main := prog.Funcs[1]
+	if len(main.Body.Stmts) != 5 {
+		t.Fatalf("main has %d stmts", len(main.Body.Stmts))
+	}
+	if _, ok := main.Body.Stmts[1].(*lang.ForStmt); !ok {
+		t.Errorf("stmt 1 is %T, want ForStmt", main.Body.Stmts[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `func f() { return 1 + 2 * 3 == 7 && 4 < 5 || 0; }`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*lang.ReturnStmt)
+	or, ok := ret.Val.(*lang.BinExpr)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top is %v, want ||", ret.Val)
+	}
+	and, ok := or.L.(*lang.BinExpr)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("left of || is %v, want &&", or.L)
+	}
+	eq, ok := and.L.(*lang.BinExpr)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("left of && is %v, want ==", and.L)
+	}
+	add, ok := eq.L.(*lang.BinExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left of == is %v, want +", eq.L)
+	}
+	mul, ok := add.R.(*lang.BinExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right of + is %v, want *", add.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func f( { }",
+		"func f() { return 1 }",
+		"var x",
+		"array a[0];",
+		"func f() { if 1 { } }",
+		"func f() { x = ; }",
+		"blah",
+		"func f() { for (;;) }",
+	}
+	for _, src := range bad {
+		if _, err := lang.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	good := []string{
+		"func f() { for (;;) { break; } }",
+		"func f() { for (var i = 0; i < 3; i = i + 1) { } }",
+		"func f() { var i = 0; for (i = 1; i < 3;) { i = i + 1; } }",
+		"func f() { array2[0] = 1; } array array2[4];",
+		"func f() { var x = a[1 + 2]; } array a[8];",
+	}
+	for _, src := range good {
+		if _, err := lang.Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}

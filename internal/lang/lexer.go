@@ -1,0 +1,89 @@
+package lang
+
+// Lex tokenizes src, returning the token stream or the first lexical
+// error. Line comments (//) and block comments (/* */) are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i+1 < len(src) {
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, errf(startLine, startCol, "unterminated block comment")
+			}
+		case isDigit(c):
+			start, sl, sc := i, line, col
+			for i < len(src) && isDigit(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, Token{Number, src[start:i], sl, sc})
+		case isIdentStart(c):
+			start, sl, sc := i, line, col
+			for i < len(src) && isIdentPart(src[i]) {
+				advance(1)
+			}
+			text := src[start:i]
+			k := Ident
+			if keywords[text] {
+				k = Keyword
+			}
+			toks = append(toks, Token{k, text, sl, sc})
+		default:
+			sl, sc := line, col
+			// Two-character operators first.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				switch two {
+				case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>":
+					advance(2)
+					toks = append(toks, Token{Punct, two, sl, sc})
+					continue
+				}
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^',
+				'(', ')', '{', '}', '[', ']', ';', ',':
+				advance(1)
+				toks = append(toks, Token{Punct, string(c), sl, sc})
+			default:
+				return nil, errf(sl, sc, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{EOF, "", line, col})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,514 @@
+package lang
+
+import "strconv"
+
+// Parse lexes and parses src into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) is(kind Kind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *parser) accept(kind Kind, text string) bool {
+	if p.is(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind Kind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || t.Text != text {
+		return t, errf(t.Line, t.Col, "expected %q, found %s", text, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) ident() (Token, error) {
+	t := p.cur()
+	if t.Kind != Ident {
+		return t, errf(t.Line, t.Col, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) number() (int64, Token, error) {
+	neg := false
+	if p.is(Punct, "-") {
+		neg = true
+		p.pos++
+	}
+	t := p.cur()
+	if t.Kind != Number {
+		return 0, t, errf(t.Line, t.Col, "expected number, found %s", t)
+	}
+	p.pos++
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, t, errf(t.Line, t.Col, "bad number %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		t := p.cur()
+		switch {
+		case p.accept(Keyword, "var"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var init int64
+			if p.accept(Punct, "=") {
+				v, _, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				init = v
+			}
+			if _, err := p.expect(Punct, ";"); err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, &VarDecl{Name: name.Text, Init: init, Line: t.Line})
+		case p.accept(Keyword, "array"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Punct, "["); err != nil {
+				return nil, err
+			}
+			size, st, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if size <= 0 {
+				return nil, errf(st.Line, st.Col, "array size must be positive")
+			}
+			if _, err := p.expect(Punct, "]"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Punct, ";"); err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, &ArrayDecl{Name: name.Text, Size: size, Line: t.Line})
+		case p.accept(Keyword, "func"):
+			fn, err := p.funcDecl(t)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		default:
+			return nil, errf(t.Line, t.Col, "expected declaration, found %s", t)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) funcDecl(kw Token) (*FuncDecl, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Punct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.is(Punct, ")") {
+		for {
+			pn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pn.Text)
+			if !p.accept(Punct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(Punct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Body: body, Line: kw.Line}, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(Punct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: lb.Line}
+	for !p.is(Punct, "}") {
+		if p.cur().Kind == EOF {
+			return nil, errf(lb.Line, lb.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is(Punct, "{"):
+		return p.block()
+	case p.accept(Keyword, "var"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, ";"); err != nil {
+			return nil, err
+		}
+		return &LocalStmt{Name: name.Text, Init: e, Line: t.Line}, nil
+	case p.accept(Keyword, "if"):
+		return p.ifStmt(t)
+	case p.accept(Keyword, "while"):
+		if _, err := p.expect(Punct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case p.accept(Keyword, "for"):
+		return p.forStmt(t)
+	case p.accept(Keyword, "return"):
+		var val Expr
+		if !p.is(Punct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			val = e
+		}
+		if _, err := p.expect(Punct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: val, Line: t.Line}, nil
+	case p.accept(Keyword, "break"):
+		if _, err := p.expect(Punct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case p.accept(Keyword, "continue"):
+		if _, err := p.expect(Punct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case p.accept(Keyword, "print"):
+		if _, err := p.expect(Punct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, ";"); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Val: e, Line: t.Line}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses an assignment, array store, or expression
+// statement without the trailing semicolon (shared by for-headers).
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == Ident {
+		// Lookahead: ident = / ident [ expr ] =  are assignments.
+		if p.toks[p.pos+1].Kind == Punct && p.toks[p.pos+1].Text == "=" {
+			p.pos += 2
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: t.Text, Val: e, Line: t.Line}, nil
+		}
+		if p.toks[p.pos+1].Kind == Punct && p.toks[p.pos+1].Text == "[" {
+			// Could be a store or an index expression; parse the index
+			// then decide on '='.
+			save := p.pos
+			p.pos += 2
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Punct, "]"); err != nil {
+				return nil, err
+			}
+			if p.accept(Punct, "=") {
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &StoreStmt{Name: t.Text, Idx: idx, Val: val, Line: t.Line}, nil
+			}
+			p.pos = save
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Line: t.Line}, nil
+}
+
+func (p *parser) ifStmt(kw Token) (Stmt, error) {
+	if _, err := p.expect(Punct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Punct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: kw.Line}
+	if p.accept(Keyword, "else") {
+		if t := p.cur(); p.accept(Keyword, "if") {
+			el, err := p.ifStmt(t)
+			if err != nil {
+				return nil, err
+			}
+			s.Else = el
+		} else {
+			el, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = el
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt(kw Token) (Stmt, error) {
+	if _, err := p.expect(Punct, "("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: kw.Line}
+	if !p.is(Punct, ";") {
+		if p.accept(Keyword, "var") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Punct, "="); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &LocalStmt{Name: name.Text, Init: e, Line: name.Line}
+		} else {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+	}
+	if _, err := p.expect(Punct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(Punct, ";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(Punct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.is(Punct, ")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(Punct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = []map[string]bool{
+	{"||": true},
+	{"&&": true},
+	{"|": true},
+	{"^": true},
+	{"&": true},
+	{"==": true, "!=": true},
+	{"<": true, "<=": true, ">": true, ">=": true},
+	{"<<": true, ">>": true},
+	{"+": true, "-": true},
+	{"*": true, "/": true, "%": true},
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(precedence) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != Punct || !precedence[level][t.Text] {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: t.Text, L: left, R: right, Line: t.Line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == Punct && (t.Text == "-" || t.Text == "!") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == Number:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad number %q", t.Text)
+		}
+		return &NumExpr{Val: v, Line: t.Line}, nil
+	case t.Kind == Ident:
+		p.pos++
+		switch {
+		case p.accept(Punct, "("):
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			if !p.is(Punct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Punct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(Punct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case p.accept(Punct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Punct, "]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Idx: idx, Line: t.Line}, nil
+		default:
+			return &VarExpr{Name: t.Text, Line: t.Line}, nil
+		}
+	case p.accept(Punct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Punct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, found %s", t)
+}

@@ -1,0 +1,59 @@
+// Package lang implements the mini-C language front end: a lexer, a
+// recursive-descent parser, and the AST. The language is deliberately
+// small — int64 scalars, global arrays, functions, structured control
+// flow with short-circuit booleans — but rich enough to write the
+// SPEC2000-shaped workloads the paper's evaluation needs: branchy
+// integer code, loop-dominated floating-point-style kernels (on
+// integers), recursion, and indirect data-dependent branching.
+package lang
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	Punct   // operators and delimiters
+	Keyword // var array func if else while for return break continue print
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Number, Ident, Punct, Keyword:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return "?"
+}
+
+var keywords = map[string]bool{
+	"var": true, "array": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "print": true,
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,113 @@
+package lower
+
+import (
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+)
+
+var binOps = map[string]ir.Opcode{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Mod,
+	"==": ir.Eq, "!=": ir.Ne, "<": ir.Lt, "<=": ir.Le, ">": ir.Gt,
+	">=": ir.Ge, "&": ir.BAnd, "|": ir.BOr, "^": ir.BXor,
+	"<<": ir.Shl, ">>": ir.Shr,
+}
+
+// lowerExpr emits code computing e into a fresh register.
+func (l *lowerer) lowerExpr(e lang.Expr) (int, error) {
+	switch e := e.(type) {
+	case *lang.NumExpr:
+		r := l.newReg()
+		l.emit(ir.Instr{Op: ir.Const, Dst: r, Imm: e.Val})
+		return r, nil
+	case *lang.VarExpr:
+		reg, glob, isReg, ok := l.resolve(e.Name)
+		if !ok {
+			return 0, l.errf(e.Line, "undefined variable %q", e.Name)
+		}
+		if isReg {
+			return reg, nil
+		}
+		r := l.newReg()
+		l.emit(ir.Instr{Op: ir.LoadG, Dst: r, Sym: glob})
+		return r, nil
+	case *lang.IndexExpr:
+		ai, ok := l.prog.ArrayIndex[e.Name]
+		if !ok {
+			return 0, l.errf(e.Line, "undefined array %q", e.Name)
+		}
+		idx, err := l.lowerExpr(e.Idx)
+		if err != nil {
+			return 0, err
+		}
+		r := l.newReg()
+		l.emit(ir.Instr{Op: ir.LoadA, Dst: r, Sym: ai, A: idx})
+		return r, nil
+	case *lang.CallExpr:
+		fi, ok := l.prog.FuncIndex[e.Name]
+		if !ok {
+			return 0, l.errf(e.Line, "undefined function %q", e.Name)
+		}
+		if want := l.prog.Funcs[fi].NParams; want != len(e.Args) {
+			return 0, l.errf(e.Line, "%s takes %d arguments, got %d", e.Name, want, len(e.Args))
+		}
+		args := make([]int, len(e.Args))
+		for i, a := range e.Args {
+			v, err := l.lowerExpr(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		r := l.newReg()
+		l.emit(ir.Instr{Op: ir.Call, Dst: r, Sym: fi, Args: args})
+		return r, nil
+	case *lang.UnaryExpr:
+		x, err := l.lowerExpr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		r := l.newReg()
+		if e.Op == "-" {
+			l.emit(ir.Instr{Op: ir.Neg, Dst: r, A: x})
+		} else {
+			l.emit(ir.Instr{Op: ir.Not, Dst: r, A: x})
+		}
+		return r, nil
+	case *lang.BinExpr:
+		if e.Op == "&&" || e.Op == "||" {
+			return l.lowerShortCircuit(e)
+		}
+		a, err := l.lowerExpr(e.L)
+		if err != nil {
+			return 0, err
+		}
+		b, err := l.lowerExpr(e.R)
+		if err != nil {
+			return 0, err
+		}
+		r := l.newReg()
+		l.emit(ir.Instr{Op: binOps[e.Op], Dst: r, A: a, B: b})
+		return r, nil
+	}
+	return 0, l.errf(0, "unknown expression %T", e)
+}
+
+// lowerShortCircuit materializes a && / || value through control flow,
+// producing 0 or 1 in a result register.
+func (l *lowerer) lowerShortCircuit(e *lang.BinExpr) (int, error) {
+	r := l.newReg()
+	thenB := l.newBlock("")
+	elseB := l.newBlock("")
+	joinB := l.newBlock("")
+	if err := l.lowerCond(e, thenB, elseB); err != nil {
+		return 0, err
+	}
+	l.cur = thenB
+	l.emit(ir.Instr{Op: ir.Const, Dst: r, Imm: 1})
+	l.cur.Term = ir.Term{Kind: ir.Jump, To: joinB.Index}
+	l.cur = elseB
+	l.emit(ir.Instr{Op: ir.Const, Dst: r, Imm: 0})
+	l.cur.Term = ir.Term{Kind: ir.Jump, To: joinB.Index}
+	l.cur = joinB
+	return r, nil
+}

@@ -1,0 +1,242 @@
+// Package lower translates the mini-C AST (package lang) into the IR
+// (package ir). Lowering is where loop unrolling happens: the unroll
+// plan (computed by the profile-guided optimizer from a prior run's
+// edge profile) maps syntactic loop IDs to replication factors, and the
+// lowering emits the unrolled shape directly — body copies separated by
+// exit tests, with a single back edge after the last copy — which is
+// what lengthens acyclic paths the way the paper's Section 7.3
+// describes.
+package lower
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+)
+
+// Options controls lowering.
+type Options struct {
+	// Unroll maps loop IDs ("func#ordinal") to replication factors.
+	// Missing entries and factors < 2 mean no unrolling. Only for
+	// loops are unrolled, matching Scale's behaviour.
+	Unroll map[string]int
+}
+
+// Compile parses and lowers src in one step.
+func Compile(src string, opts Options) (*ir.Program, error) {
+	astProg, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(astProg, opts)
+}
+
+// Lower translates the AST into IR and validates the result.
+func Lower(astProg *lang.Program, opts Options) (*ir.Program, error) {
+	prog := &ir.Program{
+		FuncIndex:   map[string]int{},
+		GlobalIndex: map[string]int{},
+		ArrayIndex:  map[string]int{},
+	}
+	for _, v := range astProg.Vars {
+		if _, dup := prog.GlobalIndex[v.Name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate global %q", v.Line, v.Name)
+		}
+		prog.GlobalIndex[v.Name] = len(prog.Globals)
+		prog.Globals = append(prog.Globals, v.Name)
+		prog.GlobalInit = append(prog.GlobalInit, v.Init)
+	}
+	for _, a := range astProg.Arrays {
+		if _, dup := prog.ArrayIndex[a.Name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate array %q", a.Line, a.Name)
+		}
+		prog.ArrayIndex[a.Name] = len(prog.Arrays)
+		prog.Arrays = append(prog.Arrays, ir.Array{Name: a.Name, Size: a.Size})
+	}
+	for _, f := range astProg.Funcs {
+		if _, dup := prog.FuncIndex[f.Name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate function %q", f.Line, f.Name)
+		}
+		prog.FuncIndex[f.Name] = len(prog.Funcs)
+		// Pre-create the Func so recursive calls can check arity
+		// before the callee's body is lowered.
+		prog.Funcs = append(prog.Funcs, &ir.Func{Name: f.Name, NParams: len(f.Params)})
+	}
+	for i, f := range astProg.Funcs {
+		lf := &lowerer{prog: prog, opts: opts, src: f, fn: prog.Funcs[i]}
+		if err := lf.lowerFunc(); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// loopCtx tracks break/continue targets of the innermost loop.
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+type lowerer struct {
+	prog *ir.Program
+	opts Options
+	src  *lang.FuncDecl
+
+	fn      *ir.Func
+	cur     *ir.Block
+	scopes  []map[string]int
+	loops   []loopCtx
+	retReg  int
+	loopSeq int
+	dead    bool // current position is unreachable (after return/break)
+}
+
+func (l *lowerer) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: line %d: %s", l.src.Name, line, fmt.Sprintf(format, args...))
+}
+
+func (l *lowerer) newReg() int {
+	r := l.fn.NRegs
+	l.fn.NRegs++
+	return r
+}
+
+func (l *lowerer) emit(in ir.Instr) {
+	l.cur.Instrs = append(l.cur.Instrs, in)
+}
+
+func (l *lowerer) newBlock(name string) *ir.Block {
+	return l.fn.NewBlock(name)
+}
+
+// setJump terminates the current block with a jump to b and makes b
+// current.
+func (l *lowerer) jumpTo(b *ir.Block) {
+	l.cur.Term = ir.Term{Kind: ir.Jump, To: b.Index}
+	l.cur = b
+}
+
+func (l *lowerer) pushScope() { l.scopes = append(l.scopes, map[string]int{}) }
+func (l *lowerer) popScope()  { l.scopes = l.scopes[:len(l.scopes)-1] }
+
+func (l *lowerer) declare(name string, line int) (int, error) {
+	s := l.scopes[len(l.scopes)-1]
+	if _, dup := s[name]; dup {
+		return 0, l.errf(line, "duplicate local %q", name)
+	}
+	r := l.newReg()
+	s[name] = r
+	return r, nil
+}
+
+// resolve finds name as a local/param register, or as a global index.
+func (l *lowerer) resolve(name string) (reg int, global int, isReg bool, ok bool) {
+	for i := len(l.scopes) - 1; i >= 0; i-- {
+		if r, found := l.scopes[i][name]; found {
+			return r, 0, true, true
+		}
+	}
+	if g, found := l.prog.GlobalIndex[name]; found {
+		return 0, g, false, true
+	}
+	return 0, 0, false, false
+}
+
+func (l *lowerer) lowerFunc() error {
+	entry := l.newBlock("entry")
+	l.cur = entry
+	l.fn.Entry = entry.Index
+	l.pushScope()
+	for _, p := range l.src.Params {
+		if _, err := l.declare(p, l.src.Line); err != nil {
+			return err
+		}
+	}
+	l.retReg = l.newReg()
+	l.emit(ir.Instr{Op: ir.Const, Dst: l.retReg, Imm: 0})
+
+	exit := l.newBlock("exit")
+	exit.Term = ir.Term{Kind: ir.Ret, Ret: l.retReg}
+	l.fn.Exit = exit.Index
+
+	// Body starts in its own block so the entry has no predecessors
+	// even if the body begins with a loop header.
+	body := l.newBlock("")
+	l.jumpTo(body)
+	if err := l.lowerBlock(l.src.Body); err != nil {
+		return err
+	}
+	if !l.dead {
+		l.cur.Term = ir.Term{Kind: ir.Jump, To: exit.Index}
+	}
+	l.popScope()
+
+	return l.prune()
+}
+
+// prune removes blocks unreachable from the entry and remaps indices.
+// It fails if the exit became unreachable (the function can never
+// return), which the workloads must not do.
+func (l *lowerer) prune() error {
+	f := l.fn
+	reach := make([]bool, len(f.Blocks))
+	stack := []int{f.Entry}
+	reach[f.Entry] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t := f.Blocks[i].Term
+		var targets []int
+		switch t.Kind {
+		case ir.Jump:
+			targets = []int{t.To}
+		case ir.Branch:
+			targets = []int{t.To, t.Else}
+		}
+		for _, n := range targets {
+			if !reach[n] {
+				reach[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	if !reach[f.Exit] {
+		return fmt.Errorf("%s: function cannot return (infinite loop with no exit)", f.Name)
+	}
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach[i] {
+			remap[i] = len(kept)
+			b.Index = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		switch b.Term.Kind {
+		case ir.Jump:
+			b.Term.To = remap[b.Term.To]
+		case ir.Branch:
+			b.Term.To = remap[b.Term.To]
+			b.Term.Else = remap[b.Term.Else]
+		}
+	}
+	f.Blocks = kept
+	f.Entry = remap[f.Entry]
+	f.Exit = remap[f.Exit]
+	var loops []ir.LoopInfo
+	for _, li := range f.Loops {
+		if remap[li.Header] >= 0 {
+			li.Header = remap[li.Header]
+			loops = append(loops, li)
+		}
+	}
+	f.Loops = loops
+	return nil
+}

@@ -1,0 +1,249 @@
+package lower_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/lower"
+)
+
+func compile(t *testing.T, src string, opts lower.Options) *ir.Program {
+	t.Helper()
+	p, err := lower.Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestBasicShapes(t *testing.T) {
+	p := compile(t, `
+var g = 3;
+array a[4];
+func f(x, y) { return x + y * g; }
+func main() {
+	a[1] = f(2, 3);
+	return a[1];
+}`, lower.Options{})
+	if len(p.Funcs) != 2 || p.Func("f").NParams != 2 {
+		t.Fatalf("bad program shape")
+	}
+	if p.GlobalInit[p.GlobalIndex["g"]] != 3 {
+		t.Error("global init lost")
+	}
+	if p.Arrays[p.ArrayIndex["a"]].Size != 4 {
+		t.Error("array size lost")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIfElseCFGShape(t *testing.T) {
+	p := compile(t, `
+func f(x) {
+	var r = 0;
+	if (x > 0) { r = 1; } else { r = 2; }
+	return r;
+}`, lower.Options{})
+	g := p.Func("f").CFG()
+	g.Analyze()
+	if len(g.Loops()) != 0 {
+		t.Error("if/else produced loops")
+	}
+	// There must be exactly one branch block (two out-edges).
+	branches := 0
+	for _, b := range g.Blocks {
+		if len(b.Out) == 2 {
+			branches++
+		}
+	}
+	if branches != 1 {
+		t.Errorf("branch blocks = %d, want 1", branches)
+	}
+}
+
+func TestLoopMetadata(t *testing.T) {
+	p := compile(t, `
+func f() {
+	var s = 0;
+	for (var i = 0; i < 4; i = i + 1) { s = s + i; }
+	while (s > 0) { s = s - 3; }
+	return s;
+}`, lower.Options{})
+	f := p.Func("f")
+	if len(f.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(f.Loops))
+	}
+	if f.Loops[0].ID != "f#1" || f.Loops[0].Kind != "for" {
+		t.Errorf("loop 0 = %+v", f.Loops[0])
+	}
+	if f.Loops[1].ID != "f#2" || f.Loops[1].Kind != "while" {
+		t.Errorf("loop 1 = %+v", f.Loops[1])
+	}
+	// The recorded headers must be actual loop headers in the CFG.
+	g := f.CFG()
+	g.Analyze()
+	headers := map[int]bool{}
+	for _, l := range g.Loops() {
+		headers[l.Header.ID] = true
+	}
+	for _, li := range f.Loops {
+		if !headers[li.Header] {
+			t.Errorf("loop %s header b%d is not a CFG loop header", li.ID, li.Header)
+		}
+	}
+}
+
+func TestUnrollStructure(t *testing.T) {
+	src := `
+func f(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}`
+	plain := compile(t, src, lower.Options{})
+	unrolled := compile(t, src, lower.Options{Unroll: map[string]int{"f#1": 4}})
+	pf, uf := plain.Func("f"), unrolled.Func("f")
+	if uf.Size() <= pf.Size() {
+		t.Errorf("unrolled size %d <= plain %d", uf.Size(), pf.Size())
+	}
+	// Exactly one back edge either way: copies share the single header.
+	backs := func(f *ir.Func) int {
+		g := f.CFG()
+		g.Analyze()
+		n := 0
+		for _, e := range g.Edges {
+			if e.Back {
+				n++
+			}
+		}
+		return n
+	}
+	if b := backs(uf); b != 1 {
+		t.Errorf("unrolled back edges = %d, want 1", b)
+	}
+	// The unrolled body has four exit tests: four branch blocks inside
+	// the loop against one in the plain version.
+	branchCount := func(f *ir.Func) int {
+		n := 0
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.Branch {
+				n++
+			}
+		}
+		return n
+	}
+	if got := branchCount(uf) - branchCount(pf); got != 3 {
+		t.Errorf("extra exit tests = %d, want 3", got)
+	}
+}
+
+func TestBreakContinueInUnrolledLoop(t *testing.T) {
+	src := `
+func f() {
+	var s = 0;
+	for (var i = 0; i < 40; i = i + 1) {
+		if (i % 7 == 3) { continue; }
+		if (i == 33) { break; }
+		s = s + i;
+	}
+	return s;
+}`
+	for _, factor := range []int{1, 2, 4} {
+		p := compile(t, src, lower.Options{Unroll: map[string]int{"f#1": factor}})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+	}
+}
+
+func TestShortCircuitValue(t *testing.T) {
+	p := compile(t, `
+func f(a, b) {
+	var v = a > 0 && b > 0 || a < 0 - 9;
+	return v;
+}`, lower.Options{})
+	// Short-circuit lowering introduces branches.
+	branches := 0
+	for _, b := range p.Func("f").Blocks {
+		if b.Term.Kind == ir.Branch {
+			branches++
+		}
+	}
+	if branches < 3 {
+		t.Errorf("short-circuit produced %d branches, want >= 3", branches)
+	}
+}
+
+func TestNestedScopesAndShadowing(t *testing.T) {
+	// Inner blocks may re-declare names; the outer binding survives.
+	p := compile(t, `
+func f() {
+	var x = 1;
+	if (x == 1) { var x = 2; x = x + 1; }
+	return x;
+}`, lower.Options{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoweringErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`func f() { return x; }`, "undefined variable"},
+		{`func f() { y = 3; }`, "undefined variable"},
+		{`func f() { a[0] = 1; }`, "undefined array"},
+		{`func f() { return a[0]; }`, "undefined array"},
+		{`func f() { return g(1); }`, "undefined function"},
+		{`func f(a) { return a; } func main() { return f(1, 2); }`, "takes 1 arguments"},
+		{`func f() { var a = 1; var a = 2; }`, "duplicate local"},
+		{`var g = 1; var g = 2;`, "duplicate global"},
+		{`array a[2]; array a[3];`, "duplicate array"},
+		{`func f() { } func f() { }`, "duplicate function"},
+		{`func f() { break; }`, "break outside loop"},
+		{`func f() { continue; }`, "continue outside loop"},
+		{`func f() { while (1) { } }`, "cannot return"},
+	}
+	for _, c := range cases {
+		_, err := lower.Compile(c.src, lower.Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestDeadCodeAfterReturnPruned(t *testing.T) {
+	p := compile(t, `
+func f() {
+	return 1;
+	return 2;
+}`, lower.Options{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All blocks reachable (pruning removed the dead tail).
+	g := p.Func("f").CFG()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhileOneFoldsToJump(t *testing.T) {
+	p := compile(t, `
+func f() {
+	var i = 0;
+	while (1) {
+		i = i + 1;
+		if (i > 5) { break; }
+	}
+	return i;
+}`, lower.Options{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

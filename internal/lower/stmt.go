@@ -1,0 +1,283 @@
+package lower
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+)
+
+func (l *lowerer) lowerBlock(b *lang.BlockStmt) error {
+	l.pushScope()
+	defer l.popScope()
+	for _, s := range b.Stmts {
+		if l.dead {
+			// Unreachable code after return/break/continue: lower into
+			// a fresh block that pruning removes, keeping the lowering
+			// simple and the diagnostics (undefined names etc.) alive.
+			l.cur = l.newBlock("")
+			l.dead = false
+		}
+		if err := l.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lowerStmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		return l.lowerBlock(s)
+	case *lang.LocalStmt:
+		v, err := l.lowerExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		r, err := l.declare(s.Name, s.Line)
+		if err != nil {
+			return err
+		}
+		l.emit(ir.Instr{Op: ir.Mov, Dst: r, A: v})
+		return nil
+	case *lang.AssignStmt:
+		v, err := l.lowerExpr(s.Val)
+		if err != nil {
+			return err
+		}
+		reg, glob, isReg, ok := l.resolve(s.Name)
+		if !ok {
+			return l.errf(s.Line, "undefined variable %q", s.Name)
+		}
+		if isReg {
+			l.emit(ir.Instr{Op: ir.Mov, Dst: reg, A: v})
+		} else {
+			l.emit(ir.Instr{Op: ir.StoreG, Sym: glob, A: v})
+		}
+		return nil
+	case *lang.StoreStmt:
+		ai, ok := l.prog.ArrayIndex[s.Name]
+		if !ok {
+			return l.errf(s.Line, "undefined array %q", s.Name)
+		}
+		idx, err := l.lowerExpr(s.Idx)
+		if err != nil {
+			return err
+		}
+		val, err := l.lowerExpr(s.Val)
+		if err != nil {
+			return err
+		}
+		l.emit(ir.Instr{Op: ir.StoreA, Sym: ai, A: idx, B: val})
+		return nil
+	case *lang.IfStmt:
+		return l.lowerIf(s)
+	case *lang.WhileStmt:
+		return l.lowerWhile(s)
+	case *lang.ForStmt:
+		return l.lowerFor(s)
+	case *lang.ReturnStmt:
+		if s.Val != nil {
+			v, err := l.lowerExpr(s.Val)
+			if err != nil {
+				return err
+			}
+			l.emit(ir.Instr{Op: ir.Mov, Dst: l.retReg, A: v})
+		}
+		l.cur.Term = ir.Term{Kind: ir.Jump, To: l.fn.Exit}
+		l.dead = true
+		return nil
+	case *lang.BreakStmt:
+		if len(l.loops) == 0 {
+			return l.errf(s.Line, "break outside loop")
+		}
+		l.cur.Term = ir.Term{Kind: ir.Jump, To: l.loops[len(l.loops)-1].breakTo.Index}
+		l.dead = true
+		return nil
+	case *lang.ContinueStmt:
+		if len(l.loops) == 0 {
+			return l.errf(s.Line, "continue outside loop")
+		}
+		l.cur.Term = ir.Term{Kind: ir.Jump, To: l.loops[len(l.loops)-1].continueTo.Index}
+		l.dead = true
+		return nil
+	case *lang.PrintStmt:
+		v, err := l.lowerExpr(s.Val)
+		if err != nil {
+			return err
+		}
+		l.emit(ir.Instr{Op: ir.Print, A: v})
+		return nil
+	case *lang.ExprStmt:
+		_, err := l.lowerExpr(s.X)
+		return err
+	}
+	return fmt.Errorf("lower: unknown statement %T", s)
+}
+
+func (l *lowerer) lowerIf(s *lang.IfStmt) error {
+	thenB := l.newBlock("")
+	joinB := l.newBlock("")
+	elseB := joinB
+	if s.Else != nil {
+		elseB = l.newBlock("")
+	}
+	if err := l.lowerCond(s.Cond, thenB, elseB); err != nil {
+		return err
+	}
+	l.cur = thenB
+	if err := l.lowerBlock(s.Then); err != nil {
+		return err
+	}
+	if !l.dead {
+		l.cur.Term = ir.Term{Kind: ir.Jump, To: joinB.Index}
+	}
+	l.dead = false
+	if s.Else != nil {
+		l.cur = elseB
+		if err := l.lowerStmt(s.Else); err != nil {
+			return err
+		}
+		if !l.dead {
+			l.cur.Term = ir.Term{Kind: ir.Jump, To: joinB.Index}
+		}
+		l.dead = false
+	}
+	l.cur = joinB
+	return nil
+}
+
+func (l *lowerer) loopID() string {
+	l.loopSeq++
+	return fmt.Sprintf("%s#%d", l.src.Name, l.loopSeq)
+}
+
+func (l *lowerer) lowerWhile(s *lang.WhileStmt) error {
+	id := l.loopID()
+	header := l.newBlock("")
+	l.jumpTo(header)
+	l.fn.Loops = append(l.fn.Loops, ir.LoopInfo{ID: id, Header: header.Index, Kind: "while"})
+	bodyB := l.newBlock("")
+	exitB := l.newBlock("")
+	if err := l.lowerCond(s.Cond, bodyB, exitB); err != nil {
+		return err
+	}
+	l.cur = bodyB
+	l.loops = append(l.loops, loopCtx{breakTo: exitB, continueTo: header})
+	if err := l.lowerBlock(s.Body); err != nil {
+		return err
+	}
+	l.loops = l.loops[:len(l.loops)-1]
+	if !l.dead {
+		l.cur.Term = ir.Term{Kind: ir.Jump, To: header.Index}
+	}
+	l.dead = false
+	l.cur = exitB
+	return nil
+}
+
+// lowerFor emits for (init; cond; post) body, replicated by the unroll
+// plan's factor for this loop: copies are separated by exit tests, and
+// only the last copy jumps back to the header, so unrolling lengthens
+// the acyclic paths through the loop (Section 7.3).
+func (l *lowerer) lowerFor(s *lang.ForStmt) error {
+	id := l.loopID()
+	factor := l.opts.Unroll[id]
+	if factor < 1 {
+		factor = 1
+	}
+	l.pushScope() // scope for the init declaration
+	defer l.popScope()
+	if s.Init != nil {
+		if err := l.lowerStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	header := l.newBlock("")
+	l.jumpTo(header)
+	l.fn.Loops = append(l.fn.Loops, ir.LoopInfo{ID: id, Header: header.Index, Kind: "for"})
+	exitB := l.newBlock("")
+
+	// Emit each body copy; copy k falls through to copy k+1 via an
+	// exit test, and the last copy jumps back to the header.
+	for k := 0; k < factor; k++ {
+		bodyB := l.newBlock("")
+		if s.Cond != nil {
+			if err := l.lowerCond(s.Cond, bodyB, exitB); err != nil {
+				return err
+			}
+		} else {
+			l.jumpTo(bodyB)
+			l.cur = bodyB
+		}
+		if s.Cond != nil {
+			l.cur = bodyB
+		}
+		postB := l.newBlock("")
+		l.loops = append(l.loops, loopCtx{breakTo: exitB, continueTo: postB})
+		if err := l.lowerBlock(s.Body); err != nil {
+			return err
+		}
+		l.loops = l.loops[:len(l.loops)-1]
+		if !l.dead {
+			l.cur.Term = ir.Term{Kind: ir.Jump, To: postB.Index}
+		}
+		l.dead = false
+		l.cur = postB
+		if s.Post != nil {
+			if err := l.lowerStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		if k == factor-1 {
+			l.cur.Term = ir.Term{Kind: ir.Jump, To: header.Index}
+		}
+		// Otherwise the next iteration's lowerCond terminates l.cur.
+	}
+	l.dead = false
+	l.cur = exitB
+	return nil
+}
+
+// lowerCond lowers a boolean condition as control flow with
+// short-circuit evaluation, terminating the current block.
+func (l *lowerer) lowerCond(e lang.Expr, thenB, elseB *ir.Block) error {
+	switch e := e.(type) {
+	case *lang.NumExpr:
+		// Constant conditions fold to jumps, so while(1){...break;...}
+		// produces a clean CFG and while(1){} is caught structurally.
+		if e.Val != 0 {
+			l.jumpTo(thenB)
+		} else {
+			l.jumpTo(elseB)
+		}
+		return nil
+	case *lang.BinExpr:
+		switch e.Op {
+		case "&&":
+			mid := l.newBlock("")
+			if err := l.lowerCond(e.L, mid, elseB); err != nil {
+				return err
+			}
+			l.cur = mid
+			return l.lowerCond(e.R, thenB, elseB)
+		case "||":
+			mid := l.newBlock("")
+			if err := l.lowerCond(e.L, thenB, mid); err != nil {
+				return err
+			}
+			l.cur = mid
+			return l.lowerCond(e.R, thenB, elseB)
+		}
+	case *lang.UnaryExpr:
+		if e.Op == "!" {
+			return l.lowerCond(e.X, elseB, thenB)
+		}
+	}
+	v, err := l.lowerExpr(e)
+	if err != nil {
+		return err
+	}
+	l.cur.Term = ir.Term{Kind: ir.Branch, Cond: v, To: thenB.Index, Else: elseB.Index}
+	return nil
+}

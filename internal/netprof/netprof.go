@@ -1,0 +1,115 @@
+// Package netprof implements Dynamo's NET (next-executing-tail) hot
+// path predictor, which the paper contrasts with PPP in Section 2: NET
+// counts executions of trace heads (loop headers and routine entries)
+// and, when a head's counter crosses a threshold, records the very
+// next path executed from it as that head's hot trace.
+//
+// NET is statistically likely to grab the hottest path of a head, but
+// it selects exactly one trace per head and cannot distinguish a few
+// dominant hot paths from many warm ones — the failure mode that makes
+// Dynamo thrash its code cache on warm-path programs. The Selected
+// traces here can be compared against the actual hot set to quantify
+// that, as the paper argues PPP's wider coverage does better.
+package netprof
+
+import (
+	"pathprof/internal/cfg"
+)
+
+// DefaultThreshold is Dynamo's published trace-head threshold.
+const DefaultThreshold = 50
+
+// Trace is a selected hot trace: the first path executed from a head
+// after the head turned hot.
+type Trace struct {
+	Func string
+	Key  string // Func + "|" + path string, matching eval path keys
+	Path cfg.Path
+}
+
+// Predictor consumes the path stream of a run (via vm.Options.PathHook)
+// and selects traces.
+type Predictor struct {
+	Threshold int64
+
+	counts   map[string]int64 // per trace head
+	selected map[string]*Trace
+	order    []string
+}
+
+// New returns a predictor with the given head threshold (0 uses
+// DefaultThreshold).
+func New(threshold int64) *Predictor {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Predictor{
+		Threshold: threshold,
+		counts:    map[string]int64{},
+		selected:  map[string]*Trace{},
+	}
+}
+
+// Hook returns a function suitable for vm.Options.PathHook.
+func (p *Predictor) Hook() func(fn string, path cfg.Path) {
+	return p.Observe
+}
+
+// Observe processes one executed path. A path's head is its first
+// block: the routine entry, or the loop header it restarted at after a
+// back edge. Once a head's execution count reaches the threshold, the
+// next path from it becomes the head's trace.
+func (p *Predictor) Observe(fn string, path cfg.Path) {
+	if len(path) == 0 {
+		return
+	}
+	head := fn + "@" + path[0].Dst.String()
+	if path[0].Kind == cfg.RealEdge {
+		head = fn + "@entry"
+	}
+	n := p.counts[head] + 1
+	p.counts[head] = n
+	if n < p.Threshold {
+		return
+	}
+	if _, done := p.selected[head]; done {
+		return
+	}
+	cp := make(cfg.Path, len(path))
+	copy(cp, path)
+	p.selected[head] = &Trace{Func: fn, Key: fn + "|" + cp.String(), Path: cp}
+	p.order = append(p.order, head)
+}
+
+// Traces returns the selected traces in selection order.
+func (p *Predictor) Traces() []Trace {
+	out := make([]Trace, 0, len(p.order))
+	for _, h := range p.order {
+		out = append(out, *p.selected[h])
+	}
+	return out
+}
+
+// Heads returns how many distinct trace heads were observed.
+func (p *Predictor) Heads() int { return len(p.counts) }
+
+// CoverageOf returns the fraction of the given flow map (path key ->
+// flow) that the selected traces account for, plus the total selected.
+func (p *Predictor) CoverageOf(flowByKey map[string]int64) float64 {
+	var total, covered int64
+	for _, f := range flowByKey {
+		total += f
+	}
+	if total == 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, tr := range p.Traces() {
+		if seen[tr.Key] {
+			continue
+		}
+		seen[tr.Key] = true
+		covered += flowByKey[tr.Key]
+	}
+	return float64(covered) / float64(total)
+}

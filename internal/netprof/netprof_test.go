@@ -1,0 +1,136 @@
+package netprof_test
+
+import (
+	"testing"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/core"
+	"pathprof/internal/instr"
+	"pathprof/internal/lower"
+	"pathprof/internal/netprof"
+	"pathprof/internal/vm"
+	"pathprof/internal/workloads"
+)
+
+func TestPredictorSelectsDominantPath(t *testing.T) {
+	// A loop with one dominant path: once the header is hot, the next
+	// path is almost surely the dominant one.
+	src := `
+var acc = 0;
+func main() {
+	var i = 0;
+	while (i < 5000) {
+		if (i % 100 == 7) { acc = acc + 3; } else { acc = acc + 1; }
+		i = i + 1;
+	}
+	return acc;
+}`
+	prog, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netprof.New(50)
+	res, err := vm.Run(prog, vm.Options{CollectPaths: true, PathHook: p.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := p.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces selected")
+	}
+	// The selected loop trace must be the dominant path.
+	truth := res.Paths["main"]
+	var bestKey string
+	var bestCount int64
+	for _, pc := range truth.Paths() {
+		if pc.Count > bestCount {
+			bestCount = pc.Count
+			bestKey = "main|" + pc.Path.String()
+		}
+	}
+	found := false
+	for _, tr := range traces {
+		if tr.Key == bestKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NET missed the dominant path %s; selected %v", bestKey, traces)
+	}
+	if p.Heads() == 0 {
+		t.Error("no heads observed")
+	}
+}
+
+func TestThresholdDelaysSelection(t *testing.T) {
+	src := `
+func main() {
+	var i = 0;
+	while (i < 30) { i = i + 1; }
+	return i;
+}`
+	prog, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netprof.New(1000) // threshold above the 30 iterations
+	if _, err := vm.Run(prog, vm.Options{CollectPaths: true, PathHook: p.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Traces()); got != 0 {
+		t.Errorf("selected %d traces below threshold", got)
+	}
+}
+
+// TestNETVsPPPOnWarmPaths quantifies the Section 2 argument: on a
+// workload whose flow is spread over many warm paths (parser), NET's
+// one-trace-per-head selection covers far less hot flow than PPP's
+// estimated profile identifies.
+func TestNETVsPPPOnWarmPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stages a full workload")
+	}
+	w, _ := workloads.ByName("parser")
+	staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rerun the optimized program with the NET predictor attached.
+	p := netprof.New(netprof.DefaultThreshold)
+	_, err = vm.Run(staged.Prog, vm.Options{CollectPaths: true, PathHook: p.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := staged.Profile("PPP", instr.PPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := pr.Eval.HotPaths(bench.HotTheta)
+	flowByKey := map[string]int64{}
+	for _, h := range hot {
+		flowByKey[h.Key] = h.Flow
+	}
+	netCov := p.CoverageOf(flowByKey)
+
+	// PPP's top-|hot| estimates cover this much of the same flow.
+	est := pr.Eval.EstimatedProfile(bench.HotTheta)
+	var pppCovFlow, total int64
+	for _, h := range hot {
+		total += h.Flow
+	}
+	for i, e := range est {
+		if i >= len(hot) {
+			break
+		}
+		pppCovFlow += flowByKey[e.Key]
+	}
+	pppCov := float64(pppCovFlow) / float64(total)
+
+	t.Logf("parser: NET covers %.1f%% of hot flow, PPP %.1f%%", 100*netCov, 100*pppCov)
+	if netCov >= pppCov {
+		t.Errorf("NET coverage %.3f not below PPP %.3f on a warm-path program", netCov, pppCov)
+	}
+	if len(p.Traces()) == 0 {
+		t.Error("NET selected nothing")
+	}
+}

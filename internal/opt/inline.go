@@ -1,0 +1,224 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// InlineParams holds the inliner's budgets (paper defaults: 5% code
+// bloat, callees of at most 200 IR statements).
+type InlineParams struct {
+	Bloat     float64
+	MaxCallee int
+}
+
+// DefaultInlineParams returns the paper's settings.
+func DefaultInlineParams() InlineParams {
+	return InlineParams{Bloat: 0.05, MaxCallee: 200}
+}
+
+// InlinedSite records one inlined call for reports.
+type InlinedSite struct {
+	Caller string
+	Callee string
+	Freq   int64 // call-site execution frequency from the profile
+}
+
+// InlineResult summarises an inlining pass.
+type InlineResult struct {
+	Sites     []InlinedSite
+	SizeFrom  int
+	SizeTo    int
+	Candidate int // call sites considered
+}
+
+// Inline performs profile-guided inlining on prog in place, following
+// the paper's Arnold-style cost/benefit policy: call sites are ranked
+// by expected benefit (call-site hotness) over cost (callee size) and
+// inlined greedily until total program size would exceed the bloat
+// budget. Self-recursive calls and callees above MaxCallee statements
+// are skipped.
+func Inline(prog *ir.Program, edges map[string]*profile.EdgeProfile, par InlineParams) *InlineResult {
+	type site struct {
+		caller   *ir.Func
+		block    int
+		instr    int
+		callee   *ir.Func
+		freq     int64
+		priority float64
+	}
+	res := &InlineResult{SizeFrom: prog.Size()}
+
+	var sites []site
+	for _, f := range prog.Funcs {
+		ep := edges[f.Name]
+		g := f.CFG()
+		if ep != nil {
+			ep.ApplyTo(g)
+		}
+		for _, b := range f.Blocks {
+			freq := g.BlockFreq(g.Blocks[b.Index])
+			for i, in := range b.Instrs {
+				if in.Op != ir.Call {
+					continue
+				}
+				callee := prog.Funcs[in.Sym]
+				res.Candidate++
+				if callee == f {
+					continue // self recursion
+				}
+				size := callee.Size()
+				if size > par.MaxCallee || freq <= 0 {
+					continue
+				}
+				sites = append(sites, site{
+					caller: f, block: b.Index, instr: i, callee: callee,
+					freq: freq, priority: float64(freq) / float64(size),
+				})
+			}
+		}
+	}
+	sort.SliceStable(sites, func(i, j int) bool {
+		if sites[i].priority != sites[j].priority {
+			return sites[i].priority > sites[j].priority
+		}
+		return sites[i].freq > sites[j].freq
+	})
+
+	// Phase 1: choose sites greedily by priority under the budget.
+	budget := int(float64(res.SizeFrom) * (1 + par.Bloat))
+	size := res.SizeFrom
+	var chosen []site
+	for _, s := range sites {
+		grow := s.callee.Size() - 1
+		if size+grow > budget {
+			continue
+		}
+		size += grow
+		chosen = append(chosen, s)
+		res.Sites = append(res.Sites, InlinedSite{Caller: s.caller.Name, Callee: s.callee.Name, Freq: s.freq})
+	}
+
+	// Phase 2: apply the splices bottom-up. A callee must receive its
+	// own inlines before being copied anywhere, so callers are ordered
+	// by their depth in the chosen-site call graph (leaf callers
+	// first). Within one block, descending instruction order keeps
+	// earlier indices valid across splits.
+	depthMemo := map[*ir.Func]int{}
+	var calleeDepth func(f *ir.Func) int
+	calleeDepth = func(f *ir.Func) int {
+		if d, ok := depthMemo[f]; ok {
+			return d // 0 during recursion breaks cycles
+		}
+		depthMemo[f] = 0
+		max := 0
+		for _, s := range chosen {
+			if s.caller == f {
+				if d := calleeDepth(s.callee) + 1; d > max {
+					max = d
+				}
+			}
+		}
+		depthMemo[f] = max
+		return max
+	}
+	sort.SliceStable(chosen, func(i, j int) bool {
+		a, b := chosen[i], chosen[j]
+		if da, db := calleeDepth(a.caller), calleeDepth(b.caller); da != db {
+			return da < db
+		}
+		if a.caller != b.caller {
+			return a.caller.Name < b.caller.Name
+		}
+		if a.block != b.block {
+			return a.block < b.block
+		}
+		return a.instr > b.instr
+	})
+	for _, s := range chosen {
+		inlineAt(s.caller, s.block, s.instr, s.callee)
+	}
+	res.SizeTo = prog.Size()
+	return res
+}
+
+// inlineAt splices callee into caller at the call instruction
+// (blockIdx, instrIdx), splitting the block around the call.
+func inlineAt(caller *ir.Func, blockIdx, instrIdx int, callee *ir.Func) {
+	b := caller.Blocks[blockIdx]
+	call := b.Instrs[instrIdx]
+	if call.Op != ir.Call {
+		panic(fmt.Sprintf("opt: inline site %s b%d[%d] is %v, not a call",
+			caller.Name, blockIdx, instrIdx, call.Op))
+	}
+
+	// Continuation block takes the tail and the original terminator.
+	cont := caller.NewBlock("")
+	cont.Instrs = append(cont.Instrs, b.Instrs[instrIdx+1:]...)
+	cont.Term = b.Term
+	b.Instrs = b.Instrs[:instrIdx]
+
+	// Copy callee blocks with register and block remapping.
+	regBase := caller.NRegs
+	caller.NRegs += callee.NRegs
+	blockBase := len(caller.Blocks)
+	remap := func(r int) int { return r + regBase }
+	for _, cb := range callee.Blocks {
+		nb := caller.NewBlock("")
+		for _, in := range cb.Instrs {
+			ni := in
+			if in.Op != ir.StoreG && in.Op != ir.Print {
+				ni.Dst = remap(in.Dst)
+			}
+			switch in.Op {
+			case ir.Const, ir.LoadG:
+				// no register sources
+			case ir.StoreG, ir.Print, ir.Neg, ir.Not, ir.Mov, ir.LoadA:
+				ni.A = remap(in.A)
+			case ir.StoreA:
+				ni.A = remap(in.A)
+				ni.B = remap(in.B)
+			case ir.Call:
+				ni.Args = make([]int, len(in.Args))
+				for k, a := range in.Args {
+					ni.Args[k] = remap(a)
+				}
+			default: // binary ops
+				ni.A = remap(in.A)
+				ni.B = remap(in.B)
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+		t := cb.Term
+		switch t.Kind {
+		case ir.Jump:
+			nb.Term = ir.Term{Kind: ir.Jump, To: t.To + blockBase}
+		case ir.Branch:
+			nb.Term = ir.Term{Kind: ir.Branch, Cond: remap(t.Cond), To: t.To + blockBase, Else: t.Else + blockBase}
+		case ir.Ret:
+			// Return value lands in the call's destination register,
+			// then control continues after the call.
+			if t.Ret >= 0 {
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.Mov, Dst: call.Dst, A: remap(t.Ret)})
+			} else {
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.Const, Dst: call.Dst, Imm: 0})
+			}
+			nb.Term = ir.Term{Kind: ir.Jump, To: cont.Index}
+		}
+	}
+
+	// Pass arguments and enter the callee copy.
+	for p := 0; p < callee.NParams; p++ {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.Mov, Dst: regBase + p, A: call.Args[p]})
+	}
+	b.Term = ir.Term{Kind: ir.Jump, To: blockBase + callee.Entry}
+
+	// Copy the callee's loop metadata so later unroll analyses still
+	// see its loops (IDs keep the callee's name; duplicates are fine).
+	for _, li := range callee.Loops {
+		caller.Loops = append(caller.Loops, ir.LoopInfo{ID: li.ID, Header: li.Header + blockBase, Kind: li.Kind})
+	}
+}

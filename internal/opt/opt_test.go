@@ -1,0 +1,249 @@
+package opt_test
+
+import (
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/lower"
+	"pathprof/internal/opt"
+	"pathprof/internal/profile"
+	"pathprof/internal/vm"
+)
+
+const benchSrc = `
+var seed = 12345;
+array data[64];
+
+func rand() {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	if (seed < 0) { seed = 0 - seed; }
+	return seed;
+}
+
+func leaf(x) { return x * 3 + 1; }
+
+func work(n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		if (rand() % 4 == 0) { s = s + leaf(i); } else { s = s + i; }
+	}
+	return s;
+}
+
+func main() {
+	var t = 0;
+	for (var k = 0; k < 30; k = k + 1) {
+		t = t + work(50);
+		data[k] = t;
+	}
+	return t;
+}`
+
+func compileRun(t *testing.T, unroll map[string]int) (*ir.Program, *vm.Result) {
+	t.Helper()
+	prog, err := lower.Compile(benchSrc, lower.Options{Unroll: unroll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, vm.Options{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res
+}
+
+func TestInlinePreservesSemantics(t *testing.T) {
+	prog, base := compileRun(t, nil)
+	// The test program is tiny, so a 5% bloat budget admits nothing;
+	// loosen it to exercise the mechanics.
+	par := opt.InlineParams{Bloat: 0.8, MaxCallee: 200}
+	ires := opt.Inline(prog, base.Edges, par)
+	if len(ires.Sites) == 0 {
+		t.Fatal("nothing inlined")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("inlined program invalid: %v", err)
+	}
+	res2, err := vm.Run(prog, vm.Options{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Ret != base.Ret {
+		t.Fatalf("inlining changed result: %d vs %d", res2.Ret, base.Ret)
+	}
+	if res2.DynCalls >= base.DynCalls {
+		t.Errorf("dynamic calls %d not reduced from %d", res2.DynCalls, base.DynCalls)
+	}
+	// Inlining must pay off under the call-cost model.
+	if res2.BaseCost >= base.BaseCost {
+		t.Errorf("inlined cost %d >= base %d", res2.BaseCost, base.BaseCost)
+	}
+}
+
+func TestInlineRespectsBloat(t *testing.T) {
+	prog, base := compileRun(t, nil)
+	size0 := prog.Size()
+	ires := opt.Inline(prog, base.Edges, opt.DefaultInlineParams())
+	budget := int(float64(size0) * 1.05)
+	if ires.SizeTo > budget {
+		t.Errorf("size %d exceeds budget %d (from %d)", ires.SizeTo, budget, size0)
+	}
+	if ires.SizeFrom != size0 {
+		t.Errorf("SizeFrom = %d, want %d", ires.SizeFrom, size0)
+	}
+}
+
+func TestInlineSkipsRecursion(t *testing.T) {
+	src := `
+func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+func main() { return fib(15); }`
+	prog, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := vm.Run(prog, vm.Options{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires := opt.Inline(prog, base.Edges, opt.InlineParams{Bloat: 0.8, MaxCallee: 200})
+	for _, s := range ires.Sites {
+		if s.Caller == "fib" && s.Callee == "fib" {
+			t.Error("self-recursive call inlined")
+		}
+	}
+	res2, err := vm.Run(prog, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Ret != base.Ret {
+		t.Errorf("result changed: %d vs %d", res2.Ret, base.Ret)
+	}
+}
+
+func TestInlineLargeCalleeSkipped(t *testing.T) {
+	prog, base := compileRun(t, nil)
+	par := opt.DefaultInlineParams()
+	par.MaxCallee = 1 // nothing fits
+	ires := opt.Inline(prog, base.Edges, par)
+	if len(ires.Sites) != 0 {
+		t.Errorf("inlined %d sites with MaxCallee=1", len(ires.Sites))
+	}
+}
+
+func TestPlanUnroll(t *testing.T) {
+	prog, base := compileRun(t, nil)
+	plan, decisions := opt.PlanUnroll(prog, base.Edges, opt.DefaultUnrollParams())
+	// work#1 runs 50 iterations per entry: unroll by 4. main#1 runs 30
+	// iterations: also by 4. rand has no loops.
+	if plan["work#1"] != 4 {
+		t.Errorf("work#1 factor = %d, want 4 (decisions %+v)", plan["work#1"], decisions)
+	}
+	if plan["main#1"] != 4 {
+		t.Errorf("main#1 factor = %d, want 4", plan["main#1"])
+	}
+	avg := opt.AvgUnrollFactor(decisions)
+	if avg < 3.5 || avg > 4 {
+		t.Errorf("avg unroll factor = %v, want about 4", avg)
+	}
+
+	// Low trip count: halve or skip.
+	src := `
+func main() {
+	var s = 0;
+	for (var k = 0; k < 1000; k = k + 1) {
+		for (var i = 0; i < 5; i = i + 1) { s = s + i; }
+	}
+	return s;
+}`
+	p2, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := vm.Run(p2, vm.Options{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, _ := opt.PlanUnroll(p2, r2.Edges, opt.DefaultUnrollParams())
+	if plan2["main#2"] != 2 {
+		t.Errorf("inner loop trip 5: factor = %d, want 2", plan2["main#2"])
+	}
+	if _, ok := plan2["main#1"]; ok {
+		t.Errorf("outer loop (not inner) unrolled: %v", plan2)
+	}
+}
+
+func TestUnrollSizeBudget(t *testing.T) {
+	// A loop with a big body must reduce its factor.
+	src := "func main() { var s = 0; for (var i = 0; i < 100; i = i + 1) {"
+	for j := 0; j < 120; j++ {
+		src += " s = s + 1;"
+	}
+	src += " } return s; }"
+	prog, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, vm.Options{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := opt.PlanUnroll(prog, res.Edges, opt.DefaultUnrollParams())
+	if f := plan["main#1"]; f > 2 {
+		t.Errorf("factor = %d for ~125-stmt body, want <= 2", f)
+	}
+}
+
+func TestFullStagePipeline(t *testing.T) {
+	// Stage 0: plain build and run.
+	p0, r0 := compileRun(t, nil)
+	// Stage 1: unroll guided by the profile, re-profile.
+	plan, _ := opt.PlanUnroll(p0, r0.Edges, opt.DefaultUnrollParams())
+	p1, err := lower.Compile(benchSrc, lower.Options{Unroll: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := vm.Run(p1, vm.Options{CollectEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r0.Ret {
+		t.Fatalf("unrolling changed result")
+	}
+	// Stage 2: inline, validate, rerun with path collection.
+	opt.Inline(p1, r1.Edges, opt.InlineParams{Bloat: 0.8, MaxCallee: 200})
+	if err := p1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := vm.Run(p1, vm.Options{CollectEdges: true, CollectPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Ret != r0.Ret {
+		t.Fatalf("inlining changed result")
+	}
+	if r2.DynCalls >= r1.DynCalls {
+		t.Errorf("calls not reduced: %d vs %d", r2.DynCalls, r1.DynCalls)
+	}
+	// Paths must be longer on average after inlining+unrolling.
+	avgLen := func(res *vm.Result) float64 {
+		var instrs, count int64
+		for _, pp := range res.Paths {
+			for _, pc := range pp.Paths() {
+				instrs += int64(pc.Path.Instrs()) * pc.Count
+				count += pc.Count
+			}
+		}
+		return float64(instrs) / float64(count)
+	}
+	r0p, err := vm.Run(p0, vm.Options{CollectPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgLen(r2) <= avgLen(r0p) {
+		t.Errorf("avg path length did not grow: %v vs %v", avgLen(r2), avgLen(r0p))
+	}
+}
+
+// Keep profile import used even if tests above change.
+var _ = profile.EdgeKey{}
+var _ = ir.Program{}

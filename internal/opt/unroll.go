@@ -1,0 +1,111 @@
+// Package opt implements the edge-profile-guided transformations that
+// the paper applies before path profiling (Section 7.3): loop
+// unrolling by a factor of four (less or none for low trip counts or
+// large bodies) and Arnold-style cost/benefit inlining under a code
+// bloat budget. These make paths longer and harder to predict,
+// providing the realistic setting the evaluation requires.
+package opt
+
+import (
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// UnrollParams holds the unroller's thresholds (paper defaults: factor
+// 4, skip loops with average trip count below 8 or unrolled bodies
+// larger than 256 IR statements; while loops are never unrolled).
+type UnrollParams struct {
+	Factor  int
+	MinTrip float64
+	MaxBody int
+}
+
+// DefaultUnrollParams returns the paper's settings.
+func DefaultUnrollParams() UnrollParams {
+	return UnrollParams{Factor: 4, MinTrip: 8, MaxBody: 256}
+}
+
+// UnrollDecision records why a loop got its factor, for reports.
+type UnrollDecision struct {
+	LoopID string
+	Func   string
+	Kind   string
+	Trip   float64
+	Body   int   // body size in IR statements
+	Iters  int64 // dynamic iterations (header executions)
+	Factor int
+}
+
+// PlanUnroll decides per-loop unroll factors from a prior run's edge
+// profile. Only inner for-loops are unrolled; the factor halves until
+// the replicated body fits the size budget.
+func PlanUnroll(prog *ir.Program, edges map[string]*profile.EdgeProfile, par UnrollParams) (map[string]int, []UnrollDecision) {
+	plan := map[string]int{}
+	var decisions []UnrollDecision
+	for _, f := range prog.Funcs {
+		ep := edges[f.Name]
+		if ep == nil {
+			continue
+		}
+		g := f.CFG()
+		ep.ApplyTo(g)
+		g.Analyze()
+		loopAt := map[int]*cfg.Loop{}
+		inner := map[int]bool{}
+		for _, l := range g.Loops() {
+			loopAt[l.Header.ID] = l
+		}
+		for _, l := range g.InnerLoops() {
+			inner[l.Header.ID] = true
+		}
+		for _, li := range f.Loops {
+			l := loopAt[li.Header]
+			if l == nil {
+				continue
+			}
+			body := 0
+			for id := range l.Blocks {
+				body += len(f.Blocks[id].Instrs) + 1
+			}
+			iters := g.BlockFreq(l.Header)
+			d := UnrollDecision{
+				LoopID: li.ID, Func: f.Name, Kind: li.Kind,
+				Trip: g.TripCount(l), Body: body, Iters: iters, Factor: 1,
+			}
+			if li.Kind == "for" && inner[li.Header] && iters > 0 {
+				factor := 0
+				switch {
+				case d.Trip >= par.MinTrip:
+					factor = par.Factor
+				case d.Trip >= par.MinTrip/2:
+					factor = par.Factor / 2
+				}
+				for factor > 1 && body*factor > par.MaxBody {
+					factor /= 2
+				}
+				if factor > 1 {
+					d.Factor = factor
+					plan[li.ID] = factor
+				}
+			}
+			decisions = append(decisions, d)
+		}
+	}
+	return plan, decisions
+}
+
+// AvgUnrollFactor returns the unroll factor averaged over dynamic loop
+// iterations, as Table 1 reports it. Loops that never ran are ignored;
+// a program with no executed loops reports 1.
+func AvgUnrollFactor(decisions []UnrollDecision) float64 {
+	var num, den float64
+	for _, d := range decisions {
+		num += float64(d.Factor) * float64(d.Iters)
+		den += float64(d.Iters)
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}

@@ -1,0 +1,234 @@
+// Package pathnum implements Ball-Larus path numbering and Ball's
+// event-counting edge-value reassignment, plus the smart path numbering
+// variant of Bond & McKinley's PPP (CGO 2005, Figure 6), which orders a
+// block's outgoing edges by measured execution frequency so the hottest
+// edge receives increment zero.
+//
+// A Numbering assigns a value Val(e) to each DAG edge such that the sum
+// of values along every entry->exit DAG path is a unique number in
+// [0, N-1], where N is the number of such paths. Cold edges may be
+// excluded from the numbering; paths through them receive no number.
+package pathnum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pathprof/internal/cfg"
+)
+
+// Order selects how a block's outgoing edges are visited during
+// numbering, which determines the value assignment.
+type Order int
+
+const (
+	// OrderBallLarus visits edges in increasing order of the number of
+	// paths in the target's subgraph (the original Figure 2 algorithm),
+	// which minimises the range of edge increments.
+	OrderBallLarus Order = iota
+	// OrderByFreq visits edges in decreasing order of measured execution
+	// frequency (PPP's smart path numbering, Figure 6), so the hottest
+	// outgoing edge is assigned value zero.
+	OrderByFreq
+	// OrderByFreqAsc visits edges in increasing frequency order, the
+	// dual of OrderByFreq. Selective path profiling (Apiwattanapong &
+	// Harrold) numbers paths of interest high this way; the paper's
+	// Section 2 notes PPP does the opposite to keep instrumentation off
+	// the hot paths. Provided for the SPP comparison.
+	OrderByFreqAsc
+)
+
+// ErrTooManyPaths is returned when the number of DAG paths does not fit
+// the profiler's 64-bit path numbers. The paper's profilers truncate
+// such routines; ours refuses to instrument them.
+var ErrTooManyPaths = errors.New("pathnum: path count overflows 64-bit path numbers")
+
+// maxPaths bounds N so that the free-poisoning range [N, 3N-1] still
+// fits in an int64.
+const maxPaths = math.MaxInt64 / 4
+
+// Numbering is a path numbering of a DAG: values on edges whose path
+// sums enumerate [0, N-1].
+type Numbering struct {
+	D        *cfg.DAG
+	Excluded []bool  // by DAG edge ID; excluded (cold) edges get no value
+	Val      []int64 // by DAG edge ID
+	// FromExit[b] is the number of b->exit paths over non-excluded
+	// edges; FromEntry[b] the number of entry->b paths. N = FromExit of
+	// the entry block.
+	FromExit  []int64
+	FromEntry []int64
+	N         int64
+}
+
+// Number computes a path numbering of d, skipping excluded edges
+// (excluded may be nil). It returns ErrTooManyPaths if the path count
+// exceeds the 64-bit budget.
+func Number(d *cfg.DAG, excluded []bool, order Order) (*Numbering, error) {
+	g := d.G
+	n := &Numbering{
+		D:         d,
+		Excluded:  make([]bool, len(d.Edges)),
+		Val:       make([]int64, len(d.Edges)),
+		FromExit:  make([]int64, len(g.Blocks)),
+		FromEntry: make([]int64, len(g.Blocks)),
+	}
+	if excluded != nil {
+		copy(n.Excluded, excluded)
+	}
+
+	// Figure 2 / Figure 6: reverse topological order.
+	n.FromExit[g.Exit.ID] = 1
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		v := d.Topo[i]
+		if v == g.Exit {
+			continue
+		}
+		edges := make([]*cfg.DAGEdge, 0, len(d.Out[v.ID]))
+		for _, e := range d.Out[v.ID] {
+			if !n.Excluded[e.ID] {
+				edges = append(edges, e)
+			}
+		}
+		switch order {
+		case OrderByFreq:
+			sort.SliceStable(edges, func(i, j int) bool { return edges[i].Freq > edges[j].Freq })
+		case OrderByFreqAsc:
+			sort.SliceStable(edges, func(i, j int) bool { return edges[i].Freq < edges[j].Freq })
+		default:
+			sort.SliceStable(edges, func(i, j int) bool {
+				return n.FromExit[edges[i].Dst.ID] < n.FromExit[edges[j].Dst.ID]
+			})
+		}
+		var sum int64
+		for _, e := range edges {
+			n.Val[e.ID] = sum
+			sum += n.FromExit[e.Dst.ID]
+			if sum > maxPaths {
+				return nil, fmt.Errorf("%w: routine %s", ErrTooManyPaths, g.Name)
+			}
+		}
+		n.FromExit[v.ID] = sum
+	}
+	n.N = n.FromExit[g.Entry.ID]
+
+	// Forward pass for FromEntry, used by PathsThrough.
+	n.FromEntry[g.Entry.ID] = 1
+	for _, v := range d.Topo {
+		if v == g.Entry {
+			continue
+		}
+		var sum int64
+		for _, e := range d.In[v.ID] {
+			if n.Excluded[e.ID] {
+				continue
+			}
+			sum += n.FromEntry[e.Src.ID]
+			if sum > maxPaths {
+				return nil, fmt.Errorf("%w: routine %s", ErrTooManyPaths, g.Name)
+			}
+		}
+		n.FromEntry[v.ID] = sum
+	}
+	return n, nil
+}
+
+// PathsThrough returns the number of complete non-excluded paths that
+// pass through e (zero for excluded edges or edges off all hot paths).
+func (n *Numbering) PathsThrough(e *cfg.DAGEdge) int64 {
+	if n.Excluded[e.ID] {
+		return 0
+	}
+	a := n.FromEntry[e.Src.ID]
+	b := n.FromExit[e.Dst.ID]
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > maxPaths/b {
+		return maxPaths
+	}
+	return a * b
+}
+
+// PathNumber returns the number of path p: the sum of edge values. The
+// second result is false if p crosses an excluded edge (cold path) or is
+// not a complete entry->exit path.
+func (n *Numbering) PathNumber(p cfg.Path) (int64, bool) {
+	if len(p) == 0 || p[0].Src != n.D.G.Entry || p[len(p)-1].Dst != n.D.G.Exit {
+		return 0, false
+	}
+	var sum int64
+	for _, e := range p {
+		if n.Excluded[e.ID] {
+			return 0, false
+		}
+		sum += n.Val[e.ID]
+	}
+	return sum, true
+}
+
+// Reconstruct returns the DAG path whose number is num. The edge values
+// at each block are prefix sums in visit order, so the path is recovered
+// by repeatedly taking the out-edge with the largest value not exceeding
+// the remaining number.
+func (n *Numbering) Reconstruct(num int64) (cfg.Path, error) {
+	if num < 0 || num >= n.N {
+		return nil, fmt.Errorf("pathnum: number %d out of range [0,%d)", num, n.N)
+	}
+	var p cfg.Path
+	v := n.D.G.Entry
+	r := num
+	for v != n.D.G.Exit {
+		var best *cfg.DAGEdge
+		for _, e := range n.D.Out[v.ID] {
+			if n.Excluded[e.ID] || n.FromExit[e.Dst.ID] == 0 {
+				continue
+			}
+			if n.Val[e.ID] <= r && (best == nil || n.Val[e.ID] > n.Val[best.ID]) {
+				best = e
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("pathnum: stuck reconstructing %d at %s", num, v)
+		}
+		r -= n.Val[best.ID]
+		p = append(p, best)
+		v = best.Dst
+	}
+	if r != 0 {
+		return nil, fmt.Errorf("pathnum: residue %d reconstructing %d", r, num)
+	}
+	return p, nil
+}
+
+// DefiningEdge returns an edge of p that lies on no other path
+// (PathsThrough == 1), or nil if p has none. A path with a defining
+// edge is an obvious path (Joshi et al.): its frequency equals the
+// defining edge's frequency in the edge profile.
+func (n *Numbering) DefiningEdge(p cfg.Path) *cfg.DAGEdge {
+	for _, e := range p {
+		if n.PathsThrough(e) == 1 {
+			return e
+		}
+	}
+	return nil
+}
+
+// NonObviousPaths counts complete paths all of whose edges carry at
+// least two paths, i.e. paths without a defining edge. If it returns
+// zero, every path in the routine is obvious and the edge profile
+// predicts the routine's path profile exactly.
+func (n *Numbering) NonObviousPaths() int64 {
+	excl := make([]bool, len(n.D.Edges))
+	for _, e := range n.D.Edges {
+		excl[e.ID] = n.Excluded[e.ID] || n.PathsThrough(e) <= 1
+	}
+	return n.D.TotalPaths(excl, maxPaths)
+}
+
+// AllObvious reports whether every non-excluded path is obvious.
+func (n *Numbering) AllObvious() bool {
+	return n.N > 0 && n.NonObviousPaths() == 0
+}

@@ -1,0 +1,257 @@
+// Package profile holds the profile data structures shared between the
+// VM, the instrumentation planner, and the evaluation: exact edge
+// profiles, exact (ground truth) path profiles, and the runtime
+// counter tables (array or 701-slot hash) that path instrumentation
+// updates.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/cfg"
+)
+
+// EdgeKey identifies a CFG edge by block indices.
+type EdgeKey struct {
+	Src, Dst int
+}
+
+// EdgeProfile is the exact edge profile of one routine.
+type EdgeProfile struct {
+	Func  string
+	Calls int64
+	Freq  map[EdgeKey]int64
+}
+
+// NewEdgeProfile returns an empty profile for a routine.
+func NewEdgeProfile(name string) *EdgeProfile {
+	return &EdgeProfile{Func: name, Freq: map[EdgeKey]int64{}}
+}
+
+// Bump increments the edge count.
+func (ep *EdgeProfile) Bump(src, dst int) {
+	ep.Freq[EdgeKey{src, dst}]++
+}
+
+// ApplyTo writes the profile onto a CFG whose block IDs match the
+// profile's block indices.
+func (ep *EdgeProfile) ApplyTo(g *cfg.Graph) {
+	g.Calls = ep.Calls
+	for _, e := range g.Edges {
+		e.Freq = ep.Freq[EdgeKey{e.Src.ID, e.Dst.ID}]
+	}
+}
+
+// Merge adds other's counts into ep (for combining multi-run profiles,
+// as the paper does for multi-input benchmarks).
+func (ep *EdgeProfile) Merge(other *EdgeProfile) {
+	ep.Calls += other.Calls
+	for k, v := range other.Freq {
+		ep.Freq[k] += v
+	}
+}
+
+// PathCount is one ground-truth path with its execution count.
+type PathCount struct {
+	Path  cfg.Path
+	Count int64
+}
+
+// PathProfile is the exact Ball-Larus path profile of one routine:
+// paths truncate at back edges and routine exits; calls suspend the
+// caller's path.
+type PathProfile struct {
+	Func   string
+	counts map[string]*PathCount
+	order  []string
+}
+
+// NewPathProfile returns an empty path profile.
+func NewPathProfile(name string) *PathProfile {
+	return &PathProfile{Func: name, counts: map[string]*PathCount{}}
+}
+
+// Add records count executions of path p.
+func (pp *PathProfile) Add(p cfg.Path, count int64) {
+	key := p.String()
+	pc := pp.counts[key]
+	if pc == nil {
+		cp := make(cfg.Path, len(p))
+		copy(cp, p)
+		pc = &PathCount{Path: cp}
+		pp.counts[key] = pc
+		pp.order = append(pp.order, key)
+	}
+	pc.Count += count
+}
+
+// Get returns the count of path p (0 if never taken).
+func (pp *PathProfile) Get(p cfg.Path) int64 {
+	if pc := pp.counts[p.String()]; pc != nil {
+		return pc.Count
+	}
+	return 0
+}
+
+// Paths returns all recorded paths in first-seen order.
+func (pp *PathProfile) Paths() []PathCount {
+	out := make([]PathCount, 0, len(pp.order))
+	for _, k := range pp.order {
+		out = append(out, *pp.counts[k])
+	}
+	return out
+}
+
+// Distinct returns the number of distinct paths taken.
+func (pp *PathProfile) Distinct() int { return len(pp.order) }
+
+// Total returns the total number of path executions.
+func (pp *PathProfile) Total() int64 {
+	var sum int64
+	for _, k := range pp.order {
+		sum += pp.counts[k].Count
+	}
+	return sum
+}
+
+// Merge adds other's counts into pp.
+func (pp *PathProfile) Merge(other *PathProfile) {
+	for _, k := range other.order {
+		pp.Add(other.counts[k].Path, other.counts[k].Count)
+	}
+}
+
+// TableKind selects the counter storage.
+type TableKind int
+
+const (
+	// ArrayTable indexes counters directly; the paper estimates a hash
+	// update costs about five times an array update.
+	ArrayTable TableKind = iota
+	// HashTable uses 701 slots with three tries of secondary hashing
+	// and a lost-path counter (Section 7.4).
+	HashTable
+)
+
+// HashSlots and HashTries are the paper's hash table parameters.
+const (
+	HashSlots = 701
+	HashTries = 3
+)
+
+// Table is a path-counter table for one routine.
+type Table struct {
+	Kind TableKind
+	N    int64 // hot path numbers occupy [0, N)
+	arr  []int64
+
+	keys  []int64
+	used  []bool
+	vals  []int64
+	Lost  int64 // hash conflicts beyond the secondary tries
+	Cold  int64 // check-based poisoning diverts here
+	Drops int64 // out-of-range indices (defensive; must stay 0)
+}
+
+// NewTable allocates a table: an array of size counters, or a hash
+// table when kind is HashTable.
+func NewTable(kind TableKind, n, size int64) *Table {
+	t := &Table{Kind: kind, N: n}
+	if kind == ArrayTable {
+		t.arr = make([]int64, size)
+	} else {
+		t.keys = make([]int64, HashSlots)
+		t.used = make([]bool, HashSlots)
+		t.vals = make([]int64, HashSlots)
+	}
+	return t
+}
+
+// Inc increments the counter for index idx.
+func (t *Table) Inc(idx int64) {
+	if t.Kind == ArrayTable {
+		if idx < 0 || idx >= int64(len(t.arr)) {
+			t.Drops++
+			return
+		}
+		t.arr[idx]++
+		return
+	}
+	h := idx % HashSlots
+	if h < 0 {
+		h += HashSlots
+	}
+	step := idx % (HashSlots - 2)
+	if step < 0 {
+		step += HashSlots - 2
+	}
+	step++
+	for try := 0; try < HashTries; try++ {
+		s := (h + int64(try)*step) % HashSlots
+		if !t.used[s] {
+			t.used[s] = true
+			t.keys[s] = idx
+			t.vals[s]++
+			return
+		}
+		if t.keys[s] == idx {
+			t.vals[s]++
+			return
+		}
+	}
+	t.Lost++
+}
+
+// HotCounts returns the measured counts of hot path numbers (< N),
+// sorted by number.
+func (t *Table) HotCounts() []IndexCount {
+	var out []IndexCount
+	if t.Kind == ArrayTable {
+		limit := t.N
+		if int64(len(t.arr)) < limit {
+			limit = int64(len(t.arr))
+		}
+		for i := int64(0); i < limit; i++ {
+			if t.arr[i] > 0 {
+				out = append(out, IndexCount{i, t.arr[i]})
+			}
+		}
+		return out
+	}
+	for s := 0; s < HashSlots; s++ {
+		if t.used[s] && t.keys[s] < t.N && t.keys[s] >= 0 {
+			out = append(out, IndexCount{t.keys[s], t.vals[s]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// ColdTotal returns the executions recorded in the poison region plus
+// the check-based cold counter.
+func (t *Table) ColdTotal() int64 {
+	sum := t.Cold
+	if t.Kind == ArrayTable {
+		for i := t.N; i < int64(len(t.arr)); i++ {
+			sum += t.arr[i]
+		}
+		return sum
+	}
+	for s := 0; s < HashSlots; s++ {
+		if t.used[s] && (t.keys[s] >= t.N || t.keys[s] < 0) {
+			sum += t.vals[s]
+		}
+	}
+	return sum
+}
+
+// IndexCount pairs a path number with its measured count.
+type IndexCount struct {
+	Index int64
+	Count int64
+}
+
+func (t *Table) String() string {
+	return fmt.Sprintf("table(kind=%d N=%d lost=%d cold=%d)", t.Kind, t.N, t.Lost, t.ColdTotal())
+}

@@ -1,0 +1,188 @@
+package profile_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/profile"
+)
+
+func TestEdgeProfileApplyAndMerge(t *testing.T) {
+	g := cfgtest.Diamond()
+	ep := profile.NewEdgeProfile("d")
+	for i := 0; i < 3; i++ {
+		ep.Bump(1, 2) // a -> b
+	}
+	ep.Bump(1, 3) // a -> c
+	ep.Calls = 4
+	ep.ApplyTo(g)
+	byName := map[string]*cfg.Block{}
+	for _, b := range g.Blocks {
+		byName[b.Name] = b
+	}
+	if f := g.FindEdge(byName["a"], byName["b"]).Freq; f != 3 {
+		t.Errorf("a->b freq = %d, want 3", f)
+	}
+	if g.Calls != 4 {
+		t.Errorf("calls = %d", g.Calls)
+	}
+
+	other := profile.NewEdgeProfile("d")
+	other.Bump(1, 2)
+	other.Calls = 1
+	ep.Merge(other)
+	if ep.Freq[profile.EdgeKey{1, 2}] != 4 || ep.Calls != 5 {
+		t.Errorf("merge failed: %+v", ep)
+	}
+}
+
+func TestPathProfileAccumulates(t *testing.T) {
+	g := cfgtest.Diamond()
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := d.EnumeratePaths(nil, -1)
+	pp := profile.NewPathProfile("d")
+	pp.Add(paths[0], 2)
+	pp.Add(paths[1], 5)
+	pp.Add(paths[0], 1)
+	if pp.Distinct() != 2 || pp.Total() != 8 {
+		t.Errorf("distinct=%d total=%d", pp.Distinct(), pp.Total())
+	}
+	if pp.Get(paths[0]) != 3 || pp.Get(paths[1]) != 5 {
+		t.Error("counts wrong")
+	}
+	// First-seen order is preserved.
+	got := pp.Paths()
+	if got[0].Path.String() != paths[0].String() {
+		t.Error("order not preserved")
+	}
+
+	other := profile.NewPathProfile("d")
+	other.Add(paths[1], 10)
+	pp.Merge(other)
+	if pp.Get(paths[1]) != 15 {
+		t.Error("merge failed")
+	}
+}
+
+func TestArrayTable(t *testing.T) {
+	tab := profile.NewTable(profile.ArrayTable, 4, 8)
+	tab.Inc(0)
+	tab.Inc(0)
+	tab.Inc(3)
+	tab.Inc(5) // poison region
+	tab.Inc(7) // poison region
+	hot := tab.HotCounts()
+	if len(hot) != 2 || hot[0].Index != 0 || hot[0].Count != 2 || hot[1].Index != 3 {
+		t.Errorf("hot = %v", hot)
+	}
+	if tab.ColdTotal() != 2 {
+		t.Errorf("cold = %d, want 2", tab.ColdTotal())
+	}
+	tab.Inc(-1)
+	tab.Inc(8)
+	if tab.Drops != 2 {
+		t.Errorf("drops = %d, want 2", tab.Drops)
+	}
+}
+
+func TestHashTableBasics(t *testing.T) {
+	tab := profile.NewTable(profile.HashTable, 10000, 0)
+	for i := int64(0); i < 100; i++ {
+		tab.Inc(i * 37)
+		tab.Inc(i * 37)
+	}
+	hot := tab.HotCounts()
+	if len(hot) != 100 {
+		t.Fatalf("hot entries = %d, want 100", len(hot))
+	}
+	for _, ic := range hot {
+		if ic.Count != 2 {
+			t.Fatalf("count at %d = %d, want 2", ic.Index, ic.Count)
+		}
+	}
+	if tab.Lost != 0 {
+		t.Errorf("lost = %d", tab.Lost)
+	}
+	// Poisoned keys (>= N) count as cold.
+	tab.Inc(10001)
+	if tab.ColdTotal() != 1 {
+		t.Errorf("cold = %d", tab.ColdTotal())
+	}
+}
+
+func TestHashTableLosesUnderPressure(t *testing.T) {
+	// More distinct keys than 701 slots with 3 tries must lose some,
+	// like crafty in the paper (7% of flow lost).
+	tab := profile.NewTable(profile.HashTable, 1<<40, 0)
+	const keys = 3000
+	for i := int64(0); i < keys; i++ {
+		tab.Inc(i*104729 + 11)
+	}
+	stored := int64(len(tab.HotCounts()))
+	if stored > profile.HashSlots {
+		t.Fatalf("stored %d > slots", stored)
+	}
+	if tab.Lost == 0 {
+		t.Error("expected lost paths under pressure")
+	}
+	if stored+tab.Lost != keys {
+		t.Errorf("stored %d + lost %d != %d", stored, tab.Lost, keys)
+	}
+}
+
+func TestHashTableRetriesBeforeLosing(t *testing.T) {
+	// Keys that collide on the primary slot must still be stored while
+	// secondary probes find room.
+	tab := profile.NewTable(profile.HashTable, 1<<40, 0)
+	tab.Inc(1)
+	tab.Inc(1 + profile.HashSlots)   // same primary slot, try 2
+	tab.Inc(1 + 2*profile.HashSlots) // try 3
+	if got := len(tab.HotCounts()); got != 3 {
+		t.Errorf("stored %d of 3 colliding keys", got)
+	}
+	if tab.Lost != 0 {
+		t.Errorf("lost = %d, want 0", tab.Lost)
+	}
+}
+
+func TestHashTableConservesCountsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := profile.NewTable(profile.HashTable, 1<<40, 0)
+		want := map[int64]int64{}
+		var total int64
+		for i := 0; i < 500; i++ {
+			k := int64(rng.Intn(2000))
+			tab.Inc(k)
+			want[k]++
+			total++
+		}
+		var stored int64
+		for _, ic := range tab.HotCounts() {
+			if ic.Count > want[ic.Index] {
+				return false // phantom counts
+			}
+			stored += ic.Count
+		}
+		return stored+tab.Lost == total
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeKeysHashSafely(t *testing.T) {
+	tab := profile.NewTable(profile.HashTable, 100, 0)
+	tab.Inc(-5)
+	tab.Inc(-701)
+	tab.Inc(-5)
+	if tab.ColdTotal() != 3 {
+		t.Errorf("negative keys cold total = %d, want 3", tab.ColdTotal())
+	}
+}

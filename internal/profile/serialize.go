@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The text profile format stores edge profiles per routine:
+//
+//	edges <func> calls=<n>
+//	<srcBlock> <dstBlock> <freq>
+//	...
+//	end
+//
+// Block numbers are IR block indices, which are stable across
+// recompilations of the same source with the same options (the
+// compiler is deterministic). This supports the classic two-run
+// profile-guided workflow: collect a profile in one run, feed it to
+// the instrumentation planner in another.
+
+// WriteEdgeProfiles serializes profiles (sorted by routine name) to w.
+func WriteEdgeProfiles(w io.Writer, profiles map[string]*EdgeProfile) error {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ep := profiles[n]
+		if _, err := fmt.Fprintf(w, "edges %s calls=%d\n", n, ep.Calls); err != nil {
+			return err
+		}
+		keys := make([]EdgeKey, 0, len(ep.Freq))
+		for k := range ep.Freq {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Src != keys[j].Src {
+				return keys[i].Src < keys[j].Src
+			}
+			return keys[i].Dst < keys[j].Dst
+		})
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%d %d %d\n", k.Src, k.Dst, ep.Freq[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "end"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEdgeProfiles parses the text format back into per-routine
+// profiles.
+func ReadEdgeProfiles(r io.Reader) (map[string]*EdgeProfile, error) {
+	out := map[string]*EdgeProfile{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur *EdgeProfile
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "edges "):
+			var name string
+			var calls int64
+			if _, err := fmt.Sscanf(text, "edges %s calls=%d", &name, &calls); err != nil {
+				return nil, fmt.Errorf("profile line %d: bad header %q", line, text)
+			}
+			if _, dup := out[name]; dup {
+				return nil, fmt.Errorf("profile line %d: duplicate routine %q", line, name)
+			}
+			cur = NewEdgeProfile(name)
+			cur.Calls = calls
+			out[name] = cur
+		case text == "end":
+			if cur == nil {
+				return nil, fmt.Errorf("profile line %d: end without header", line)
+			}
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("profile line %d: edge outside routine", line)
+			}
+			var src, dst int
+			var freq int64
+			if _, err := fmt.Sscanf(text, "%d %d %d", &src, &dst, &freq); err != nil {
+				return nil, fmt.Errorf("profile line %d: bad edge %q", line, text)
+			}
+			if freq < 0 {
+				return nil, fmt.Errorf("profile line %d: negative frequency", line)
+			}
+			cur.Freq[EdgeKey{src, dst}] += freq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("profile: unterminated routine %q", cur.Func)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package profile_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/profile"
+)
+
+func TestEdgeProfileRoundTrip(t *testing.T) {
+	in := map[string]*profile.EdgeProfile{
+		"main": profile.NewEdgeProfile("main"),
+		"f":    profile.NewEdgeProfile("f"),
+	}
+	in["main"].Calls = 1
+	in["main"].Freq[profile.EdgeKey{0, 1}] = 100
+	in["main"].Freq[profile.EdgeKey{1, 2}] = 60
+	in["main"].Freq[profile.EdgeKey{1, 3}] = 40
+	in["f"].Calls = 100
+	in["f"].Freq[profile.EdgeKey{0, 1}] = 100
+
+	var sb strings.Builder
+	if err := profile.WriteEdgeProfiles(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := profile.ReadEdgeProfiles(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("routines = %d", len(out))
+	}
+	for name, ep := range in {
+		got := out[name]
+		if got == nil || got.Calls != ep.Calls || len(got.Freq) != len(ep.Freq) {
+			t.Fatalf("%s mismatch: %+v vs %+v", name, got, ep)
+		}
+		for k, v := range ep.Freq {
+			if got.Freq[k] != v {
+				t.Errorf("%s %v = %d, want %d", name, k, got.Freq[k], v)
+			}
+		}
+	}
+}
+
+func TestEdgeProfileRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := map[string]*profile.EdgeProfile{}
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			name := string(rune('a' + f))
+			ep := profile.NewEdgeProfile(name)
+			ep.Calls = int64(rng.Intn(1000))
+			for e := 0; e < rng.Intn(20); e++ {
+				ep.Freq[profile.EdgeKey{rng.Intn(30), rng.Intn(30)}] = int64(rng.Intn(100000))
+			}
+			in[name] = ep
+		}
+		var sb strings.Builder
+		if profile.WriteEdgeProfiles(&sb, in) != nil {
+			return false
+		}
+		out, err := profile.ReadEdgeProfiles(strings.NewReader(sb.String()))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for name, ep := range in {
+			got := out[name]
+			if got.Calls != ep.Calls || len(got.Freq) != len(ep.Freq) {
+				return false
+			}
+			for k, v := range ep.Freq {
+				if got.Freq[k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeProfilesErrors(t *testing.T) {
+	bad := []string{
+		"0 1 2\n",                      // edge outside routine
+		"edges f calls=1\n",            // unterminated
+		"edges f calls=1\nbroken\nend", // bad edge
+		"end\n",                        // end without header
+		"edges f calls=1\n0 1 -5\nend", // negative frequency
+		"edges f calls=1\nend\nedges f calls=2\nend", // duplicate
+	}
+	for _, src := range bad {
+		if _, err := profile.ReadEdgeProfiles(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// Comments and blank lines are tolerated.
+	ok := "# comment\n\nedges f calls=3\n0 1 7\nend\n"
+	out, err := profile.ReadEdgeProfiles(strings.NewReader(ok))
+	if err != nil || out["f"].Freq[profile.EdgeKey{0, 1}] != 7 {
+		t.Errorf("good input rejected: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package spp contrasts selective path profiling's numbering policy
+// with PPP's smart path numbering (the paper's Section 2): SPP numbers
+// the paths of interest — the hot ones — high, placing the
+// path-register increments on them, while PPP numbers them low so the
+// hottest edges carry no increments at all.
+//
+// CompareOrderings quantifies the difference on a profiled routine:
+// the expected dynamic cost of path-register updates under each
+// numbering, using Ball's event counting with profile weights in every
+// case so only the numbering order differs.
+package spp
+
+import (
+	"pathprof/internal/cfg"
+	"pathprof/internal/pathnum"
+)
+
+// OrderingCost is the expected dynamic instrumentation traffic of one
+// numbering order on one routine.
+type OrderingCost struct {
+	Order pathnum.Order
+	// DynamicIncrements is the number of r += v operations the profile
+	// predicts per run (sum of nonzero-increment chord frequencies).
+	DynamicIncrements int64
+	// StaticIncrements is the number of instrumented edges.
+	StaticIncrements int
+}
+
+// Comparison holds the costs for Ball-Larus, PPP (hot edges first),
+// and SPP (cold edges first) numbering on one routine.
+type Comparison struct {
+	BallLarus OrderingCost
+	PPP       OrderingCost
+	SPP       OrderingCost
+}
+
+// CompareOrderings numbers the routine three ways and returns the
+// expected increment traffic of each. The graph must carry an edge
+// profile. Returns an error only if the routine's paths overflow.
+func CompareOrderings(g *cfg.Graph) (*Comparison, error) {
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		return nil, err
+	}
+	d.RefreshFreqs()
+	cost := func(order pathnum.Order) (OrderingCost, error) {
+		n, err := pathnum.Number(d, nil, order)
+		if err != nil {
+			return OrderingCost{}, err
+		}
+		inc, chord := pathnum.EventCount(n, pathnum.ProfileWeights(d))
+		c := OrderingCost{Order: order}
+		for _, e := range d.Edges {
+			if chord[e.ID] && inc[e.ID] != 0 {
+				c.StaticIncrements++
+				c.DynamicIncrements += e.Freq
+			}
+		}
+		return c, nil
+	}
+	var cmp Comparison
+	if cmp.BallLarus, err = cost(pathnum.OrderBallLarus); err != nil {
+		return nil, err
+	}
+	if cmp.PPP, err = cost(pathnum.OrderByFreq); err != nil {
+		return nil, err
+	}
+	if cmp.SPP, err = cost(pathnum.OrderByFreqAsc); err != nil {
+		return nil, err
+	}
+	return &cmp, nil
+}

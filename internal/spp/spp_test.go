@@ -1,0 +1,79 @@
+package spp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/spp"
+)
+
+func TestPPPBeatsSPPOnSkewedProfiles(t *testing.T) {
+	// With strongly skewed branch probabilities, placing increments on
+	// the cold side (PPP) must generate no more dynamic traffic than
+	// placing them on the hot side (SPP).
+	g := cfg.New("skewed")
+	entry := g.AddBlock("entry")
+	prev := entry
+	for k := 0; k < 6; k++ {
+		a := g.AddBlock("")
+		hotArm := g.AddBlock("")
+		coldArm := g.AddBlock("")
+		j := g.AddBlock("")
+		g.Connect(prev, a).Freq = 1000
+		g.Connect(a, hotArm).Freq = 950
+		g.Connect(a, coldArm).Freq = 50
+		g.Connect(hotArm, j).Freq = 950
+		g.Connect(coldArm, j).Freq = 50
+		prev = j
+	}
+	exit := g.AddBlock("exit")
+	g.Connect(prev, exit).Freq = 1000
+	g.Entry, g.Exit = entry, exit
+	g.Calls = 1000
+	// Fix up the inter-diamond edges' frequencies.
+	for _, e := range g.Edges {
+		if e.Freq == 0 {
+			e.Freq = 1000
+		}
+	}
+
+	cmp, err := spp.CompareOrderings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PPP.DynamicIncrements > cmp.SPP.DynamicIncrements {
+		t.Errorf("PPP increments %d exceed SPP %d", cmp.PPP.DynamicIncrements, cmp.SPP.DynamicIncrements)
+	}
+	// The skew is 19:1, so the gap should be substantial.
+	if cmp.SPP.DynamicIncrements < 2*cmp.PPP.DynamicIncrements {
+		t.Errorf("expected SPP (%d) to cost much more than PPP (%d) at 95/5 skew",
+			cmp.SPP.DynamicIncrements, cmp.PPP.DynamicIncrements)
+	}
+}
+
+func TestCompareOrderingsAggregate(t *testing.T) {
+	// Hot-first numbering is not universally better per routine — the
+	// paper itself observes that removing SPN helps four benchmarks
+	// and hurts four (Section 8.3) — but in aggregate over many random
+	// profiled routines PPP's ordering must generate less increment
+	// traffic than SPP's.
+	rng := rand.New(rand.NewSource(99))
+	var ppp, sppSum, bl int64
+	for i := 0; i < 200; i++ {
+		g := cfgtest.Random(rng, 4+rng.Intn(12))
+		cfgtest.Profile(g, rng, 100, 300)
+		cmp, err := spp.CompareOrderings(g)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		ppp += cmp.PPP.DynamicIncrements
+		sppSum += cmp.SPP.DynamicIncrements
+		bl += cmp.BallLarus.DynamicIncrements
+	}
+	t.Logf("aggregate increments: Ball-Larus=%d PPP=%d SPP=%d", bl, ppp, sppSum)
+	if ppp >= sppSum {
+		t.Errorf("PPP aggregate %d not below SPP %d", ppp, sppSum)
+	}
+}

@@ -1,0 +1,256 @@
+package superblock
+
+import (
+	"pathprof/internal/ir"
+)
+
+// onePlan is a validated trace-formation plan: which blocks to clone
+// and how to splice the clones in.
+type onePlan struct {
+	toClone []int // original block indices, in trace order
+	grow    int   // IR statements the clones add
+	// entry splice (FromHeader == false): redirect this block's
+	// terminator target from toClone[0] to its clone.
+	entrySplice int
+	// header splice (FromHeader == true): redirect every back edge
+	// targeting toClone[0] to its clone instead.
+	fromHeader bool
+}
+
+// planOne validates the trace against the routine's shape and returns
+// the mutation plan. Nothing is modified.
+func planOne(fn *ir.Func, tr Trace, par Params) (*onePlan, bool) {
+	if len(tr.Blocks) < 2 || len(tr.Blocks) > par.MaxBlocks {
+		return nil, false
+	}
+	seen := map[int]bool{}
+	for _, b := range tr.Blocks {
+		if b < 0 || b >= len(fn.Blocks) || b == fn.Exit || seen[b] {
+			return nil, false
+		}
+		seen[b] = true
+	}
+	// Consecutive trace blocks must actually be successors.
+	for i := 0; i+1 < len(tr.Blocks); i++ {
+		if !hasSuccessor(fn.Blocks[tr.Blocks[i]], tr.Blocks[i+1]) {
+			return nil, false
+		}
+	}
+	p := &onePlan{fromHeader: tr.FromHeader}
+	if tr.FromHeader {
+		// The whole trace, head included, is cloned and every entry to
+		// the head (the preheader and all back edges) is redirected to
+		// the clone, so the clone becomes the loop's single header and
+		// the original head dies. The routine entry can never be a
+		// loop header.
+		if tr.Blocks[0] == fn.Entry {
+			return nil, false
+		}
+		p.toClone = tr.Blocks
+	} else {
+		// Entry-started trace: the first block stays (it may be the
+		// routine entry); the rest is cloned. Its terminator must be
+		// redirectable without ambiguity.
+		p.entrySplice = tr.Blocks[0]
+		p.toClone = tr.Blocks[1:]
+		if len(p.toClone) == 0 {
+			return nil, false
+		}
+	}
+	for _, b := range p.toClone {
+		p.grow += len(fn.Blocks[b].Instrs) + 1
+	}
+	return p, true
+}
+
+// hasSuccessor reports whether block b can transfer control to target.
+func hasSuccessor(b *ir.Block, target int) bool {
+	switch b.Term.Kind {
+	case ir.Jump:
+		return b.Term.To == target
+	case ir.Branch:
+		return b.Term.To == target || b.Term.Else == target
+	}
+	return false
+}
+
+// apply performs the planned cloning and splicing.
+func apply(fn *ir.Func, p *onePlan) {
+	base := len(fn.Blocks)
+	cloneIdx := map[int]int{}
+	for i, orig := range p.toClone {
+		cloneIdx[orig] = base + i
+	}
+	for _, orig := range p.toClone {
+		ob := fn.Blocks[orig]
+		nb := fn.NewBlock(ob.Name)
+		nb.Instrs = append([]ir.Instr(nil), ob.Instrs...)
+		nb.Term = ob.Term
+		// On-trace successors go to the next clone; side exits keep
+		// pointing at the originals.
+		redirect(&nb.Term, cloneIdx)
+	}
+	if p.fromHeader {
+		// Redirect every edge into the trace head — preheader entries
+		// and back edges alike — so the clone is the loop's only
+		// header and the original head becomes unreachable.
+		head := p.toClone[0]
+		for i := 0; i < base; i++ {
+			redirectTarget(&fn.Blocks[i].Term, head, cloneIdx[head])
+		}
+	} else {
+		eb := fn.Blocks[p.entrySplice]
+		redirectTarget(&eb.Term, p.toClone[0], cloneIdx[p.toClone[0]])
+	}
+}
+
+// redirect rewrites every terminator target that has a clone.
+func redirect(t *ir.Term, cloneIdx map[int]int) {
+	switch t.Kind {
+	case ir.Jump:
+		if n, ok := cloneIdx[t.To]; ok {
+			t.To = n
+		}
+	case ir.Branch:
+		if n, ok := cloneIdx[t.To]; ok {
+			t.To = n
+		}
+		if n, ok := cloneIdx[t.Else]; ok {
+			t.Else = n
+		}
+	}
+}
+
+// redirectTarget rewrites only the edges pointing at from.
+func redirectTarget(t *ir.Term, from, to int) {
+	switch t.Kind {
+	case ir.Jump:
+		if t.To == from {
+			t.To = to
+		}
+	case ir.Branch:
+		if t.To == from {
+			t.To = to
+		}
+		if t.Else == from {
+			t.Else = to
+		}
+	}
+}
+
+// Cleanup straightens the program: it repeatedly merges a block ending
+// in an unconditional jump into its sole-successor when that successor
+// has exactly one predecessor (eliminating the executed jump), then
+// prunes unreachable blocks. It returns the number of merges. Cleanup
+// is semantics-preserving on its own and is also useful as a baseline
+// against which to measure trace formation.
+func Cleanup(prog *ir.Program) int {
+	merged := 0
+	for _, fn := range prog.Funcs {
+		merged += cleanupFunc(fn)
+	}
+	return merged
+}
+
+func cleanupFunc(fn *ir.Func) int {
+	merged := 0
+	for {
+		preds := countPreds(fn)
+		did := false
+		for _, b := range fn.Blocks {
+			if b.Term.Kind != ir.Jump {
+				continue
+			}
+			c := b.Term.To
+			if c == b.Index || c == fn.Exit || c == fn.Entry || preds[c] != 1 {
+				continue
+			}
+			cb := fn.Blocks[c]
+			b.Instrs = append(b.Instrs, cb.Instrs...)
+			b.Term = cb.Term
+			// Make the absorbed block unreachable; prune removes it.
+			cb.Instrs = nil
+			cb.Term = ir.Term{Kind: ir.Jump, To: b.Index}
+			merged++
+			did = true
+			break // predecessor counts are stale; recompute
+		}
+		if !did {
+			break
+		}
+	}
+	prune(fn)
+	return merged
+}
+
+func countPreds(fn *ir.Func) []int {
+	preds := make([]int, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		switch b.Term.Kind {
+		case ir.Jump:
+			preds[b.Term.To]++
+		case ir.Branch:
+			preds[b.Term.To]++
+			preds[b.Term.Else]++
+		}
+	}
+	return preds
+}
+
+// prune removes unreachable blocks and remaps indices, keeping loop
+// metadata whose headers survive.
+func prune(fn *ir.Func) {
+	reach := make([]bool, len(fn.Blocks))
+	stack := []int{fn.Entry}
+	reach[fn.Entry] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t := fn.Blocks[i].Term
+		var targets []int
+		switch t.Kind {
+		case ir.Jump:
+			targets = []int{t.To}
+		case ir.Branch:
+			targets = []int{t.To, t.Else}
+		}
+		for _, n := range targets {
+			if !reach[n] {
+				reach[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	reach[fn.Exit] = true // the exit must survive even if bypassed
+	remap := make([]int, len(fn.Blocks))
+	var kept []*ir.Block
+	for i, b := range fn.Blocks {
+		if reach[i] {
+			remap[i] = len(kept)
+			b.Index = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		switch b.Term.Kind {
+		case ir.Jump:
+			b.Term.To = remap[b.Term.To]
+		case ir.Branch:
+			b.Term.To = remap[b.Term.To]
+			b.Term.Else = remap[b.Term.Else]
+		}
+	}
+	fn.Blocks = kept
+	fn.Entry = remap[fn.Entry]
+	fn.Exit = remap[fn.Exit]
+	var loops []ir.LoopInfo
+	for _, li := range fn.Loops {
+		if remap[li.Header] >= 0 {
+			li.Header = remap[li.Header]
+			loops = append(loops, li)
+		}
+	}
+	fn.Loops = loops
+}

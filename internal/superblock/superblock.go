@@ -1,0 +1,165 @@
+// Package superblock consumes a path profile the way the paper's
+// introduction motivates: it forms superblocks — single-entry,
+// multiple-exit traces — along measured hot paths by tail duplication,
+// then straightens them by merging the now join-free blocks.
+//
+// Cloning a hot path gives every block on the trace a single
+// predecessor, so the jumps that stitched the original blocks together
+// disappear into straight-line code; executions that diverge from the
+// trace side-exit into the original blocks, preserving semantics
+// exactly. This is the transformation hyperblock/superblock compilers
+// (Hwu et al.; Mahlke et al.) drive with path profiles, and the reason
+// dynamic optimizers want them cheap (the paper's Section 1).
+package superblock
+
+import (
+	"fmt"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+)
+
+// funcSnapshot captures what apply can change: the block count and
+// every terminator.
+type funcSnapshot struct {
+	nblocks int
+	terms   []ir.Term
+}
+
+func snapshot(fn *ir.Func) funcSnapshot {
+	s := funcSnapshot{nblocks: len(fn.Blocks), terms: make([]ir.Term, len(fn.Blocks))}
+	for i, b := range fn.Blocks {
+		s.terms[i] = b.Term
+	}
+	return s
+}
+
+func restore(fn *ir.Func, s funcSnapshot) {
+	fn.Blocks = fn.Blocks[:s.nblocks]
+	for i, b := range fn.Blocks {
+		b.Term = s.terms[i]
+	}
+}
+
+// Params bounds trace formation.
+type Params struct {
+	// MaxTraces bounds how many traces are formed per program.
+	MaxTraces int
+	// MaxBlocks bounds one trace's length in blocks.
+	MaxBlocks int
+	// MaxGrowth bounds total program growth (1.25 = +25%).
+	MaxGrowth float64
+}
+
+// DefaultParams returns conservative trace-formation budgets.
+func DefaultParams() Params {
+	return Params{MaxTraces: 16, MaxBlocks: 64, MaxGrowth: 1.30}
+}
+
+// Trace is a hot path to duplicate: block indices of one routine, in
+// execution order. FromHeader marks paths that start at a loop header
+// (after a back edge); their trace is entered by redirecting the back
+// edges, so the steady-state iterations run entirely inside the clone.
+type Trace struct {
+	Func       string
+	Blocks     []int
+	FromHeader bool
+	Freq       int64
+}
+
+// TraceFromPath converts a measured DAG path into a Trace. It returns
+// false for paths that cannot form a trace: those visiting the exit
+// block mid-path (none do) or consisting solely of dummy edges.
+func TraceFromPath(fnName string, p cfg.Path) (Trace, bool) {
+	t := Trace{Func: fnName}
+	if len(p) == 0 {
+		return t, false
+	}
+	if p[0].Kind == cfg.EntryDummy {
+		t.FromHeader = true
+		t.Blocks = append(t.Blocks, p[0].Dst.ID)
+	} else {
+		t.Blocks = append(t.Blocks, p[0].Src.ID)
+	}
+	for _, e := range p {
+		switch e.Kind {
+		case cfg.RealEdge:
+			t.Blocks = append(t.Blocks, e.Dst.ID)
+		case cfg.ExitDummy:
+			// Path ends at a back edge; the trace ends at its source.
+		}
+	}
+	if len(t.Blocks) < 2 {
+		return t, false
+	}
+	return t, true
+}
+
+// Result reports what Form did.
+type Result struct {
+	TracesFormed  int
+	BlocksCloned  int
+	BlocksMerged  int
+	SizeFrom      int
+	SizeTo        int
+	SkippedBudget int
+	SkippedShape  int
+}
+
+// Form applies trace formation to prog in place: traces are processed
+// in the given order (hottest first) under the budgets, each one tail
+// duplicated and the whole program then cleaned up (jump-chain merging
+// plus unreachable-block pruning). The transformed program computes
+// exactly what the original does.
+func Form(prog *ir.Program, traces []Trace, par Params) (*Result, error) {
+	res := &Result{SizeFrom: prog.Size()}
+	budget := int(float64(res.SizeFrom) * par.MaxGrowth)
+	size := res.SizeFrom
+	usedHeader := map[string]bool{} // func@header already has a trace
+	formed := 0
+	for _, tr := range traces {
+		if formed >= par.MaxTraces {
+			break
+		}
+		fn := prog.Func(tr.Func)
+		if fn == nil {
+			return nil, fmt.Errorf("superblock: no function %q", tr.Func)
+		}
+		key := fmt.Sprintf("%s@%d", tr.Func, tr.Blocks[0])
+		if usedHeader[key] {
+			res.SkippedShape++
+			continue
+		}
+		plan, ok := planOne(fn, tr, par)
+		if !ok {
+			res.SkippedShape++
+			continue
+		}
+		if size+plan.grow > budget {
+			res.SkippedBudget++
+			continue
+		}
+		// Apply, then check legality: traces that cross into a loop
+		// from outside can make the graph irreducible; those are
+		// rolled back (a compiler would reject them during trace
+		// selection).
+		snap := snapshot(fn)
+		apply(fn, plan)
+		if fn.CFG().CheckReducible() != nil {
+			restore(fn, snap)
+			res.SkippedShape++
+			continue
+		}
+		size += plan.grow
+		usedHeader[key] = true
+		formed++
+		res.BlocksCloned += len(plan.toClone)
+	}
+	res.TracesFormed = formed
+	res.BlocksMerged = Cleanup(prog)
+	res.SizeTo = prog.Size()
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("superblock: produced invalid program: %w", err)
+	}
+	return res, nil
+}

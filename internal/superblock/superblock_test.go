@@ -1,0 +1,221 @@
+package superblock_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/core"
+	"pathprof/internal/instr"
+	"pathprof/internal/lower"
+	"pathprof/internal/superblock"
+	"pathprof/internal/vm"
+	"pathprof/internal/workloads"
+)
+
+const loopy = `
+var acc = 0;
+array data[128];
+
+func main() {
+	for (var i = 0; i < 128; i = i + 1) { data[i] = (i * 73 + 5) % 97; }
+	var it = 0;
+	while (it < 20000) {
+		var v = data[it % 128];
+		if (v % 4 != 0) { acc = acc + v; } else { acc = acc - 1; }
+		if (acc % 13 == 0) { acc = acc + 7; }
+		it = it + 1;
+	}
+	print(acc);
+	return acc;
+}
+`
+
+// hotTraces profiles the program with PPP and converts the hottest
+// measured paths into traces.
+func hotTraces(t *testing.T, staged *core.Staged) []superblock.Trace {
+	t.Helper()
+	pr, err := staged.Profile("PPP", instr.PPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := pr.Eval.HotPaths(bench.HotTheta)
+	var traces []superblock.Trace
+	for _, h := range hot {
+		tr, ok := superblock.TraceFromPath(h.Routine, h.Path)
+		if !ok {
+			continue
+		}
+		tr.Freq = h.Freq
+		traces = append(traces, tr)
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Freq > traces[j].Freq })
+	return traces
+}
+
+func TestFormPreservesSemanticsAndPays(t *testing.T) {
+	staged, err := core.NewPipeline("loopy", loopy).Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	b0, err := vm.Run(staged.Prog, vm.Options{Output: &before})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: cleanup alone.
+	cleanOnly := mustStageProg(t, loopy)
+	superblock.Cleanup(cleanOnly.Prog)
+	if err := cleanOnly.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := vm.Run(cleanOnly.Prog, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Ret != b0.Ret {
+		t.Fatal("cleanup changed semantics")
+	}
+
+	traces := hotTraces(t, staged)
+	if len(traces) == 0 {
+		t.Fatal("no traces")
+	}
+	res, err := superblock.Form(staged.Prog, traces, superblock.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracesFormed == 0 || res.BlocksCloned == 0 {
+		t.Fatalf("nothing formed: %+v", res)
+	}
+
+	var after bytes.Buffer
+	a0, err := vm.Run(staged.Prog, vm.Options{Output: &after})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a0.Ret != b0.Ret || !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("trace formation changed semantics: ret %d vs %d", a0.Ret, b0.Ret)
+	}
+	// Superblocks must beat cleanup alone: joins eliminated by
+	// duplication become merged straight-line code.
+	if a0.BaseCost >= c0.BaseCost {
+		t.Errorf("superblocks %d not cheaper than cleanup-only %d (plain %d)",
+			a0.BaseCost, c0.BaseCost, b0.BaseCost)
+	}
+}
+
+func mustStageProg(t *testing.T, src string) *core.Staged {
+	t.Helper()
+	s, err := core.NewPipeline("x", src).Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFormOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stages workloads")
+	}
+	for _, name := range []string{"mcf", "twolf", "equake"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := workloads.ByName(name)
+			staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := vm.Run(staged.Prog, vm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces := hotTraces(t, staged)
+			res, err := superblock.Form(staged.Prog, traces, superblock.DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := vm.Run(staged.Prog, vm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after.Ret != before.Ret {
+				t.Fatalf("semantics changed (%d vs %d)", after.Ret, before.Ret)
+			}
+			growth := float64(res.SizeTo) / float64(res.SizeFrom)
+			if growth > superblock.DefaultParams().MaxGrowth+1e-9 {
+				t.Errorf("growth %.2f exceeds budget", growth)
+			}
+			t.Logf("%s: %d traces, %d cloned, %d merged, cost %d -> %d (%.1f%%)",
+				name, res.TracesFormed, res.BlocksCloned, res.BlocksMerged,
+				before.BaseCost, after.BaseCost,
+				100*float64(before.BaseCost-after.BaseCost)/float64(before.BaseCost))
+		})
+	}
+}
+
+func TestCleanupMergesJumpChains(t *testing.T) {
+	prog, err := lower.Compile(`
+func main() {
+	var a = 1;
+	var b = a + 2;
+	var c = b * 3;
+	print(c);
+	return c;
+}`, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := vm.Run(prog, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := superblock.Cleanup(prog)
+	if merged == 0 {
+		t.Error("straight-line program had no mergeable jumps")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := vm.Run(prog, vm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Ret != before.Ret {
+		t.Error("cleanup changed result")
+	}
+	if after.BaseCost >= before.BaseCost {
+		t.Errorf("cleanup did not reduce cost: %d vs %d", after.BaseCost, before.BaseCost)
+	}
+}
+
+func TestTraceFromPathShapes(t *testing.T) {
+	staged := mustStageProg(t, loopy)
+	pr, err := staged.Profile("PP", instr.PP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawHeader, sawEntry := false, false
+	for _, r := range pr.Eval.Routines {
+		for _, pc := range r.Truth.Paths() {
+			tr, ok := superblock.TraceFromPath(r.Name, pc.Path)
+			if !ok {
+				continue
+			}
+			if tr.FromHeader {
+				sawHeader = true
+			} else {
+				sawEntry = true
+			}
+			if len(tr.Blocks) < 2 {
+				t.Errorf("undersized trace %+v", tr)
+			}
+		}
+	}
+	if !sawHeader || !sawEntry {
+		t.Errorf("trace shapes incomplete: header=%v entry=%v", sawHeader, sawEntry)
+	}
+}

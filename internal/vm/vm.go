@@ -1,0 +1,553 @@
+// Package vm executes IR programs deterministically while modeling
+// runtime cost, collecting exact edge and path profiles, and executing
+// path-profiling instrumentation plans.
+//
+// The VM stands in for the paper's AlphaServer measurements: the cost
+// model charges one unit per executed IR statement and a fixed cost
+// per instrumentation operation, weighted by memory traffic: counter
+// updates are read-modify-writes of profiling tables that miss caches,
+// and hash updates cost five times array updates per Joshi et al.'s
+// estimate. Profiling overhead is the ratio of instrumentation cost to
+// base program cost and is exactly reproducible.
+//
+// Ground truth: the VM records the exact Ball-Larus path profile of
+// the run (paths truncate at back edges and routine exits; calls
+// suspend the caller's path), which the evaluation uses as the actual
+// path profile that PP would measure.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/instr"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// CostModel assigns costs to executed operations.
+type CostModel struct {
+	Instr       int64 // per IR instruction
+	Term        int64 // per block terminator
+	Call        int64 // extra per call (frame setup/teardown)
+	RegOp       int64 // r = v and r += v
+	CountArray  int64 // count[r]++ against an array
+	CountConst  int64 // count[c]++ against an array (no address arith)
+	CountHash   int64 // any count against the hash table
+	PoisonCheck int64 // the r < 0 test of check-based poisoning
+	ColdBump    int64 // incrementing the cold counter after a check
+	EdgeCount   int64 // per-branch edge-profiling counter update
+	// TakenPenalty charges control transfers to a block other than the
+	// next one in layout order (block index + 1): the fetch-redirect
+	// cost that makes straight-line code and trace formation pay on
+	// real machines.
+	TakenPenalty int64
+}
+
+// DefaultCosts returns the cost model used throughout the evaluation.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Instr: 1, Term: 1, Call: 5,
+		RegOp: 2, CountArray: 6, CountConst: 4, CountHash: 30,
+		PoisonCheck: 2, ColdBump: 3, EdgeCount: 3, TakenPenalty: 1,
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	Costs CostModel
+	// Entry is the function to run (default "main"); Args its
+	// arguments.
+	Entry string
+	Args  []int64
+	// CollectEdges/CollectPaths enable exact (cost-free) profile
+	// collection.
+	CollectEdges bool
+	CollectPaths bool
+	// EdgeInstrument charges the cost of software edge-profiling
+	// counters on branch transitions.
+	EdgeInstrument bool
+	// Plans maps function names to instrumentation plans; their ops
+	// execute on control-flow transitions with modeled cost.
+	Plans map[string]*instr.Plan
+	// PathHook, if set with CollectPaths, receives every completed
+	// Ball-Larus path in execution order (the stream online predictors
+	// like Dynamo's NET consume). The path slice is reused; copy it if
+	// retained.
+	PathHook func(fn string, p cfg.Path)
+	// MaxSteps aborts runaway programs (0 = default limit).
+	MaxSteps int64
+	// Output receives print() values; nil discards them.
+	Output io.Writer
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Ret       int64
+	BaseCost  int64 // program cost without instrumentation
+	InstrCost int64 // added instrumentation cost
+	Steps     int64 // executed instructions + terminators
+	DynCalls  int64 // executed call instructions
+	Edges     map[string]*profile.EdgeProfile
+	Paths     map[string]*profile.PathProfile
+	Tables    map[string]*profile.Table
+	// DAGs holds the per-routine DAG used for path tracking, so
+	// callers can interpret the recorded paths (branch counts etc.).
+	DAGs map[string]*cfg.DAG
+}
+
+// Cost returns the total modeled cost.
+func (r *Result) Cost() int64 { return r.BaseCost + r.InstrCost }
+
+// Overhead returns instrumentation cost relative to base cost.
+func (r *Result) Overhead() float64 {
+	if r.BaseCost == 0 {
+		return 0
+	}
+	return float64(r.InstrCost) / float64(r.BaseCost)
+}
+
+// ErrMaxSteps is returned when the step budget is exhausted.
+var ErrMaxSteps = errors.New("vm: step budget exhausted")
+
+const defaultMaxSteps = int64(2_000_000_000)
+
+// funcRT is the per-function runtime state derived before execution.
+type funcRT struct {
+	fn    *ir.Func
+	d     *cfg.DAG
+	plan  *instr.Plan
+	table *profile.Table
+
+	real       map[[2]int]*cfg.DAGEdge
+	entryDummy map[int]*cfg.DAGEdge // by header block index
+	exitDummy  map[int]*cfg.DAGEdge // by tail block index
+	back       map[[2]int]bool
+	edgeOps    map[[2]int][]instr.Op
+
+	edges *profile.EdgeProfile
+	paths *profile.PathProfile
+}
+
+type frame struct {
+	rt      *funcRT
+	regs    []int64
+	block   int
+	pc      int
+	r       int64 // path register
+	path    cfg.Path
+	callDst int // caller register receiving the return value
+}
+
+// Run executes the program under the given options.
+func Run(prog *ir.Program, opts Options) (*Result, error) {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	zero := CostModel{}
+	if opts.Costs == zero {
+		opts.Costs = DefaultCosts()
+	}
+	entryIdx, ok := prog.FuncIndex[opts.Entry]
+	if !ok {
+		return nil, fmt.Errorf("vm: no function %q", opts.Entry)
+	}
+
+	m := &machine{prog: prog, opts: opts, res: &Result{
+		Edges:  map[string]*profile.EdgeProfile{},
+		Paths:  map[string]*profile.PathProfile{},
+		Tables: map[string]*profile.Table{},
+		DAGs:   map[string]*cfg.DAG{},
+	}}
+	m.globals = append([]int64(nil), prog.GlobalInit...)
+	m.arrays = make([][]int64, len(prog.Arrays))
+	for i, a := range prog.Arrays {
+		m.arrays[i] = make([]int64, a.Size)
+	}
+	m.rts = make([]*funcRT, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		rt, err := m.prepare(f)
+		if err != nil {
+			return nil, err
+		}
+		m.rts[i] = rt
+	}
+
+	ret, err := m.exec(entryIdx, opts.Args)
+	if err != nil {
+		return nil, err
+	}
+	m.res.Ret = ret
+	return m.res, nil
+}
+
+type machine struct {
+	prog    *ir.Program
+	opts    Options
+	res     *Result
+	globals []int64
+	arrays  [][]int64
+	rts     []*funcRT
+}
+
+// prepare derives the per-function runtime tables.
+func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
+	rt := &funcRT{fn: f}
+	var plan *instr.Plan
+	if m.opts.Plans != nil {
+		plan = m.opts.Plans[f.Name]
+	}
+	needDAG := m.opts.CollectPaths || (plan != nil && plan.Instrumented)
+	if plan != nil {
+		// Reuse the plan's DAG so edge IDs in Ops resolve correctly.
+		rt.d = plan.D
+		rt.plan = plan
+	} else if needDAG {
+		d, err := cfg.BuildDAG(f.CFG())
+		if err != nil {
+			return nil, err
+		}
+		rt.d = d
+	}
+	if rt.d != nil {
+		rt.real = map[[2]int]*cfg.DAGEdge{}
+		rt.entryDummy = map[int]*cfg.DAGEdge{}
+		rt.exitDummy = map[int]*cfg.DAGEdge{}
+		rt.back = map[[2]int]bool{}
+		for _, e := range rt.d.Edges {
+			switch e.Kind {
+			case cfg.RealEdge:
+				rt.real[[2]int{e.Src.ID, e.Dst.ID}] = e
+			case cfg.EntryDummy:
+				rt.entryDummy[e.Dst.ID] = e
+			case cfg.ExitDummy:
+				rt.exitDummy[e.Src.ID] = e
+			}
+		}
+		for _, e := range rt.d.G.Edges {
+			if e.Back {
+				rt.back[[2]int{e.Src.ID, e.Dst.ID}] = true
+			}
+		}
+	}
+	if plan != nil && plan.Instrumented {
+		rt.edgeOps = map[[2]int][]instr.Op{}
+		for _, e := range rt.d.G.Edges {
+			key := [2]int{e.Src.ID, e.Dst.ID}
+			if e.Back {
+				var ops []instr.Op
+				if xd := rt.exitDummy[e.Src.ID]; xd != nil {
+					ops = append(ops, plan.Ops[xd.ID]...)
+				}
+				if ed := rt.entryDummy[e.Dst.ID]; ed != nil {
+					ops = append(ops, plan.Ops[ed.ID]...)
+				}
+				if len(ops) > 0 {
+					rt.edgeOps[key] = ops
+				}
+				continue
+			}
+			de := rt.real[key]
+			if de != nil && len(plan.Ops[de.ID]) > 0 {
+				rt.edgeOps[key] = plan.Ops[de.ID]
+			}
+		}
+		kind := profile.ArrayTable
+		if plan.Hash {
+			kind = profile.HashTable
+		}
+		rt.table = profile.NewTable(kind, plan.N, plan.TableSize)
+		m.res.Tables[f.Name] = rt.table
+	}
+	if m.opts.CollectEdges {
+		rt.edges = profile.NewEdgeProfile(f.Name)
+		m.res.Edges[f.Name] = rt.edges
+	}
+	if m.opts.CollectPaths {
+		rt.paths = profile.NewPathProfile(f.Name)
+		m.res.Paths[f.Name] = rt.paths
+	}
+	if rt.d != nil {
+		m.res.DAGs[f.Name] = rt.d
+	}
+	return rt, nil
+}
+
+// exec runs function fnIdx with the given arguments to completion.
+func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
+	costs := &m.opts.Costs
+	var stack []*frame
+	push := func(fi int, args []int64, callDst int) error {
+		f := m.prog.Funcs[fi]
+		if len(args) != f.NParams {
+			return fmt.Errorf("vm: %s expects %d args, got %d", f.Name, f.NParams, len(args))
+		}
+		fr := &frame{rt: m.rts[fi], regs: make([]int64, f.NRegs), block: f.Entry, callDst: callDst}
+		copy(fr.regs, args)
+		if fr.rt.edges != nil {
+			fr.rt.edges.Calls++
+		}
+		stack = append(stack, fr)
+		return nil
+	}
+	if err := push(fnIdx, args, -1); err != nil {
+		return 0, err
+	}
+
+	var retVal int64
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		blocks := fr.rt.fn.Blocks
+		b := blocks[fr.block]
+
+		// Execute remaining instructions of the current block.
+		callMade := false
+		for fr.pc < len(b.Instrs) {
+			in := &b.Instrs[fr.pc]
+			fr.pc++
+			m.res.Steps++
+			m.res.BaseCost += costs.Instr
+			if m.res.Steps > m.opts.MaxSteps {
+				return 0, ErrMaxSteps
+			}
+			if in.Op == ir.Call {
+				m.res.DynCalls++
+				m.res.BaseCost += costs.Call
+				callArgs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					callArgs[i] = fr.regs[a]
+				}
+				if err := push(in.Sym, callArgs, in.Dst); err != nil {
+					return 0, err
+				}
+				callMade = true
+				break
+			}
+			m.step(fr, in)
+		}
+		if callMade {
+			continue
+		}
+
+		// Terminator.
+		m.res.Steps++
+		m.res.BaseCost += costs.Term
+		t := b.Term
+		switch t.Kind {
+		case ir.Ret:
+			if fr.rt.paths != nil {
+				fr.rt.paths.Add(fr.path, 1)
+				if m.opts.PathHook != nil {
+					m.opts.PathHook(fr.rt.fn.Name, fr.path)
+				}
+			}
+			if t.Ret >= 0 {
+				retVal = fr.regs[t.Ret]
+			} else {
+				retVal = 0
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				caller := stack[len(stack)-1]
+				if fr.callDst >= 0 {
+					caller.regs[fr.callDst] = retVal
+				}
+			}
+		case ir.Jump:
+			if t.To != fr.block+1 {
+				m.res.BaseCost += costs.TakenPenalty
+			}
+			m.transition(fr, fr.block, t.To)
+			fr.block, fr.pc = t.To, 0
+		case ir.Branch:
+			next := t.Else
+			if fr.regs[t.Cond] != 0 {
+				next = t.To
+			}
+			if next != fr.block+1 {
+				m.res.BaseCost += costs.TakenPenalty
+			}
+			m.transition(fr, fr.block, next)
+			fr.block, fr.pc = next, 0
+		}
+	}
+	return retVal, nil
+}
+
+// transition handles a control-flow edge: edge profiling, path
+// tracking, and instrumentation ops.
+func (m *machine) transition(fr *frame, from, to int) {
+	rt := fr.rt
+	if rt.edges != nil {
+		rt.edges.Bump(from, to)
+	}
+	if m.opts.EdgeInstrument && rt.fn.Blocks[from].Term.Kind == ir.Branch {
+		m.res.InstrCost += m.opts.Costs.EdgeCount
+	}
+	if rt.edgeOps != nil {
+		if ops := rt.edgeOps[[2]int{from, to}]; ops != nil {
+			m.runOps(fr, ops)
+		}
+	}
+	if rt.paths != nil {
+		if rt.back[[2]int{from, to}] {
+			fr.path = append(fr.path, rt.exitDummy[from])
+			rt.paths.Add(fr.path, 1)
+			if m.opts.PathHook != nil {
+				m.opts.PathHook(rt.fn.Name, fr.path)
+			}
+			fr.path = fr.path[:0]
+			fr.path = append(fr.path, rt.entryDummy[to])
+		} else {
+			fr.path = append(fr.path, rt.real[[2]int{from, to}])
+		}
+	}
+}
+
+// runOps executes instrumentation operations with modeled cost.
+func (m *machine) runOps(fr *frame, ops []instr.Op) {
+	costs := &m.opts.Costs
+	rt := fr.rt
+	hash := rt.plan.Hash
+	for _, op := range ops {
+		switch op.Kind {
+		case instr.OpInc:
+			fr.r += op.V
+			m.res.InstrCost += costs.RegOp
+		case instr.OpSet:
+			fr.r = op.V
+			m.res.InstrCost += costs.RegOp
+		case instr.OpCountR, instr.OpCountRV, instr.OpCountC:
+			idx := fr.r
+			switch op.Kind {
+			case instr.OpCountRV:
+				idx += op.V
+			case instr.OpCountC:
+				idx = op.V
+			}
+			if rt.plan.PoisonCheck {
+				m.res.InstrCost += costs.PoisonCheck
+				if fr.r < 0 {
+					rt.table.Cold++
+					m.res.InstrCost += costs.ColdBump
+					continue
+				}
+			}
+			switch {
+			case hash:
+				m.res.InstrCost += costs.CountHash
+			case op.Kind == instr.OpCountC:
+				m.res.InstrCost += costs.CountConst
+			default:
+				m.res.InstrCost += costs.CountArray
+			}
+			rt.table.Inc(idx)
+		}
+	}
+}
+
+// step executes one non-call instruction.
+func (m *machine) step(fr *frame, in *ir.Instr) {
+	r := fr.regs
+	switch in.Op {
+	case ir.Const:
+		r[in.Dst] = in.Imm
+	case ir.Mov:
+		r[in.Dst] = r[in.A]
+	case ir.Add:
+		r[in.Dst] = r[in.A] + r[in.B]
+	case ir.Sub:
+		r[in.Dst] = r[in.A] - r[in.B]
+	case ir.Mul:
+		r[in.Dst] = r[in.A] * r[in.B]
+	case ir.Div:
+		r[in.Dst] = safeDiv(r[in.A], r[in.B])
+	case ir.Mod:
+		r[in.Dst] = safeMod(r[in.A], r[in.B])
+	case ir.Neg:
+		r[in.Dst] = -r[in.A]
+	case ir.Not:
+		r[in.Dst] = b2i(r[in.A] == 0)
+	case ir.Eq:
+		r[in.Dst] = b2i(r[in.A] == r[in.B])
+	case ir.Ne:
+		r[in.Dst] = b2i(r[in.A] != r[in.B])
+	case ir.Lt:
+		r[in.Dst] = b2i(r[in.A] < r[in.B])
+	case ir.Le:
+		r[in.Dst] = b2i(r[in.A] <= r[in.B])
+	case ir.Gt:
+		r[in.Dst] = b2i(r[in.A] > r[in.B])
+	case ir.Ge:
+		r[in.Dst] = b2i(r[in.A] >= r[in.B])
+	case ir.BAnd:
+		r[in.Dst] = r[in.A] & r[in.B]
+	case ir.BOr:
+		r[in.Dst] = r[in.A] | r[in.B]
+	case ir.BXor:
+		r[in.Dst] = r[in.A] ^ r[in.B]
+	case ir.Shl:
+		r[in.Dst] = r[in.A] << uint(r[in.B]&63)
+	case ir.Shr:
+		r[in.Dst] = r[in.A] >> uint(r[in.B]&63)
+	case ir.LoadG:
+		r[in.Dst] = m.globals[in.Sym]
+	case ir.StoreG:
+		m.globals[in.Sym] = r[in.A]
+	case ir.LoadA:
+		arr := m.arrays[in.Sym]
+		r[in.Dst] = arr[wrap(r[in.A], int64(len(arr)))]
+	case ir.StoreA:
+		arr := m.arrays[in.Sym]
+		arr[wrap(r[in.A], int64(len(arr)))] = r[in.B]
+	case ir.Print:
+		if m.opts.Output != nil {
+			fmt.Fprintf(m.opts.Output, "%d\n", r[in.A])
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// safeDiv defines x/0 = 0 and MinInt64/-1 = MinInt64 so arithmetic is
+// total (the language has no traps).
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 && b == -1 {
+		return math.MinInt64
+	}
+	return a / b
+}
+
+func safeMod(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// wrap maps an arbitrary index into [0, size): array indices wrap
+// modulo the array size by definition.
+func wrap(i, size int64) int64 {
+	i %= size
+	if i < 0 {
+		i += size
+	}
+	return i
+}

@@ -1,0 +1,469 @@
+package workloads
+
+// The ten floating-point workloads (on integer arithmetic — the paths
+// care about control flow, not number format). FP SPEC2000 programs
+// are loop-dominated: few distinct paths, high trip counts, heavy
+// unrolling, and edge profiles that predict paths well. swim and
+// mgrid are engineered so PPP instruments nothing at all (every
+// routine is all-obvious or has >= 75% edge-profile coverage), which
+// exercises the paper's potential-flow fallback for accuracy.
+
+var wWupwise = Workload{
+	Name:  "wupwise",
+	Class: "FP",
+	Desc:  "blocked matrix kernel with data-dependent sign handling",
+	SPEC: "wupwise: ~130 distinct paths but the worst edge-profile " +
+		"coverage of the FP suite, so PPP overhead stays above 10%; " +
+		"unroll 1.9, no inlining",
+	Source: `
+array mat[1024];
+array vec[32];
+var checks = 0;
+
+// gemv exceeds 200 statements so it is never inlined (wupwise inlines
+// nothing in Table 1). The balanced sign branches defeat the edge
+// profile.
+func gemv(base) {
+	var acc = 0;
+	for (var i = 0; i < 32; i = i + 1) {
+		var row = 0;
+		for (var j = 0; j < 32; j = j + 1) {
+			var m = mat[(base + i * 32 + j) % 1024];
+			if (m % 2 == 0) { row = row + m * vec[j]; } else { row = row - m * vec[j]; }
+			if (m / 2 % 2 == 0) { row = row + 1; } else { row = row - 1; }
+		}
+		if (row % 3 == 0) { acc = acc + row % 1009; } else { acc = acc - row % 503; }
+		vec[i] = (vec[i] + acc) % 2003;
+	}
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0; acc = acc % 99991;
+	acc = acc * 3 + 1; acc = acc * 3 + 2; acc = acc * 3 + 0;
+	return acc % 99991;
+}
+
+func main() {
+	for (var i = 0; i < 1024; i = i + 1) { mat[i] = (i * 2654435761) % 4093; }
+	for (var i = 0; i < 32; i = i + 1) { vec[i] = i * 7 + 1; }
+	var sum = 0;
+	for (var it = 0; it < 220; it = it + 1) {
+		sum = (sum + gemv(it * 13)) % 1000003;
+		if (sum % 2 == 0) { checks = checks + 1; }
+	}
+	print(sum);
+	print(checks);
+	return sum + checks;
+}
+`,
+}
+
+var wSwim = Workload{
+	Name:  "swim",
+	Class: "FP",
+	Desc:  "shallow-water stencil: pure counted loops, no data branches",
+	SPEC: "swim: ~75 distinct paths, 97% flow in 1%-hot paths, avg 1.0 " +
+		"branches/path, unroll 4.0; PPP adds no instrumentation at all",
+	Source: `
+array u[4096];
+array unew[4096];
+
+func main() {
+	for (var i = 0; i < 4096; i = i + 1) { u[i] = (i * 37 + 11) % 1000; }
+	var check = 0;
+	for (var t = 0; t < 25; t = t + 1) {
+		for (var i = 1; i < 63; i = i + 1) {
+			for (var j = 1; j < 63; j = j + 1) {
+				var c = i * 64 + j;
+				unew[c] = (u[c - 1] + u[c + 1] + u[c - 64] + u[c + 64] + 2 * u[c]) / 6;
+			}
+		}
+		for (var i = 1; i < 63; i = i + 1) {
+			for (var j = 1; j < 63; j = j + 1) {
+				var c = i * 64 + j;
+				u[c] = (unew[c] * 99 + 7) % 100000;
+			}
+		}
+		check = (check + u[t % 4096]) % 1000003;
+	}
+	print(check);
+	return check;
+}
+`,
+}
+
+var wMgrid = Workload{
+	Name:  "mgrid",
+	Class: "FP",
+	Desc:  "multigrid V-cycle on nested grids: counted loops only",
+	SPEC: "mgrid: ~220 distinct paths, 86% flow in 1%-hot paths, avg 1.2 " +
+		"branches/path, unroll 4.0; PPP adds no instrumentation at all",
+	Source: `
+array fine[9409];
+array coarse[2401];
+
+func main() {
+	for (var i = 0; i < 9409; i = i + 1) { fine[i] = (i * 53 + 29) % 991; }
+	var check = 0;
+	for (var cyc = 0; cyc < 10; cyc = cyc + 1) {
+		// Restrict to the coarse grid (fine is 97x97, coarse 49x49).
+		for (var i = 1; i < 48; i = i + 1) {
+			for (var j = 1; j < 48; j = j + 1) {
+				var f = (2 * i) * 97 + 2 * j;
+				coarse[i * 49 + j] = (fine[f] * 4 + fine[f - 1] + fine[f + 1] + fine[f - 97] + fine[f + 97]) / 8;
+			}
+		}
+		// Smooth the coarse grid.
+		for (var s = 0; s < 3; s = s + 1) {
+			for (var i = 1; i < 48; i = i + 1) {
+				for (var j = 1; j < 48; j = j + 1) {
+					var c = i * 49 + j;
+					coarse[c] = (coarse[c - 1] + coarse[c + 1] + coarse[c - 49] + coarse[c + 49]) / 4;
+				}
+			}
+		}
+		// Prolongate back.
+		for (var i = 1; i < 48; i = i + 1) {
+			for (var j = 1; j < 48; j = j + 1) {
+				var f = (2 * i) * 97 + 2 * j;
+				fine[f] = (fine[f] + coarse[i * 49 + j]) / 2 + 1;
+			}
+		}
+		check = (check + fine[(cyc * 67) % 9409]) % 1000003;
+	}
+	print(check);
+	return check;
+}
+`,
+}
+
+var wApplu = Workload{
+	Name:  "applu",
+	Class: "FP",
+	Desc:  "SSOR sweeps with a biased pivot guard",
+	SPEC: "applu: ~240 distinct paths, 91% flow in 1%-hot paths, " +
+		"unroll 1.31, no inlining; mildly branchy loop bodies",
+	Source: `
+array a[1156];
+var pivots = 0;
+
+func main() {
+	for (var i = 0; i < 1156; i = i + 1) { a[i] = (i * 41 + 13) % 887 + 1; }
+	var check = 0;
+	for (var sweep = 0; sweep < 55; sweep = sweep + 1) {
+		for (var i = 1; i < 33; i = i + 1) {
+			for (var j = 1; j < 33; j = j + 1) {
+				var c = i * 34 + j;
+				var v = (a[c - 1] * 3 + a[c] * 10 + a[c + 1] * 3 + a[c - 34] + a[c + 34]) / 18;
+				if (v == 0) { v = 1; pivots = pivots + 1; }
+				a[c] = v % 10007 + 1;
+			}
+		}
+		check = (check + a[(sweep * 97) % 1156]) % 1000003;
+	}
+	print(check);
+	print(pivots);
+	return check + pivots;
+}
+`,
+}
+
+var wMesa = Workload{
+	Name:  "mesa",
+	Class: "FP",
+	Desc:  "vertex pipeline with a clip-test routine of rare outcomes",
+	SPEC: "mesa: ~410 distinct paths, 79% flow in 1%-hot paths, 0% " +
+		"inlining, unroll 2.31; hosts the second routine whose global " +
+		"criterion self-adjusts (Section 4.3)",
+	Source: `
+array verts[1024];
+array out[1024];
+var clipped = 0;
+
+// cliptest is the second SAC target: thirteen plane tests, six firing
+// ~6-7% of the time, and over 200 statements so it is never inlined.
+func cliptest(v) {
+	var mask = 0;
+	if (v % 100 < 40) { mask = mask + 1; } else { mask = mask + 2; }
+	if (v % 97 < 45) { mask = mask + 4; } else { mask = mask + 8; }
+	if (v % 89 < 55) { mask = mask + 16; } else { mask = mask + 32; }
+	if (v % 83 < 35) { mask = mask + 64; } else { mask = mask + 128; }
+	if (v % 79 < 50) { mask = mask + 256; } else { mask = mask + 512; }
+	if (v % 73 < 42) { mask = mask + 1024; } else { mask = mask + 1; }
+	if (v % 71 < 38) { mask = mask + 2048; } else { mask = mask + 2; }
+	if (v % 113 < 10) { mask = mask + 4096; clipped = clipped + 1; } else { mask = mask + 3; }
+	if (v % 109 < 9) { mask = mask + 8192; } else { mask = mask + 5; }
+	if (v % 107 < 9) { mask = mask + 16384; } else { mask = mask + 6; }
+	if (v % 103 < 9) { mask = mask + 32768; } else { mask = mask + 7; }
+	if (v % 101 < 9) { mask = mask + 65536; } else { mask = mask + 9; }
+	if (v % 127 < 11) { mask = mask + 131072; } else { mask = mask + 10; }
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0; mask = mask % 99991;
+	mask = mask * 3 + 1; mask = mask * 3 + 2; mask = mask * 3 + 0;
+	return mask % 99991;
+}
+
+func main() {
+	for (var i = 0; i < 1024; i = i + 1) { verts[i] = (i * 2654435761) % 65521; }
+	var check = 0;
+	for (var frame = 0; frame < 26; frame = frame + 1) {
+		// Transform pass: pure counted loop over vertices.
+		for (var i = 0; i < 1024; i = i + 1) {
+			out[i] = (verts[i] * 31 + frame * 17) % 65521;
+		}
+		// Clip pass: one cliptest per strip of 32 vertices.
+		for (var s = 0; s < 32; s = s + 1) {
+			check = (check + cliptest(out[(s * 32 + frame) % 1024])) % 1000003;
+		}
+		// Lighting pass: widens total program flow relative to the
+		// clip tests so the self-adjusting criterion converges fast.
+		for (var i = 0; i < 1024; i = i + 1) {
+			out[i] = (out[i] * 13 + i) % 65521;
+		}
+		// Raster pass: counted loop with a shading bias.
+		for (var i = 0; i < 1024; i = i + 1) {
+			var p = out[i];
+			if (p % 16 < 13) { verts[i] = p / 2 + 3; } else { verts[i] = p / 3 + 7; }
+		}
+	}
+	print(check);
+	print(clipped);
+	return check + clipped;
+}
+`,
+}
+
+var wArt = Workload{
+	Name:  "art",
+	Class: "FP",
+	Desc:  "adaptive-resonance image matcher with tiny hot helpers",
+	SPEC: "art: ~460 distinct paths, 88% flow in 1%-hot paths, 100% calls " +
+		"inlined, unroll 4.0",
+	Source: `
+array f1[400];
+array weights[400];
+var winners = 0;
+
+func stimulus(i) { return (f1[i % 400] * 3 + 7) % 2048; }
+func match(i) { return (stimulus(i) * weights[i % 400]) % 4093; }
+
+func main() {
+	asetup();
+	for (var i = 0; i < 400; i = i + 1) {
+		f1[i] = (i * 97 + 31) % 2048;
+		weights[i] = (i * 61 + 13) % 1024 + 1;
+	}
+	var check = 0;
+	for (var epoch = 0; epoch < 140; epoch = epoch + 1) {
+		var best = 0;
+		var bestv = 0;
+		for (var i = 0; i < 400; i = i + 1) {
+			var m = match(i);
+			if (m > bestv) { bestv = m; best = i; }
+		}
+		winners = winners + best % 7;
+		for (var i = 0; i < 400; i = i + 1) {
+			weights[i] = (weights[i] * 15 + stimulus(i + best)) / 16 + 1;
+		}
+		check = (check + bestv) % 1000003;
+	}
+	print(check);
+	print(winners);
+	return check + winners;
+}
+` + ballast("a", 10, 240),
+}
+
+var wEquake = Workload{
+	Name:  "equake",
+	Class: "FP",
+	Desc:  "sparse matrix-vector earthquake step with inlinable helpers",
+	SPEC: "equake: ~170 distinct paths, 96% flow in 1%-hot paths, 100% " +
+		"calls inlined, unroll 2.97",
+	Source: `
+array val[2048];
+array col[2048];
+array x[256];
+array y[256];
+
+func axpy(v, c) { return v * x[c % 256]; }
+func damp(v) { return v * 9 / 10 + 1; }
+
+func main() {
+	esetup();
+	for (var i = 0; i < 2048; i = i + 1) {
+		val[i] = (i * 29 + 17) % 211 + 1;
+		col[i] = (i * 7919) % 256;
+	}
+	for (var i = 0; i < 256; i = i + 1) { x[i] = i + 1; }
+	var check = 0;
+	for (var step = 0; step < 120; step = step + 1) {
+		for (var r = 0; r < 256; r = r + 1) {
+			var acc = 0;
+			for (var k = 0; k < 8; k = k + 1) {
+				acc = acc + axpy(val[(r * 8 + k) % 2048], col[(r * 8 + k) % 2048]);
+			}
+			y[r] = damp(acc % 100003);
+		}
+		for (var r = 0; r < 256; r = r + 1) { x[r] = (x[r] + y[r]) % 100003; }
+		check = (check + x[(step * 31) % 256]) % 1000003;
+	}
+	print(check);
+	return check;
+}
+` + ballast("e", 10, 240),
+}
+
+var wAmmp = Workload{
+	Name:  "ammp",
+	Class: "FP",
+	Desc:  "molecular-dynamics force loop with a cutoff test",
+	SPEC: "ammp: ~600 distinct paths, 90% flow in 1%-hot paths, 98% calls " +
+		"inlined, unroll 1.81; the cutoff branch is biased but not cold",
+	Source: `
+array posx[256];
+array force[256];
+var interactions = 0;
+
+func dist2(i, j) {
+	var d = posx[i % 256] - posx[j % 256];
+	return d * d;
+}
+func pair(i, j) { return 1000 / (dist2(i, j) % 97 + 3); }
+
+func main() {
+	nsetup();
+	for (var i = 0; i < 256; i = i + 1) { posx[i] = (i * 137 + 41) % 1009; }
+	var check = 0;
+	for (var step = 0; step < 45; step = step + 1) {
+		for (var i = 0; i < 256; i = i + 1) {
+			var f = 0;
+			for (var j = 1; j < 12; j = j + 1) {
+				var d2 = dist2(i, i + j * 7);
+				if (d2 % 100 < 78) {
+					f = f + pair(i, i + j * 7);
+					interactions = interactions + 1;
+				}
+			}
+			force[i] = f % 10007;
+		}
+		for (var i = 0; i < 256; i = i + 1) {
+			posx[i] = (posx[i] + force[i] / 16) % 100003;
+		}
+		check = (check + posx[(step * 13) % 256]) % 1000003;
+	}
+	print(check);
+	print(interactions);
+	return check + interactions;
+}
+` + ballast("n", 10, 240),
+}
+
+var wSixtrack = Workload{
+	Name:  "sixtrack",
+	Class: "FP",
+	Desc:  "particle tracking through a lattice of thin elements",
+	SPEC: "sixtrack: ~950 distinct paths, 90% flow in 1%-hot paths, 57% " +
+		"calls inlined, unroll 3.35, and the suite's biggest speedup from " +
+		"the transformations (call-heavy tight loops)",
+	Source: `
+array px[128];
+array pv[128];
+var lost = 0;
+
+func kick(p, k) { return (p * 31 + k * 7) % 20011; }
+func drift(p, v) { return (p + v / 4) % 20011; }
+
+func element(kind, idx) {
+	if (kind % 3 == 0) { pv[idx] = kick(pv[idx], px[idx]); return 1; }
+	pv[idx] = drift(pv[idx], px[idx]);
+	return 2;
+}
+
+func main() {
+	ssetup();
+	for (var i = 0; i < 128; i = i + 1) { px[i] = i * 19 + 3; pv[i] = i * 5 + 1; }
+	var check = 0;
+	for (var turn = 0; turn < 55; turn = turn + 1) {
+		for (var e = 0; e < 48; e = e + 1) {
+			for (var p = 0; p < 128; p = p + 1) {
+				element(turn + e, p);
+				px[p] = drift(px[p], pv[p]);
+			}
+		}
+		for (var p = 0; p < 128; p = p + 1) {
+			if (px[p] > 19000) { px[p] = px[p] % 1000; lost = lost + 1; }
+		}
+		check = (check + px[(turn * 11) % 128]) % 1000003;
+	}
+	print(check);
+	print(lost);
+	return check + lost;
+}
+` + ballast("s", 10, 240),
+}
+
+var wApsi = Workload{
+	Name:  "apsi",
+	Class: "FP",
+	Desc:  "pollutant transport built from many tiny helpers",
+	SPEC: "apsi: originally very short paths (0.44 branches/path) that " +
+		"inlining (100%) and unrolling (3.9) transform into long ones — " +
+		"the suite's most dramatic path-shape change",
+	Source: `
+array conc[512];
+array wind[512];
+var steps = 0;
+
+func advect(c, w) { return (c * 15 + w) / 16; }
+func diffuse(a, b, c) { return (a + 2 * b + c) / 4; }
+func decay(c) { return c * 99 / 100; }
+func source(i) { return (i * 11 + 5) % 13; }
+
+func main() {
+	usetup();
+	for (var i = 0; i < 512; i = i + 1) {
+		conc[i] = (i * 23 + 9) % 503;
+		wind[i] = (i * 3) % 17 + 1;
+	}
+	var check = 0;
+	for (var t = 0; t < 110; t = t + 1) {
+		for (var i = 1; i < 511; i = i + 1) {
+			var c = advect(conc[i], wind[i]);
+			c = diffuse(conc[i - 1], c, conc[i + 1]);
+			c = decay(c) + source(i + t);
+			conc[i] = c % 100003;
+			steps = steps + 1;
+		}
+		check = (check + conc[(t * 41) % 512]) % 1000003;
+	}
+	print(check);
+	print(steps);
+	return check + steps;
+}
+` + ballast("u", 10, 240),
+}

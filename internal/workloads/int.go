@@ -1,0 +1,535 @@
+package workloads
+
+// The eight integer workloads. Integer SPEC2000 programs are branchy:
+// many distinct paths, moderate hot-path concentration, and partial
+// inlining/unrolling applicability. Several deliberately stress the
+// machinery: vpr carries the routine whose global criterion must
+// self-adjust, crafty carries the hash-pressure routine, and parser,
+// gap and twolf keep TPP hashing where PPP's global criterion escapes.
+
+// branchlessRnd is the shared LCG without internal branches, so
+// inlining it does not multiply path counts.
+const branchlessRnd = `
+var seed = 88172645;
+func rnd() {
+	seed = (seed * 1103515245 + 12345) & 1073741823;
+	return seed / 16384;
+}
+`
+
+var wVpr = Workload{
+	Name:  "vpr",
+	Class: "INT",
+	Desc:  "simulated-annealing placement: swap evaluation with rare move kinds",
+	SPEC: "vpr: ~3400 distinct paths, 66% flow in 1%-hot paths, 71% calls " +
+		"inlined, unroll 1.65; hosts the routine whose cold-edge criterion " +
+		"self-adjusts (Section 4.3)",
+	Source: branchlessRnd + `
+array grid[256];
+var temp = 100000;
+var best = 0;
+
+func cost(a, b) {
+	var d = a - b;
+	return d * d % 97;
+}
+
+// tryswap is the self-adjusting-criterion target: thirteen branch
+// decisions per call, six of which take their rare arm ~6% of the time
+// (above the 5% local threshold, below the escalated global one).
+func tryswap(m) {
+	var c = 0;
+	if (rnd() % 100 < 40) { c = c + cost(m, 3); } else { c = c - 1; }
+	if (rnd() % 100 < 35) { c = c + 2; } else { c = c + cost(m, 5); }
+	if (rnd() % 100 < 60) { c = c - m % 3; } else { c = c + 1; }
+	if (rnd() % 100 < 45) { c = c + m % 7; } else { c = c - 2; }
+	if (rnd() % 100 < 55) { c = c + 3; } else { c = c - m % 5; }
+	if (rnd() % 100 < 30) { c = c + cost(m, 11); } else { c = c + 4; }
+	if (rnd() % 100 < 50) { c = c - 3; } else { c = c + m % 2; }
+	if (rnd() % 100 < 6) { c = c + 17; } else { c = c + m % 3; }
+	if (rnd() % 100 < 7) { c = c - 13; } else { c = c + 1; }
+	if (rnd() % 100 < 6) { c = c + 29; } else { c = c - 1; }
+	if (rnd() % 100 < 7) { c = c - 23; } else { c = c + 2; }
+	if (rnd() % 100 < 6) { c = c + 31; } else { c = c - 2; }
+	if (rnd() % 100 < 7) { c = c - 19; } else { c = c + 3; }
+	return c;
+}
+
+func main() {
+	vsetup();
+	var accept = 0;
+	var i = 0;
+	while (i < 9000) {
+		var c = tryswap(i % 64);
+		var e = 0;
+		for (var j = 0; j < 24; j = j + 1) {
+			var g = grid[(i + j) % 256];
+			if ((g + j) % 4 == 0) { e = e + cost(g, j); } else { e = e - g % 5; }
+		}
+		if (c + e % 50 < temp % 100) {
+			grid[i % 256] = e % 100;
+			accept = accept + 1;
+		}
+		if (i % 10 == 9) { temp = temp * 99 / 100 + 1; }
+		best = best + e % 7;
+		i = i + 1;
+	}
+	print(best);
+	print(accept);
+	return best + accept;
+}
+` + ballast("v", 8, 240),
+}
+
+var wMcf = Workload{
+	Name:  "mcf",
+	Class: "INT",
+	Desc:  "network-simplex pivoting over an arc array",
+	SPEC: "mcf: few distinct paths (~280), 91% flow in 1%-hot paths, 98% " +
+		"calls inlined, no unrolling (pointer-chasing while loops)",
+	Source: branchlessRnd + `
+array arccost[512];
+array arcflow[512];
+var pushes = 0;
+var probes = 0;
+
+func reduced(i) { return arccost[i] - arcflow[i] % 17; }
+func saturate(i) { arcflow[i] = arcflow[i] + 1; return arcflow[i]; }
+
+func pivot(start) {
+	var bestArc = start;
+	var bestVal = 1000000;
+	var i = start;
+	while (i < start + 64) {
+		var r = reduced(i % 512);
+		if (r < bestVal) { bestVal = r; bestArc = i % 512; }
+		if ((r + i) % 4 < 2) { probes = probes + 1; }
+		if (r / 2 % 2 == 0) { probes = probes + 2; } else { probes = probes - 1; }
+		i = i + 1;
+	}
+	return bestArc;
+}
+
+func main() {
+	msetup();
+	for (var i = 0; i < 512; i = i + 1) { arccost[i] = rnd() % 997; }
+	var it = 0;
+	while (it < 4000) {
+		var a = pivot(it % 448);
+		pushes = pushes + saturate(a);
+		if (arcflow[a] > 40) { arcflow[a] = 0; }
+		it = it + 1;
+	}
+	print(pushes);
+	print(probes);
+	return pushes + probes;
+}
+` + ballast("m", 8, 240),
+}
+
+var wCrafty = Workload{
+	Name:  "crafty",
+	Class: "INT",
+	Desc:  "game-tree search with a monster evaluation routine",
+	SPEC: "crafty: most complex paths (~4600 distinct, only 37% flow in " +
+		"1%-hot), hash-table pressure with lost paths, 0% inlining " +
+		"(no cross-module inlining in Scale)",
+	Source: `
+var seed = 421;
+array rtab[1024];
+array board[64];
+var nodes = 0;
+
+// evaluate has twelve decision points; three take their rare arm ~3%
+// of the time. PP hashes it (4096 > 4000 paths); TPP's local cold
+// removal prunes the rare arms, dropping to 512 paths and an array.
+// It exceeds 200 statements, so it is never inlined (crafty's 0%).
+func evaluate(ply, alt) {
+	var s = 0;
+	var r = rtab[(ply * 37 + alt * 11 + nodes) % 1024];
+	if (r % 100 < 45) { s = s + board[(ply + 1) % 64]; } else { s = s - 3; }
+	if (r % 97 < 40) { s = s + 5; } else { s = s - board[(ply + 5) % 64] % 7; }
+	if (r % 89 < 50) { s = s - 2; } else { s = s + 9; }
+	if (r % 83 < 30) { s = s + board[alt % 64] % 13; } else { s = s + 1; }
+	if (r % 79 < 35) { s = s - 4; } else { s = s + 2; }
+	if (r % 73 < 55) { s = s + 6; } else { s = s - 5; }
+	if (r % 71 < 25) { s = s + 11; } else { s = s - 1; }
+	if (r % 67 < 42) { s = s - 7; } else { s = s + 3; }
+	if (r % 61 < 38) { s = s + 8; } else { s = s - 6; }
+	if (r % 113 < 3) { s = s + 101; } else { s = s + alt % 2; }
+	if (r % 109 < 3) { s = s - 97; } else { s = s - alt % 3; }
+	if (r % 103 < 3) { s = s + 89; } else { s = s + ply % 2; }
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	s = s % 100003;
+	s = s * 3 + 1; s = s * 3 + 2; s = s * 3 + 0; s = s * 3 + 1;
+	return s % 100003;
+}
+
+// search exceeds 200 statements too and is recursive besides.
+func search(depth, ply) {
+	nodes = nodes + 1;
+	if (depth <= 0) { return evaluate(ply, nodes % 7); }
+	var best = 0 - 1000000;
+	var moves = 2 + rtab[(ply * 13 + nodes) % 1024] % 3;
+	for (var mv = 0; mv < moves; mv = mv + 1) {
+		var v = 0 - search(depth - 1, ply + 1);
+		if (v > best) { best = v; }
+		board[(ply * 7 + mv) % 64] = best % 251;
+	}
+	best = best + ply % 5 - 2;
+	return best % 99991;
+}
+
+func main() {
+	for (var i = 0; i < 1024; i = i + 1) {
+		seed = (seed * 1103515245 + 12345) & 1073741823;
+		rtab[i] = seed / 16384;
+	}
+	var total = 0;
+	for (var g = 0; g < 110; g = g + 1) {
+		total = total + search(5, 0);
+		total = total % 1000003;
+		board[g % 64] = (board[g % 64] + total) % 251;
+	}
+	print(total);
+	print(nodes);
+	return total + nodes;
+}
+`,
+}
+
+var wParser = Workload{
+	Name:  "parser",
+	Class: "INT",
+	Desc:  "recursive-descent parsing over a synthetic token stream",
+	SPEC: "parser: the most distinct paths (~5600), flow spread over many " +
+		"warm paths (37% in 1%-hot), 29% calls inlined, unroll 1.46; keeps " +
+		"TPP hashing (balanced decisions resist the local criterion)",
+	Source: branchlessRnd + `
+array toks[2048];
+var pos = 0;
+var errs = 0;
+
+func peek() { return toks[pos % 2048]; }
+func take() { pos = pos + 1; return toks[(pos - 1) % 2048]; }
+
+// classify has thirteen balanced decisions: TPP cannot avoid the hash
+// table here, but the routine runs rarely enough that PPP's global
+// criterion (without self-adjusting) removes it wholesale.
+func classify(t) {
+	var k = 0;
+	if (t % 100 < 50) { k = k + 1; } else { k = k - 1; }
+	if (t % 97 < 48) { k = k + 2; } else { k = k - 2; }
+	if (t % 89 < 44) { k = k + 3; } else { k = k - 3; }
+	if (t % 83 < 41) { k = k + 4; } else { k = k - 4; }
+	if (t % 79 < 39) { k = k + 5; } else { k = k - 5; }
+	if (t % 73 < 36) { k = k + 6; } else { k = k - 6; }
+	if (t % 71 < 35) { k = k + 7; } else { k = k - 7; }
+	if (t % 67 < 33) { k = k + 8; } else { k = k - 8; }
+	if (t % 61 < 30) { k = k + 9; } else { k = k - 9; }
+	if (t % 59 < 29) { k = k + 10; } else { k = k - 10; }
+	if (t % 53 < 26) { k = k + 11; } else { k = k - 11; }
+	if (t % 47 < 23) { k = k + 12; } else { k = k - 12; }
+	if (t % 43 < 21) { k = k + 13; } else { k = k - 13; }
+	return k;
+}
+
+func expr(depth) {
+	var v = term(depth);
+	while (peek() % 5 == 0 && pos % 2048 != 0) {
+		take();
+		v = v + term(depth);
+	}
+	return v;
+}
+
+// term carries parser's signature path spread: six balanced decisions
+// on independent token bits ahead of the grammar dispatch give
+// thousands of distinct warm paths, none dominant (Table 2's parser
+// row: lots of hot paths, little flow concentration at the 1% level).
+func term(depth) {
+	var t = take();
+	var k = 0;
+	if (t % 2 == 0) { k = k + 1; } else { k = k + 2; }
+	if (t % 8 < 4) { k = k + 4; } else { k = k - 1; }
+	if (t % 32 < 16) { k = k + 8; } else { k = k - 2; }
+	if (t % 128 < 64) { k = k + 16; } else { k = k - 4; }
+	if (t % 512 < 256) { k = k + 32; } else { k = k - 8; }
+	if (t % 64 < 21) { k = k + 3; } else { k = k + t % 3; }
+	if (depth > 6) { return t % 13 + k; }
+	if (t % 4 == 0) { return (expr(depth + 1) + k) % 101; }
+	if (t % 4 == 1) {
+		if (t % 997 < 1) { k = k + classify(t) % 3; }
+		return k + t % 7;
+	}
+	if (t % 4 == 2) {
+		if (t % 8 == 2) { errs = errs + 1; return 1; }
+		return t % 29 + k;
+	}
+	return t % 17 + k;
+}
+
+func main() {
+	psetup();
+	for (var i = 0; i < 2048; i = i + 1) { toks[i] = rnd(); }
+	var sum = 0;
+	for (var s = 0; s < 2600; s = s + 1) {
+		pos = s * 7;
+		sum = (sum + expr(0)) % 1000003;
+	}
+	print(sum);
+	print(errs);
+	return sum + errs;
+}
+` + ballast("p", 8, 240),
+}
+
+var wPerlbmk = Workload{
+	Name:  "perlbmk",
+	Class: "INT",
+	Desc:  "bytecode interpreter with skewed opcode dispatch",
+	SPEC: "perlbmk: interpreter dispatch, ~2300 distinct paths, 54% flow " +
+		"in 1%-hot paths, low inlining (14%)",
+	Source: branchlessRnd + `
+array code[4096];
+array stackarr[256];
+var sp = 0;
+var halts = 0;
+var mixes = 0;
+
+func push(v) { stackarr[sp % 256] = v; sp = sp + 1; return sp; }
+func pop() { sp = sp - 1; if (sp < 0) { sp = 0; } return stackarr[sp % 256]; }
+
+func step(op, arg) {
+	if (op == 0) { push(arg); return 1; }
+	if (op == 1) { push(pop() + arg); return 1; }
+	if (op == 2) { push(pop() * 3 % 1009); return 1; }
+	if (op == 3) { var a = pop(); var b = pop(); push(a + b); return 1; }
+	if (op == 4) { if (pop() % 2 == 0) { push(arg); } return 1; }
+	if (op == 5) { push(pop() - arg); return 2; }
+	if (op == 6) { var c = pop(); if (c > 500) { push(c % 500); } else { push(c); } return 1; }
+	halts = halts + 1;
+	return 3;
+}
+
+func main() {
+	bsetup();
+	for (var i = 0; i < 4096; i = i + 1) {
+		var r = rnd() % 100;
+		// Skewed opcode mix: op 0/1 dominate.
+		var op = 7;
+		if (r < 30) { op = 0; }
+		else if (r < 58) { op = 1; }
+		else if (r < 73) { op = 2; }
+		else if (r < 84) { op = 3; }
+		else if (r < 92) { op = 4; }
+		else if (r < 97) { op = 5; }
+		else if (r < 99) { op = 6; }
+		code[i] = op * 1000 + rnd() % 1000;
+	}
+	var checksum = 0;
+	for (var run = 0; run < 55; run = run + 1) {
+		var pc = 0;
+		while (pc < 4096) {
+			var c = code[pc];
+			pc = pc + step(c / 1000, c % 1000);
+			if ((pc + c) % 4 < 2) { mixes = mixes + 1; }
+		}
+		checksum = (checksum + pop()) % 1000003;
+	}
+	print(checksum);
+	print(halts);
+	print(mixes);
+	return checksum + halts + mixes;
+}
+` + ballast("b", 8, 240),
+}
+
+var wGap = Workload{
+	Name:  "gap",
+	Class: "INT",
+	Desc:  "arbitrary-precision style digit-array arithmetic",
+	SPEC: "gap: ~4000 distinct paths, 67% flow in 1%-hot paths, 59% calls " +
+		"inlined, unroll 1.22; a rarely-run balanced routine keeps TPP hashing",
+	Source: branchlessRnd + `
+array dig[512];
+var carryouts = 0;
+
+func addto(i, v) {
+	var s = dig[i % 512] + v;
+	if (s >= 10) { carryouts = carryouts + 1; dig[i % 512] = s - 10; return 1; }
+	dig[i % 512] = s;
+	return 0;
+}
+
+// normalize is the hash-pressure routine: balanced decisions, called
+// on a small fraction of iterations.
+func normalize(base) {
+	var k = 0;
+	if (dig[base % 512] % 2 == 0) { k = k + 1; } else { k = k - 1; }
+	if (dig[(base + 1) % 512] % 3 < 2) { k = k + 2; } else { k = k - 2; }
+	if (dig[(base + 2) % 512] % 2 == 1) { k = k + 3; } else { k = k - 3; }
+	if (dig[(base + 3) % 512] % 5 < 3) { k = k + 4; } else { k = k - 4; }
+	if (dig[(base + 4) % 512] % 2 == 0) { k = k + 5; } else { k = k - 5; }
+	if (dig[(base + 5) % 512] % 7 < 4) { k = k + 6; } else { k = k - 6; }
+	if (dig[(base + 6) % 512] % 2 == 1) { k = k + 7; } else { k = k - 7; }
+	if (dig[(base + 7) % 512] % 3 < 2) { k = k + 8; } else { k = k - 8; }
+	if (dig[(base + 8) % 512] % 2 == 0) { k = k + 9; } else { k = k - 9; }
+	if (dig[(base + 9) % 512] % 5 < 2) { k = k + 10; } else { k = k - 10; }
+	if (dig[(base + 10) % 512] % 2 == 1) { k = k + 11; } else { k = k - 11; }
+	if (dig[(base + 11) % 512] % 7 < 3) { k = k + 12; } else { k = k - 12; }
+	if (dig[(base + 12) % 512] % 2 == 0) { k = k + 13; } else { k = k - 13; }
+	return k;
+}
+
+func main() {
+	gsetup();
+	for (var i = 0; i < 512; i = i + 1) { dig[i] = rnd() % 10; }
+	var acc = 0;
+	var it = 0;
+	while (it < 7000) {
+		var carry = addto(it, rnd() % 10);
+		if (carry == 1) { carry = addto(it + 1, 1); }
+		if (it % 1200 == 7) { acc = acc + normalize(it); }
+		if (dig[it % 512] > 7) { acc = acc + 1; } else { acc = acc - dig[it % 512] % 2; }
+		it = it + 1;
+	}
+	print(acc);
+	print(carryouts);
+	return acc + carryouts;
+}
+` + ballast("g", 8, 240),
+}
+
+var wBzip2 = Workload{
+	Name:  "bzip2",
+	Class: "INT",
+	Desc:  "run-length and move-to-front coding over pseudo-random data",
+	SPEC: "bzip2: ~2100 distinct paths, 62% flow in 1%-hot paths, 49% " +
+		"calls inlined, unroll 1.99 (some counted loops, some data loops)",
+	Source: branchlessRnd + `
+array buf[4096];
+array mtf[64];
+var outbits = 0;
+var tweak = 0;
+
+func emit(n) { outbits = outbits + n; return outbits; }
+
+func mtfpos(v) {
+	var i = 0;
+	var probes = 0;
+	while (mtf[i % 64] != v && i < 63) {
+		if ((mtf[i % 64] + i) % 2 == 0) { probes = probes + 1; } else { probes = probes + 2; }
+		if ((mtf[i % 64] + v) % 4 < 2) { probes = probes + 3; }
+		i = i + 1;
+	}
+	tweak = tweak + probes % 3;
+	var j = i;
+	while (j > 0) { mtf[j % 64] = mtf[(j - 1) % 64]; j = j - 1; }
+	mtf[0] = v;
+	return i;
+}
+
+func main() {
+	zsetup();
+	for (var i = 0; i < 64; i = i + 1) { mtf[i] = i; }
+	for (var i = 0; i < 4096; i = i + 1) {
+		// Runs: hold each symbol for a geometric-ish stretch.
+		if (rnd() % 100 < 70 && i > 0) { buf[i] = buf[i - 1]; }
+		else { buf[i] = rnd() % 64; }
+	}
+	var check = 0;
+	for (var blk = 0; blk < 12; blk = blk + 1) {
+		var run = 0;
+		for (var i = 0; i < 4096; i = i + 1) {
+			var v = buf[(blk * 131 + i) % 4096];
+			if (i > 0 && v == buf[(blk * 131 + i - 1) % 4096]) {
+				run = run + 1;
+				if (run == 4) { emit(8); run = 0; }
+			} else {
+				var p = mtfpos(v % 64);
+				if (p == 0) { emit(1); } else if (p < 8) { emit(4); } else { emit(7); }
+				run = 1;
+			}
+			if ((v + i) % 4 < 2) { tweak = tweak + 1; }
+		}
+		check = (check + outbits) % 1000003;
+	}
+	print(check);
+	print(tweak);
+	return check + tweak;
+}
+` + ballast("z", 8, 240),
+}
+
+var wTwolf = Workload{
+	Name:  "twolf",
+	Class: "INT",
+	Desc:  "cell-placement annealing with poorly predictable accept logic",
+	SPEC: "twolf: ~2000 distinct paths, 67% flow in 1%-hot paths, 23% " +
+		"calls inlined, unroll 2.19; among the worst edge-profile coverage, " +
+		"so PPP overhead stays above 10%",
+	Source: branchlessRnd + `
+array cells[512];
+array net[512];
+var penalty = 0;
+
+// Balanced, data-dependent decisions dominate the hot loop: the edge
+// profile predicts little, so PPP must keep instrumentation here.
+func wirelen(a, b) {
+	var d = cells[a % 512] - cells[b % 512];
+	if (d < 0) { d = 0 - d; }
+	return d;
+}
+
+func trymove(i) {
+	var before = wirelen(i, i + 1) + wirelen(i, i + 3);
+	var pos = cells[i % 512];
+	cells[i % 512] = (pos + rnd() % 33) % 401;
+	var after = wirelen(i, i + 1) + wirelen(i, i + 3);
+	var delta = after - before;
+	if (delta < 0) { return 1; }
+	if (delta % 2 == 0 && rnd() % 2 == 0) { return 1; }
+	if (delta % 3 == 0 && rnd() % 4 < 2) { penalty = penalty + 1; return 1; }
+	cells[i % 512] = pos;
+	return 0;
+}
+
+func main() {
+	tsetup();
+	for (var i = 0; i < 512; i = i + 1) { cells[i] = rnd() % 401; net[i] = rnd() % 512; }
+	var acc = 0;
+	var it = 0;
+	while (it < 26000) {
+		var keep = trymove(net[it % 512]);
+		if (keep == 1) { acc = acc + 1; }
+		if (it % 2 == 0) { acc = acc + wirelen(it, it + 7) % 3; }
+		else if (it % 5 < 2) { acc = acc - wirelen(it, it + 11) % 2; }
+		it = it + 1;
+	}
+	print(acc);
+	print(penalty);
+	return acc + penalty;
+}
+` + ballast("t", 8, 240),
+}
