@@ -3,27 +3,53 @@
 //
 // Usage:
 //
-//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac] [-workloads a,b,c] [-v]
+//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static]
+//	         [-workloads a,b,c] [-par n] [-json] [-v]
+//
+// The workload sweep runs on a bounded worker pool (-par, default
+// GOMAXPROCS); table and figure output is deterministic regardless of
+// parallelism. With -json, the human-readable tables are suppressed
+// and one JSON document with per-experiment wall-clock times and the
+// suite's headline metrics is written to stdout instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"pathprof/internal/bench"
 	"pathprof/internal/workloads"
 )
 
+// report is the -json output document.
+type report struct {
+	Workloads   []string           `json:"workloads"`
+	Parallelism int                `json:"parallelism"`
+	Experiments []experimentTiming `json:"experiments"`
+	TotalSecs   float64            `json:"total_seconds"`
+	Headline    map[string]float64 `json:"headline"`
+}
+
+type experimentTiming struct {
+	Name string  `json:"name"`
+	Secs float64 `json:"seconds"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static)")
 	names := flag.String("workloads", "", "comma-separated subset of workloads (default: all 18)")
+	par := flag.Int("par", 0, "worker pool size for the workload sweep (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (wall-clock + headline metrics) instead of tables")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
 
 	s := bench.NewSuite()
+	s.Parallelism = *par
 	if *verbose {
 		s.Log = os.Stderr
 	}
@@ -57,20 +83,49 @@ func main() {
 		{"net", s.NETReport},
 		{"static", s.StaticReport},
 	}
+	rep := report{Parallelism: s.Parallelism}
+	for _, w := range s.Workloads {
+		rep.Workloads = append(rep.Workloads, w.Name)
+	}
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = io.Discard
+	}
+	start := time.Now()
 	ran := false
 	for _, e := range all {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
 		ran = true
-		if err := e.run(os.Stdout); err != nil {
+		t0 := time.Now()
+		if err := e.run(out); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		rep.Experiments = append(rep.Experiments, experimentTiming{e.name, time.Since(t0).Seconds()})
+		if !*jsonOut {
+			fmt.Println()
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	rep.TotalSecs = time.Since(start).Seconds()
+
+	if *jsonOut {
+		headline, err := s.Headline()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "headline: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Headline = headline
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

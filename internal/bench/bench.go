@@ -9,7 +9,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"pathprof/internal/core"
 	"pathprof/internal/eval"
@@ -38,14 +40,37 @@ func (wr *WorkloadResult) Hot() []eval.HotPath {
 	return wr.hot
 }
 
-// Suite runs workloads once each and caches results.
+// Suite runs workloads once each and caches results. Workloads are
+// independent, so RunAll and the Figure-13 ablation sweep fan out over
+// a bounded worker pool; each workload/ablation is still computed
+// exactly once (concurrent callers share the first computation), and
+// all table and figure output stays deterministic because rendering
+// happens sequentially after the sweep.
 type Suite struct {
 	Workloads []workloads.Workload
-	// Log receives progress lines (nil = silent).
+	// Log receives progress lines (nil = silent). Under a parallel
+	// sweep, lines from different workloads interleave.
 	Log io.Writer
+	// Parallelism bounds concurrent workload runs (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Parallelism int
 
-	results map[string]*WorkloadResult
-	ablated map[string]*core.ProfilerResult
+	mu      sync.Mutex
+	logMu   sync.Mutex
+	results map[string]*workloadEntry
+	ablated map[string]*ablateEntry
+}
+
+type workloadEntry struct {
+	once sync.Once
+	wr   *WorkloadResult
+	err  error
+}
+
+type ablateEntry struct {
+	once sync.Once
+	pr   *core.ProfilerResult
+	err  error
 }
 
 // NewSuite returns a suite over all workloads.
@@ -53,20 +78,39 @@ func NewSuite() *Suite {
 	return &Suite{Workloads: workloads.All()}
 }
 
+func (s *Suite) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (s *Suite) logf(format string, args ...interface{}) {
 	if s.Log != nil {
+		s.logMu.Lock()
 		fmt.Fprintf(s.Log, format+"\n", args...)
+		s.logMu.Unlock()
 	}
 }
 
 // Run stages the named workload and profiles it with PP, TPP, and PPP.
+// Safe for concurrent use; the result is computed once and cached.
 func (s *Suite) Run(name string) (*WorkloadResult, error) {
+	s.mu.Lock()
 	if s.results == nil {
-		s.results = map[string]*WorkloadResult{}
+		s.results = map[string]*workloadEntry{}
 	}
-	if wr, ok := s.results[name]; ok {
-		return wr, nil
+	e := s.results[name]
+	if e == nil {
+		e = &workloadEntry{}
+		s.results[name] = e
 	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.wr, e.err = s.runWorkload(name) })
+	return e.wr, e.err
+}
+
+func (s *Suite) runWorkload(name string) (*WorkloadResult, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown workload %q", name)
@@ -91,48 +135,120 @@ func (s *Suite) Run(name string) (*WorkloadResult, error) {
 		}
 		wr.Profilers[p.Name] = pr
 	}
-	s.results[name] = wr
 	return wr, nil
 }
 
 // Ablate profiles the named workload with one PPP technique disabled
-// (Figure 13), caching the result.
+// (Figure 13), caching the result. Safe for concurrent use.
 func (s *Suite) Ablate(name, technique string) (*core.ProfilerResult, error) {
-	key := name + "/" + technique
-	if s.ablated == nil {
-		s.ablated = map[string]*core.ProfilerResult{}
-	}
-	if pr, ok := s.ablated[key]; ok {
-		return pr, nil
-	}
 	tech, ok := core.Ablations()[technique]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown ablation %q", technique)
 	}
-	wr, err := s.Run(name)
-	if err != nil {
-		return nil, err
+	key := name + "/" + technique
+	s.mu.Lock()
+	if s.ablated == nil {
+		s.ablated = map[string]*ablateEntry{}
 	}
-	s.logf("  ablating %s without %s", name, technique)
-	pr, err := wr.Staged.Profile("PPP-"+technique, tech)
-	if err != nil {
-		return nil, err
+	e := s.ablated[key]
+	if e == nil {
+		e = &ablateEntry{}
+		s.ablated[key] = e
 	}
-	s.ablated[key] = pr
-	return pr, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		wr, err := s.Run(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		s.logf("  ablating %s without %s", name, technique)
+		e.pr, e.err = wr.Staged.Profile("PPP-"+technique, tech)
+	})
+	return e.pr, e.err
 }
 
-// RunAll runs every workload in the suite.
+// RunAll runs every workload in the suite, fanning out across the
+// worker pool. Results come back in suite order regardless of which
+// worker finished first; the first error (in suite order) is
+// returned.
 func (s *Suite) RunAll() ([]*WorkloadResult, error) {
-	var out []*WorkloadResult
-	for _, w := range s.Workloads {
-		wr, err := s.Run(w.Name)
+	out := make([]*WorkloadResult, len(s.Workloads))
+	errs := make([]error, len(s.Workloads))
+	s.forEach(len(s.Workloads), func(i int) {
+		out[i], errs[i] = s.Run(s.Workloads[i].Name)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, wr)
 	}
 	return out, nil
+}
+
+// forEach runs fn(0..n-1) on the suite's bounded worker pool.
+func (s *Suite) forEach(n int, fn func(i int)) {
+	par := s.parallelism()
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Headline computes the suite-average metrics the paper leads with:
+// accuracy and coverage per profiler (Figures 9-10) and runtime
+// overhead (Figure 12), as percentages.
+func (s *Suite) Headline() (map[string]float64, error) {
+	rs, err := s.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return map[string]float64{}, nil
+	}
+	var accE, accT, accP, covE, covT, covP, ohPP, ohTPP, ohPPP float64
+	for _, r := range rs {
+		e, t, p := r.Accuracy()
+		accE, accT, accP = accE+e, accT+t, accP+p
+		e, t, p = r.Coverage()
+		covE, covT, covP = covE+e, covT+t, covP+p
+		ohPP += r.Profilers["PP"].Overhead()
+		ohTPP += r.Profilers["TPP"].Overhead()
+		ohPPP += r.Profilers["PPP"].Overhead()
+	}
+	n := float64(len(rs))
+	return map[string]float64{
+		"edge_accuracy_pct": 100 * accE / n,
+		"tpp_accuracy_pct":  100 * accT / n,
+		"ppp_accuracy_pct":  100 * accP / n,
+		"edge_coverage_pct": 100 * covE / n,
+		"tpp_coverage_pct":  100 * covT / n,
+		"ppp_coverage_pct":  100 * covP / n,
+		"pp_overhead_pct":   100 * ohPP / n,
+		"tpp_overhead_pct":  100 * ohTPP / n,
+		"ppp_overhead_pct":  100 * ohPPP / n,
+	}, nil
 }
 
 // EdgeOverhead measures software edge-counter overhead for reference.

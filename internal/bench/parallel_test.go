@@ -1,0 +1,98 @@
+package bench_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pathprof/internal/bench"
+)
+
+// TestParallelMatchesSequential runs the same workloads on a
+// sequential suite and a parallel one and requires identical modeled
+// results: the simulation must be deterministic regardless of worker
+// count.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := smallSuite(t)
+	seq.Parallelism = 1
+	par := smallSuite(t)
+	par.Parallelism = 4
+
+	seqRes, err := seq.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := par.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRes) != len(parRes) {
+		t.Fatalf("result count: %d vs %d", len(seqRes), len(parRes))
+	}
+	for i := range seqRes {
+		a, b := seqRes[i], parRes[i]
+		if a.W.Name != b.W.Name {
+			t.Fatalf("order differs at %d: %s vs %s", i, a.W.Name, b.W.Name)
+		}
+		for _, p := range []string{"PP", "TPP", "PPP"} {
+			ra, rb := a.Profilers[p].Run, b.Profilers[p].Run
+			if ra.BaseCost != rb.BaseCost || ra.InstrCost != rb.InstrCost || ra.Steps != rb.Steps {
+				t.Errorf("%s/%s: cost %d+%d (%d steps) vs %d+%d (%d steps)",
+					a.W.Name, p, ra.BaseCost, ra.InstrCost, ra.Steps, rb.BaseCost, rb.InstrCost, rb.Steps)
+			}
+		}
+	}
+}
+
+// TestParallelTablesDeterministic renders a table twice, once
+// sequentially and once over workers, byte for byte.
+func TestParallelTablesDeterministic(t *testing.T) {
+	render := func(parallelism int) string {
+		s := smallSuite(t)
+		s.Parallelism = parallelism
+		var sb strings.Builder
+		for _, f := range []func(*strings.Builder) error{
+			func(b *strings.Builder) error { return s.Figure12(b) },
+			func(b *strings.Builder) error { return s.Figure13(b) },
+		} {
+			if err := f(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Errorf("table output depends on parallelism:\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestConcurrentRunSharesComputation hammers Run/Ablate from many
+// goroutines (the -race build makes this a data-race probe) and checks
+// every caller gets the single cached instance.
+func TestConcurrentRunSharesComputation(t *testing.T) {
+	s := smallSuite(t)
+	s.Parallelism = 4
+	var wg sync.WaitGroup
+	results := make([]*bench.WorkloadResult, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wr, err := s.Run("mcf")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.Ablate("mcf", "FP"); err != nil {
+				t.Error(err)
+			}
+			results[i] = wr
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Run returned distinct instances")
+		}
+	}
+}

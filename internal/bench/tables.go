@@ -230,29 +230,53 @@ func (s *Suite) Figure13(w io.Writer) error {
 		return err
 	}
 	techniques := sortedNames(core.Ablations())
+	// The paper's inclusion rule is "PPP improves more than 5% of
+	// program runtime over TPP"; our overheads run at about half
+	// the paper's absolute scale, so the proportional cut is ~3
+	// points of runtime.
+	var rows []*WorkloadResult
+	for _, r := range rs {
+		if r.Profilers["TPP"].Overhead()-r.Profilers["PPP"].Overhead() > 0.03 {
+			rows = append(rows, r)
+		}
+	}
+	// Prefetch the whole (workload, technique) sweep on the worker
+	// pool; rendering below reads the cache sequentially, so the
+	// table stays deterministic.
+	type cell struct {
+		name, tech string
+	}
+	var cells []cell
+	for _, r := range rows {
+		for _, t := range techniques {
+			cells = append(cells, cell{r.W.Name, t})
+		}
+	}
+	errs := make([]error, len(cells))
+	s.forEach(len(cells), func(i int) {
+		_, errs[i] = s.Ablate(cells[i].name, cells[i].tech)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(w, "Figure 13: leave-one-out, overhead normalized to TPP (lower is better)\n")
 	fmt.Fprintf(w, "%-10s %8s", "bench", "PPP")
 	for _, t := range techniques {
 		fmt.Fprintf(w, " %8s", "-"+t)
 	}
 	fmt.Fprintln(w)
-	for _, r := range rs {
+	for _, r := range rows {
 		tpp := r.Profilers["TPP"].Overhead()
-		ppp := r.Profilers["PPP"].Overhead()
-		// The paper's inclusion rule is "PPP improves more than 5% of
-		// program runtime over TPP"; our overheads run at about half
-		// the paper's absolute scale, so the proportional cut is ~3
-		// points of runtime.
-		if tpp-ppp <= 0.03 {
-			continue
-		}
 		norm := func(x float64) float64 {
 			if tpp == 0 {
 				return 1
 			}
 			return x / tpp
 		}
-		fmt.Fprintf(w, "%-10s %8.2f", r.W.Name, norm(ppp))
+		fmt.Fprintf(w, "%-10s %8.2f", r.W.Name, norm(r.Profilers["PPP"].Overhead()))
 		for _, t := range techniques {
 			pr, err := s.Ablate(r.W.Name, t)
 			if err != nil {

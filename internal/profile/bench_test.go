@@ -1,0 +1,130 @@
+package profile_test
+
+import (
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/profile"
+)
+
+// path builds a synthetic path over DAG edge IDs; the trie keys on
+// edge identity only, so bare edges suffice.
+func path(ids ...int) cfg.Path {
+	p := make(cfg.Path, len(ids))
+	for i, id := range ids {
+		p[i] = &cfg.DAGEdge{ID: id}
+	}
+	return p
+}
+
+func TestPathProfileMerge(t *testing.T) {
+	a := profile.NewPathProfile("f")
+	a.Add(path(1, 2, 3), 10)
+	a.Add(path(1, 2, 4), 20)
+
+	b := profile.NewPathProfile("f")
+	b.Add(path(1, 2, 4), 5) // overlaps a
+	b.Add(path(7), 9)       // new to a
+	b.Add(path(1, 2), 1)    // proper prefix of an existing path
+
+	a.Merge(b)
+	if got := a.Get(path(1, 2, 3)); got != 10 {
+		t.Errorf("untouched path = %d, want 10", got)
+	}
+	if got := a.Get(path(1, 2, 4)); got != 25 {
+		t.Errorf("overlapping path = %d, want 25", got)
+	}
+	if got := a.Get(path(7)); got != 9 {
+		t.Errorf("new path = %d, want 9", got)
+	}
+	if got := a.Get(path(1, 2)); got != 1 {
+		t.Errorf("prefix path = %d, want 1 (must be distinct from its extensions)", got)
+	}
+	if a.Distinct() != 4 || a.Total() != 45 {
+		t.Errorf("distinct=%d total=%d, want 4/45", a.Distinct(), a.Total())
+	}
+	// Merge must not alias the source's path slices.
+	if b.Get(path(7)) != 9 || b.Distinct() != 3 {
+		t.Errorf("merge mutated source: %+v", b)
+	}
+}
+
+func TestHashTableColdTotal(t *testing.T) {
+	tab := profile.NewTable(profile.HashTable, 4, 0)
+	tab.Inc(0) // hot
+	tab.Inc(3) // hot
+	tab.Inc(3)
+	tab.Inc(10) // cold: >= N
+	tab.Inc(10)
+	tab.Inc(10)
+	tab.Inc(-2) // cold: negative (poison region)
+	tab.Cold += 7
+
+	if got := tab.ColdTotal(); got != 3+1+7 {
+		t.Errorf("ColdTotal = %d, want 11", got)
+	}
+	hot := tab.HotCounts()
+	if len(hot) != 2 || hot[0].Index != 0 || hot[0].Count != 1 || hot[1].Index != 3 || hot[1].Count != 2 {
+		t.Errorf("HotCounts = %+v", hot)
+	}
+	if tab.Lost != 0 || tab.Drops != 0 {
+		t.Errorf("lost=%d drops=%d, want 0/0", tab.Lost, tab.Drops)
+	}
+}
+
+// TestPathProfileRepeatAddZeroAllocs locks in the interning win:
+// recording an already-seen path must not allocate (the seed built a
+// string key per Add).
+func TestPathProfileRepeatAddZeroAllocs(t *testing.T) {
+	pp := profile.NewPathProfile("f")
+	p := path(1, 2, 3, 4, 5, 6, 7, 8)
+	pp.Add(p, 1)
+	allocs := testing.AllocsPerRun(100, func() { pp.Add(p, 1) })
+	if allocs != 0 {
+		t.Errorf("repeat Add allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestEdgeProfileBumpSlotZeroAllocs locks in the dense-counter win on
+// the VM's per-transition hot path.
+func TestEdgeProfileBumpSlotZeroAllocs(t *testing.T) {
+	ep := profile.NewEdgeProfile("f")
+	slot := ep.Slot(1, 2)
+	allocs := testing.AllocsPerRun(100, func() { ep.BumpSlot(slot) })
+	if allocs != 0 {
+		t.Errorf("BumpSlot allocates %.1f times, want 0", allocs)
+	}
+	if ep.Get(1, 2) < 100 {
+		t.Errorf("counts lost: %d", ep.Get(1, 2))
+	}
+}
+
+func BenchmarkPathProfileAddRepeat(b *testing.B) {
+	pp := profile.NewPathProfile("f")
+	p := path(1, 2, 3, 4, 5, 6, 7, 8)
+	pp.Add(p, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp.Add(p, 1)
+	}
+}
+
+func BenchmarkEdgeProfileBumpSlot(b *testing.B) {
+	ep := profile.NewEdgeProfile("f")
+	slot := ep.Slot(1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.BumpSlot(slot)
+	}
+}
+
+func BenchmarkHashTableInc(b *testing.B) {
+	tab := profile.NewTable(profile.HashTable, 64, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Inc(int64(i & 63))
+	}
+}

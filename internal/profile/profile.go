@@ -3,6 +3,13 @@
 // profiles, exact (ground truth) path profiles, and the runtime
 // counter tables (array or 701-slot hash) that path instrumentation
 // updates.
+//
+// Both profile kinds are optimized for the VM's hot loop: edge counts
+// live in a dense slot-indexed array (one slice index per bump, no map
+// hash), and path counts are keyed by an interned path ID resolved by
+// walking a trie over DAG edge IDs (no string key is built per
+// completed path). The map views that planners, serializers, and tests
+// consume are materialized lazily.
 package profile
 
 import (
@@ -18,20 +25,92 @@ type EdgeKey struct {
 }
 
 // EdgeProfile is the exact edge profile of one routine.
+//
+// Counts have two backings: dense slots registered up front by the VM
+// (Slot/BumpSlot, a slice increment per branch) and a sparse map fed
+// by Bump/Add/Merge for consumers that do not know the edge set in
+// advance (deserialization, tests). Freq materializes the combined
+// view on demand.
 type EdgeProfile struct {
 	Func  string
 	Calls int64
-	Freq  map[EdgeKey]int64
+
+	slots map[EdgeKey]int32
+	keys  []EdgeKey
+	dense []int64
+
+	extra map[EdgeKey]int64
 }
 
 // NewEdgeProfile returns an empty profile for a routine.
 func NewEdgeProfile(name string) *EdgeProfile {
-	return &EdgeProfile{Func: name, Freq: map[EdgeKey]int64{}}
+	return &EdgeProfile{Func: name}
 }
 
-// Bump increments the edge count.
+// Slot registers the edge src->dst for dense counting and returns its
+// slot index. Registering the same edge twice returns the same slot.
+// Intended for set-up code (the VM's prepare pass), not the hot path.
+func (ep *EdgeProfile) Slot(src, dst int) int {
+	k := EdgeKey{src, dst}
+	if s, ok := ep.slots[k]; ok {
+		return int(s)
+	}
+	if ep.slots == nil {
+		ep.slots = map[EdgeKey]int32{}
+	}
+	s := int32(len(ep.dense))
+	ep.slots[k] = s
+	ep.keys = append(ep.keys, k)
+	ep.dense = append(ep.dense, 0)
+	return int(s)
+}
+
+// BumpSlot increments the dense counter registered by Slot. This is
+// the hot-path operation: a single slice increment.
+func (ep *EdgeProfile) BumpSlot(slot int) {
+	ep.dense[slot]++
+}
+
+// Bump increments the edge count through the sparse backing.
 func (ep *EdgeProfile) Bump(src, dst int) {
-	ep.Freq[EdgeKey{src, dst}]++
+	ep.Add(src, dst, 1)
+}
+
+// Add adds v executions of the edge src->dst.
+func (ep *EdgeProfile) Add(src, dst int, v int64) {
+	if ep.extra == nil {
+		ep.extra = map[EdgeKey]int64{}
+	}
+	ep.extra[EdgeKey{src, dst}] += v
+}
+
+// Get returns the count of edge src->dst.
+func (ep *EdgeProfile) Get(src, dst int) int64 {
+	k := EdgeKey{src, dst}
+	var n int64
+	if s, ok := ep.slots[k]; ok {
+		n = ep.dense[s]
+	}
+	return n + ep.extra[k]
+}
+
+// Freq materializes the edge-count map, merging the dense and sparse
+// backings. The returned map is a snapshot: mutations to it are not
+// reflected in the profile (use Add), and later bumps are not
+// reflected in it.
+func (ep *EdgeProfile) Freq() map[EdgeKey]int64 {
+	out := make(map[EdgeKey]int64, len(ep.keys)+len(ep.extra))
+	for i, k := range ep.keys {
+		if ep.dense[i] != 0 {
+			out[k] += ep.dense[i]
+		}
+	}
+	for k, v := range ep.extra {
+		if v != 0 {
+			out[k] += v
+		}
+	}
+	return out
 }
 
 // ApplyTo writes the profile onto a CFG whose block IDs match the
@@ -39,7 +118,7 @@ func (ep *EdgeProfile) Bump(src, dst int) {
 func (ep *EdgeProfile) ApplyTo(g *cfg.Graph) {
 	g.Calls = ep.Calls
 	for _, e := range g.Edges {
-		e.Freq = ep.Freq[EdgeKey{e.Src.ID, e.Dst.ID}]
+		e.Freq = ep.Get(e.Src.ID, e.Dst.ID)
 	}
 }
 
@@ -47,8 +126,15 @@ func (ep *EdgeProfile) ApplyTo(g *cfg.Graph) {
 // as the paper does for multi-input benchmarks).
 func (ep *EdgeProfile) Merge(other *EdgeProfile) {
 	ep.Calls += other.Calls
-	for k, v := range other.Freq {
-		ep.Freq[k] += v
+	for i, k := range other.keys {
+		if other.dense[i] != 0 {
+			ep.Add(k.Src, k.Dst, other.dense[i])
+		}
+	}
+	for k, v := range other.extra {
+		if v != 0 {
+			ep.Add(k.Src, k.Dst, v)
+		}
 	}
 }
 
@@ -61,64 +147,111 @@ type PathCount struct {
 // PathProfile is the exact Ball-Larus path profile of one routine:
 // paths truncate at back edges and routine exits; calls suspend the
 // caller's path.
+//
+// Paths are interned: a trie over DAG edge IDs maps each distinct path
+// to a small integer ID assigned in first-seen order, so recording a
+// repeat execution walks the trie (a few comparisons per edge) without
+// building a string key or allocating.
 type PathProfile struct {
-	Func   string
-	counts map[string]*PathCount
-	order  []string
+	Func string
+
+	// nodes[0] is the trie root. Node IDs index this slice so the
+	// backing array can grow without invalidating references.
+	nodes []pathNode
+	// paths is indexed by interned path ID (also first-seen order).
+	paths []PathCount
+}
+
+type pathNode struct {
+	// id is the interned path ID + 1 of the path ending at this node;
+	// 0 means no recorded path ends here.
+	id   int32
+	kids []pathKid
+}
+
+// pathKid is one trie child, keyed by DAG edge ID. Fan-out per node is
+// tiny (bounded by a block's successor count), so a linear scan beats
+// a map.
+type pathKid struct {
+	edge int32
+	node int32
 }
 
 // NewPathProfile returns an empty path profile.
 func NewPathProfile(name string) *PathProfile {
-	return &PathProfile{Func: name, counts: map[string]*PathCount{}}
+	return &PathProfile{Func: name, nodes: make([]pathNode, 1)}
+}
+
+// walk returns the trie node index for path p, appending missing nodes
+// when grow is set (otherwise -1).
+func (pp *PathProfile) walk(p cfg.Path, grow bool) int32 {
+	cur := int32(0)
+	for _, e := range p {
+		id := int32(e.ID)
+		next := int32(-1)
+		for _, kid := range pp.nodes[cur].kids {
+			if kid.edge == id {
+				next = kid.node
+				break
+			}
+		}
+		if next < 0 {
+			if !grow {
+				return -1
+			}
+			next = int32(len(pp.nodes))
+			pp.nodes = append(pp.nodes, pathNode{})
+			pp.nodes[cur].kids = append(pp.nodes[cur].kids, pathKid{edge: id, node: next})
+		}
+		cur = next
+	}
+	return cur
 }
 
 // Add records count executions of path p.
 func (pp *PathProfile) Add(p cfg.Path, count int64) {
-	key := p.String()
-	pc := pp.counts[key]
-	if pc == nil {
+	n := pp.walk(p, true)
+	if pp.nodes[n].id == 0 {
 		cp := make(cfg.Path, len(p))
 		copy(cp, p)
-		pc = &PathCount{Path: cp}
-		pp.counts[key] = pc
-		pp.order = append(pp.order, key)
+		pp.paths = append(pp.paths, PathCount{Path: cp})
+		pp.nodes[n].id = int32(len(pp.paths))
 	}
-	pc.Count += count
+	pp.paths[pp.nodes[n].id-1].Count += count
 }
 
 // Get returns the count of path p (0 if never taken).
 func (pp *PathProfile) Get(p cfg.Path) int64 {
-	if pc := pp.counts[p.String()]; pc != nil {
-		return pc.Count
+	n := pp.walk(p, false)
+	if n < 0 || pp.nodes[n].id == 0 {
+		return 0
 	}
-	return 0
+	return pp.paths[pp.nodes[n].id-1].Count
 }
 
 // Paths returns all recorded paths in first-seen order.
 func (pp *PathProfile) Paths() []PathCount {
-	out := make([]PathCount, 0, len(pp.order))
-	for _, k := range pp.order {
-		out = append(out, *pp.counts[k])
-	}
+	out := make([]PathCount, len(pp.paths))
+	copy(out, pp.paths)
 	return out
 }
 
 // Distinct returns the number of distinct paths taken.
-func (pp *PathProfile) Distinct() int { return len(pp.order) }
+func (pp *PathProfile) Distinct() int { return len(pp.paths) }
 
 // Total returns the total number of path executions.
 func (pp *PathProfile) Total() int64 {
 	var sum int64
-	for _, k := range pp.order {
-		sum += pp.counts[k].Count
+	for i := range pp.paths {
+		sum += pp.paths[i].Count
 	}
 	return sum
 }
 
 // Merge adds other's counts into pp.
 func (pp *PathProfile) Merge(other *PathProfile) {
-	for _, k := range other.order {
-		pp.Add(other.counts[k].Path, other.counts[k].Count)
+	for i := range other.paths {
+		pp.Add(other.paths[i].Path, other.paths[i].Count)
 	}
 }
 

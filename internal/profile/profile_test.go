@@ -34,7 +34,7 @@ func TestEdgeProfileApplyAndMerge(t *testing.T) {
 	other.Bump(1, 2)
 	other.Calls = 1
 	ep.Merge(other)
-	if ep.Freq[profile.EdgeKey{1, 2}] != 4 || ep.Calls != 5 {
+	if ep.Get(1, 2) != 4 || ep.Calls != 5 {
 		t.Errorf("merge failed: %+v", ep)
 	}
 }

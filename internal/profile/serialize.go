@@ -33,8 +33,9 @@ func WriteEdgeProfiles(w io.Writer, profiles map[string]*EdgeProfile) error {
 		if _, err := fmt.Fprintf(w, "edges %s calls=%d\n", n, ep.Calls); err != nil {
 			return err
 		}
-		keys := make([]EdgeKey, 0, len(ep.Freq))
-		for k := range ep.Freq {
+		freq := ep.Freq()
+		keys := make([]EdgeKey, 0, len(freq))
+		for k := range freq {
 			keys = append(keys, k)
 		}
 		sort.Slice(keys, func(i, j int) bool {
@@ -44,7 +45,7 @@ func WriteEdgeProfiles(w io.Writer, profiles map[string]*EdgeProfile) error {
 			return keys[i].Dst < keys[j].Dst
 		})
 		for _, k := range keys {
-			if _, err := fmt.Fprintf(w, "%d %d %d\n", k.Src, k.Dst, ep.Freq[k]); err != nil {
+			if _, err := fmt.Fprintf(w, "%d %d %d\n", k.Src, k.Dst, freq[k]); err != nil {
 				return err
 			}
 		}
@@ -99,7 +100,7 @@ func ReadEdgeProfiles(r io.Reader) (map[string]*EdgeProfile, error) {
 			if freq < 0 {
 				return nil, fmt.Errorf("profile line %d: negative frequency", line)
 			}
-			cur.Freq[EdgeKey{src, dst}] += freq
+			cur.Add(src, dst, freq)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -15,11 +15,11 @@ func TestEdgeProfileRoundTrip(t *testing.T) {
 		"f":    profile.NewEdgeProfile("f"),
 	}
 	in["main"].Calls = 1
-	in["main"].Freq[profile.EdgeKey{0, 1}] = 100
-	in["main"].Freq[profile.EdgeKey{1, 2}] = 60
-	in["main"].Freq[profile.EdgeKey{1, 3}] = 40
+	in["main"].Add(0, 1, 100)
+	in["main"].Add(1, 2, 60)
+	in["main"].Add(1, 3, 40)
 	in["f"].Calls = 100
-	in["f"].Freq[profile.EdgeKey{0, 1}] = 100
+	in["f"].Add(0, 1, 100)
 
 	var sb strings.Builder
 	if err := profile.WriteEdgeProfiles(&sb, in); err != nil {
@@ -34,12 +34,16 @@ func TestEdgeProfileRoundTrip(t *testing.T) {
 	}
 	for name, ep := range in {
 		got := out[name]
-		if got == nil || got.Calls != ep.Calls || len(got.Freq) != len(ep.Freq) {
+		if got == nil || got.Calls != ep.Calls {
 			t.Fatalf("%s mismatch: %+v vs %+v", name, got, ep)
 		}
-		for k, v := range ep.Freq {
-			if got.Freq[k] != v {
-				t.Errorf("%s %v = %d, want %d", name, k, got.Freq[k], v)
+		gotFreq := got.Freq()
+		if len(gotFreq) != len(ep.Freq()) {
+			t.Fatalf("%s edge count mismatch: %v vs %v", name, gotFreq, ep.Freq())
+		}
+		for k, v := range ep.Freq() {
+			if gotFreq[k] != v {
+				t.Errorf("%s %v = %d, want %d", name, k, gotFreq[k], v)
 			}
 		}
 	}
@@ -54,7 +58,8 @@ func TestEdgeProfileRoundTripProperty(t *testing.T) {
 			ep := profile.NewEdgeProfile(name)
 			ep.Calls = int64(rng.Intn(1000))
 			for e := 0; e < rng.Intn(20); e++ {
-				ep.Freq[profile.EdgeKey{rng.Intn(30), rng.Intn(30)}] = int64(rng.Intn(100000))
+				k := profile.EdgeKey{Src: rng.Intn(30), Dst: rng.Intn(30)}
+				ep.Add(k.Src, k.Dst, int64(rng.Intn(100000))-ep.Get(k.Src, k.Dst))
 			}
 			in[name] = ep
 		}
@@ -68,11 +73,15 @@ func TestEdgeProfileRoundTripProperty(t *testing.T) {
 		}
 		for name, ep := range in {
 			got := out[name]
-			if got.Calls != ep.Calls || len(got.Freq) != len(ep.Freq) {
+			if got.Calls != ep.Calls {
 				return false
 			}
-			for k, v := range ep.Freq {
-				if got.Freq[k] != v {
+			gotFreq, wantFreq := got.Freq(), ep.Freq()
+			if len(gotFreq) != len(wantFreq) {
+				return false
+			}
+			for k, v := range wantFreq {
+				if gotFreq[k] != v {
 					return false
 				}
 			}
@@ -101,7 +110,7 @@ func TestReadEdgeProfilesErrors(t *testing.T) {
 	// Comments and blank lines are tolerated.
 	ok := "# comment\n\nedges f calls=3\n0 1 7\nend\n"
 	out, err := profile.ReadEdgeProfiles(strings.NewReader(ok))
-	if err != nil || out["f"].Freq[profile.EdgeKey{0, 1}] != 7 {
+	if err != nil || out["f"].Get(0, 1) != 7 {
 		t.Errorf("good input rejected: %v", err)
 	}
 }

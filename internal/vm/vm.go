@@ -14,6 +14,13 @@
 // the run (paths truncate at back edges and routine exits; calls
 // suspend the caller's path), which the evaluation uses as the actual
 // path profile that PP would measure.
+//
+// The interpreter is built for throughput: prepare compiles every
+// block terminator into a dense successor table (per-transition state
+// is a slice index away, with no map lookups on the hot path), frames
+// and their register/path slices are pooled across calls, and edge
+// counts go to dense profile slots. A steady-state transition performs
+// zero allocations.
 package vm
 
 import (
@@ -59,6 +66,11 @@ func DefaultCosts() CostModel {
 // Options configures a run.
 type Options struct {
 	Costs CostModel
+	// UseZeroCosts runs with Costs exactly as given even when it is the
+	// zero CostModel. Without it, a zero Costs is replaced by
+	// DefaultCosts(), so an intentionally free execution (e.g. counting
+	// steps without modeling cost) needs this escape hatch.
+	UseZeroCosts bool
 	// Entry is the function to run (default "main"); Args its
 	// arguments.
 	Entry string
@@ -115,6 +127,29 @@ var ErrMaxSteps = errors.New("vm: step budget exhausted")
 
 const defaultMaxSteps = int64(2_000_000_000)
 
+// succRT is the precompiled state of one control-flow transition: what
+// the interpreter needs when a terminator selects this successor, with
+// every map lookup done once in prepare.
+type succRT struct {
+	to        int
+	edgeSlot  int32 // dense edge-profile slot; -1 when edges are off
+	back      bool  // transition follows a CFG back edge
+	takenCost int64 // TakenPenalty when to != from+1
+	instrCost int64 // EdgeCount under EdgeInstrument on branches
+	ops       []instr.Op
+	// Path tracking: real DAG edge to append, or the dummy pair that
+	// truncates and restarts the path at a back edge.
+	pathEdge   *cfg.DAGEdge
+	exitDummy  *cfg.DAGEdge
+	entryDummy *cfg.DAGEdge
+}
+
+// blockRT holds a block's successor table: succ[0] is the Jump target
+// or the Branch taken-arm, succ[1] the Branch else-arm.
+type blockRT struct {
+	succ [2]succRT
+}
+
 // funcRT is the per-function runtime state derived before execution.
 type funcRT struct {
 	fn    *ir.Func
@@ -122,11 +157,10 @@ type funcRT struct {
 	plan  *instr.Plan
 	table *profile.Table
 
-	real       map[[2]int]*cfg.DAGEdge
-	entryDummy map[int]*cfg.DAGEdge // by header block index
-	exitDummy  map[int]*cfg.DAGEdge // by tail block index
-	back       map[[2]int]bool
-	edgeOps    map[[2]int][]instr.Op
+	blocks []blockRT
+	// hash/poisonCheck mirror plan fields for the op interpreter.
+	hash        bool
+	poisonCheck bool
 
 	edges *profile.EdgeProfile
 	paths *profile.PathProfile
@@ -150,8 +184,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = defaultMaxSteps
 	}
-	zero := CostModel{}
-	if opts.Costs == zero {
+	if !opts.UseZeroCosts && opts.Costs == (CostModel{}) {
 		opts.Costs = DefaultCosts()
 	}
 	entryIdx, ok := prog.FuncIndex[opts.Entry]
@@ -194,9 +227,12 @@ type machine struct {
 	globals []int64
 	arrays  [][]int64
 	rts     []*funcRT
+	pool    []*frame // recycled frames; regs/path capacity is retained
 }
 
-// prepare derives the per-function runtime tables.
+// prepare derives the per-function runtime tables: DAG-edge and
+// instrumentation maps are resolved here, once, into the dense
+// per-block successor tables the interpreter dispatches on.
 func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
 	rt := &funcRT{fn: f}
 	var plan *instr.Plan
@@ -208,6 +244,8 @@ func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
 		// Reuse the plan's DAG so edge IDs in Ops resolve correctly.
 		rt.d = plan.D
 		rt.plan = plan
+		rt.hash = plan.Hash
+		rt.poisonCheck = plan.PoisonCheck
 	} else if needDAG {
 		d, err := cfg.BuildDAG(f.CFG())
 		if err != nil {
@@ -215,47 +253,55 @@ func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
 		}
 		rt.d = d
 	}
+
+	var (
+		real       map[[2]int]*cfg.DAGEdge
+		entryDummy map[int]*cfg.DAGEdge // by header block index
+		exitDummy  map[int]*cfg.DAGEdge // by tail block index
+		back       map[[2]int]bool
+		edgeOps    map[[2]int][]instr.Op
+	)
 	if rt.d != nil {
-		rt.real = map[[2]int]*cfg.DAGEdge{}
-		rt.entryDummy = map[int]*cfg.DAGEdge{}
-		rt.exitDummy = map[int]*cfg.DAGEdge{}
-		rt.back = map[[2]int]bool{}
+		real = map[[2]int]*cfg.DAGEdge{}
+		entryDummy = map[int]*cfg.DAGEdge{}
+		exitDummy = map[int]*cfg.DAGEdge{}
+		back = map[[2]int]bool{}
 		for _, e := range rt.d.Edges {
 			switch e.Kind {
 			case cfg.RealEdge:
-				rt.real[[2]int{e.Src.ID, e.Dst.ID}] = e
+				real[[2]int{e.Src.ID, e.Dst.ID}] = e
 			case cfg.EntryDummy:
-				rt.entryDummy[e.Dst.ID] = e
+				entryDummy[e.Dst.ID] = e
 			case cfg.ExitDummy:
-				rt.exitDummy[e.Src.ID] = e
+				exitDummy[e.Src.ID] = e
 			}
 		}
 		for _, e := range rt.d.G.Edges {
 			if e.Back {
-				rt.back[[2]int{e.Src.ID, e.Dst.ID}] = true
+				back[[2]int{e.Src.ID, e.Dst.ID}] = true
 			}
 		}
 	}
 	if plan != nil && plan.Instrumented {
-		rt.edgeOps = map[[2]int][]instr.Op{}
+		edgeOps = map[[2]int][]instr.Op{}
 		for _, e := range rt.d.G.Edges {
 			key := [2]int{e.Src.ID, e.Dst.ID}
 			if e.Back {
 				var ops []instr.Op
-				if xd := rt.exitDummy[e.Src.ID]; xd != nil {
+				if xd := exitDummy[e.Src.ID]; xd != nil {
 					ops = append(ops, plan.Ops[xd.ID]...)
 				}
-				if ed := rt.entryDummy[e.Dst.ID]; ed != nil {
+				if ed := entryDummy[e.Dst.ID]; ed != nil {
 					ops = append(ops, plan.Ops[ed.ID]...)
 				}
 				if len(ops) > 0 {
-					rt.edgeOps[key] = ops
+					edgeOps[key] = ops
 				}
 				continue
 			}
-			de := rt.real[key]
+			de := real[key]
 			if de != nil && len(plan.Ops[de.ID]) > 0 {
-				rt.edgeOps[key] = plan.Ops[de.ID]
+				edgeOps[key] = plan.Ops[de.ID]
 			}
 		}
 		kind := profile.ArrayTable
@@ -276,75 +322,210 @@ func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
 	if rt.d != nil {
 		m.res.DAGs[f.Name] = rt.d
 	}
+
+	// Compile the successor tables.
+	mk := func(from, to int, isBranch bool) succRT {
+		s := succRT{to: to, edgeSlot: -1}
+		if to != from+1 {
+			s.takenCost = m.opts.Costs.TakenPenalty
+		}
+		if m.opts.EdgeInstrument && isBranch {
+			s.instrCost = m.opts.Costs.EdgeCount
+		}
+		if rt.edges != nil {
+			s.edgeSlot = int32(rt.edges.Slot(from, to))
+		}
+		if edgeOps != nil {
+			s.ops = edgeOps[[2]int{from, to}]
+		}
+		if rt.d != nil {
+			if back[[2]int{from, to}] {
+				s.back = true
+				s.exitDummy = exitDummy[from]
+				s.entryDummy = entryDummy[to]
+			} else {
+				s.pathEdge = real[[2]int{from, to}]
+			}
+		}
+		return s
+	}
+	rt.blocks = make([]blockRT, len(f.Blocks))
+	for i, b := range f.Blocks {
+		switch b.Term.Kind {
+		case ir.Jump:
+			rt.blocks[i].succ[0] = mk(i, b.Term.To, false)
+		case ir.Branch:
+			rt.blocks[i].succ[0] = mk(i, b.Term.To, true)
+			rt.blocks[i].succ[1] = mk(i, b.Term.Else, true)
+		}
+	}
 	return rt, nil
+}
+
+// newFrame pushes a pooled frame for function fi. Register and path
+// slices are recycled across calls; registers are zeroed.
+func (m *machine) newFrame(fi, callDst int) *frame {
+	f := m.prog.Funcs[fi]
+	var fr *frame
+	if n := len(m.pool); n > 0 {
+		fr = m.pool[n-1]
+		m.pool = m.pool[:n-1]
+	} else {
+		fr = &frame{}
+	}
+	fr.rt = m.rts[fi]
+	fr.block = f.Entry
+	fr.pc = 0
+	fr.r = 0
+	fr.callDst = callDst
+	if cap(fr.regs) < f.NRegs {
+		fr.regs = make([]int64, f.NRegs)
+	} else {
+		fr.regs = fr.regs[:f.NRegs]
+		for i := range fr.regs {
+			fr.regs[i] = 0
+		}
+	}
+	fr.path = fr.path[:0]
+	if fr.rt.edges != nil {
+		fr.rt.edges.Calls++
+	}
+	return fr
+}
+
+// free returns a popped frame to the pool.
+func (m *machine) free(fr *frame) {
+	fr.rt = nil
+	m.pool = append(m.pool, fr)
 }
 
 // exec runs function fnIdx with the given arguments to completion.
 func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
 	costs := &m.opts.Costs
+	cInstr, cTerm, cCall := costs.Instr, costs.Term, costs.Call
+	maxSteps := m.opts.MaxSteps
+	var steps, base int64 // flushed to m.res on successful completion
+
+	entry := m.prog.Funcs[fnIdx]
+	if len(args) != entry.NParams {
+		return 0, fmt.Errorf("vm: %s expects %d args, got %d", entry.Name, entry.NParams, len(args))
+	}
 	var stack []*frame
-	push := func(fi int, args []int64, callDst int) error {
-		f := m.prog.Funcs[fi]
-		if len(args) != f.NParams {
-			return fmt.Errorf("vm: %s expects %d args, got %d", f.Name, f.NParams, len(args))
-		}
-		fr := &frame{rt: m.rts[fi], regs: make([]int64, f.NRegs), block: f.Entry, callDst: callDst}
-		copy(fr.regs, args)
-		if fr.rt.edges != nil {
-			fr.rt.edges.Calls++
-		}
-		stack = append(stack, fr)
-		return nil
-	}
-	if err := push(fnIdx, args, -1); err != nil {
-		return 0, err
-	}
+	fr := m.newFrame(fnIdx, -1)
+	copy(fr.regs, args)
+	stack = append(stack, fr)
 
 	var retVal int64
 	for len(stack) > 0 {
 		fr := stack[len(stack)-1]
-		blocks := fr.rt.fn.Blocks
-		b := blocks[fr.block]
+		rt := fr.rt
+		b := rt.fn.Blocks[fr.block]
+		instrs := b.Instrs
 
 		// Execute remaining instructions of the current block.
 		callMade := false
-		for fr.pc < len(b.Instrs) {
-			in := &b.Instrs[fr.pc]
+		for fr.pc < len(instrs) {
+			in := &instrs[fr.pc]
 			fr.pc++
-			m.res.Steps++
-			m.res.BaseCost += costs.Instr
-			if m.res.Steps > m.opts.MaxSteps {
+			steps++
+			base += cInstr
+			if steps > maxSteps {
 				return 0, ErrMaxSteps
 			}
 			if in.Op == ir.Call {
 				m.res.DynCalls++
-				m.res.BaseCost += costs.Call
-				callArgs := make([]int64, len(in.Args))
+				base += cCall
+				callee := m.prog.Funcs[in.Sym]
+				if len(in.Args) != callee.NParams {
+					return 0, fmt.Errorf("vm: %s expects %d args, got %d",
+						callee.Name, callee.NParams, len(in.Args))
+				}
+				nf := m.newFrame(in.Sym, in.Dst)
 				for i, a := range in.Args {
-					callArgs[i] = fr.regs[a]
+					nf.regs[i] = fr.regs[a]
 				}
-				if err := push(in.Sym, callArgs, in.Dst); err != nil {
-					return 0, err
-				}
+				stack = append(stack, nf)
 				callMade = true
 				break
 			}
-			m.step(fr, in)
+			r := fr.regs
+			switch in.Op {
+			case ir.Const:
+				r[in.Dst] = in.Imm
+			case ir.Mov:
+				r[in.Dst] = r[in.A]
+			case ir.Add:
+				r[in.Dst] = r[in.A] + r[in.B]
+			case ir.Sub:
+				r[in.Dst] = r[in.A] - r[in.B]
+			case ir.Mul:
+				r[in.Dst] = r[in.A] * r[in.B]
+			case ir.Div:
+				r[in.Dst] = safeDiv(r[in.A], r[in.B])
+			case ir.Mod:
+				r[in.Dst] = safeMod(r[in.A], r[in.B])
+			case ir.Neg:
+				r[in.Dst] = -r[in.A]
+			case ir.Not:
+				r[in.Dst] = b2i(r[in.A] == 0)
+			case ir.Eq:
+				r[in.Dst] = b2i(r[in.A] == r[in.B])
+			case ir.Ne:
+				r[in.Dst] = b2i(r[in.A] != r[in.B])
+			case ir.Lt:
+				r[in.Dst] = b2i(r[in.A] < r[in.B])
+			case ir.Le:
+				r[in.Dst] = b2i(r[in.A] <= r[in.B])
+			case ir.Gt:
+				r[in.Dst] = b2i(r[in.A] > r[in.B])
+			case ir.Ge:
+				r[in.Dst] = b2i(r[in.A] >= r[in.B])
+			case ir.BAnd:
+				r[in.Dst] = r[in.A] & r[in.B]
+			case ir.BOr:
+				r[in.Dst] = r[in.A] | r[in.B]
+			case ir.BXor:
+				r[in.Dst] = r[in.A] ^ r[in.B]
+			case ir.Shl:
+				r[in.Dst] = r[in.A] << uint(r[in.B]&63)
+			case ir.Shr:
+				r[in.Dst] = r[in.A] >> uint(r[in.B]&63)
+			case ir.LoadG:
+				r[in.Dst] = m.globals[in.Sym]
+			case ir.StoreG:
+				m.globals[in.Sym] = r[in.A]
+			case ir.LoadA:
+				arr := m.arrays[in.Sym]
+				if len(arr) == 0 {
+					r[in.Dst] = 0
+				} else {
+					r[in.Dst] = arr[wrap(r[in.A], int64(len(arr)))]
+				}
+			case ir.StoreA:
+				arr := m.arrays[in.Sym]
+				if len(arr) > 0 {
+					arr[wrap(r[in.A], int64(len(arr)))] = r[in.B]
+				}
+			case ir.Print:
+				if m.opts.Output != nil {
+					fmt.Fprintf(m.opts.Output, "%d\n", r[in.A])
+				}
+			}
 		}
 		if callMade {
 			continue
 		}
 
 		// Terminator.
-		m.res.Steps++
-		m.res.BaseCost += costs.Term
-		t := b.Term
+		steps++
+		base += cTerm
+		t := &b.Term
 		switch t.Kind {
 		case ir.Ret:
-			if fr.rt.paths != nil {
-				fr.rt.paths.Add(fr.path, 1)
+			if rt.paths != nil {
+				rt.paths.Add(fr.path, 1)
 				if m.opts.PathHook != nil {
-					m.opts.PathHook(fr.rt.fn.Name, fr.path)
+					m.opts.PathHook(rt.fn.Name, fr.path)
 				}
 			}
 			if t.Ret >= 0 {
@@ -359,53 +540,51 @@ func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
 					caller.regs[fr.callDst] = retVal
 				}
 			}
+			m.free(fr)
 		case ir.Jump:
-			if t.To != fr.block+1 {
-				m.res.BaseCost += costs.TakenPenalty
-			}
-			m.transition(fr, fr.block, t.To)
-			fr.block, fr.pc = t.To, 0
+			s := &rt.blocks[fr.block].succ[0]
+			base += s.takenCost
+			m.transition(fr, s)
+			fr.block, fr.pc = s.to, 0
 		case ir.Branch:
-			next := t.Else
+			idx := 1 // else arm
 			if fr.regs[t.Cond] != 0 {
-				next = t.To
+				idx = 0
 			}
-			if next != fr.block+1 {
-				m.res.BaseCost += costs.TakenPenalty
-			}
-			m.transition(fr, fr.block, next)
-			fr.block, fr.pc = next, 0
+			s := &rt.blocks[fr.block].succ[idx]
+			base += s.takenCost
+			m.transition(fr, s)
+			fr.block, fr.pc = s.to, 0
 		}
 	}
+	m.res.Steps = steps
+	m.res.BaseCost = base
 	return retVal, nil
 }
 
-// transition handles a control-flow edge: edge profiling, path
-// tracking, and instrumentation ops.
-func (m *machine) transition(fr *frame, from, to int) {
+// transition handles a control-flow edge through its precompiled
+// successor state: edge profiling, path tracking, and instrumentation
+// ops, with no map lookups.
+func (m *machine) transition(fr *frame, s *succRT) {
 	rt := fr.rt
-	if rt.edges != nil {
-		rt.edges.Bump(from, to)
+	if s.edgeSlot >= 0 {
+		rt.edges.BumpSlot(int(s.edgeSlot))
 	}
-	if m.opts.EdgeInstrument && rt.fn.Blocks[from].Term.Kind == ir.Branch {
-		m.res.InstrCost += m.opts.Costs.EdgeCount
-	}
-	if rt.edgeOps != nil {
-		if ops := rt.edgeOps[[2]int{from, to}]; ops != nil {
-			m.runOps(fr, ops)
-		}
+	m.res.InstrCost += s.instrCost
+	if s.ops != nil {
+		m.runOps(fr, s.ops)
 	}
 	if rt.paths != nil {
-		if rt.back[[2]int{from, to}] {
-			fr.path = append(fr.path, rt.exitDummy[from])
+		if s.back {
+			fr.path = append(fr.path, s.exitDummy)
 			rt.paths.Add(fr.path, 1)
 			if m.opts.PathHook != nil {
 				m.opts.PathHook(rt.fn.Name, fr.path)
 			}
 			fr.path = fr.path[:0]
-			fr.path = append(fr.path, rt.entryDummy[to])
+			fr.path = append(fr.path, s.entryDummy)
 		} else {
-			fr.path = append(fr.path, rt.real[[2]int{from, to}])
+			fr.path = append(fr.path, s.pathEdge)
 		}
 	}
 }
@@ -414,7 +593,7 @@ func (m *machine) transition(fr *frame, from, to int) {
 func (m *machine) runOps(fr *frame, ops []instr.Op) {
 	costs := &m.opts.Costs
 	rt := fr.rt
-	hash := rt.plan.Hash
+	hash := rt.hash
 	for _, op := range ops {
 		switch op.Kind {
 		case instr.OpInc:
@@ -431,7 +610,7 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 			case instr.OpCountC:
 				idx = op.V
 			}
-			if rt.plan.PoisonCheck {
+			if rt.poisonCheck {
 				m.res.InstrCost += costs.PoisonCheck
 				if fr.r < 0 {
 					rt.table.Cold++
@@ -448,67 +627,6 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 				m.res.InstrCost += costs.CountArray
 			}
 			rt.table.Inc(idx)
-		}
-	}
-}
-
-// step executes one non-call instruction.
-func (m *machine) step(fr *frame, in *ir.Instr) {
-	r := fr.regs
-	switch in.Op {
-	case ir.Const:
-		r[in.Dst] = in.Imm
-	case ir.Mov:
-		r[in.Dst] = r[in.A]
-	case ir.Add:
-		r[in.Dst] = r[in.A] + r[in.B]
-	case ir.Sub:
-		r[in.Dst] = r[in.A] - r[in.B]
-	case ir.Mul:
-		r[in.Dst] = r[in.A] * r[in.B]
-	case ir.Div:
-		r[in.Dst] = safeDiv(r[in.A], r[in.B])
-	case ir.Mod:
-		r[in.Dst] = safeMod(r[in.A], r[in.B])
-	case ir.Neg:
-		r[in.Dst] = -r[in.A]
-	case ir.Not:
-		r[in.Dst] = b2i(r[in.A] == 0)
-	case ir.Eq:
-		r[in.Dst] = b2i(r[in.A] == r[in.B])
-	case ir.Ne:
-		r[in.Dst] = b2i(r[in.A] != r[in.B])
-	case ir.Lt:
-		r[in.Dst] = b2i(r[in.A] < r[in.B])
-	case ir.Le:
-		r[in.Dst] = b2i(r[in.A] <= r[in.B])
-	case ir.Gt:
-		r[in.Dst] = b2i(r[in.A] > r[in.B])
-	case ir.Ge:
-		r[in.Dst] = b2i(r[in.A] >= r[in.B])
-	case ir.BAnd:
-		r[in.Dst] = r[in.A] & r[in.B]
-	case ir.BOr:
-		r[in.Dst] = r[in.A] | r[in.B]
-	case ir.BXor:
-		r[in.Dst] = r[in.A] ^ r[in.B]
-	case ir.Shl:
-		r[in.Dst] = r[in.A] << uint(r[in.B]&63)
-	case ir.Shr:
-		r[in.Dst] = r[in.A] >> uint(r[in.B]&63)
-	case ir.LoadG:
-		r[in.Dst] = m.globals[in.Sym]
-	case ir.StoreG:
-		m.globals[in.Sym] = r[in.A]
-	case ir.LoadA:
-		arr := m.arrays[in.Sym]
-		r[in.Dst] = arr[wrap(r[in.A], int64(len(arr)))]
-	case ir.StoreA:
-		arr := m.arrays[in.Sym]
-		arr[wrap(r[in.A], int64(len(arr)))] = r[in.B]
-	case ir.Print:
-		if m.opts.Output != nil {
-			fmt.Fprintf(m.opts.Output, "%d\n", r[in.A])
 		}
 	}
 }
@@ -543,8 +661,16 @@ func safeMod(a, b int64) int64 {
 }
 
 // wrap maps an arbitrary index into [0, size): array indices wrap
-// modulo the array size by definition.
+// modulo the array size by definition. In-range indices (the common
+// case) skip the division; size 0 yields 0 so empty arrays are total
+// too (callers must still skip the element access).
 func wrap(i, size int64) int64 {
+	if uint64(i) < uint64(size) {
+		return i
+	}
+	if size == 0 {
+		return 0
+	}
 	i %= size
 	if i < 0 {
 		i += size
