@@ -3,14 +3,22 @@
 //
 // Usage:
 //
-//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static]
-//	         [-workloads a,b,c] [-par n] [-json] [-v]
+//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput]
+//	         [-workloads a,b,c] [-par n] [-replicas n] [-json] [-v]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // The workload sweep runs on a bounded worker pool (-par, default
 // GOMAXPROCS); table and figure output is deterministic regardless of
 // parallelism. With -json, the human-readable tables are suppressed
 // and one JSON document with per-experiment wall-clock times and the
 // suite's headline metrics is written to stdout instead.
+//
+// -exp throughput measures sharded concurrent collection
+// (vm.RunReplicated) at 1/2/4/8 workers with -replicas runs per
+// measurement; because its numbers are wall-clock, it only runs when
+// requested explicitly, never under -exp all. -cpuprofile/-memprofile
+// write go tool pprof profiles, for diagnosing scaling regressions in
+// the collector.
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,13 +50,46 @@ type experimentTiming struct {
 	Secs float64 `json:"seconds"`
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static)")
+func main() { os.Exit(run()) }
+
+func run() int {
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput)")
 	names := flag.String("workloads", "", "comma-separated subset of workloads (default: all 18)")
 	par := flag.Int("par", 0, "worker pool size for the workload sweep (0 = GOMAXPROCS, 1 = sequential)")
+	replicas := flag.Int("replicas", bench.DefaultThroughputReplicas, "replicas per measurement in -exp throughput")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (wall-clock + headline metrics) instead of tables")
 	verbose := flag.Bool("v", false, "log progress to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	s := bench.NewSuite()
 	s.Parallelism = *par
@@ -60,7 +103,7 @@ func main() {
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown workload %q; available: %s\n",
 					n, strings.Join(workloads.Names(), ", "))
-				os.Exit(2)
+				return 2
 			}
 			sel = append(sel, w)
 		}
@@ -70,18 +113,22 @@ func main() {
 	type experiment struct {
 		name string
 		run  func(io.Writer) error
+		// onlyExplicit excludes wall-clock experiments from -exp all so
+		// the default output stays deterministic.
+		onlyExplicit bool
 	}
 	all := []experiment{
-		{"table1", s.Table1},
-		{"table2", s.Table2},
-		{"fig9", s.Figure9},
-		{"fig10", s.Figure10},
-		{"fig11", s.Figure11},
-		{"fig12", s.Figure12},
-		{"fig13", s.Figure13},
-		{"sac", s.SACReport},
-		{"net", s.NETReport},
-		{"static", s.StaticReport},
+		{"table1", s.Table1, false},
+		{"table2", s.Table2, false},
+		{"fig9", s.Figure9, false},
+		{"fig10", s.Figure10, false},
+		{"fig11", s.Figure11, false},
+		{"fig12", s.Figure12, false},
+		{"fig13", s.Figure13, false},
+		{"sac", s.SACReport, false},
+		{"net", s.NETReport, false},
+		{"static", s.StaticReport, false},
+		{"throughput", func(w io.Writer) error { return s.ThroughputReport(w, *replicas) }, true},
 	}
 	rep := report{Parallelism: s.Parallelism}
 	for _, w := range s.Workloads {
@@ -94,14 +141,18 @@ func main() {
 	start := time.Now()
 	ran := false
 	for _, e := range all {
-		if *exp != "all" && *exp != e.name {
+		if *exp == "all" {
+			if e.onlyExplicit {
+				continue
+			}
+		} else if *exp != e.name {
 			continue
 		}
 		ran = true
 		t0 := time.Now()
 		if err := e.run(out); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Experiments = append(rep.Experiments, experimentTiming{e.name, time.Since(t0).Seconds()})
 		if !*jsonOut {
@@ -110,7 +161,7 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 	rep.TotalSecs = time.Since(start).Seconds()
 
@@ -118,14 +169,15 @@ func main() {
 		headline, err := s.Headline()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "headline: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Headline = headline
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -15,6 +15,7 @@ import (
 
 	"pathprof/internal/core"
 	"pathprof/internal/eval"
+	"pathprof/internal/netprof"
 	"pathprof/internal/workloads"
 )
 
@@ -28,7 +29,11 @@ type WorkloadResult struct {
 	Staged    *core.Staged
 	Orig, Opt core.PathStats
 	Profilers map[string]*core.ProfilerResult // PP, TPP, PPP
-	hot       []eval.HotPath
+	// NET is Dynamo's predictor, fed by a PathHook tee off the staging
+	// run that produced Staged.Base — NETReport reads it without a
+	// second execution of the workload.
+	NET *netprof.Predictor
+	hot []eval.HotPath
 }
 
 // Hot returns the actual hot set at HotTheta, computed once from the
@@ -116,7 +121,10 @@ func (s *Suite) runWorkload(name string) (*WorkloadResult, error) {
 		return nil, fmt.Errorf("bench: unknown workload %q", name)
 	}
 	s.logf("staging %s", name)
-	staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+	pred := netprof.New(netprof.DefaultThreshold)
+	pl := core.NewPipeline(w.Name, w.Source)
+	pl.PathHook = pred.Hook()
+	staged, err := pl.Stage()
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +134,7 @@ func (s *Suite) runWorkload(name string) (*WorkloadResult, error) {
 		Orig:      core.StatsOf(staged.OriginalRun),
 		Opt:       core.StatsOf(staged.Base),
 		Profilers: map[string]*core.ProfilerResult{},
+		NET:       pred,
 	}
 	for _, p := range core.Profilers() {
 		s.logf("  profiling %s with %s", name, p.Name)

@@ -3,9 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-
-	"pathprof/internal/netprof"
-	"pathprof/internal/vm"
 )
 
 // NETReport quantifies the Section 2 comparison with Dynamo's NET
@@ -15,6 +12,10 @@ import (
 // actual hot paths). NET is cheap but cannot tell a few dominant hot
 // paths from many warm paths; the gap is widest on the warm-path
 // integer programs.
+//
+// The predictor is fed by a PathHook tee off each workload's staging
+// run (WorkloadResult.NET), so this report adds no VM executions on
+// top of RunAll.
 func (s *Suite) NETReport(w io.Writer) error {
 	rs, err := s.RunAll()
 	if err != nil {
@@ -24,13 +25,7 @@ func (s *Suite) NETReport(w io.Writer) error {
 	fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "bench", "NET", "PPP", "traces")
 	var nets, ppps []float64
 	for _, r := range rs {
-		pred := netprof.New(netprof.DefaultThreshold)
-		_, err := vm.Run(r.Staged.Prog, vm.Options{
-			CollectPaths: true, PathHook: pred.Hook(),
-		})
-		if err != nil {
-			return err
-		}
+		pred := r.NET
 		hot := r.Hot()
 		flowByKey := map[string]int64{}
 		var total int64

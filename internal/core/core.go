@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pathprof/internal/cfg"
 	"pathprof/internal/eval"
 	"pathprof/internal/instr"
 	"pathprof/internal/ir"
@@ -48,6 +49,11 @@ type Pipeline struct {
 	// NoOpt skips inlining and unrolling (the paper's "original code"
 	// configuration).
 	NoOpt bool
+	// PathHook, if set, tees the final profiling run's path stream (the
+	// run that produces Staged.Base, or the original run under NoOpt)
+	// to an online consumer such as netprof's NET predictor, so stream
+	// observers need no second execution of the program.
+	PathHook func(fn string, p cfg.Path)
 }
 
 // NewPipeline returns a pipeline with the paper's default parameters.
@@ -83,17 +89,21 @@ type Staged struct {
 
 // Stage compiles, profiles, optimizes, and re-profiles the program.
 func (p *Pipeline) Stage() (*Staged, error) {
-	runOpts := func(paths bool) vm.Options {
-		return vm.Options{
+	runOpts := func(paths, final bool) vm.Options {
+		o := vm.Options{
 			Costs: p.Costs, Entry: p.Entry, MaxSteps: p.MaxSteps,
 			CollectEdges: true, CollectPaths: paths,
 		}
+		if final && paths {
+			o.PathHook = p.PathHook
+		}
+		return o
 	}
 	p0, err := lower.Compile(p.Source, lower.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	r0, err := vm.Run(p0, runOpts(true))
+	r0, err := vm.Run(p0, runOpts(true, p.NoOpt))
 	if err != nil {
 		return nil, fmt.Errorf("%s: baseline run: %w", p.Name, err)
 	}
@@ -111,7 +121,7 @@ func (p *Pipeline) Stage() (*Staged, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: unrolled compile: %w", p.Name, err)
 	}
-	r1, err := vm.Run(p1, runOpts(false))
+	r1, err := vm.Run(p1, runOpts(false, false))
 	if err != nil {
 		return nil, fmt.Errorf("%s: unrolled run: %w", p.Name, err)
 	}
@@ -124,7 +134,7 @@ func (p *Pipeline) Stage() (*Staged, error) {
 	if err := p1.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: inlined program invalid: %w", p.Name, err)
 	}
-	base, err := vm.Run(p1, runOpts(true))
+	base, err := vm.Run(p1, runOpts(true, true))
 	if err != nil {
 		return nil, fmt.Errorf("%s: optimized run: %w", p.Name, err)
 	}

@@ -10,6 +10,11 @@
 // Dynamo thrash its code cache on warm-path programs. The Selected
 // traces here can be compared against the actual hot set to quantify
 // that, as the paper argues PPP's wider coverage does better.
+//
+// Observe is allocation-free in the steady state (heads are keyed by
+// routine name and header block ID, not by a built string), so a
+// predictor can tee off a profiling run's PathHook without slowing it.
+// Per-shard predictors from a replicated run fan in with Merge.
 package netprof
 
 import (
@@ -19,12 +24,22 @@ import (
 // DefaultThreshold is Dynamo's published trace-head threshold.
 const DefaultThreshold = 50
 
+// headKey identifies a trace head without building a string per
+// observed path: the routine entry (block == -1) or a loop header
+// restarted at after a back edge.
+type headKey struct {
+	fn    string
+	block int
+}
+
 // Trace is a selected hot trace: the first path executed from a head
 // after the head turned hot.
 type Trace struct {
 	Func string
 	Key  string // Func + "|" + path string, matching eval path keys
 	Path cfg.Path
+
+	head headKey
 }
 
 // Predictor consumes the path stream of a run (via vm.Options.PathHook)
@@ -32,9 +47,15 @@ type Trace struct {
 type Predictor struct {
 	Threshold int64
 
-	counts   map[string]int64 // per trace head
-	selected map[string]*Trace
-	order    []string
+	counts   map[headKey]int64
+	selected map[headKey]bool
+	traces   []Trace // selection order
+	// keyCov/keySeen hold the distinct trace keys in selection order:
+	// several heads can select the same path, and CoverageOf must count
+	// its flow once. Maintained at selection time so coverage queries
+	// never rebuild a dedup map.
+	keyCov  []string
+	keySeen map[string]bool
 }
 
 // New returns a predictor with the given head threshold (0 uses
@@ -45,8 +66,9 @@ func New(threshold int64) *Predictor {
 	}
 	return &Predictor{
 		Threshold: threshold,
-		counts:    map[string]int64{},
-		selected:  map[string]*Trace{},
+		counts:    map[headKey]int64{},
+		selected:  map[headKey]bool{},
+		keySeen:   map[string]bool{},
 	}
 }
 
@@ -58,35 +80,44 @@ func (p *Predictor) Hook() func(fn string, path cfg.Path) {
 // Observe processes one executed path. A path's head is its first
 // block: the routine entry, or the loop header it restarted at after a
 // back edge. Once a head's execution count reaches the threshold, the
-// next path from it becomes the head's trace.
+// path executed from it becomes the head's trace and the head stops
+// counting (Dynamo stops bumping a head once its trace is in the code
+// cache).
 func (p *Predictor) Observe(fn string, path cfg.Path) {
 	if len(path) == 0 {
 		return
 	}
-	head := fn + "@" + path[0].Dst.String()
-	if path[0].Kind == cfg.RealEdge {
-		head = fn + "@entry"
+	k := headKey{fn: fn, block: -1}
+	if path[0].Kind != cfg.RealEdge {
+		k.block = path[0].Dst.ID
 	}
-	n := p.counts[head] + 1
-	p.counts[head] = n
-	if n < p.Threshold {
+	if p.selected[k] {
 		return
 	}
-	if _, done := p.selected[head]; done {
+	n := p.counts[k] + 1
+	p.counts[k] = n
+	if n < p.Threshold {
 		return
 	}
 	cp := make(cfg.Path, len(path))
 	copy(cp, path)
-	p.selected[head] = &Trace{Func: fn, Key: fn + "|" + cp.String(), Path: cp}
-	p.order = append(p.order, head)
+	p.selectTrace(Trace{Func: fn, Key: fn + "|" + cp.String(), Path: cp, head: k})
+}
+
+// selectTrace records a head's trace (at most one per head).
+func (p *Predictor) selectTrace(tr Trace) {
+	p.selected[tr.head] = true
+	p.traces = append(p.traces, tr)
+	if !p.keySeen[tr.Key] {
+		p.keySeen[tr.Key] = true
+		p.keyCov = append(p.keyCov, tr.Key)
+	}
 }
 
 // Traces returns the selected traces in selection order.
 func (p *Predictor) Traces() []Trace {
-	out := make([]Trace, 0, len(p.order))
-	for _, h := range p.order {
-		out = append(out, *p.selected[h])
-	}
+	out := make([]Trace, len(p.traces))
+	copy(out, p.traces)
 	return out
 }
 
@@ -94,7 +125,8 @@ func (p *Predictor) Traces() []Trace {
 func (p *Predictor) Heads() int { return len(p.counts) }
 
 // CoverageOf returns the fraction of the given flow map (path key ->
-// flow) that the selected traces account for, plus the total selected.
+// flow) that the selected traces account for. Distinct selected keys
+// are maintained incrementally, so this is a single pass over them.
 func (p *Predictor) CoverageOf(flowByKey map[string]int64) float64 {
 	var total, covered int64
 	for _, f := range flowByKey {
@@ -103,13 +135,27 @@ func (p *Predictor) CoverageOf(flowByKey map[string]int64) float64 {
 	if total == 0 {
 		return 0
 	}
-	seen := map[string]bool{}
-	for _, tr := range p.Traces() {
-		if seen[tr.Key] {
-			continue
-		}
-		seen[tr.Key] = true
-		covered += flowByKey[tr.Key]
+	for _, k := range p.keyCov {
+		covered += flowByKey[k]
 	}
 	return float64(covered) / float64(total)
+}
+
+// Merge folds other's observations into p — the fan-in of per-shard
+// predictors from a replicated run. Head counts sum; for a head
+// selected by both predictors the receiver's (earlier shard's) trace
+// wins, so merging shards in worker order is deterministic. Because
+// each shard crosses the threshold on its own stream, a merged
+// predictor matches a sequential one exactly when the shards replay
+// identical streams (the replicated-run case); it is an approximation
+// otherwise, as any distributed NET is. other is not modified.
+func (p *Predictor) Merge(other *Predictor) {
+	for k, v := range other.counts {
+		p.counts[k] += v
+	}
+	for _, tr := range other.traces {
+		if !p.selected[tr.head] {
+			p.selectTrace(tr)
+		}
+	}
 }

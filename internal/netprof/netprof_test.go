@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pathprof/internal/bench"
+	"pathprof/internal/cfg"
 	"pathprof/internal/core"
 	"pathprof/internal/instr"
 	"pathprof/internal/lower"
@@ -79,6 +80,103 @@ func main() {
 	}
 	if got := len(p.Traces()); got != 0 {
 		t.Errorf("selected %d traces below threshold", got)
+	}
+}
+
+// TestMergeMatchesSequentialOnIdenticalStreams: per-shard predictors
+// fed identical replica streams (the vm.RunReplicated contract) and
+// merged in worker order must agree with one predictor that saw a
+// sequential stream — same traces, same order, same coverage keys.
+func TestMergeMatchesSequentialOnIdenticalStreams(t *testing.T) {
+	src := `
+var acc = 0;
+func main() {
+	var i = 0;
+	while (i < 2000) {
+		if (i % 4 == 0) { acc = acc + 2; } else { acc = acc + 1; }
+		i = i + 1;
+	}
+	return acc;
+}`
+	prog, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := netprof.New(50)
+	shards := []*netprof.Predictor{netprof.New(50), netprof.New(50)}
+	run := func(p *netprof.Predictor) {
+		if _, err := vm.Run(prog, vm.Options{CollectPaths: true, PathHook: p.Hook()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(seq)
+	for _, sh := range shards {
+		run(sh)
+	}
+	merged := netprof.New(50)
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	a, b := seq.Traces(), merged.Traces()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("trace counts: sequential %d, merged %d", len(a), len(b))
+	}
+	flow := map[string]int64{}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Errorf("trace %d: %s vs %s", i, a[i].Key, b[i].Key)
+		}
+		flow[a[i].Key] = 10
+	}
+	if seq.CoverageOf(flow) != merged.CoverageOf(flow) {
+		t.Errorf("coverage differs: %v vs %v", seq.CoverageOf(flow), merged.CoverageOf(flow))
+	}
+	if merged.Heads() != seq.Heads() {
+		t.Errorf("heads: %d vs %d", merged.Heads(), seq.Heads())
+	}
+}
+
+// TestObserveSteadyStateZeroAllocs locks in that a predictor can tee
+// off a profiling run's PathHook for free: once a head is known (and
+// especially once its trace is selected), Observe must not allocate.
+func TestObserveSteadyStateZeroAllocs(t *testing.T) {
+	src := `
+func main() {
+	var i = 0;
+	while (i < 100) { i = i + 1; }
+	return i;
+}`
+	prog, err := lower.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netprof.New(50)
+	var paths []struct {
+		fn   string
+		path cfg.Path
+	}
+	_, err = vm.Run(prog, vm.Options{CollectPaths: true, PathHook: func(fn string, pa cfg.Path) {
+		cp := make(cfg.Path, len(pa))
+		copy(cp, pa)
+		paths = append(paths, struct {
+			fn   string
+			path cfg.Path
+		}{fn, cp})
+		p.Observe(fn, pa)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Traces()) == 0 || len(paths) == 0 {
+		t.Fatal("predictor saw nothing")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, pp := range paths {
+			p.Observe(pp.fn, pp.path)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Observe allocates %.1f times per replay, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,244 @@
+// Sharded concurrent collection. A Collector owns one Shard per
+// worker; each worker records into its private shard with the ordinary
+// single-threaded fast paths (EdgeProfile.BumpSlot, PathProfile.Add,
+// Table.Inc — no atomics, no locks), and Merge folds the shards into
+// one snapshot off the hot path. This is how the profiling runtime
+// scales across cores without slowing the per-event operations the
+// paper's overhead argument depends on.
+//
+// Determinism: Merge visits shards in index order and routines in name
+// order, so the same shard contents always produce the same snapshot.
+// When workers replay identical replicas of a run partitioned in
+// blocks over shard indices (vm.RunReplicated's contract), the merged
+// snapshot is bit-identical to a sequential run at any worker count:
+// edge counts are sums, path interning preserves first-seen order
+// under block-ordered merging, and hash tables with identical
+// per-shard layouts merge by slot replay into that same layout.
+package profile
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Shard is one worker's private profile state: per-routine edge and
+// path profiles plus counter tables, created on demand. A shard is NOT
+// safe for concurrent use — that is the point: exactly one worker owns
+// it, so every counter bump stays a plain memory write. The containers
+// themselves live in separate heap allocations; the trailing pad keeps
+// adjacent Shard headers in the Collector's backing array from
+// sharing a cache line.
+type Shard struct {
+	edges  map[string]*EdgeProfile
+	paths  map[string]*PathProfile
+	tables map[string]*Table
+
+	_ [64]byte // cache-line pad between adjacent shards
+}
+
+// EdgeProfile returns the shard's edge profile for routine fn,
+// creating it on first use. Successive runs against the same shard
+// accumulate into the same profile (Slot registration is idempotent).
+func (s *Shard) EdgeProfile(fn string) *EdgeProfile {
+	if ep, ok := s.edges[fn]; ok {
+		return ep
+	}
+	if s.edges == nil {
+		s.edges = map[string]*EdgeProfile{}
+	}
+	ep := NewEdgeProfile(fn)
+	s.edges[fn] = ep
+	return ep
+}
+
+// PathProfile returns the shard's path profile for routine fn,
+// creating it on first use.
+func (s *Shard) PathProfile(fn string) *PathProfile {
+	if pp, ok := s.paths[fn]; ok {
+		return pp
+	}
+	if s.paths == nil {
+		s.paths = map[string]*PathProfile{}
+	}
+	pp := NewPathProfile(fn)
+	s.paths[fn] = pp
+	return pp
+}
+
+// Table returns the shard's counter table for routine fn, creating it
+// with the given shape on first use. Callers must request the same
+// shape on every use (replicated runs of one program always do); the
+// first shape wins.
+func (s *Shard) Table(fn string, kind TableKind, n, size int64) *Table {
+	if t, ok := s.tables[fn]; ok {
+		return t
+	}
+	if s.tables == nil {
+		s.tables = map[string]*Table{}
+	}
+	t := NewTable(kind, n, size)
+	s.tables[fn] = t
+	return t
+}
+
+// Collector owns the per-worker shards of a concurrent collection run.
+// Hand Shard(i) to worker i, let each worker record without
+// synchronization, and call Merge after the workers finish.
+type Collector struct {
+	shards []Shard
+}
+
+// NewCollector returns a collector with n shards (minimum 1).
+func NewCollector(n int) *Collector {
+	if n < 1 {
+		n = 1
+	}
+	return &Collector{shards: make([]Shard, n)}
+}
+
+// NumShards returns the shard count.
+func (c *Collector) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i. The caller must ensure at most one goroutine
+// uses a given shard at a time.
+func (c *Collector) Shard(i int) *Shard { return &c.shards[i] }
+
+// Snapshot is the merged view of a collection run: per-routine edge
+// profiles, path profiles, and counter tables.
+type Snapshot struct {
+	Edges  map[string]*EdgeProfile
+	Paths  map[string]*PathProfile
+	Tables map[string]*Table
+}
+
+// Merge folds every shard into a fresh snapshot, deterministically:
+// shards in index order, routines in name order. The shards are not
+// modified and may be merged again after further recording.
+func (c *Collector) Merge() *Snapshot {
+	snap := &Snapshot{
+		Edges:  map[string]*EdgeProfile{},
+		Paths:  map[string]*PathProfile{},
+		Tables: map[string]*Table{},
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for _, fn := range sortedKeys(sh.edges) {
+			dst := snap.Edges[fn]
+			if dst == nil {
+				dst = NewEdgeProfile(fn)
+				snap.Edges[fn] = dst
+			}
+			dst.Merge(sh.edges[fn])
+		}
+		for _, fn := range sortedKeys(sh.paths) {
+			dst := snap.Paths[fn]
+			if dst == nil {
+				dst = NewPathProfile(fn)
+				snap.Paths[fn] = dst
+			}
+			dst.Merge(sh.paths[fn])
+		}
+		for _, fn := range sortedKeys(sh.tables) {
+			src := sh.tables[fn]
+			dst := snap.Tables[fn]
+			if dst == nil {
+				dst = NewTable(src.Kind, src.N, src.Size())
+				snap.Tables[fn] = dst
+			}
+			dst.Merge(src)
+		}
+	}
+	return snap
+}
+
+// Fingerprint hashes the snapshot's observable state — edge
+// frequencies, path counts in first-seen order, table contents
+// including hash slot layout and lost/cold/drop totals — into one
+// value. Two snapshots with equal fingerprints are bit-identical for
+// every consumer in this repository; the determinism tests and the
+// bench throughput report compare runs through it.
+func (s *Snapshot) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	ws := func(str string) {
+		wi(int64(len(str)))
+		h.Write([]byte(str))
+	}
+	for _, fn := range sortedKeys(s.Edges) {
+		ws("E")
+		ws(fn)
+		ep := s.Edges[fn]
+		wi(ep.Calls)
+		freq := ep.Freq()
+		keys := make([]EdgeKey, 0, len(freq))
+		for k := range freq {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Src != keys[j].Src {
+				return keys[i].Src < keys[j].Src
+			}
+			return keys[i].Dst < keys[j].Dst
+		})
+		for _, k := range keys {
+			wi(int64(k.Src))
+			wi(int64(k.Dst))
+			wi(freq[k])
+		}
+	}
+	for _, fn := range sortedKeys(s.Paths) {
+		ws("P")
+		ws(fn)
+		pp := s.Paths[fn]
+		for i := range pp.paths {
+			pc := &pp.paths[i]
+			wi(int64(len(pc.Path)))
+			for _, e := range pc.Path {
+				wi(int64(e.ID))
+			}
+			wi(pc.Count)
+		}
+	}
+	for _, fn := range sortedKeys(s.Tables) {
+		ws("T")
+		ws(fn)
+		t := s.Tables[fn]
+		wi(int64(t.Kind))
+		wi(t.N)
+		wi(t.Lost)
+		wi(t.Cold)
+		wi(t.Drops)
+		if t.Kind == ArrayTable {
+			for i, v := range t.arr {
+				if v != 0 {
+					wi(int64(i))
+					wi(v)
+				}
+			}
+			continue
+		}
+		for slot := 0; slot < HashSlots; slot++ {
+			if t.used[slot] {
+				wi(int64(slot))
+				wi(t.keys[slot])
+				wi(t.vals[slot])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// sortedKeys returns m's keys sorted, for deterministic merge order.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -302,13 +302,19 @@ func NewTable(kind TableKind, n, size int64) *Table {
 }
 
 // Inc increments the counter for index idx.
-func (t *Table) Inc(idx int64) {
+func (t *Table) Inc(idx int64) { t.add(idx, 1) }
+
+// add records v executions of index idx: Inc generalized to a weight,
+// so shard merging can replay another table's counts through the same
+// probe sequence. Dropped and lost executions carry their weight into
+// Drops and Lost.
+func (t *Table) add(idx, v int64) {
 	if t.Kind == ArrayTable {
 		if idx < 0 || idx >= int64(len(t.arr)) {
-			t.Drops++
+			t.Drops += v
 			return
 		}
-		t.arr[idx]++
+		t.arr[idx] += v
 		return
 	}
 	h := idx % HashSlots
@@ -325,15 +331,49 @@ func (t *Table) Inc(idx int64) {
 		if !t.used[s] {
 			t.used[s] = true
 			t.keys[s] = idx
-			t.vals[s]++
+			t.vals[s] += v
 			return
 		}
 		if t.keys[s] == idx {
-			t.vals[s]++
+			t.vals[s] += v
 			return
 		}
 	}
-	t.Lost++
+	t.Lost += v
+}
+
+// Size returns the counter-array capacity (0 for hash tables), so a
+// table of the same shape can be constructed.
+func (t *Table) Size() int64 {
+	return int64(len(t.arr))
+}
+
+// Merge adds other's counters into t. Array entries add elementwise;
+// hash entries replay other's occupied slots in slot order through the
+// normal probe sequence, which is deterministic. When t and other have
+// identical slot layouts — the sharded-replica case, where every shard
+// saw the same key arrival order — the merged layout is bit-identical
+// to accumulating both streams into one table; with divergent layouts
+// the merge is still deterministic but collision accounting can differ
+// from a single-table run, exactly as the paper's arrival-order-
+// sensitive hash table would.
+func (t *Table) Merge(other *Table) {
+	t.Lost += other.Lost
+	t.Cold += other.Cold
+	t.Drops += other.Drops
+	if other.Kind == ArrayTable {
+		for i, v := range other.arr {
+			if v != 0 {
+				t.add(int64(i), v)
+			}
+		}
+		return
+	}
+	for s := 0; s < HashSlots; s++ {
+		if other.used[s] {
+			t.add(other.keys[s], other.vals[s])
+		}
+	}
 }
 
 // HotCounts returns the measured counts of hot path numbers (< N),

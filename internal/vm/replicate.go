@@ -1,0 +1,148 @@
+// Replicated execution: run n replicas of a workload across a bounded
+// worker pool, each worker feeding a private profile shard, and merge
+// the shards into one deterministic snapshot. This is the serving
+// shape of the profiling runtime — many concurrent requests of the
+// same program, counters sharded per core, aggregation off the hot
+// path — scaled down to the repository's deterministic VM.
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// ProfileSink supplies a run's profile containers so repeated runs
+// accumulate into shared state instead of fresh per-run profiles.
+// *profile.Shard implements it; see Options.Sink.
+type ProfileSink interface {
+	EdgeProfile(fn string) *profile.EdgeProfile
+	PathProfile(fn string) *profile.PathProfile
+	Table(fn string, kind profile.TableKind, n, size int64) *profile.Table
+}
+
+// ReplicatedResult aggregates a RunReplicated execution: summed costs
+// and step counts across all replicas, plus the merged profile
+// snapshot.
+type ReplicatedResult struct {
+	Replicas int
+	Workers  int
+	Ret      int64 // every replica's (identical) return value
+
+	BaseCost  int64 // summed over replicas
+	InstrCost int64
+	Steps     int64
+	DynCalls  int64
+
+	// Merged is the deterministic fan-in of every worker's shard:
+	// bit-identical to a sequential (Workers=1) run at any worker
+	// count.
+	Merged *profile.Snapshot
+	// DAGs are the per-routine DAGs of one replica (all replicas build
+	// identical DAGs), for interpreting the merged paths.
+	DAGs map[string]*cfg.DAG
+
+	Elapsed time.Duration // wall clock of the whole replicated run
+}
+
+// RunsPerSec returns replica throughput over the measured wall clock.
+func (r *ReplicatedResult) RunsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Replicas) / r.Elapsed.Seconds()
+}
+
+// RunReplicated executes n replicas of the program under opts across
+// par workers. Replicas are block-partitioned over workers in index
+// order and each worker records into its own profile.Shard with the
+// single-threaded fast paths, so the hot loop never synchronizes; the
+// shards merge afterwards in worker order, which makes the merged
+// snapshot bit-identical to a sequential run regardless of par.
+//
+// opts.Sink and opts.PathHook are overridden per worker (use
+// opts.PathHookFor for per-worker hooks); opts.Output, if set, must be
+// safe for concurrent writes.
+func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vm: RunReplicated needs at least 1 replica, got %d", n)
+	}
+	if par < 1 {
+		par = 1
+	}
+	if par > n {
+		par = n
+	}
+	col := profile.NewCollector(par)
+	type workerOut struct {
+		base, instr, steps, calls int64
+		ret                       int64
+		ran                       bool
+		dags                      map[string]*cfg.DAG
+		err                       error
+	}
+	outs := make([]workerOut, par)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		lo, hi := w*n/par, (w+1)*n/par
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			o := &outs[w]
+			wopts := opts
+			wopts.Sink = col.Shard(w)
+			if opts.PathHookFor != nil {
+				wopts.PathHook = opts.PathHookFor(w)
+			}
+			for i := lo; i < hi; i++ {
+				res, err := Run(prog, wopts)
+				if err != nil {
+					o.err = fmt.Errorf("replica %d: %w", i, err)
+					return
+				}
+				if o.ran && res.Ret != o.ret {
+					o.err = fmt.Errorf("replica %d: nondeterministic result %d vs %d", i, res.Ret, o.ret)
+					return
+				}
+				o.ret, o.ran = res.Ret, true
+				o.base += res.BaseCost
+				o.instr += res.InstrCost
+				o.steps += res.Steps
+				o.calls += res.DynCalls
+				if o.dags == nil {
+					o.dags = res.DAGs
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	rr := &ReplicatedResult{Replicas: n, Workers: par}
+	for w := range outs {
+		o := &outs[w]
+		if o.err != nil {
+			return nil, fmt.Errorf("vm: worker %d: %w", w, o.err)
+		}
+		if !o.ran {
+			continue
+		}
+		if rr.DAGs == nil {
+			rr.Ret = o.ret
+			rr.DAGs = o.dags
+		} else if o.ret != rr.Ret {
+			return nil, fmt.Errorf("vm: worker %d: nondeterministic result %d vs %d", w, o.ret, rr.Ret)
+		}
+		rr.BaseCost += o.base
+		rr.InstrCost += o.instr
+		rr.Steps += o.steps
+		rr.DynCalls += o.calls
+	}
+	rr.Merged = col.Merge()
+	rr.Elapsed = time.Since(start)
+	return rr, nil
+}

@@ -90,6 +90,21 @@ type Options struct {
 	// like Dynamo's NET consume). The path slice is reused; copy it if
 	// retained.
 	PathHook func(fn string, p cfg.Path)
+	// PathHookFor, if set, gives each RunReplicated worker a private
+	// path hook: all of worker w's replicas use PathHookFor(w), so
+	// online predictors keep per-shard state with no synchronization and
+	// fan in after the run (netprof.Predictor.Merge). It takes
+	// precedence over PathHook in RunReplicated; Run ignores it.
+	PathHookFor func(worker int) func(fn string, p cfg.Path)
+	// Sink, if set, supplies the run's profile containers — edge/path
+	// profiles and counter tables — in place of freshly allocated ones,
+	// so successive runs accumulate into shared state. This is the
+	// sharded-collection fast path: each worker feeds its own
+	// profile.Shard through the ordinary BumpSlot/Add/Inc operations
+	// (no atomics anywhere on the hot path) and the collector merges
+	// shards off the hot path. Result.Edges/Paths/Tables then alias the
+	// sink's containers.
+	Sink ProfileSink
 	// MaxSteps aborts runaway programs (0 = default limit).
 	MaxSteps int64
 	// Output receives print() values; nil discards them.
@@ -308,15 +323,27 @@ func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
 		if plan.Hash {
 			kind = profile.HashTable
 		}
-		rt.table = profile.NewTable(kind, plan.N, plan.TableSize)
+		if sink := m.opts.Sink; sink != nil {
+			rt.table = sink.Table(f.Name, kind, plan.N, plan.TableSize)
+		} else {
+			rt.table = profile.NewTable(kind, plan.N, plan.TableSize)
+		}
 		m.res.Tables[f.Name] = rt.table
 	}
 	if m.opts.CollectEdges {
-		rt.edges = profile.NewEdgeProfile(f.Name)
+		if sink := m.opts.Sink; sink != nil {
+			rt.edges = sink.EdgeProfile(f.Name)
+		} else {
+			rt.edges = profile.NewEdgeProfile(f.Name)
+		}
 		m.res.Edges[f.Name] = rt.edges
 	}
 	if m.opts.CollectPaths {
-		rt.paths = profile.NewPathProfile(f.Name)
+		if sink := m.opts.Sink; sink != nil {
+			rt.paths = sink.PathProfile(f.Name)
+		} else {
+			rt.paths = profile.NewPathProfile(f.Name)
+		}
 		m.res.Paths[f.Name] = rt.paths
 	}
 	if rt.d != nil {
