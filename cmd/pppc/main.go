@@ -21,6 +21,7 @@ import (
 	"pathprof/internal/eval"
 	"pathprof/internal/instr"
 	"pathprof/internal/profile"
+	"pathprof/internal/verify"
 	"pathprof/internal/workloads"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	profiler := flag.String("profiler", "PPP", "profiler: PP, TPP, PPP, or PPP-{SAC,FP,Push,SPN,LC}")
 	hot := flag.Int("hot", 10, "number of hot paths to print")
 	noOpt := flag.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
+	verifyPlans := flag.Bool("verify", false, "statically verify every instrumentation plan before running")
 	dumpPlans := flag.Bool("dump-plans", false, "dump per-routine instrumentation plans")
 	saveProfile := flag.String("save-profile", "", "write the optimized run's edge profile to a file")
 	loadProfile := flag.String("load-profile", "", "guide instrumentation with this edge profile instead of the run's own")
@@ -107,6 +109,16 @@ func main() {
 	pr, err := staged.ProfileWith(*profiler, tech, guide)
 	if err != nil {
 		fatalf("profile: %v", err)
+	}
+	if *verifyPlans {
+		diags, ok := verify.CheckAll(pr.Plans, verify.Options{})
+		if !ok {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			fatalf("verify: %d invariant violation(s) in %s plans", len(diags), *profiler)
+		}
+		fmt.Printf("verify: %d routine plan(s) ok\n", len(pr.Plans))
 	}
 	if *dumpPlans {
 		names := make([]string, 0, len(pr.Plans))

@@ -1,0 +1,97 @@
+// Command ppplint is a vettool running this repository's custom
+// static checks (see internal/lint): mapiter, hotpath, and wallclock.
+//
+// Usage, via go vet (the usual way):
+//
+//	go build -o /tmp/ppplint ./cmd/ppplint
+//	go vet -vettool=/tmp/ppplint ./...
+//
+// or directly with package patterns, in which case ppplint re-executes
+// itself through go vet:
+//
+//	ppplint ./...
+//
+// The tool speaks cmd/go's vettool protocol by hand (the -V=full
+// version handshake, the -flags listing, and the JSON unit config that
+// vet passes for every package) because golang.org/x/tools and its
+// go/analysis/unitchecker are not available in this build environment.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (vet protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ppplint [package pattern...]  (or via go vet -vettool)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+	case *flagsFlag:
+		// No analyzer flags beyond the protocol ones.
+		fmt.Println("[]")
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		code, err := runUnit(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppplint: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	case flag.NArg() > 0:
+		reexecViaVet(flag.Args())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// printVersion implements the -V=full handshake: cmd/go derives the
+// vettool's build ID from this line, so it must contain the word
+// "version" and a content hash that changes when the tool changes.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+// reexecViaVet handles direct invocation with package patterns by
+// driving go vet with itself as the vettool, so users get the same
+// package loading vet does.
+func reexecViaVet(patterns []string) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppplint: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "ppplint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+// The unit-checker half of the vet protocol: cmd/go invokes the
+// vettool once per package with a single argument, the path to a JSON
+// "vet config" describing the package's files, its import map, and
+// where each dependency's gc export data lives. The tool type-checks
+// the package against that export data, runs the analyzers, writes the
+// (empty) facts file vet expects, and exits 2 if it found anything.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"pathprof/internal/lint"
+)
+
+// vetConfig mirrors the JSON written by cmd/go for vet tools. Fields
+// this tool does not consume are kept so the decoder accepts every
+// config cmd/go produces.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+
+	// cmd/go insists the facts file exists even though these analyzers
+	// produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, fmt.Errorf("write facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tc := &types.Config{
+		Importer: &unitImporter{cfg: &cfg, fset: fset},
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := lint.RunAll(fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// unitImporter resolves imports through the vet config: the source
+// import path maps to a package ID, whose gc export data file vet
+// names in PackageFile.
+type unitImporter struct {
+	cfg  *vetConfig
+	fset *token.FileSet
+	gc   types.Importer
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if u.gc == nil {
+		u.gc = importer.ForCompiler(u.fset, "gc", u.lookup)
+	}
+	// The lookup-based gc importer resolves canonical IDs; translate
+	// the source-level path first.
+	id := path
+	if mapped, ok := u.cfg.ImportMap[path]; ok {
+		id = mapped
+	}
+	return u.gc.(types.ImporterFrom).ImportFrom(id, u.cfg.Dir, 0)
+}
+
+func (u *unitImporter) lookup(id string) (io.ReadCloser, error) {
+	file, ok := u.cfg.PackageFile[id]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", id)
+	}
+	return os.Open(file)
+}

@@ -78,12 +78,10 @@ func TestFigure1PPPipeline(t *testing.T) {
 	}
 }
 
-// TestFigure3FreePoisoning mirrors Figure 3(e): after removing a cold
-// edge, the remaining hot paths get [0, N) and the cold edge assigns
-// the register so every cold continuation lands in [N, tableSize).
-func TestFigure3FreePoisoning(t *testing.T) {
-	// Two diamonds in sequence: A -> {B, C} -> D -> {E, F} -> G, with
-	// A->B cold. 4 paths originally; 2 hot after removal.
+// figure3Graph builds the Figure 3 shape: two diamonds in sequence,
+// A -> {B, C} -> D -> {E, F} -> G, with A->B cold. 4 paths originally;
+// 2 hot after removal.
+func figure3Graph() (*cfg.Graph, map[string]*cfg.Block) {
 	g := cfg.New("fig3")
 	bs := map[string]*cfg.Block{}
 	for _, n := range []string{"entry", "A", "B", "C", "D", "E", "F", "G", "exit"} {
@@ -104,7 +102,14 @@ func TestFigure3FreePoisoning(t *testing.T) {
 	conn("F", "G", 500)
 	conn("G", "exit", 1000)
 	g.Calls = 1000
+	return g, bs
+}
 
+// TestFigure3FreePoisoning mirrors Figure 3(e): after removing a cold
+// edge, the remaining hot paths get [0, N) and the cold edge assigns
+// the register so every cold continuation lands in [N, tableSize).
+func TestFigure3FreePoisoning(t *testing.T) {
+	g, bs := figure3Graph()
 	tech := instr.Techniques{ColdLocal: true, FreePoison: true}
 	p := build(t, g, tech, 1000)
 	if !p.Instrumented {
@@ -156,12 +161,10 @@ func TestFigure3FreePoisoning(t *testing.T) {
 	}
 }
 
-// TestFigure4AllObvious mirrors Figure 4: every path has a defining
-// edge, so TPP and PPP leave the routine uninstrumented and attribute
-// each path to its defining edge.
-func TestFigure4AllObvious(t *testing.T) {
-	// An else-if ladder: a -> {b, a2}; a2 -> {c, d}; b, c, d -> join.
-	// Each of the three paths owns its arm edge, so all are obvious.
+// figure4Graph builds the Figure 4 shape: an else-if ladder,
+// a -> {b, a2}; a2 -> {c, d}; b, c, d -> join. Each of the three paths
+// owns its arm edge, so all are obvious.
+func figure4Graph() (*cfg.Graph, map[string]*cfg.Block) {
 	g := cfg.New("fig4")
 	bs := map[string]*cfg.Block{}
 	for _, n := range []string{"entry", "a", "b", "a2", "c", "d", "join", "exit"} {
@@ -181,7 +184,14 @@ func TestFigure4AllObvious(t *testing.T) {
 	conn("d", "join", 10)
 	conn("join", "exit", 100)
 	g.Calls = 100
+	return g, bs
+}
 
+// TestFigure4AllObvious mirrors Figure 4: every path has a defining
+// edge, so TPP and PPP leave the routine uninstrumented and attribute
+// each path to its defining edge.
+func TestFigure4AllObvious(t *testing.T) {
+	g, _ := figure4Graph()
 	for _, tc := range []struct {
 		name string
 		tech instr.Techniques

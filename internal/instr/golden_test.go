@@ -1,0 +1,62 @@
+package instr_test
+
+// Golden-file tests pinning Plan.Dump() output for the paper's worked
+// examples. The dumps double as readable documentation of what each
+// profiler places on the Figure 1/3/4 graphs; regenerate with
+//
+//	go test ./internal/instr -run TestDumpGolden -update
+//
+// after an intentional planner or dump-format change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/instr"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestDumpGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		graph func() (*cfg.Graph, map[string]*cfg.Block)
+		tech  instr.Techniques
+		total int64
+	}{
+		{"figure1-pp", figure1Graph, instr.PP(), 1000},
+		{"figure1-ppp", figure1Graph, func() instr.Techniques {
+			x := instr.PPP()
+			x.LowCoverage = false
+			return x
+		}(), 1000},
+		{"figure3-fp", figure3Graph, instr.Techniques{ColdLocal: true, FreePoison: true}, 1000},
+		{"figure3-nofp", figure3Graph, instr.Techniques{ColdLocal: true}, 1000},
+		{"figure4-tpp", figure4Graph, instr.TPP(), 100},
+		{"figure4-pp", figure4Graph, instr.PP(), 100},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g, _ := tc.graph()
+			p := build(t, g, tc.tech, tc.total)
+			got := p.Dump()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatalf("update: %v", err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("Dump() drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

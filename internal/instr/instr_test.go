@@ -8,6 +8,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/cfg/cfgtest"
 	"pathprof/internal/instr"
+	"pathprof/internal/verify"
 )
 
 func build(t testing.TB, g *cfg.Graph, tech instr.Techniques, total int64) *instr.Plan {
@@ -51,92 +52,13 @@ func simulate(p *instr.Plan, path cfg.Path) []fired {
 	return out
 }
 
-// checkPlan verifies the core instrumentation invariants of an
-// instrumented plan:
-//
-//  1. every hot path fires exactly one count, at its own number, OR is
-//     edge-attributed and fires none;
-//  2. every count fired while poisoned lands in the cold region.
+// checkPlan verifies the instrumentation invariants through the
+// static verifier (internal/verify), the single source of truth for
+// what a well-formed plan means.
 func checkPlan(t testing.TB, p *instr.Plan, context string) {
 	t.Helper()
-	if !p.Instrumented {
-		return
-	}
-	attributed := map[string]bool{}
-	for _, a := range p.Attr {
-		attributed[a.Path.String()] = true
-	}
-	excl := make([]bool, len(p.D.Edges))
-	for i := range excl {
-		excl[i] = p.Cold[i] || p.Disc[i]
-	}
-	if p.N > 4096 {
-		return // enumeration too large; covered by smaller cases
-	}
-	hot := p.D.EnumeratePaths(excl, -1)
-	seen := map[int64]bool{}
-	for _, path := range hot {
-		want, ok := p.Num.PathNumber(path)
-		if !ok {
-			t.Fatalf("%s: hot path %s rejected by numbering", context, path)
-		}
-		events := simulate(p, path)
-		if attributed[path.String()] {
-			if len(events) != 0 {
-				t.Fatalf("%s: attributed path %s fires %v", context, path, events)
-			}
-			continue
-		}
-		if len(events) != 1 {
-			t.Fatalf("%s: hot path %s fires %d counts (%v)\n%s", context, path, len(events), events, p.Dump())
-		}
-		if events[0].index != want {
-			t.Fatalf("%s: hot path %s counted as %d, want %d\n%s", context, path, events[0].index, want, p.Dump())
-		}
-		if seen[want] {
-			t.Fatalf("%s: duplicate number %d", context, want)
-		}
-		seen[want] = true
-	}
-
-	// Paths that cross cold edges (but not disconnected ones): counts
-	// fired while poisoned must land in the cold region.
-	discOnly := make([]bool, len(p.D.Edges))
-	for i := range discOnly {
-		discOnly[i] = p.Disc[i]
-	}
-	all := p.D.EnumeratePaths(discOnly, 4096)
-	for _, path := range all {
-		cold := false
-		for _, e := range path {
-			if p.Cold[e.ID] {
-				cold = true
-			}
-		}
-		if !cold {
-			continue
-		}
-		for _, ev := range simulate(p, path) {
-			if !ev.poisoned {
-				// Deliberate overcount (Section 4.4) or constant count:
-				// must record a valid hot number.
-				if ev.index < 0 || ev.index >= p.N {
-					t.Fatalf("%s: unpoisoned cold-path count %d outside [0,%d) on %s\n%s",
-						context, ev.index, p.N, path, p.Dump())
-				}
-				continue
-			}
-			if p.PoisonCheck {
-				if ev.index >= 0 {
-					t.Fatalf("%s: check-poisoned count %d not negative on %s", context, ev.index, path)
-				}
-				continue
-			}
-			if ev.index < p.N || ev.index >= p.TableSize {
-				t.Fatalf("%s: poisoned count %d outside [%d,%d) on %s\n%s",
-					context, ev.index, p.N, p.TableSize, path, p.Dump())
-			}
-		}
+	if rep := verify.Check(p); !rep.OK() {
+		t.Fatalf("%s: %s\n%s", context, rep, p.Dump())
 	}
 }
 
@@ -596,37 +518,12 @@ func TestPlanProperty(t *testing.T) {
 	}
 }
 
-// checkPlanQuiet runs checkPlan but converts its aborts into a boolean
-// so quick.Check can report the failing seed.
-func checkPlanQuiet(t *testing.T, p *instr.Plan, context string) (ok bool) {
-	ft := &failTB{TB: t}
-	defer func() {
-		if r := recover(); r != nil {
-			if r != abortCheck {
-				panic(r)
-			}
-		}
-		ok = !ft.failed
-	}()
-	checkPlan(ft, p, context)
+// checkPlanQuiet runs the verifier but converts violations into a
+// boolean so quick.Check can report the failing seed.
+func checkPlanQuiet(t *testing.T, p *instr.Plan, context string) bool {
+	if rep := verify.Check(p); !rep.OK() {
+		t.Logf("%s: %s", context, rep)
+		return false
+	}
 	return true
-}
-
-var abortCheck = new(int)
-
-// failTB records failures without aborting the whole test.
-type failTB struct {
-	testing.TB
-	failed bool
-}
-
-func (f *failTB) Fatalf(format string, args ...interface{}) {
-	f.failed = true
-	f.TB.Logf("FATAL: "+format, args...)
-	panic(abortCheck)
-}
-
-func (f *failTB) Errorf(format string, args ...interface{}) {
-	f.failed = true
-	f.TB.Logf("ERROR: "+format, args...)
 }

@@ -28,9 +28,12 @@ func (p *Plan) poison() {
 		p.TableSize = p.N
 		return
 	}
+	// A disconnected obvious-loop dummy can also satisfy a cold
+	// criterion (SAC re-marks after disconnection); it still carries no
+	// ops — the loop's entrance and exit edges poison on its behalf.
 	if !p.Tech.FreePoison {
 		for _, e := range p.D.Edges {
-			if p.Cold[e.ID] {
+			if p.Cold[e.ID] && !p.Disc[e.ID] {
 				p.Ops[e.ID] = []Op{{Kind: OpSet, V: NegPoison}}
 			}
 		}
@@ -42,7 +45,7 @@ func (p *Plan) poison() {
 	lo, hi, has := p.suffixCountRanges()
 	maxIdx := p.N - 1
 	for _, e := range p.D.Edges {
-		if !p.Cold[e.ID] {
+		if !p.Cold[e.ID] || p.Disc[e.ID] {
 			continue
 		}
 		v := p.N

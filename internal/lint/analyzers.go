@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter forbids ranging over maps in deterministic scope. Collect
+// the keys with a helper (profile.sortedKeys and friends) and iterate
+// the sorted slice instead.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid map iteration in functions that feed deterministic output or fingerprints",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	eachFunc(p.Files, func(f *ast.File, fd *ast.FuncDecl) {
+		if !deterministicScope(fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true // no type info; stay silent rather than guess
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				p.reportf("mapiter", "mapiter", rs.Pos(),
+					"%s is deterministic scope: map iteration order is randomized; sort the keys first", fd.Name.Name)
+			}
+			return true
+		})
+	})
+}
+
+// HotPath forbids synchronization and allocation in //ppp:hotpath
+// functions. These run once per profiled branch transition; the
+// benchmark suite asserts zero allocs per operation, and this check
+// keeps regressions from reaching the benchmarks at all.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid sync/atomic, locks, scheduling, and allocation in //ppp:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	eachFunc(p.Files, func(f *ast.File, fd *ast.FuncDecl) {
+		if !hotPathScope(fd) {
+			return
+		}
+		imports := fileImports(f)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.reportf("hotpath", "goroutine", n.Pos(), "%s is a hot path: no goroutine launches", name)
+			case *ast.DeferStmt:
+				p.reportf("hotpath", "defer", n.Pos(), "%s is a hot path: defer has per-call scheduling cost", name)
+			case *ast.FuncLit:
+				p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: function literal may allocate a closure", name)
+				return false
+			case *ast.CompositeLit:
+				p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: composite literal may allocate", name)
+			case *ast.CallExpr:
+				switch fun := n.Fun.(type) {
+				case *ast.Ident:
+					switch fun.Name {
+					case "make", "new", "append":
+						if isBuiltin(p, fun) {
+							p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: %s allocates", name, fun.Name)
+						}
+					}
+				case *ast.SelectorExpr:
+					switch p.selectorPkg(imports, fun) {
+					case "sync":
+						p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: sync.%s", name, fun.Sel.Name)
+					case "sync/atomic":
+						p.reportf("hotpath", "atomic", n.Pos(), "%s is a hot path: atomic.%s contends on shared cache lines (use a per-shard counter)", name, fun.Sel.Name)
+					default:
+						switch fun.Sel.Name {
+						case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+							p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: %s acquires a lock", name, fun.Sel.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isBuiltin reports whether id resolves to a builtin function (or did
+// not resolve at all, in which case a bare make/new/append can only be
+// the builtin unless shadowed — the typed path catches shadowing).
+func isBuiltin(p *Pass, id *ast.Ident) bool {
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// WallClock forbids wall-clock reads and global rand in deterministic
+// scope: merge results and fingerprints must be replayable.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Until and math/rand in merge/fingerprint code",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	eachFunc(p.Files, func(f *ast.File, fd *ast.FuncDecl) {
+		if !deterministicScope(fd) {
+			return
+		}
+		imports := fileImports(f)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch p.selectorPkg(imports, sel) {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					p.reportf("wallclock", "wallclock", sel.Pos(),
+						"%s is deterministic scope: time.%s makes output depend on the wall clock", name, sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.reportf("wallclock", "rand", sel.Pos(),
+					"%s is deterministic scope: math/rand draws from shared global state", name)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,228 @@
+// Package lint implements the repository-specific static checks
+// behind the ppplint vettool. The checks enforce conventions that the
+// runtime tests can only probe, not prove:
+//
+//   - mapiter: no map iteration in deterministic scope — functions
+//     marked //ppp:deterministic or named Merge/Fingerprint, whose
+//     output feeds the deterministic-merge and fingerprint machinery.
+//     Go randomizes map iteration order, so a stray range over a map
+//     there silently breaks run-to-run reproducibility.
+//   - hotpath: no locks, sync/atomic calls, goroutine/defer
+//     scheduling, or allocating constructs (make, new, append,
+//     composite and function literals) in functions marked
+//     //ppp:hotpath. These run once per profiled branch; the
+//     benchmarks assume they stay alloc- and contention-free.
+//   - wallclock: no time.Now/Since/Until or math/rand in
+//     deterministic scope; replay must not depend on wall clock or
+//     a global rand source.
+//
+// A finding on one line can be acknowledged with a same-line
+// //ppp:allow(rule) comment naming the violated rule (for example
+// //ppp:allow(alloc) on an append whose amortized cost is proven
+// elsewhere).
+//
+// The package deliberately mirrors the shape of golang.org/x/tools
+// go/analysis (Analyzer, Pass, Diagnostic) but depends only on the
+// standard library: the build environment has no module proxy, so the
+// vettool protocol is implemented by hand in cmd/ppplint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over a parsed, type-checked
+// package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers lists every check ppplint runs, in report order.
+var Analyzers = []*Analyzer{MapIter, HotPath, WallClock}
+
+// A Diagnostic is one finding, attributed to the analyzer and the
+// fine-grained rule that //ppp:allow comments suppress.
+type Diagnostic struct {
+	Analyzer string
+	Rule     string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Pass carries one package's syntax and type information through the
+// analyzers.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+	allow map[string]map[int]map[string]bool // file -> line -> allowed rules
+}
+
+// RunAll runs every analyzer over the package and returns the
+// unsuppressed findings sorted by position. TypesInfo may be sparsely
+// populated (e.g. when imports failed to resolve); analyzers degrade
+// to purely syntactic checks where type information is missing.
+func RunAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	if info == nil {
+		info = &types.Info{}
+	}
+	p := &Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	p.buildAllowTable()
+	for _, a := range Analyzers {
+		a.Run(p)
+	}
+	sort.Slice(p.diags, func(i, j int) bool {
+		pi, pj := fset.Position(p.diags[i].Pos), fset.Position(p.diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return p.diags
+}
+
+// reportf records a finding unless a same-line //ppp:allow comment
+// names its rule.
+func (p *Pass) reportf(analyzer, rule string, pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.allow[position.Filename]; ok {
+		if rules, ok := lines[position.Line]; ok && rules[rule] {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: analyzer,
+		Rule:     rule,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// buildAllowTable indexes every //ppp:allow(rule, ...) comment by file
+// and line so reportf can honor suppressions.
+func (p *Pass) buildAllowTable() {
+	p.allow = map[string]map[int]map[string]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "ppp:allow(") {
+					continue
+				}
+				inner := text[len("ppp:allow("):]
+				end := strings.IndexByte(inner, ')')
+				if end < 0 {
+					continue
+				}
+				position := p.Fset.Position(c.Pos())
+				lines := p.allow[position.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					p.allow[position.Filename] = lines
+				}
+				rules := lines[position.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[position.Line] = rules
+				}
+				for _, r := range strings.Split(inner[:end], ",") {
+					rules[strings.TrimSpace(r)] = true
+				}
+			}
+		}
+	}
+}
+
+// hasMark reports whether a doc comment contains the given //ppp:
+// marker (e.g. "ppp:hotpath").
+func hasMark(doc *ast.CommentGroup, mark string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == mark || strings.HasPrefix(text, mark+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicScope reports whether a function's output must be
+// independent of map iteration order and wall-clock state: explicitly
+// marked //ppp:deterministic, or named Merge/Fingerprint (the
+// repository convention for deterministic-combine entry points).
+func deterministicScope(fd *ast.FuncDecl) bool {
+	if hasMark(fd.Doc, "ppp:deterministic") {
+		return true
+	}
+	switch fd.Name.Name {
+	case "Merge", "Fingerprint":
+		return true
+	}
+	return false
+}
+
+// hotPathScope reports whether a function is marked //ppp:hotpath.
+func hotPathScope(fd *ast.FuncDecl) bool {
+	return hasMark(fd.Doc, "ppp:hotpath")
+}
+
+// fileImports maps each import's local name to its path for one file.
+func fileImports(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// selectorPkg resolves sel's receiver to an imported package path, or
+// "" when the receiver is a value (method call) or unknown. Type
+// information is preferred; the file's import table is the syntactic
+// fallback when the identifier did not resolve.
+func (p *Pass) selectorPkg(imports map[string]string, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // a local object shadows the import name
+	}
+	return imports[id.Name]
+}
+
+// eachFunc invokes fn for every function declaration with a body.
+func eachFunc(files []*ast.File, fn func(f *ast.File, fd *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

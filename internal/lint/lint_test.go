@@ -1,0 +1,124 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathprof/internal/lint"
+)
+
+// failImporter refuses every import, simulating the degraded mode the
+// analyzers must survive (vet always supplies real export data; tests
+// exercise the syntactic fallback).
+type failImporter struct{}
+
+func (failImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("no importer in tests: %s", path)
+}
+
+// checkFixtures parses and loosely type-checks the testdata package.
+func checkFixtures(t *testing.T) []lint.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	dir := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixtures: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: failImporter{},
+		Error:    func(error) {}, // tolerate unresolved imports
+	}
+	pkg, _ := conf.Check("fixtures", fset, files, info)
+	return lint.RunAll(fset, files, pkg, info)
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	diags := checkFixtures(t)
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Rule]++
+		t.Logf("[%s/%s] %s", d.Analyzer, d.Rule, d.Message)
+	}
+	want := map[string]int{
+		"mapiter":   2, // counter.Merge and Digest, not Unmarked
+		"wallclock": 1, // time.Now in Merge
+		"rand":      1, // rand.Intn in Merge
+		"lock":      2, // mu.Lock and the deferred mu.Unlock
+		"atomic":    1, // atomic.AddInt64
+		"alloc":     4, // append, make, composite literal, go closure
+		"defer":     1,
+		"goroutine": 1,
+	}
+	for rule, n := range want {
+		if got[rule] != n {
+			t.Errorf("rule %s: %d findings, want %d", rule, got[rule], n)
+		}
+	}
+	for rule, n := range got {
+		if _, ok := want[rule]; !ok {
+			t.Errorf("unexpected rule %s (%d findings)", rule, n)
+		}
+	}
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "src", "hot.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAll(fset, []*ast.File{f}, nil, nil)
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		// bumpAllowed's append sits on the line with //ppp:allow(alloc).
+		if fset.Position(d.Pos).Filename != "" && d.Rule == "alloc" && line > 30 && line < 40 {
+			t.Errorf("suppressed finding still reported at line %d: %s", line, d.Message)
+		}
+	}
+}
+
+// TestCleanWithoutTypes proves the analyzers stay quiet rather than
+// guessing when no type information is available at all: the mapiter
+// check needs types to tell maps from slices, so it reports nothing.
+func TestCleanWithoutTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "src", "det.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAll(fset, []*ast.File{f}, nil, nil)
+	for _, d := range diags {
+		if d.Rule == "mapiter" {
+			t.Errorf("mapiter fired without type info: %s", d.Message)
+		}
+	}
+	// The syntactic checks still work: time.Now and rand.Intn resolve
+	// through the import table.
+	rules := map[string]bool{}
+	for _, d := range diags {
+		rules[d.Rule] = true
+	}
+	if !rules["wallclock"] || !rules["rand"] {
+		t.Errorf("syntactic fallback missed wallclock/rand: got %v", rules)
+	}
+}

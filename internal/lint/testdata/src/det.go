@@ -1,0 +1,45 @@
+package fixtures
+
+// Fixture for the mapiter and wallclock analyzers: Merge is
+// deterministic scope by name, Digest by annotation, Unmarked is
+// ordinary code that must stay clean.
+
+import (
+	"math/rand"
+	"time"
+)
+
+type counter struct {
+	m     map[string]int64
+	total int64
+	stamp int64
+}
+
+// Merge combines two counters.
+func (c *counter) Merge(other *counter) {
+	for k, v := range other.m { // finding: mapiter
+		c.m[k] += v
+	}
+	c.stamp = time.Now().UnixNano() // finding: wallclock
+	c.total += int64(rand.Intn(3))  // finding: rand
+}
+
+// Digest sums a map.
+//
+//ppp:deterministic
+func Digest(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m { // finding: mapiter
+		sum += v
+	}
+	return sum
+}
+
+// Unmarked is not deterministic scope; its map range is fine.
+func Unmarked(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,42 @@
+package fixtures
+
+// Fixture for the hotpath analyzer: bump violates every rule, and
+// bumpAllowed shows the //ppp:allow escape hatch.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type hot struct {
+	mu  sync.Mutex
+	n   int64
+	buf []int64
+}
+
+// bump is the kitchen sink of hot-path violations.
+//
+//ppp:hotpath
+func (h *hot) bump() {
+	h.mu.Lock()                // finding: lock
+	atomic.AddInt64(&h.n, 1)   // finding: atomic
+	h.buf = append(h.buf, h.n) // finding: alloc
+	_ = make([]int64, 4)       // finding: alloc
+	_ = []int64{h.n}           // finding: alloc (composite literal)
+	defer h.mu.Unlock()        // findings: defer + lock
+	go func() {}()             // findings: goroutine + alloc (closure)
+}
+
+// bumpAllowed acknowledges a deliberate amortized append.
+//
+//ppp:hotpath
+func (h *hot) bumpAllowed() {
+	h.buf = append(h.buf, 1) //ppp:allow(alloc)
+}
+
+// cool is unmarked; anything goes.
+func (h *hot) cool() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buf = append(h.buf, h.n)
+}

@@ -18,6 +18,8 @@
 package netprof
 
 import (
+	"sort"
+
 	"pathprof/internal/cfg"
 )
 
@@ -150,8 +152,18 @@ func (p *Predictor) CoverageOf(flowByKey map[string]int64) float64 {
 // identical streams (the replicated-run case); it is an approximation
 // otherwise, as any distributed NET is. other is not modified.
 func (p *Predictor) Merge(other *Predictor) {
-	for k, v := range other.counts {
-		p.counts[k] += v
+	heads := make([]headKey, 0, len(other.counts))
+	for k := range other.counts { //ppp:allow(mapiter)
+		heads = append(heads, k)
+	}
+	sort.Slice(heads, func(i, j int) bool {
+		if heads[i].fn != heads[j].fn {
+			return heads[i].fn < heads[j].fn
+		}
+		return heads[i].block < heads[j].block
+	})
+	for _, k := range heads {
+		p.counts[k] += other.counts[k]
 	}
 	for _, tr := range other.traces {
 		if !p.selected[tr.head] {

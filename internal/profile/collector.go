@@ -175,17 +175,7 @@ func (s *Snapshot) Fingerprint() uint64 {
 		ep := s.Edges[fn]
 		wi(ep.Calls)
 		freq := ep.Freq()
-		keys := make([]EdgeKey, 0, len(freq))
-		for k := range freq {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].Src != keys[j].Src {
-				return keys[i].Src < keys[j].Src
-			}
-			return keys[i].Dst < keys[j].Dst
-		})
-		for _, k := range keys {
+		for _, k := range sortedEdgeKeys(freq) {
 			wi(int64(k.Src))
 			wi(int64(k.Dst))
 			wi(freq[k])

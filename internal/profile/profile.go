@@ -67,6 +67,8 @@ func (ep *EdgeProfile) Slot(src, dst int) int {
 
 // BumpSlot increments the dense counter registered by Slot. This is
 // the hot-path operation: a single slice increment.
+//
+//ppp:hotpath
 func (ep *EdgeProfile) BumpSlot(slot int) {
 	ep.dense[slot]++
 }
@@ -123,7 +125,9 @@ func (ep *EdgeProfile) ApplyTo(g *cfg.Graph) {
 }
 
 // Merge adds other's counts into ep (for combining multi-run profiles,
-// as the paper does for multi-input benchmarks).
+// as the paper does for multi-input benchmarks). The sparse side is
+// folded in sorted key order so merged profiles are built identically
+// regardless of how other's map laid out its entries.
 func (ep *EdgeProfile) Merge(other *EdgeProfile) {
 	ep.Calls += other.Calls
 	for i, k := range other.keys {
@@ -131,11 +135,27 @@ func (ep *EdgeProfile) Merge(other *EdgeProfile) {
 			ep.Add(k.Src, k.Dst, other.dense[i])
 		}
 	}
-	for k, v := range other.extra {
-		if v != 0 {
+	for _, k := range sortedEdgeKeys(other.extra) {
+		if v := other.extra[k]; v != 0 {
 			ep.Add(k.Src, k.Dst, v)
 		}
 	}
+}
+
+// sortedEdgeKeys returns m's keys in (Src, Dst) order, for
+// deterministic iteration in merge and fingerprint code.
+func sortedEdgeKeys(m map[EdgeKey]int64) []EdgeKey {
+	keys := make([]EdgeKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	return keys
 }
 
 // PathCount is one ground-truth path with its execution count.
@@ -302,12 +322,16 @@ func NewTable(kind TableKind, n, size int64) *Table {
 }
 
 // Inc increments the counter for index idx.
+//
+//ppp:hotpath
 func (t *Table) Inc(idx int64) { t.add(idx, 1) }
 
 // add records v executions of index idx: Inc generalized to a weight,
 // so shard merging can replay another table's counts through the same
 // probe sequence. Dropped and lost executions carry their weight into
 // Drops and Lost.
+//
+//ppp:hotpath
 func (t *Table) add(idx, v int64) {
 	if t.Kind == ArrayTable {
 		if idx < 0 || idx >= int64(len(t.arr)) {

@@ -1,0 +1,168 @@
+package verify_test
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/instr"
+	"pathprof/internal/verify"
+)
+
+// buildFuzzGraph decodes the fuzz input into a small structured CFG: a
+// chain of regions, each byte choosing a shape (straight line,
+// diamond, triangle, while loop, do-while loop). Structured
+// construction keeps every generated graph reducible, mirroring
+// cfgtest but driven by the fuzzer's bytes instead of a rand source.
+func buildFuzzGraph(data []byte) *cfg.Graph {
+	g := cfg.New("fuzz")
+	entry := g.AddBlock("entry")
+	prev := entry
+	regions := len(data)
+	if regions > 8 {
+		regions = 8 // keep path counts enumerable
+	}
+	for i := 0; i < regions; i++ {
+		switch data[i] % 5 {
+		case 0: // straight line
+			b := g.AddBlock("")
+			g.Connect(prev, b)
+			prev = b
+		case 1: // diamond
+			c := g.AddBlock("")
+			l := g.AddBlock("")
+			r := g.AddBlock("")
+			j := g.AddBlock("")
+			g.Connect(prev, c)
+			g.Connect(c, l)
+			g.Connect(c, r)
+			g.Connect(l, j)
+			g.Connect(r, j)
+			prev = j
+		case 2: // triangle (if-then)
+			c := g.AddBlock("")
+			th := g.AddBlock("")
+			j := g.AddBlock("")
+			g.Connect(prev, c)
+			g.Connect(c, th)
+			g.Connect(c, j)
+			g.Connect(th, j)
+			prev = j
+		case 3: // while loop with branching body
+			h := g.AddBlock("")
+			l := g.AddBlock("")
+			r := g.AddBlock("")
+			tl := g.AddBlock("")
+			g.Connect(prev, h)
+			g.Connect(h, l)
+			g.Connect(h, r)
+			g.Connect(l, tl)
+			g.Connect(r, tl)
+			g.Connect(tl, h) // back edge
+			prev = h
+		default: // do-while
+			b := g.AddBlock("")
+			latch := g.AddBlock("")
+			g.Connect(prev, b)
+			g.Connect(b, latch)
+			g.Connect(latch, b) // back edge
+			prev = latch
+		}
+	}
+	exit := g.AddBlock("exit")
+	g.Connect(prev, exit)
+	g.Entry, g.Exit = entry, exit
+	return g
+}
+
+// fuzzTechniques picks a technique combination from one byte, cycling
+// through the paper's configurations and single-toggle ablations.
+func fuzzTechniques(b byte) instr.Techniques {
+	base := []func() instr.Techniques{
+		instr.PP,
+		instr.TPP,
+		instr.PPP,
+		func() instr.Techniques { t := instr.PPP(); t.FreePoison = false; return t },
+		func() instr.Techniques { t := instr.PPP(); t.PushFurther = false; return t },
+		func() instr.Techniques { t := instr.PPP(); t.SmartNumber = false; return t },
+		func() instr.Techniques {
+			t := instr.PPP()
+			t.SelfAdjust = false
+			t.GlobalCold = false
+			return t
+		},
+		func() instr.Techniques { t := instr.PPP(); t.ObviousPaths = false; return t },
+	}
+	tech := base[int(b)%len(base)]()
+	tech.LowCoverage = false // LC skips routines; exercise the planner instead
+	return tech
+}
+
+// FuzzVerifyPlan generates random small CFGs, plans instrumentation
+// under a fuzzed technique mix, and cross-checks the static verifier
+// against VM-level op execution: whenever the verifier passes a plan,
+// simulating the ops along every hot path must reproduce the symbolic
+// path numbers exactly (one count, at the path's own dense ID).
+func FuzzVerifyPlan(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{1, 3, 2})
+	f.Add([]byte{0, 1, 2, 3, 4})
+	f.Add([]byte{255, 7, 31, 8})
+	f.Add([]byte{4, 4, 1, 1, 9, 16, 25, 36, 49})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		g := buildFuzzGraph(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated graph invalid: %v", err)
+		}
+		// Deterministic profile derived from the input bytes.
+		h := fnv.New64a()
+		h.Write(data)
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		cfgtest.Profile(g, rng, 50+rng.Intn(300), 300)
+
+		tech := fuzzTechniques(data[len(data)-1])
+		p, err := instr.Build(g, tech, instr.DefaultParams(), g.Calls)
+		if err != nil {
+			return // e.g. too many paths; not a verifier concern
+		}
+		rep := verify.Check(p)
+		if !rep.OK() {
+			t.Fatalf("planner produced a plan the verifier rejects:\n%s\n%s", rep, p.Dump())
+		}
+		if !p.Instrumented || p.N > 4096 {
+			return
+		}
+
+		// Verifier-pass => VM semantics agree with symbolic numbers.
+		attributed := map[string]bool{}
+		for _, a := range p.Attr {
+			attributed[a.Path.String()] = true
+		}
+		ex := make([]bool, len(p.D.Edges))
+		for i := range ex {
+			ex[i] = p.Cold[i] || p.Disc[i]
+		}
+		for _, path := range p.D.EnumeratePaths(ex, -1) {
+			want, ok := p.Num.PathNumber(path)
+			if !ok {
+				t.Fatalf("hot path %s rejected by numbering", path)
+			}
+			idx, counts := p.SimulatePath(path)
+			if attributed[path.String()] {
+				if counts != 0 {
+					t.Fatalf("attributed path %s fired %d counts", path, counts)
+				}
+				continue
+			}
+			if counts != 1 || idx != want {
+				t.Fatalf("verifier passed but VM simulation of %s fired %d counts at %d, want 1 at %d\n%s",
+					path, counts, idx, want, p.Dump())
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package verify_test
+
+import (
+	"testing"
+
+	"pathprof/internal/bench"
+	"pathprof/internal/core"
+	"pathprof/internal/verify"
+)
+
+// TestVerifySweep runs the static verifier over every routine plan of
+// every workload × technique combination: the three paper profilers
+// (PP, TPP, PPP) plus the five Figure 13 leave-one-out ablations
+// (SAC, FP, Push, SPN, LC). Short mode keeps a representative subset;
+// CI runs the full matrix as its own step.
+func TestVerifySweep(t *testing.T) {
+	s := bench.NewSuite()
+	names := make([]string, 0, len(s.Workloads))
+	for _, w := range s.Workloads {
+		names = append(names, w.Name)
+	}
+	if testing.Short() && len(names) > 4 {
+		names = names[:4]
+	}
+
+	checkPlans := func(t *testing.T, pr *core.ProfilerResult) {
+		t.Helper()
+		routines := 0
+		diags, ok := verify.CheckAll(pr.Plans, verify.Options{})
+		routines += len(pr.Plans)
+		if !ok {
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		}
+		if routines == 0 {
+			t.Error("no plans to verify")
+		}
+	}
+
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			wr, err := s.Run(name)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for prof, pr := range wr.Profilers {
+				t.Run(prof, func(t *testing.T) { checkPlans(t, pr) })
+			}
+			for ab := range core.Ablations() {
+				pr, err := s.Ablate(name, ab)
+				if err != nil {
+					t.Fatalf("ablate %s: %v", ab, err)
+				}
+				t.Run("PPP-"+ab, func(t *testing.T) { checkPlans(t, pr) })
+			}
+		})
+	}
+}

@@ -1,0 +1,679 @@
+// Package verify statically checks instrumentation plans. Given a
+// routine's DAG and an instr.Plan, Check proves — without executing
+// the VM — that the plan upholds the paper's invariants:
+//
+//   - hot-path numbers are unique and dense in [0, N) (the Ball-Larus
+//     bijection), established symbolically from the per-block
+//     prefix-sum structure of the numbering rather than by trusting
+//     the numbering code;
+//   - counter updates fire exactly once per hot path, at the path's
+//     own number, or not at all on edge-attributed obvious paths;
+//   - free poisoning confines cold executions to [N, TableSize) with
+//     TableSize <= 3N (Section 4.6), and check-based poisoning keeps
+//     the register negative;
+//   - Push overcounting (Section 4.4) is bounded — at most one count
+//     per register initialization — and lands only on valid hot
+//     numbers, so it can only overcount, never corrupt;
+//   - increments sit only on chords of the event-counting spanning
+//     tree, and cold/disconnected edges carry only their sanctioned
+//     ops.
+//
+// Path-sensitive checks enumerate DAG paths exactly up to a budget;
+// routines beyond it (for example hash-table routines above the SAC
+// threshold) fall back to the symbolic bijection proof plus a
+// deterministic sample of reconstructed paths. Violations come back as
+// structured diagnostics carrying a concrete witness path whenever one
+// exists.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/instr"
+	"pathprof/internal/pathnum"
+)
+
+// Rule identifies the invariant a diagnostic violates.
+type Rule string
+
+const (
+	// RuleShape: structural defects — slice lengths, table sizing,
+	// missing numbering.
+	RuleShape Rule = "shape"
+	// RuleNumbering: the numbering is not a dense bijection onto
+	// [0, N) (symbolic prefix-sum proof failed).
+	RuleNumbering Rule = "numbering"
+	// RuleHotCount: a hot path fires the wrong number of counter
+	// updates, or an attributed path fires any.
+	RuleHotCount Rule = "hot-count"
+	// RuleHotID: a hot path fires at an index other than its number,
+	// or two hot paths collide, or a number in [0, N) goes unused.
+	RuleHotID Rule = "hot-id"
+	// RuleColdRange: a poisoned count escapes the cold region
+	// [N, TableSize), or is non-negative under check-based poisoning.
+	RuleColdRange Rule = "cold-range"
+	// RulePoisonBound: the free-poisoning table exceeds the paper's 3N
+	// bound, or check-based poisoning grew the table at all.
+	RulePoisonBound Rule = "poison-bound"
+	// RuleOvercount: a cold execution overcounts more than once per
+	// register initialization, or records an invalid hot number.
+	RuleOvercount Rule = "overcount"
+	// RulePlacement: an increment sits on a spanning-tree edge, or a
+	// cold/disconnected edge carries ops it must not.
+	RulePlacement Rule = "placement"
+	// RuleAttr: an edge attribution is malformed (missing edge, edge
+	// not on the path).
+	RuleAttr Rule = "attr"
+)
+
+// Diagnostic is one verifier finding.
+type Diagnostic struct {
+	Rule    Rule
+	Routine string
+	Message string
+	// Witness is a concrete DAG path exhibiting the violation, when
+	// the rule is path-sensitive.
+	Witness cfg.Path
+	// Edge is the offending edge for placement rules.
+	Edge *cfg.DAGEdge
+}
+
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s] %s: %s", d.Rule, d.Routine, d.Message)
+	if d.Edge != nil {
+		fmt.Fprintf(&sb, " (edge %s)", d.Edge)
+	}
+	if d.Witness != nil {
+		fmt.Fprintf(&sb, " witness: %s", d.Witness)
+	}
+	return sb.String()
+}
+
+// Options tune the verification effort.
+type Options struct {
+	// Budget bounds exact path enumeration (hot paths and
+	// cold-crossing paths each). Zero means DefaultBudget. Routines
+	// with more hot paths than the budget — in particular hash-table
+	// routines above the SAC threshold — are verified symbolically
+	// plus by sampling.
+	Budget int
+	// Samples is the number of hot paths reconstructed and simulated
+	// in sampling mode. Zero means DefaultSamples.
+	Samples int
+}
+
+// DefaultBudget matches the instrumentation hashing threshold: every
+// array-table routine is enumerated exactly.
+const DefaultBudget = 4096
+
+// DefaultSamples is the sampling-mode path count.
+const DefaultSamples = 256
+
+// Report is the outcome of verifying one plan.
+type Report struct {
+	Routine string
+	// HotChecked and ColdChecked count the paths actually simulated;
+	// Sampled is set when the hot side used the sampling fallback.
+	HotChecked  int
+	ColdChecked int
+	Sampled     bool
+	Diags       []Diagnostic
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Diags) == 0 }
+
+// String renders every diagnostic, one per line.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("verify %s: ok (%d hot, %d cold paths checked)",
+			r.Routine, r.HotChecked, r.ColdChecked)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verify %s: %d violation(s)\n", r.Routine, len(r.Diags))
+	for _, d := range r.Diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}
+
+// Check verifies p with default options.
+func Check(p *instr.Plan) *Report { return CheckWith(p, Options{}) }
+
+// CheckWith verifies p. Non-instrumented plans get structural checks
+// only; a skipped routine with a well-formed attribution always
+// passes.
+func CheckWith(p *instr.Plan, opts Options) *Report {
+	if opts.Budget <= 0 {
+		opts.Budget = DefaultBudget
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = DefaultSamples
+	}
+	v := &checker{p: p, opts: opts, rep: &Report{Routine: p.G.Name}}
+	v.structural()
+	if len(v.rep.Diags) > 0 {
+		return v.rep // shape is broken; later checks would index out of range
+	}
+	v.attribution()
+	if p.Instrumented {
+		v.numbering()
+		v.placement()
+		v.hotPaths()
+		v.coldPaths()
+	}
+	return v.rep
+}
+
+type checker struct {
+	p    *instr.Plan
+	opts Options
+	rep  *Report
+}
+
+func (v *checker) diag(rule Rule, witness cfg.Path, edge *cfg.DAGEdge, format string, args ...interface{}) {
+	v.rep.Diags = append(v.rep.Diags, Diagnostic{
+		Rule: rule, Routine: v.p.G.Name,
+		Message: fmt.Sprintf(format, args...),
+		Witness: witness, Edge: edge,
+	})
+}
+
+// excluded returns the hot-path exclusion set: cold plus disconnected
+// edges. This is the single source of truth shared with the
+// instrumentation tests.
+func excluded(p *instr.Plan) []bool {
+	ex := make([]bool, len(p.D.Edges))
+	for i := range ex {
+		ex[i] = p.Cold[i] || p.Disc[i]
+	}
+	return ex
+}
+
+// structural checks slice shapes and table sizing before anything
+// indexes by edge ID.
+func (v *checker) structural() {
+	p := v.p
+	ne := len(p.D.Edges)
+	if len(p.Cold) != ne || len(p.Disc) != ne {
+		v.diag(RuleShape, nil, nil, "cold/disc masks sized %d/%d, want %d edges",
+			len(p.Cold), len(p.Disc), ne)
+		return
+	}
+	if p.Ops != nil && len(p.Ops) != ne {
+		v.diag(RuleShape, nil, nil, "ops sized %d, want %d edges", len(p.Ops), ne)
+		return
+	}
+	if !p.Instrumented {
+		if p.Reason == "" {
+			v.diag(RuleShape, nil, nil, "not instrumented but no reason recorded")
+		}
+		return
+	}
+	if p.Num == nil {
+		v.diag(RuleShape, nil, nil, "instrumented plan has no numbering")
+		return
+	}
+	if p.N != p.Num.N {
+		v.diag(RuleShape, nil, nil, "plan N=%d disagrees with numbering N=%d", p.N, p.Num.N)
+	}
+	if p.N <= 0 {
+		v.diag(RuleShape, nil, nil, "instrumented plan with N=%d", p.N)
+	}
+	if p.TableSize < p.N {
+		v.diag(RuleShape, nil, nil, "table size %d below N=%d", p.TableSize, p.N)
+	}
+	if p.PoisonCheck && p.TableSize != p.N {
+		v.diag(RulePoisonBound, nil, nil,
+			"check-based poisoning must not grow the table: size %d, N %d", p.TableSize, p.N)
+	}
+	if !p.PoisonCheck && p.TableSize > 3*p.N {
+		v.diag(RulePoisonBound, nil, nil,
+			"free-poisoning table %d exceeds 3N=%d (cold range must fit [N,3N-1])",
+			p.TableSize, 3*p.N)
+	}
+	if p.Ops == nil {
+		v.diag(RuleShape, nil, nil, "instrumented plan carries no ops")
+	}
+}
+
+// attribution checks each edge-attributed path: it must be non-empty,
+// name an edge, and the edge must lie on the path.
+func (v *checker) attribution() {
+	for i, a := range v.p.Attr {
+		if len(a.Path) == 0 {
+			v.diag(RuleAttr, nil, nil, "attribution %d has empty path", i)
+			continue
+		}
+		if a.Edge == nil {
+			v.diag(RuleAttr, a.Path, nil, "attribution %d has no defining edge", i)
+			continue
+		}
+		on := false
+		for _, e := range a.Path {
+			if e == a.Edge {
+				on = true
+				break
+			}
+		}
+		if !on {
+			v.diag(RuleAttr, a.Path, a.Edge, "attribution %d: defining edge not on path", i)
+		}
+	}
+}
+
+// numbering proves symbolically that edge values form a dense
+// bijection from hot paths onto [0, N): path counts are recomputed
+// independently, and at every block the non-excluded out-edge values
+// must be the prefix sums of their targets' path counts — the
+// interval-partition argument of Ball-Larus numbering. No path is
+// enumerated.
+func (v *checker) numbering() {
+	p := v.p
+	d := p.D
+	ex := excluded(p)
+
+	// Independent path-count recomputation (saturating).
+	const sat = int64(1) << 61
+	np := make([]int64, len(d.G.Blocks))
+	np[d.G.Exit.ID] = 1
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		b := d.Topo[i]
+		if b == d.G.Exit {
+			continue
+		}
+		var sum int64
+		for _, e := range d.Out[b.ID] {
+			if ex[e.ID] {
+				continue
+			}
+			sum += np[e.Dst.ID]
+			if sum > sat {
+				sum = sat
+			}
+		}
+		np[b.ID] = sum
+	}
+	if np[d.G.Entry.ID] != p.N {
+		v.diag(RuleNumbering, nil, nil,
+			"recomputed hot path count %d disagrees with plan N=%d", np[d.G.Entry.ID], p.N)
+		return
+	}
+
+	for _, b := range d.G.Blocks {
+		if b == d.G.Exit {
+			continue
+		}
+		edges := make([]*cfg.DAGEdge, 0, len(d.Out[b.ID]))
+		for _, e := range d.Out[b.ID] {
+			if !ex[e.ID] {
+				edges = append(edges, e)
+			}
+		}
+		// Values must be prefix sums in some visit order. Sorting by
+		// (value, target path count) reconstructs that order: dead
+		// edges (zero paths ahead) tie with the live edge assigned the
+		// same value and must come first.
+		sort.SliceStable(edges, func(i, j int) bool {
+			vi, vj := p.Num.Val[edges[i].ID], p.Num.Val[edges[j].ID]
+			if vi != vj {
+				return vi < vj
+			}
+			return np[edges[i].Dst.ID] < np[edges[j].Dst.ID]
+		})
+		var sum int64
+		for _, e := range edges {
+			if p.Num.Val[e.ID] != sum {
+				v.diag(RuleNumbering, nil, e,
+					"edge value %d at %s is not the prefix sum %d of prior path counts: numbers cannot be unique and dense",
+					p.Num.Val[e.ID], b, sum)
+				return
+			}
+			sum += np[e.Dst.ID]
+			if sum > sat {
+				sum = sat
+			}
+		}
+		if sum != np[b.ID] {
+			v.diag(RuleNumbering, nil, nil,
+				"out-edge path counts at %s sum to %d, want %d", b, sum, np[b.ID])
+			return
+		}
+	}
+}
+
+// placement re-derives the event-counting spanning tree from the
+// plan's own technique settings and checks that every surviving
+// increment is a chord with the derived value, and that excluded edges
+// carry only their sanctioned ops (one poison assignment on cold
+// edges, nothing on disconnected edges).
+func (v *checker) placement() {
+	p := v.p
+	var w pathnum.Weights
+	if p.Tech.SmartNumber {
+		w = pathnum.ProfileWeights(p.D)
+	} else {
+		w = pathnum.StaticWeights(p.D)
+	}
+	inc, chord := pathnum.EventCount(p.Num, w)
+	for _, e := range p.D.Edges {
+		ops := p.Ops[e.ID]
+		if p.Disc[e.ID] {
+			if len(ops) != 0 {
+				v.diag(RulePlacement, nil, e, "disconnected edge carries ops %v", ops)
+			}
+			continue
+		}
+		if p.Cold[e.ID] {
+			if len(ops) != 1 || ops[0].Kind != instr.OpSet {
+				v.diag(RulePlacement, nil, e,
+					"cold edge must carry exactly one poisoning assignment, has %v", ops)
+			} else if p.PoisonCheck && ops[0].V >= 0 {
+				v.diag(RuleColdRange, nil, e,
+					"check-based poison value %d is not negative", ops[0].V)
+			}
+			continue
+		}
+		for _, op := range ops {
+			if op.Kind != instr.OpInc {
+				continue
+			}
+			if !chord[e.ID] {
+				v.diag(RulePlacement, nil, e,
+					"increment r+=%d on a spanning-tree edge (instrumentation must stay on chords)", op.V)
+			} else if op.V != inc[e.ID] {
+				v.diag(RulePlacement, nil, e,
+					"increment r+=%d disagrees with derived chord increment %d", op.V, inc[e.ID])
+			}
+		}
+	}
+}
+
+// event is one counter update observed while abstractly executing a
+// plan along a path.
+type event struct {
+	index    int64
+	poisoned bool // the last assignment came from a cold edge
+}
+
+// simulate abstractly executes the plan's ops along a DAG path. sets
+// counts register initializations, used for the overcount bound.
+func simulate(p *instr.Plan, path cfg.Path) (events []event, sets int) {
+	var r int64
+	poisoned := false
+	for _, e := range path {
+		for _, op := range p.Ops[e.ID] {
+			switch op.Kind {
+			case instr.OpInc:
+				r += op.V
+			case instr.OpSet:
+				r = op.V
+				poisoned = p.Cold[e.ID]
+				sets++
+			case instr.OpCountR:
+				events = append(events, event{r, poisoned})
+			case instr.OpCountRV:
+				events = append(events, event{r + op.V, poisoned})
+			case instr.OpCountC:
+				events = append(events, event{op.V, false})
+			}
+		}
+	}
+	return events, sets
+}
+
+// hotPaths checks the counting behaviour on hot paths: exact
+// enumeration within budget, otherwise the sampling fallback over
+// reconstructed paths (the symbolic bijection from numbering() already
+// covers uniqueness and density).
+func (v *checker) hotPaths() {
+	p := v.p
+	if p.N <= int64(v.opts.Budget) {
+		v.hotExact()
+		return
+	}
+	v.rep.Sampled = true
+	v.hotSampled()
+}
+
+// attrKey indexes attributed paths by their rendering.
+func attrSet(p *instr.Plan) map[string]bool {
+	m := make(map[string]bool, len(p.Attr))
+	for _, a := range p.Attr {
+		m[a.Path.String()] = true
+	}
+	return m
+}
+
+func (v *checker) hotExact() {
+	p := v.p
+	attributed := attrSet(p)
+	paths := p.D.EnumeratePaths(excluded(p), v.opts.Budget+1)
+	if int64(len(paths)) != p.N {
+		v.diag(RuleNumbering, nil, nil, "enumerated %d hot paths, plan claims N=%d", len(paths), p.N)
+		return
+	}
+	seen := make(map[int64]cfg.Path, len(paths))
+	for _, path := range paths {
+		v.rep.HotChecked++
+		want, ok := p.Num.PathNumber(path)
+		if !ok {
+			v.diag(RuleNumbering, path, nil, "hot path rejected by the numbering")
+			continue
+		}
+		events, _ := simulate(p, path)
+		if attributed[path.String()] {
+			if len(events) != 0 {
+				v.diag(RuleHotCount, path, nil, "edge-attributed path fires %d counts", len(events))
+			}
+			// The attribution's recorded number stands in for the fire.
+			if prev, dup := seen[want]; dup {
+				v.diag(RuleHotID, path, nil, "number %d already used by %s", want, prev)
+			}
+			seen[want] = path
+			continue
+		}
+		if len(events) != 1 {
+			v.diag(RuleHotCount, path, nil, "hot path fires %d counts, want exactly 1", len(events))
+			continue
+		}
+		ev := events[0]
+		if ev.index != want {
+			v.diag(RuleHotID, path, nil, "hot path counted at %d, want its number %d", ev.index, want)
+			continue
+		}
+		if prev, dup := seen[ev.index]; dup {
+			v.diag(RuleHotID, path, nil, "number %d already used by %s", ev.index, prev)
+			continue
+		}
+		seen[ev.index] = path
+	}
+	// Density: with exactly N paths all distinct in [0, N), every
+	// number must appear; report the first gap as a witness-free diag.
+	if int64(len(seen)) == p.N {
+		return
+	}
+	for id := int64(0); id < p.N; id++ {
+		if _, ok := seen[id]; !ok {
+			v.diag(RuleHotID, nil, nil, "no hot path counts at %d: numbering not dense", id)
+			return
+		}
+	}
+}
+
+// hotSampled reconstructs a deterministic stride of path numbers and
+// checks each reconstructed path fires once at its own number. The
+// path-number sum is re-verified against the reconstruction so a bug
+// in Reconstruct cannot vouch for itself.
+func (v *checker) hotSampled() {
+	p := v.p
+	attributed := attrSet(p)
+	stride := p.N / int64(v.opts.Samples)
+	if stride < 1 {
+		stride = 1
+	}
+	checked := map[int64]bool{}
+	sample := func(id int64) {
+		if checked[id] {
+			return
+		}
+		checked[id] = true
+		path, err := p.Num.Reconstruct(id)
+		if err != nil {
+			v.diag(RuleNumbering, nil, nil, "cannot reconstruct path %d: %v", id, err)
+			return
+		}
+		if got, ok := p.Num.PathNumber(path); !ok || got != id {
+			v.diag(RuleNumbering, path, nil, "reconstructed path sums to %d, want %d", got, id)
+			return
+		}
+		v.rep.HotChecked++
+		events, _ := simulate(p, path)
+		if attributed[path.String()] {
+			if len(events) != 0 {
+				v.diag(RuleHotCount, path, nil, "edge-attributed path fires %d counts", len(events))
+			}
+			return
+		}
+		if len(events) != 1 {
+			v.diag(RuleHotCount, path, nil, "hot path fires %d counts, want exactly 1", len(events))
+			return
+		}
+		if events[0].index != id {
+			v.diag(RuleHotID, path, nil, "hot path counted at %d, want its number %d", events[0].index, id)
+		}
+	}
+	for id := int64(0); id < p.N; id += stride {
+		sample(id)
+	}
+	sample(p.N - 1)
+}
+
+// coldPaths enumerates executions crossing at least one cold edge
+// (pruning pure-hot subtrees, bounded by the budget) and checks the
+// poisoning and overcount invariants on each.
+func (v *checker) coldPaths() {
+	p := v.p
+	anyCold := false
+	for _, c := range p.Cold {
+		if c {
+			anyCold = true
+			break
+		}
+	}
+	if !anyCold {
+		return
+	}
+
+	// coldAhead[b]: some cold edge is reachable from b over
+	// non-disconnected edges. Walking only where a cold edge was
+	// crossed or still can be prunes the pure-hot subtrees, so the
+	// budget is spent entirely on cold-crossing paths.
+	d := p.D
+	coldAhead := make([]bool, len(d.G.Blocks))
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		b := d.Topo[i]
+		for _, e := range d.Out[b.ID] {
+			if p.Disc[e.ID] {
+				continue
+			}
+			if p.Cold[e.ID] || coldAhead[e.Dst.ID] {
+				coldAhead[b.ID] = true
+				break
+			}
+		}
+	}
+
+	var cur cfg.Path
+	budget := v.opts.Budget
+	var walk func(b *cfg.Block, crossed bool) bool
+	walk = func(b *cfg.Block, crossed bool) bool {
+		if b == d.G.Exit {
+			if crossed {
+				v.checkColdPath(cur)
+				budget--
+			}
+			return budget > 0
+		}
+		for _, e := range d.Out[b.ID] {
+			if p.Disc[e.ID] {
+				continue
+			}
+			if !crossed && !p.Cold[e.ID] && !coldAhead[e.Dst.ID] {
+				continue // would end as a pure hot path
+			}
+			cur = append(cur, e)
+			ok := walk(e.Dst, crossed || p.Cold[e.ID])
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	walk(d.G.Entry, false)
+}
+
+func (v *checker) checkColdPath(path cfg.Path) {
+	p := v.p
+	v.rep.ColdChecked++
+	events, sets := simulate(p, path)
+	unpoisoned := 0
+	for _, ev := range events {
+		if !ev.poisoned {
+			// A deliberate Push overcount or constant count: it may
+			// only bump a valid hot number (overcounting, never
+			// corruption outside [0, N)).
+			if ev.index < 0 || ev.index >= p.N {
+				witness := append(cfg.Path(nil), path...)
+				v.diag(RuleOvercount, witness, nil,
+					"unpoisoned cold-path count at %d outside hot range [0,%d)", ev.index, p.N)
+			}
+			unpoisoned++
+			continue
+		}
+		if p.PoisonCheck {
+			if ev.index >= 0 {
+				witness := append(cfg.Path(nil), path...)
+				v.diag(RuleColdRange, witness, nil,
+					"check-poisoned count at %d, want a negative register", ev.index)
+			}
+			continue
+		}
+		if ev.index < p.N || ev.index >= p.TableSize {
+			witness := append(cfg.Path(nil), path...)
+			v.diag(RuleColdRange, witness, nil,
+				"poisoned count at %d escapes the cold region [%d,%d)", ev.index, p.N, p.TableSize)
+		}
+	}
+	// Bounded overcounting: every unpoisoned fire needs its own
+	// register initialization; a path with s assignments can fire at
+	// most s+1 times in total.
+	if unpoisoned > sets+1 || len(events) > sets+1 {
+		witness := append(cfg.Path(nil), path...)
+		v.diag(RuleOvercount, witness, nil,
+			"cold path fires %d counts (%d unpoisoned) with only %d initializations",
+			len(events), unpoisoned, sets)
+	}
+}
+
+// CheckAll verifies every plan in a routine map and returns all
+// diagnostics, in routine-name order. The bool reports overall
+// success.
+func CheckAll(plans map[string]*instr.Plan, opts Options) ([]Diagnostic, bool) {
+	names := make([]string, 0, len(plans))
+	for n := range plans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var diags []Diagnostic
+	for _, n := range names {
+		rep := CheckWith(plans[n], opts)
+		diags = append(diags, rep.Diags...)
+	}
+	return diags, len(diags) == 0
+}

@@ -591,7 +591,11 @@ func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
 
 // transition handles a control-flow edge through its precompiled
 // successor state: edge profiling, path tracking, and instrumentation
-// ops, with no map lookups.
+// ops, with no map lookups. The path appends below reuse fr.path's
+// capacity after the first few iterations; BenchmarkVM asserts zero
+// steady-state allocations.
+//
+//ppp:hotpath
 func (m *machine) transition(fr *frame, s *succRT) {
 	rt := fr.rt
 	if s.edgeSlot >= 0 {
@@ -603,20 +607,22 @@ func (m *machine) transition(fr *frame, s *succRT) {
 	}
 	if rt.paths != nil {
 		if s.back {
-			fr.path = append(fr.path, s.exitDummy)
+			fr.path = append(fr.path, s.exitDummy) //ppp:allow(alloc)
 			rt.paths.Add(fr.path, 1)
 			if m.opts.PathHook != nil {
 				m.opts.PathHook(rt.fn.Name, fr.path)
 			}
 			fr.path = fr.path[:0]
-			fr.path = append(fr.path, s.entryDummy)
+			fr.path = append(fr.path, s.entryDummy) //ppp:allow(alloc)
 		} else {
-			fr.path = append(fr.path, s.pathEdge)
+			fr.path = append(fr.path, s.pathEdge) //ppp:allow(alloc)
 		}
 	}
 }
 
 // runOps executes instrumentation operations with modeled cost.
+//
+//ppp:hotpath
 func (m *machine) runOps(fr *frame, ops []instr.Op) {
 	costs := &m.opts.Costs
 	rt := fr.rt
