@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput]
-//	         [-workloads a,b,c] [-par n] [-replicas n] [-json] [-v]
+//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput|faults]
+//	         [-workloads a,b,c] [-par n] [-replicas n] [-faults spec] [-json] [-v]
 //	         [-cpuprofile f] [-memprofile f]
 //
 // The workload sweep runs on a bounded worker pool (-par, default
@@ -19,6 +19,12 @@
 // requested explicitly, never under -exp all. -cpuprofile/-memprofile
 // write go tool pprof profiles, for diagnosing scaling regressions in
 // the collector.
+//
+// -exp faults runs guarded replication under deterministic fault
+// injection (-faults seed=N,kind=panic+stall+overflow[,rate=r]) and
+// reports shard quarantine, lost flow, counter saturation, and merge
+// determinism across worker counts. Also explicit-only: its outcome
+// depends on the requested fault spec.
 package main
 
 import (
@@ -53,10 +59,11 @@ type experimentTiming struct {
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput, faults)")
 	names := flag.String("workloads", "", "comma-separated subset of workloads (default: all 18)")
 	par := flag.Int("par", 0, "worker pool size for the workload sweep (0 = GOMAXPROCS, 1 = sequential)")
-	replicas := flag.Int("replicas", bench.DefaultThroughputReplicas, "replicas per measurement in -exp throughput")
+	replicas := flag.Int("replicas", bench.DefaultThroughputReplicas, "replicas per measurement in -exp throughput/faults")
+	faults := flag.String("faults", "seed=1,kind=panic+overflow", "fault spec for -exp faults: seed=N,kind=a+b[,rate=r]")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (wall-clock + headline metrics) instead of tables")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -129,6 +136,7 @@ func run() int {
 		{"net", s.NETReport, false},
 		{"static", s.StaticReport, false},
 		{"throughput", func(w io.Writer) error { return s.ThroughputReport(w, *replicas) }, true},
+		{"faults", func(w io.Writer) error { return s.FaultsReport(w, *faults, *replicas) }, true},
 	}
 	rep := report{Parallelism: s.Parallelism}
 	for _, w := range s.Workloads {

@@ -8,117 +8,171 @@
 //	pppc -workload mcf -profiler PPP
 //	pppc -src prog.mc -profiler TPP -hot 10
 //	pppc -src prog.mc -profiler PPP -dump-plans
+//	pppc -workload mcf -snapshot mcf.ppsnap
+//	pppc -workload mcf -faults seed=7,kind=panic+overflow
+//
+// Malformed or hostile input — unparsable source, truncated files,
+// corrupt profiles or snapshots — produces a diagnostic on stderr and
+// a nonzero exit, never a panic.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"pathprof/internal/bench"
 	"pathprof/internal/core"
 	"pathprof/internal/eval"
+	"pathprof/internal/faultinject"
 	"pathprof/internal/instr"
 	"pathprof/internal/profile"
+	"pathprof/internal/snapshot"
 	"pathprof/internal/verify"
+	"pathprof/internal/vm"
 	"pathprof/internal/workloads"
 )
 
-func main() {
-	src := flag.String("src", "", "mini-C source file to profile")
-	workload := flag.String("workload", "", "built-in workload name instead of -src")
-	profiler := flag.String("profiler", "PPP", "profiler: PP, TPP, PPP, or PPP-{SAC,FP,Push,SPN,LC}")
-	hot := flag.Int("hot", 10, "number of hot paths to print")
-	noOpt := flag.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
-	verifyPlans := flag.Bool("verify", false, "statically verify every instrumentation plan before running")
-	dumpPlans := flag.Bool("dump-plans", false, "dump per-routine instrumentation plans")
-	saveProfile := flag.String("save-profile", "", "write the optimized run's edge profile to a file")
-	loadProfile := flag.String("load-profile", "", "guide instrumentation with this edge profile instead of the run's own")
-	dumpIR := flag.Bool("dump-ir", false, "dump the optimized IR")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its environment abstracted, so hostile-input
+// behavior (diagnostic + nonzero exit, never a panic) is testable
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pppc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	src := fs.String("src", "", "mini-C source file to profile")
+	workload := fs.String("workload", "", "built-in workload name instead of -src")
+	profiler := fs.String("profiler", "PPP", "profiler: PP, TPP, PPP, or PPP-{SAC,FP,Push,SPN,LC}")
+	hot := fs.Int("hot", 10, "number of hot paths to print")
+	noOpt := fs.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
+	verifyPlans := fs.Bool("verify", false, "statically verify every instrumentation plan before running")
+	dumpPlans := fs.Bool("dump-plans", false, "dump per-routine instrumentation plans")
+	saveProfile := fs.String("save-profile", "", "write the optimized run's edge profile to a file")
+	loadProfile := fs.String("load-profile", "", "guide instrumentation with this edge profile instead of the run's own")
+	snapPath := fs.String("snapshot", "", "durable profile snapshot path: load (with .prev fallback) before the run, save after")
+	faults := fs.String("faults", "", "deterministic fault injection spec: seed=N,kind=panic+stall+overflow+snapcorrupt+badcfg[,rate=r]")
+	dumpIR := fs.Bool("dump-ir", false, "dump the optimized IR")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "pppc: "+format+"\n", a...)
+		return 1
+	}
+
+	var inj *faultinject.Injector
+	if *faults != "" {
+		var err error
+		if inj, err = faultinject.Parse(*faults); err != nil {
+			return fail("%v", err)
+		}
+	}
 
 	var name, source string
 	switch {
 	case *workload != "":
 		w, ok := workloads.ByName(*workload)
 		if !ok {
-			fatalf("unknown workload %q", *workload)
+			return fail("unknown workload %q", *workload)
 		}
 		name, source = w.Name, w.Source
 	case *src != "":
 		data, err := os.ReadFile(*src)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		name, source = *src, string(data)
 	default:
-		fatalf("need -src or -workload (try -workload mcf)")
+		return fail("need -src or -workload (try -workload mcf)")
 	}
 
 	tech, ok := techFor(*profiler)
 	if !ok {
-		fatalf("unknown profiler %q", *profiler)
+		return fail("unknown profiler %q", *profiler)
+	}
+
+	// A pre-existing snapshot is consulted before the run: corruption
+	// is a warning (the store falls back to .prev when it can), not a
+	// reason to refuse fresh profiling.
+	var store *snapshot.Store
+	if *snapPath != "" {
+		store = snapshot.NewStore(*snapPath)
+		prev, fellBack, err := store.Load()
+		switch {
+		case err == nil && fellBack:
+			fmt.Fprintf(stderr, "pppc: snapshot %s corrupt; recovered previous snapshot %016x from %s\n",
+				store.Path(), prev.Fingerprint(), store.PrevPath())
+		case err == nil:
+			fmt.Fprintf(stdout, "previous snapshot %016x loaded from %s\n", prev.Fingerprint(), store.Path())
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to load.
+		default:
+			fmt.Fprintf(stderr, "pppc: snapshot %s unusable (no fallback): %v\n", store.Path(), err)
+		}
 	}
 
 	pipe := core.NewPipeline(name, source)
 	pipe.NoOpt = *noOpt
 	staged, err := pipe.Stage()
 	if err != nil {
-		fatalf("stage: %v", err)
+		return fail("stage: %v", err)
 	}
 	if *dumpIR {
-		fmt.Print(staged.Prog.Dump())
+		fmt.Fprint(stdout, staged.Prog.Dump())
 	}
 
 	stats := core.StatsOf(staged.Base)
-	fmt.Printf("%s: %d dynamic paths, %.2f branches/path, %.2f instrs/path\n",
+	fmt.Fprintf(stdout, "%s: %d dynamic paths, %.2f branches/path, %.2f instrs/path\n",
 		name, stats.DynPaths, stats.AvgBranches, stats.AvgInstrs)
 	if !*noOpt {
-		fmt.Printf("inlining: %.0f%% of dynamic calls removed; unrolling avg factor applied; speedup %.2fx\n",
+		fmt.Fprintf(stdout, "inlining: %.0f%% of dynamic calls removed; unrolling avg factor applied; speedup %.2fx\n",
 			100*staged.PctCallsInlined(), staged.Speedup())
 	}
 
 	if *saveProfile != "" {
 		f, err := os.Create(*saveProfile)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		if err := profile.WriteEdgeProfiles(f, staged.Base.Edges); err != nil {
-			fatalf("save profile: %v", err)
+			return fail("save profile: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fatalf("save profile: %v", err)
+			return fail("save profile: %v", err)
 		}
-		fmt.Printf("edge profile saved to %s\n", *saveProfile)
+		fmt.Fprintf(stdout, "edge profile saved to %s\n", *saveProfile)
 	}
 	guide := staged.Base.Edges
 	if *loadProfile != "" {
 		f, err := os.Open(*loadProfile)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		guide, err = profile.ReadEdgeProfiles(f)
 		f.Close()
 		if err != nil {
-			fatalf("load profile: %v", err)
+			return fail("load profile: %v", err)
 		}
-		fmt.Printf("guiding instrumentation with %s\n", *loadProfile)
+		fmt.Fprintf(stdout, "guiding instrumentation with %s\n", *loadProfile)
 	}
 
 	pr, err := staged.ProfileWith(*profiler, tech, guide)
 	if err != nil {
-		fatalf("profile: %v", err)
+		return fail("profile: %v", err)
 	}
 	if *verifyPlans {
 		diags, ok := verify.CheckAll(pr.Plans, verify.Options{})
 		if !ok {
 			for _, d := range diags {
-				fmt.Fprintln(os.Stderr, d)
+				fmt.Fprintln(stderr, d)
 			}
-			fatalf("verify: %d invariant violation(s) in %s plans", len(diags), *profiler)
+			return fail("verify: %d invariant violation(s) in %s plans", len(diags), *profiler)
 		}
-		fmt.Printf("verify: %d routine plan(s) ok\n", len(pr.Plans))
+		fmt.Fprintf(stdout, "verify: %d routine plan(s) ok\n", len(pr.Plans))
 	}
 	if *dumpPlans {
 		names := make([]string, 0, len(pr.Plans))
@@ -127,31 +181,109 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Print(pr.Plans[n].Dump())
+			fmt.Fprint(stdout, pr.Plans[n].Dump())
 		}
 	}
 
-	fmt.Printf("%s overhead: %.1f%% (base cost %d, instrumentation cost %d)\n",
+	fmt.Fprintf(stdout, "%s overhead: %.1f%% (base cost %d, instrumentation cost %d)\n",
 		*profiler, 100*pr.Overhead(), pr.Run.BaseCost, pr.Run.InstrCost)
 
 	hotPaths := pr.Eval.HotPaths(bench.HotTheta)
 	est := pr.Eval.EstimatedProfile(bench.HotTheta)
-	fmt.Printf("accuracy %.1f%%, coverage %.1f%% (edge profile alone: %.1f%%)\n",
+	fmt.Fprintf(stdout, "accuracy %.1f%%, coverage %.1f%% (edge profile alone: %.1f%%)\n",
 		100*eval.Accuracy(hotPaths, est), 100*pr.Eval.Coverage().Value(),
 		100*pr.Eval.EdgeCoverage().Value())
 	if pr.SACAdjusted > 0 {
-		fmt.Printf("self-adjusting criterion: %d routine(s), max %d iteration(s)\n",
+		fmt.Fprintf(stdout, "self-adjusting criterion: %d routine(s), max %d iteration(s)\n",
 			pr.SACAdjusted, pr.MaxSACIterations)
 	}
+	if pr.Degraded() > 0 {
+		fmt.Fprintf(stdout, "degraded mode: %s\n", pr.ModeSummary())
+	}
 
-	fmt.Printf("\nhottest %d paths (of %d hot at %.3f%% of flow):\n",
+	if store != nil {
+		snap := pr.Run.Snapshot()
+		if err := store.Save(snap); err != nil {
+			return fail("save snapshot: %v", err)
+		}
+		fmt.Fprintf(stdout, "snapshot %016x saved to %s\n", snap.Fingerprint(), store.Path())
+	}
+
+	if inj != nil {
+		if err := faultDrill(stdout, inj, staged, pr); err != nil {
+			return fail("faults: %v", err)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nhottest %d paths (of %d hot at %.3f%% of flow):\n",
 		min(*hot, len(hotPaths)), len(hotPaths), 100*bench.HotTheta)
 	for i, h := range hotPaths {
 		if i >= *hot {
 			break
 		}
-		fmt.Printf("  %8d x  %s | %s\n", h.Freq, h.Routine, h.Path)
+		fmt.Fprintf(stdout, "  %8d x  %s | %s\n", h.Freq, h.Routine, h.Path)
 	}
+	return 0
+}
+
+// faultDrill exercises the robustness machinery against the staged
+// program under the parsed injector and reports what degraded and how.
+// Every fault kind must complete with a structured report — an error
+// return here means the guardrails themselves are broken.
+func faultDrill(w io.Writer, inj *faultinject.Injector, staged *core.Staged, pr *core.ProfilerResult) error {
+	fmt.Fprintf(w, "\nfault drill: %s\n", inj)
+
+	// panic/stall/overflow drive guarded replication.
+	if inj.Active(faultinject.Panic) || inj.Active(faultinject.Stall) || inj.Active(faultinject.Overflow) {
+		entry := staged.Pipeline.Entry
+		if entry == "" {
+			entry = "main"
+		}
+		opts := vm.Options{
+			Costs: staged.Pipeline.Costs, Entry: staged.Pipeline.Entry,
+			MaxSteps:     staged.Pipeline.MaxSteps,
+			CollectEdges: true, CollectPaths: true,
+			Guard: bench.FaultGuard(inj, []string{entry}),
+		}
+		rr, err := vm.RunReplicated(staged.Prog, opts, 8, 4)
+		if err != nil {
+			fmt.Fprintf(w, "  guarded run: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "  guarded run: %d/%d replicas survived, merged fingerprint %016x\n",
+				rr.Survivors(), rr.Replicas, rr.Merged.Fingerprint())
+			for _, f := range rr.Faults {
+				fmt.Fprintf(w, "  - %v\n", f)
+			}
+			if sat := rr.Merged.SaturatedRoutines(); len(sat) > 0 {
+				fmt.Fprintf(w, "  saturated counters (edge-only fallback): %v\n", sat)
+			}
+		}
+	}
+
+	// snapcorrupt damages an encoded snapshot; the decoder must reject
+	// it with a structured error, never crash or accept it.
+	if inj.Active(faultinject.SnapCorrupt) {
+		data := snapshot.Encode(pr.Run.Snapshot())
+		bad := inj.Corrupt(data, 1)
+		if _, err := snapshot.Decode(bad); err != nil {
+			fmt.Fprintf(w, "  snapcorrupt: decoder rejected damaged snapshot: %v\n", err)
+		} else {
+			return fmt.Errorf("snapcorrupt: damaged snapshot was accepted")
+		}
+	}
+
+	// badcfg truncates the source mid-token; the pipeline must answer
+	// with a diagnostic, not a panic.
+	if inj.Active(faultinject.BadCFG) {
+		src := staged.Pipeline.Source
+		cut := 1 + int(inj.Rand(faultinject.BadCFG, 0)%uint64(len(src)-1))
+		if _, err := core.NewPipeline("badcfg", src[:cut]).Stage(); err != nil {
+			fmt.Fprintf(w, "  badcfg: truncated source rejected: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "  badcfg: source truncated at %d/%d still staged cleanly\n", cut, len(src))
+		}
+	}
+	return nil
 }
 
 func techFor(name string) (instr.Techniques, bool) {
@@ -169,11 +301,6 @@ func techFor(name string) (instr.Techniques, bool) {
 		}
 	}
 	return instr.Techniques{}, false
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
 }
 
 func min(a, b int) int {

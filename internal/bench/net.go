@@ -22,7 +22,7 @@ func (s *Suite) NETReport(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "Section 2: NET (Dynamo) trace selection vs PPP, %% of hot flow covered\n")
-	fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "bench", "NET", "PPP", "traces")
+	fmt.Fprintf(w, "%-10s %8s %8s %8s  %s\n", "bench", "NET", "PPP", "traces", "mode")
 	var nets, ppps []float64
 	for _, r := range rs {
 		pred := r.NET
@@ -47,8 +47,9 @@ func (s *Suite) NETReport(w io.Writer) error {
 		if total > 0 {
 			pppCov = float64(covered) / float64(total)
 		}
-		fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%% %8d\n",
-			r.W.Name, 100*netCov, 100*pppCov, len(pred.Traces()))
+		fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%% %8d  %s\n",
+			r.W.Name, 100*netCov, 100*pppCov, len(pred.Traces()),
+			r.Profilers["PPP"].ModeSummary())
 		nets = append(nets, netCov)
 		ppps = append(ppps, pppCov)
 	}

@@ -86,12 +86,14 @@ func (g *Graph) AddBlock(name string) *Block {
 }
 
 // Connect adds an edge from src to dst and returns it. Parallel edges
-// between the same pair of blocks are not allowed; Connect panics if one
-// would be created (the IR lowering guarantees it never does).
-func (g *Graph) Connect(src, dst *Block) *Edge {
+// between the same pair of blocks are not allowed; Connect returns an
+// error if one would be created, so malformed graph input surfaces as a
+// diagnostic instead of a crash. (The IR lowering never produces one;
+// hand-built test graphs use cfgtest.Connect, which panics.)
+func (g *Graph) Connect(src, dst *Block) (*Edge, error) {
 	for _, e := range src.Out {
 		if e.Dst == dst {
-			panic(fmt.Sprintf("cfg: parallel edge %s->%s in %s", src, dst, g.Name))
+			return nil, fmt.Errorf("cfg: parallel edge %s->%s in %s", src, dst, g.Name)
 		}
 	}
 	e := &Edge{ID: len(g.Edges), Src: src, Dst: dst}
@@ -99,7 +101,7 @@ func (g *Graph) Connect(src, dst *Block) *Edge {
 	src.Out = append(src.Out, e)
 	dst.In = append(dst.In, e)
 	g.analyzed = false
-	return e
+	return e, nil
 }
 
 // FindEdge returns the edge src->dst, or nil if there is none.

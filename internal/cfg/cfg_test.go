@@ -92,13 +92,13 @@ func loopGraph() *cfg.Graph {
 	b2 := g.AddBlock("b2")
 	tl := g.AddBlock("t")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, h)
-	g.Connect(h, b1)
-	g.Connect(h, b2)
-	g.Connect(b1, tl)
-	g.Connect(b2, tl)
-	g.Connect(tl, h)
-	g.Connect(tl, exit)
+	cfgtest.Connect(g, entry, h)
+	cfgtest.Connect(g, h, b1)
+	cfgtest.Connect(g, h, b2)
+	cfgtest.Connect(g, b1, tl)
+	cfgtest.Connect(g, b2, tl)
+	cfgtest.Connect(g, tl, h)
+	cfgtest.Connect(g, tl, exit)
 	g.Entry = entry
 	g.Exit = exit
 	return g
@@ -194,13 +194,13 @@ func TestNestedLoops(t *testing.T) {
 	ib := g.AddBlock("ib")
 	ot := g.AddBlock("ot")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, oh)
-	g.Connect(oh, ih)
-	g.Connect(ih, ib)
-	g.Connect(ib, ih)
-	g.Connect(ib, ot)
-	g.Connect(ot, oh)
-	g.Connect(ot, exit)
+	cfgtest.Connect(g, entry, oh)
+	cfgtest.Connect(g, oh, ih)
+	cfgtest.Connect(g, ih, ib)
+	cfgtest.Connect(g, ib, ih)
+	cfgtest.Connect(g, ib, ot)
+	cfgtest.Connect(g, ot, oh)
+	cfgtest.Connect(g, ot, exit)
 	g.Entry = entry
 	g.Exit = exit
 	if err := g.Validate(); err != nil {
@@ -245,9 +245,9 @@ func TestSelfLoop(t *testing.T) {
 	entry := g.AddBlock("entry")
 	b := g.AddBlock("b")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, b)
-	g.Connect(b, b)
-	g.Connect(b, exit)
+	cfgtest.Connect(g, entry, b)
+	cfgtest.Connect(g, b, b)
+	cfgtest.Connect(g, b, exit)
 	g.Entry = entry
 	g.Exit = exit
 	if err := g.Validate(); err != nil {
@@ -291,24 +291,36 @@ func TestTotalPathsExclusionAndLimit(t *testing.T) {
 	}
 }
 
-func TestParallelEdgePanics(t *testing.T) {
+func TestParallelEdgeError(t *testing.T) {
 	g := cfg.New("par")
 	a := g.AddBlock("a")
 	b := g.AddBlock("b")
-	g.Connect(a, b)
+	if _, err := g.Connect(a, b); err != nil {
+		t.Fatalf("first edge: %v", err)
+	}
+	if _, err := g.Connect(a, b); err == nil {
+		t.Error("expected error on parallel edge")
+	}
+}
+
+func TestParallelEdgeTestHelperPanics(t *testing.T) {
+	g := cfg.New("par")
+	a := g.AddBlock("a")
+	b := g.AddBlock("b")
+	cfgtest.Connect(g, a, b)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic on parallel edge")
 		}
 	}()
-	g.Connect(a, b)
+	cfgtest.Connect(g, a, b)
 }
 
 func TestValidateRejectsBadGraphs(t *testing.T) {
 	g := cfg.New("bad")
 	a := g.AddBlock("a")
 	b := g.AddBlock("b")
-	g.Connect(a, b)
+	cfgtest.Connect(g, a, b)
 	if err := g.Validate(); err == nil {
 		t.Error("Validate passed with nil entry/exit")
 	}
@@ -318,7 +330,7 @@ func TestValidateRejectsBadGraphs(t *testing.T) {
 	if err := g.Validate(); err == nil {
 		t.Error("Validate passed with unreachable block")
 	}
-	g.Connect(a, c) // now c cannot reach exit
+	cfgtest.Connect(g, a, c) // now c cannot reach exit
 	if err := g.Validate(); err == nil {
 		t.Error("Validate passed with block that cannot reach exit")
 	}

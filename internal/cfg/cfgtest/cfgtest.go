@@ -11,6 +11,18 @@ import (
 	"pathprof/internal/cfg"
 )
 
+// Connect adds the edge src->dst to g and returns it, panicking on a
+// structural error. Test graphs are hand-built, so a parallel edge is a
+// bug in the test itself; the library API (cfg.Graph.Connect) returns
+// the error instead.
+func Connect(g *cfg.Graph, src, dst *cfg.Block) *cfg.Edge {
+	e, err := g.Connect(src, dst)
+	if err != nil {
+		panic("cfgtest: " + err.Error())
+	}
+	return e
+}
+
 // Random builds a random structured CFG with roughly size interior
 // blocks. It always has distinct entry and exit blocks and validates.
 func Random(rng *rand.Rand, size int) *cfg.Graph {
@@ -19,8 +31,8 @@ func Random(rng *rand.Rand, size int) *cfg.Graph {
 	budget := size
 	head, tail := genRegion(g, rng, 3, &budget)
 	exit := g.AddBlock("exit")
-	g.Connect(entry, head)
-	g.Connect(tail, exit)
+	Connect(g, entry, head)
+	Connect(g, tail, exit)
 	g.Entry = entry
 	g.Exit = exit
 	for _, b := range g.Blocks {
@@ -47,37 +59,37 @@ func genRegion(g *cfg.Graph, rng *rand.Rand, depth int, budget *int) (head, tail
 	case 1: // sequence
 		h1, t1 := genRegion(g, rng, depth-1, budget)
 		h2, t2 := genRegion(g, rng, depth-1, budget)
-		g.Connect(t1, h2)
+		Connect(g, t1, h2)
 		return h1, t2
 	case 2: // if-else
 		c := g.AddBlock("")
 		j := g.AddBlock("")
 		h1, t1 := genRegion(g, rng, depth-1, budget)
 		h2, t2 := genRegion(g, rng, depth-1, budget)
-		g.Connect(c, h1)
-		g.Connect(c, h2)
-		g.Connect(t1, j)
-		g.Connect(t2, j)
+		Connect(g, c, h1)
+		Connect(g, c, h2)
+		Connect(g, t1, j)
+		Connect(g, t2, j)
 		return c, j
 	case 3: // if-then
 		c := g.AddBlock("")
 		j := g.AddBlock("")
 		h1, t1 := genRegion(g, rng, depth-1, budget)
-		g.Connect(c, h1)
-		g.Connect(c, j)
-		g.Connect(t1, j)
+		Connect(g, c, h1)
+		Connect(g, c, j)
+		Connect(g, t1, j)
 		return c, j
 	case 4: // while loop: header tests, body loops back
 		h := g.AddBlock("")
 		bh, bt := genRegion(g, rng, depth-1, budget)
-		g.Connect(h, bh)
-		g.Connect(bt, h) // back edge
+		Connect(g, h, bh)
+		Connect(g, bt, h) // back edge
 		return h, h
 	default: // do-while loop: body then latch test
 		bh, bt := genRegion(g, rng, depth-1, budget)
 		latch := g.AddBlock("")
-		g.Connect(bt, latch)
-		g.Connect(latch, bh) // back edge
+		Connect(g, bt, latch)
+		Connect(g, latch, bh) // back edge
 		return bh, latch
 	}
 }
@@ -212,12 +224,12 @@ func Diamond() *cfg.Graph {
 	c := g.AddBlock("c")
 	d := g.AddBlock("d")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, a)
-	g.Connect(a, b)
-	g.Connect(a, c)
-	g.Connect(b, d)
-	g.Connect(c, d)
-	g.Connect(d, exit)
+	Connect(g, entry, a)
+	Connect(g, a, b)
+	Connect(g, a, c)
+	Connect(g, b, d)
+	Connect(g, c, d)
+	Connect(g, d, exit)
 	g.Entry = entry
 	g.Exit = exit
 	return g

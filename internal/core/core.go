@@ -116,7 +116,10 @@ func (p *Pipeline) Stage() (*Staged, error) {
 		return s, nil
 	}
 
-	s.UnrollPlan, s.UnrollDecisions = opt.PlanUnroll(p0, r0.Edges, p.Unroll)
+	s.UnrollPlan, s.UnrollDecisions, err = opt.PlanUnroll(p0, r0.Edges, p.Unroll)
+	if err != nil {
+		return nil, fmt.Errorf("%s: unroll plan: %w", p.Name, err)
+	}
 	p1, err := lower.Compile(p.Source, lower.Options{Unroll: s.UnrollPlan})
 	if err != nil {
 		return nil, fmt.Errorf("%s: unrolled compile: %w", p.Name, err)
@@ -130,7 +133,10 @@ func (p *Pipeline) Stage() (*Staged, error) {
 	}
 	s.DynCallsBeforeInline = r1.DynCalls
 
-	s.InlineInfo = opt.Inline(p1, r1.Edges, p.Inline)
+	s.InlineInfo, err = opt.Inline(p1, r1.Edges, p.Inline)
+	if err != nil {
+		return nil, fmt.Errorf("%s: inline: %w", p.Name, err)
+	}
 	if err := p1.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: inlined program invalid: %w", p.Name, err)
 	}
@@ -199,6 +205,38 @@ func StatsOf(res *vm.Result) PathStats {
 	return st
 }
 
+// Mode is a routine's position on the degraded-profiling ladder. The
+// profiler never gives up on a routine outright: when the requested
+// techniques cannot number its paths it falls to TPP's aggressive
+// cold-path removal, and when even that overflows — or runtime
+// counters saturate — it drops to the edge profile, which is always
+// collectable.
+type Mode int
+
+const (
+	// ModeFull: the requested techniques produced the plan.
+	ModeFull Mode = iota
+	// ModeTPP: path counts stayed above the numbering limit after SAC,
+	// so the routine fell back to TPP's local cold-edge criterion.
+	ModeTPP
+	// ModeEdgeOnly: even the TPP fallback could not number the routine,
+	// or its runtime counters saturated; only the edge profile is
+	// trustworthy for it.
+	ModeEdgeOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeTPP:
+		return "tpp"
+	case ModeEdgeOnly:
+		return "edge-only"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
 // ProfilerResult is one profiler's instrumented run plus evaluation.
 type ProfilerResult struct {
 	Name  string
@@ -212,6 +250,53 @@ type ProfilerResult struct {
 	SACAdjusted      int
 	MaxSACIterations int
 	HashedRoutines   int
+
+	// Modes is each routine's degradation level; routines absent from
+	// the map did not degrade (ModeFull).
+	Modes map[string]Mode
+}
+
+// ModeOf returns the routine's degradation level.
+func (pr *ProfilerResult) ModeOf(fn string) Mode { return pr.Modes[fn] }
+
+// Degraded counts routines below ModeFull.
+func (pr *ProfilerResult) Degraded() int {
+	n := 0
+	for _, m := range pr.Modes {
+		if m != ModeFull {
+			n++
+		}
+	}
+	return n
+}
+
+// ModeSummary renders the run's ladder state compactly for reports:
+// "full" when nothing degraded, otherwise per-level routine counts
+// like "tpp:2 edge-only:1".
+func (pr *ProfilerResult) ModeSummary() string {
+	var tpp, edge int
+	for _, m := range pr.Modes {
+		switch m {
+		case ModeTPP:
+			tpp++
+		case ModeEdgeOnly:
+			edge++
+		}
+	}
+	if tpp == 0 && edge == 0 {
+		return "full"
+	}
+	s := ""
+	if tpp > 0 {
+		s = fmt.Sprintf("tpp:%d", tpp)
+	}
+	if edge > 0 {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("edge-only:%d", edge)
+	}
+	return s
 }
 
 // Overhead returns the profiler's runtime overhead.
@@ -231,15 +316,32 @@ func (s *Staged) Profile(name string, tech instr.Techniques) (*ProfilerResult, e
 func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[string]*profile.EdgeProfile) (*ProfilerResult, error) {
 	total := s.TotalUnitFlow()
 	plans := map[string]*instr.Plan{}
-	pr := &ProfilerResult{Name: name, Tech: tech, Plans: plans}
+	pr := &ProfilerResult{Name: name, Tech: tech, Plans: plans, Modes: map[string]Mode{}}
 	for _, f := range s.Prog.Funcs {
-		g := f.CFG()
+		g, err := f.CFG()
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: cfg %s: %w", s.Pipeline.Name, name, f.Name, err)
+		}
 		if ep := guide[f.Name]; ep != nil {
 			ep.ApplyTo(g)
 		}
 		plan, err := instr.Build(g, tech, s.Pipeline.Instr, total)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: plan %s: %w", s.Pipeline.Name, name, f.Name, err)
+		}
+		// Degraded-mode ladder: a routine whose path space defeats the
+		// requested techniques (SAC included) retries under TPP's local
+		// criterion, which removes cold paths far more aggressively; if
+		// even that cannot number it, the routine runs uninstrumented
+		// and is served by the edge profile alone.
+		if plan.Reason == "too-many-paths" {
+			tppPlan, tppErr := instr.Build(g, instr.TPP(), s.Pipeline.Instr, total)
+			if tppErr == nil && tppPlan.Reason != "too-many-paths" {
+				plan = tppPlan
+				pr.Modes[f.Name] = ModeTPP
+			} else {
+				pr.Modes[f.Name] = ModeEdgeOnly
+			}
 		}
 		plans[f.Name] = plan
 		if plan.SACIterations > 0 {
@@ -263,6 +365,20 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 		return nil, fmt.Errorf("%s/%s: instrumentation changed the result", s.Pipeline.Name, name)
 	}
 	pr.Run = run
+
+	// Runtime overflow is the ladder's last rung: a saturated counter
+	// table means the routine's path counts are lower bounds, so its
+	// consumers must fall back to the edge profile.
+	for fn, tab := range run.Tables {
+		if tab.Saturated {
+			pr.Modes[fn] = ModeEdgeOnly
+		}
+	}
+	for fn, pp := range run.Paths {
+		if pp.Saturated {
+			pr.Modes[fn] = ModeEdgeOnly
+		}
+	}
 
 	var routines []*eval.Routine
 	names := make([]string, 0, len(plans))

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"testing"
 
 	"pathprof/internal/core"
@@ -183,5 +184,95 @@ func TestStageRejectsBadSource(t *testing.T) {
 	}
 	if _, err := core.NewPipeline("bad", "func main() { return f(); }").Stage(); err == nil {
 		t.Error("expected undefined function error")
+	}
+}
+
+// explosionSrc builds a routine with 2^70 acyclic paths — enough to
+// overflow 64-bit Ball-Larus numbering — out of 70 sequential
+// if/else diamonds. mod controls branch bias: mod=2 keeps both arms
+// warm (TPP's 5% local criterion cannot prune), mod=32 leaves the
+// then-arm at ~3% so TPP removes it.
+func explosionSrc(mod int) string {
+	body := "func blow(n) {\n\tvar s = 0;\n"
+	for i := 0; i < 70; i++ {
+		body += fmt.Sprintf(
+			"\tif ((n + %d) %% %d == 0) { s = s + %d; } else { s = s - 1; }\n",
+			i, mod, i+1)
+	}
+	body += "\treturn s;\n}\n"
+	return body + `
+func main() {
+	var t = 0;
+	for (var i = 0; i < 200; i = i + 1) { t = t + blow(i); }
+	print(t);
+	return t;
+}
+`
+}
+
+// explode profiles the explosion source under plain PP, the technique
+// with no cold-path removal: numbering overflows immediately, which is
+// what pushes a routine onto the ladder. (PPP itself rarely gets
+// there — its self-adjusting criterion prunes the path space first,
+// ending in no-hot-paths or all-obvious, both full-fidelity outcomes.)
+func explode(t *testing.T, mod int) *core.ProfilerResult {
+	t.Helper()
+	p := core.NewPipeline("explode", explosionSrc(mod))
+	p.NoOpt = true
+	s, err := p.Stage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := s.Profile("PP", instr.PP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Run.Ret != s.Base.Ret {
+		t.Fatal("degraded profiling changed the program result")
+	}
+	return pr
+}
+
+func TestDegradedModeLadder(t *testing.T) {
+	// Balanced diamonds: TPP's local criterion cannot prune a 50/50
+	// arm, so the routine drops to the bottom rung and runs
+	// uninstrumented on the edge profile alone.
+	pr := explode(t, 2)
+	if got := pr.ModeOf("blow"); got != core.ModeEdgeOnly {
+		t.Errorf("balanced blow mode = %v, want edge-only", got)
+	}
+	if pr.Degraded() != 1 {
+		t.Errorf("Degraded() = %d, want 1", pr.Degraded())
+	}
+	if got := pr.ModeSummary(); got != "edge-only:1" {
+		t.Errorf("ModeSummary() = %q, want edge-only:1", got)
+	}
+
+	// Biased diamonds: the rare arms fall under the local cold
+	// criterion, so the TPP retry tames the path space — one rung
+	// down, still path-profiled.
+	pr = explode(t, 32)
+	if got := pr.ModeOf("blow"); got != core.ModeTPP {
+		t.Errorf("biased blow mode = %v, want tpp", got)
+	}
+	if got := pr.ModeSummary(); got != "tpp:1" {
+		t.Errorf("ModeSummary() = %q, want tpp:1", got)
+	}
+	if got := pr.ModeOf("main"); got != core.ModeFull {
+		t.Errorf("main mode = %v, want full", got)
+	}
+}
+
+func TestModeFullOnHealthyProgram(t *testing.T) {
+	s := stage(t)
+	pr, err := s.Profile("PPP", instr.PPP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Degraded() != 0 {
+		t.Errorf("healthy program degraded %d routines: %v", pr.Degraded(), pr.Modes)
+	}
+	if got := pr.ModeSummary(); got != "full" {
+		t.Errorf("ModeSummary() = %q, want full", got)
 	}
 }

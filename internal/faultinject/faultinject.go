@@ -1,0 +1,240 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injection for exercising the profiler's robustness guardrails:
+// worker panics, stalled replicas, counter-overflow pressure,
+// snapshot corruption, and malformed CFG input.
+//
+// Every decision is a pure function of (seed, kind, site): two runs
+// with the same spec inject exactly the same faults at exactly the
+// same places, regardless of goroutine scheduling or call order. That
+// makes failures reproducible from nothing but the spec string — the
+// property the fault-matrix CI step and the -faults CLI flag rely on.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names one injectable fault class.
+type Kind int
+
+const (
+	// Panic makes a worker replica panic mid-run.
+	Panic Kind = iota
+	// Stall makes a replica sleep past its deadline budget.
+	Stall
+	// Overflow preloads counters near profile.CounterMax so real
+	// increments saturate almost immediately.
+	Overflow
+	// SnapCorrupt truncates or bit-flips snapshot bytes on disk.
+	SnapCorrupt
+	// BadCFG feeds malformed control-flow input to the planner.
+	BadCFG
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"panic", "stall", "overflow", "snapcorrupt", "badcfg"}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds lists every fault kind, for matrix drivers.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKind resolves a kind name.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault kind %q (have %s)",
+		s, strings.Join(kindNames[:], ", "))
+}
+
+// DefaultRate is the per-site injection probability when the spec does
+// not override it.
+const DefaultRate = 0.5
+
+// Injector decides, deterministically, which sites of which fault
+// kinds fire. The zero value injects nothing; a nil *Injector is also
+// safe and injects nothing, so callers can thread it through without
+// guarding every use.
+type Injector struct {
+	seed   uint64
+	rate   float64
+	active [numKinds]bool
+}
+
+// New returns an injector firing the given kinds at DefaultRate.
+func New(seed uint64, kinds ...Kind) *Injector {
+	in := &Injector{seed: seed, rate: DefaultRate}
+	for _, k := range kinds {
+		if k >= 0 && k < numKinds {
+			in.active[k] = true
+		}
+	}
+	return in
+}
+
+// Parse builds an injector from a spec like
+//
+//	seed=7,kind=panic+stall,rate=0.25
+//
+// Fields may appear in any order; kind accepts a +-separated list or
+// "all"; rate is optional and must be in (0, 1]. An empty spec is an
+// error — use a nil *Injector for "no faults".
+func Parse(spec string) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	in := &Injector{rate: DefaultRate}
+	seenSeed, seenKind := false, false
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: malformed field %q (want key=value)", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q: %v", val, err)
+			}
+			in.seed = n
+			seenSeed = true
+		case "kind":
+			for _, name := range strings.Split(val, "+") {
+				if name == "all" {
+					for i := range in.active {
+						in.active[i] = true
+					}
+					continue
+				}
+				k, err := ParseKind(name)
+				if err != nil {
+					return nil, err
+				}
+				in.active[k] = true
+			}
+			seenKind = true
+		case "rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r <= 0 || r > 1 {
+				return nil, fmt.Errorf("faultinject: bad rate %q (want 0 < rate <= 1)", val)
+			}
+			in.rate = r
+		default:
+			return nil, fmt.Errorf("faultinject: unknown field %q", key)
+		}
+	}
+	if !seenSeed {
+		return nil, fmt.Errorf("faultinject: spec %q missing seed=", spec)
+	}
+	if !seenKind {
+		return nil, fmt.Errorf("faultinject: spec %q missing kind=", spec)
+	}
+	return in, nil
+}
+
+// String renders the spec back in canonical field order, so a spec
+// survives a Parse/String round trip up to formatting.
+func (in *Injector) String() string {
+	if in == nil {
+		return "<none>"
+	}
+	var kinds []string
+	for i, on := range in.active {
+		if on {
+			kinds = append(kinds, kindNames[i])
+		}
+	}
+	sort.Strings(kinds)
+	s := fmt.Sprintf("seed=%d,kind=%s", in.seed, strings.Join(kinds, "+"))
+	if in.rate != DefaultRate {
+		s += fmt.Sprintf(",rate=%g", in.rate)
+	}
+	return s
+}
+
+// Seed returns the configured seed.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Active reports whether kind k is enabled at all.
+func (in *Injector) Active(k Kind) bool {
+	return in != nil && k >= 0 && k < numKinds && in.active[k]
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix,
+// so distinct (seed, kind, site) triples give independent-looking
+// streams without shared mutable state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand returns the deterministic 64-bit stream value for (kind, site).
+// The same injector always returns the same value for the same
+// arguments; there is no hidden cursor to race on.
+func (in *Injector) Rand(k Kind, site uint64) uint64 {
+	return splitmix64(splitmix64(in.seed^uint64(k)<<56) ^ site)
+}
+
+// Hit reports whether fault kind k fires at the given site (for
+// replica faults the site is the replica index). Inactive kinds and
+// nil injectors never fire.
+func (in *Injector) Hit(k Kind, site uint64) bool {
+	if !in.Active(k) {
+		return false
+	}
+	const scale = 1 << 53
+	return float64(in.Rand(k, site)>>11)/scale < in.rate
+}
+
+// Corrupt returns a deterministically damaged copy of data for the
+// SnapCorrupt stream at the given site: even stream values truncate
+// the tail, odd values flip bits at pseudo-random offsets. For any
+// non-empty input the result differs from the original. Corrupt does
+// not consult Active — corruption tests drive it directly.
+func (in *Injector) Corrupt(data []byte, site uint64) []byte {
+	r := in.Rand(SnapCorrupt, site)
+	if len(data) == 0 {
+		return nil
+	}
+	if r&1 == 0 {
+		// Truncate to [0, len) bytes.
+		n := int(r>>1) % len(data)
+		return append([]byte(nil), data[:n]...)
+	}
+	out := append([]byte(nil), data...)
+	flips := 1 + int(r>>1)%4
+	for i := 0; i < flips; i++ {
+		v := in.Rand(SnapCorrupt, site^uint64(i+1)<<32)
+		out[int(v%uint64(len(out)))] ^= byte(1 << (v >> 61))
+	}
+	if bytes.Equal(out, data) {
+		out[0] ^= 1
+	}
+	return out
+}

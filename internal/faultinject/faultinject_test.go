@@ -1,0 +1,187 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pathprof/internal/faultinject"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"seed=7,kind=panic", "seed=7,kind=panic"},
+		{"seed=0,kind=stall+panic", "seed=0,kind=panic+stall"},
+		{"kind=overflow,seed=12", "seed=12,kind=overflow"},
+		{"seed=3,kind=all,rate=0.25", "seed=3,kind=badcfg+overflow+panic+snapcorrupt+stall,rate=0.25"},
+		{" seed=1 , kind=snapcorrupt ", "seed=1,kind=snapcorrupt"},
+	}
+	for _, c := range cases {
+		in, err := faultinject.Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got := in.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.spec, got, c.want)
+		}
+		// Canonical form re-parses to itself.
+		in2, err := faultinject.Parse(in.String())
+		if err != nil || in2.String() != in.String() {
+			t.Errorf("canonical %q does not round trip: %v", in.String(), err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "empty spec"},
+		{"seed=1", "missing kind="},
+		{"kind=panic", "missing seed="},
+		{"seed=x,kind=panic", "bad seed"},
+		{"seed=1,kind=meteor", "unknown fault kind"},
+		{"seed=1,kind=panic,rate=0", "bad rate"},
+		{"seed=1,kind=panic,rate=2", "bad rate"},
+		{"seed=1,kind=panic,color=red", "unknown field"},
+		{"seed=1,kind=panic,bogus", "malformed field"},
+	}
+	for _, c := range cases {
+		_, err := faultinject.Parse(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *faultinject.Injector
+	if in.Active(faultinject.Panic) || in.Hit(faultinject.Panic, 0) {
+		t.Error("nil injector fired")
+	}
+	if in.Seed() != 0 || in.String() != "<none>" {
+		t.Error("nil injector accessors misbehave")
+	}
+}
+
+// TestHitDeterministic checks that decisions depend only on
+// (seed, kind, site): rebuilding the injector reproduces the exact
+// decision vector, and decisions ignore query order.
+func TestHitDeterministic(t *testing.T) {
+	const n = 512
+	mk := func() *faultinject.Injector {
+		return faultinject.New(42, faultinject.Panic, faultinject.Stall)
+	}
+	var forward, backward [n]bool
+	a, b := mk(), mk()
+	for i := 0; i < n; i++ {
+		forward[i] = a.Hit(faultinject.Panic, uint64(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		backward[i] = b.Hit(faultinject.Panic, uint64(i))
+	}
+	if forward != backward {
+		t.Fatal("decision vector depends on query order")
+	}
+
+	// The rate is honored roughly: around half the sites fire.
+	fired := 0
+	for _, h := range forward {
+		if h {
+			fired++
+		}
+	}
+	if fired < n/4 || fired > 3*n/4 {
+		t.Errorf("fired %d of %d sites at rate 0.5", fired, n)
+	}
+
+	// Kinds draw from distinct streams.
+	same := 0
+	for i := 0; i < n; i++ {
+		if forward[i] == a.Hit(faultinject.Stall, uint64(i)) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("panic and stall streams identical")
+	}
+
+	// Inactive kinds never fire even at rate 1.
+	in, err := faultinject.Parse("seed=42,kind=panic,rate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if in.Hit(faultinject.Overflow, uint64(i)) {
+			t.Fatal("inactive kind fired")
+		}
+		if !in.Hit(faultinject.Panic, uint64(i)) {
+			t.Fatal("rate=1 active kind skipped a site")
+		}
+	}
+}
+
+// TestSeedsDiverge checks different seeds give different decision
+// vectors.
+func TestSeedsDiverge(t *testing.T) {
+	const n = 256
+	a := faultinject.New(1, faultinject.Panic)
+	b := faultinject.New(2, faultinject.Panic)
+	same := true
+	for i := 0; i < n; i++ {
+		if a.Hit(faultinject.Panic, uint64(i)) != b.Hit(faultinject.Panic, uint64(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produce identical decisions over 256 sites")
+	}
+}
+
+func TestCorruptDeterministicAndDamaging(t *testing.T) {
+	in := faultinject.New(99, faultinject.SnapCorrupt)
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	sawTruncate, sawFlip := false, false
+	for site := uint64(0); site < 64; site++ {
+		c1 := in.Corrupt(data, site)
+		c2 := in.Corrupt(data, site)
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("site %d: corruption not deterministic", site)
+		}
+		if bytes.Equal(c1, data) {
+			t.Fatalf("site %d: corruption left data intact", site)
+		}
+		if len(c1) < len(data) {
+			sawTruncate = true
+		} else {
+			sawFlip = true
+		}
+	}
+	if !sawTruncate || !sawFlip {
+		t.Errorf("corruption modes unbalanced: truncate=%v flip=%v", sawTruncate, sawFlip)
+	}
+	if got := in.Corrupt(nil, 1); got != nil {
+		t.Errorf("Corrupt(nil) = %v", got)
+	}
+}
+
+func TestKindsAndNames(t *testing.T) {
+	for _, k := range faultinject.Kinds() {
+		back, err := faultinject.ParseKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("kind %v does not round trip: %v", k, err)
+		}
+	}
+	if _, err := faultinject.ParseKind("Panic"); err == nil {
+		t.Error("kind names are case-sensitive; 'Panic' accepted")
+	}
+}

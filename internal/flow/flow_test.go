@@ -23,7 +23,7 @@ func figure8() (*cfg.Graph, *cfg.DAG) {
 	g.Entry = bs["entry"]
 	g.Exit = bs["exit"]
 	conn := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	conn("entry", "A", 80)
 	conn("A", "B", 50)
@@ -109,7 +109,7 @@ func TestFigure7BranchFlowInvariance(t *testing.T) {
 		xn[n] = x.AddBlock(n)
 	}
 	x.Entry, x.Exit = xn["entry"], xn["exit"]
-	xc := func(a, b string, f int64) { x.Connect(xn[a], xn[b]).Freq = f }
+	xc := func(a, b string, f int64) { cfgtest.Connect(x, xn[a], xn[b]).Freq = f }
 	xc("entry", "A", 10)
 	xc("A", "B", 0)
 	xc("A", "C", 10)
@@ -129,7 +129,7 @@ func TestFigure7BranchFlowInvariance(t *testing.T) {
 		yn[n] = y.AddBlock(n)
 	}
 	y.Entry, y.Exit = yn["entry"], yn["exit"]
-	yc := func(a, b string, f int64) { y.Connect(yn[a], yn[b]).Freq = f }
+	yc := func(a, b string, f int64) { cfgtest.Connect(y, yn[a], yn[b]).Freq = f }
 	yc("entry", "H", 10)
 	yc("H", "I", 0)
 	yc("H", "J", 10)
@@ -145,7 +145,7 @@ func TestFigure7BranchFlowInvariance(t *testing.T) {
 		inn[n] = in.AddBlock(n)
 	}
 	in.Entry, in.Exit = inn["entry"], inn["exit"]
-	ic := func(a, b string, f int64) { in.Connect(inn[a], inn[b]).Freq = f }
+	ic := func(a, b string, f int64) { cfgtest.Connect(in, inn[a], inn[b]).Freq = f }
 	ic("entry", "A", 10)
 	ic("A", "B", 0)
 	ic("A", "C", 10)

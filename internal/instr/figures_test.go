@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
 	"pathprof/internal/instr"
 )
 
@@ -23,7 +24,7 @@ func figure1Graph() (*cfg.Graph, map[string]*cfg.Block) {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	conn := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	conn("entry", "h", 100)
 	conn("h", "b1", 700)
@@ -89,7 +90,7 @@ func figure3Graph() (*cfg.Graph, map[string]*cfg.Block) {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	conn := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	conn("entry", "A", 1000)
 	conn("A", "B", 10) // cold: 1% of A
@@ -172,7 +173,7 @@ func figure4Graph() (*cfg.Graph, map[string]*cfg.Block) {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	conn := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	conn("entry", "a", 100)
 	conn("a", "b", 60)

@@ -109,7 +109,7 @@ func doubleDiamond() *cfg.Graph {
 	conn := [][2]string{{"entry", "a"}, {"a", "b"}, {"a", "c"}, {"b", "m"}, {"c", "m"},
 		{"m", "x"}, {"m", "y"}, {"x", "j"}, {"y", "j"}, {"j", "exit"}}
 	for _, c := range conn {
-		g.Connect(bs[c[0]], bs[c[1]])
+		cfgtest.Connect(g, bs[c[0]], bs[c[1]])
 	}
 	return g
 }
@@ -147,7 +147,7 @@ func coldDiamond() *cfg.Graph {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	set := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	set("entry", "a", 1000)
 	set("a", "b", 10) // cold: 1% of a
@@ -217,8 +217,8 @@ func TestLowCoverageSkip(t *testing.T) {
 	entry := g.AddBlock("entry")
 	a := g.AddBlock("a")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, a).Freq = 10
-	g.Connect(a, exit).Freq = 10
+	cfgtest.Connect(g, entry, a).Freq = 10
+	cfgtest.Connect(g, a, exit).Freq = 10
 	g.Entry, g.Exit = entry, exit
 	g.Calls = 10
 	p := build(t, g, instr.PPP(), 10)
@@ -243,15 +243,15 @@ func deepDiamonds(k int) *cfg.Graph {
 		b := g.AddBlock("")
 		c := g.AddBlock("")
 		j := g.AddBlock("")
-		g.Connect(prev, a)
-		g.Connect(a, b)
-		g.Connect(a, c)
-		g.Connect(b, j)
-		g.Connect(c, j)
+		cfgtest.Connect(g, prev, a)
+		cfgtest.Connect(g, a, b)
+		cfgtest.Connect(g, a, c)
+		cfgtest.Connect(g, b, j)
+		cfgtest.Connect(g, c, j)
 		prev = j
 	}
 	exit := g.AddBlock("exit")
-	g.Connect(prev, exit)
+	cfgtest.Connect(g, prev, exit)
 	g.Entry, g.Exit = entry, exit
 	return g
 }
@@ -317,7 +317,7 @@ func TestObviousLoopDisconnection(t *testing.T) {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	conn := func(a, b string, f int64) *cfg.Edge {
-		e := g.Connect(bs[a], bs[b])
+		e := cfgtest.Connect(g, bs[a], bs[b])
 		e.Freq = f
 		return e
 	}
@@ -391,7 +391,7 @@ func TestLowTripLoopNotDisconnected(t *testing.T) {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	conn := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	conn("entry", "pre", 100)
 	conn("pre", "h", 100)
@@ -431,7 +431,7 @@ func TestPushFurtherExposesObviousPaths(t *testing.T) {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	conn := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	conn("entry", "s", 1000)
 	conn("s", "a", 500)

@@ -115,20 +115,30 @@ func (p *Plan) tryDisconnect(l *cfg.Loop) {
 	}
 	subExit := sub.AddBlock("exit")
 	sub.Entry, sub.Exit = subEntry, subExit
-	sub.Connect(subEntry, toSub[header.ID]).Freq = entryDummy.Freq
+	entryEdge, err := sub.Connect(subEntry, toSub[header.ID])
+	if err != nil {
+		return // malformed subgraph: leave the loop connected
+	}
+	entryEdge.Freq = entryDummy.Freq
 	type subEdgeKey struct{ s, d int }
 	mainEdge := map[subEdgeKey]*cfg.DAGEdge{}
 	for _, e := range p.D.Edges {
 		if !bodyEdge(e) || !body[e.Src.ID] || !body[e.Dst.ID] {
 			continue
 		}
-		se := sub.Connect(toSub[e.Src.ID], toSub[e.Dst.ID])
+		se, err := sub.Connect(toSub[e.Src.ID], toSub[e.Dst.ID])
+		if err != nil {
+			return
+		}
 		se.Freq = e.Freq
 		mainEdge[subEdgeKey{se.Src.ID, se.Dst.ID}] = e
 	}
 	exitDummyFor := map[int]*cfg.DAGEdge{}
 	for _, xd := range exitDummies {
-		se := sub.Connect(toSub[xd.Src.ID], subExit)
+		se, err := sub.Connect(toSub[xd.Src.ID], subExit)
+		if err != nil {
+			return
+		}
 		se.Freq = xd.Freq
 		exitDummyFor[se.Src.ID] = xd
 	}

@@ -117,7 +117,9 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 
 	p.place(inc, chord)
 	if tech.ObviousPaths {
-		p.removeObviousCounts()
+		if err := p.removeObviousCounts(); err != nil {
+			return nil, err
+		}
 	}
 	p.poison()
 	p.Instrumented = true
@@ -186,7 +188,7 @@ func (p *Plan) attributeAllPaths() {
 // edge e means e has a unique hot prefix and suffix, i.e. it defines
 // the single path numbered c, whose future frequency the edge profile
 // already predicts as freq(e) (Section 4.4, Figure 5).
-func (p *Plan) removeObviousCounts() {
+func (p *Plan) removeObviousCounts() error {
 	for _, e := range p.D.Edges {
 		ops := p.Ops[e.ID]
 		if len(ops) != 1 || ops[0].Kind != OpCountC {
@@ -197,10 +199,11 @@ func (p *Plan) removeObviousCounts() {
 		}
 		path, err := p.Num.Reconstruct(ops[0].V)
 		if err != nil {
-			panic(fmt.Sprintf("instr: constant count %d not reconstructible in %s: %v",
-				ops[0].V, p.G.Name, err))
+			return fmt.Errorf("instr: constant count %d not reconstructible in %s: %w",
+				ops[0].V, p.G.Name, err)
 		}
 		p.Attr = append(p.Attr, EdgeAttr{Num: ops[0].V, Path: path, Edge: e})
 		p.Ops[e.ID] = nil
 	}
+	return nil
 }

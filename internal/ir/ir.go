@@ -189,8 +189,10 @@ func (f *Func) Size() int {
 
 // CFG derives the control-flow graph of the routine. Block indices are
 // preserved as cfg block IDs; block instruction counts include the
-// terminator.
-func (f *Func) CFG() *cfg.Graph {
+// terminator. A malformed routine (a branch whose arms coincide, which
+// would create a parallel edge) is reported as an error rather than a
+// panic, so hostile input degrades into a diagnostic.
+func (f *Func) CFG() (*cfg.Graph, error) {
 	g := cfg.New(f.Name)
 	for _, b := range f.Blocks {
 		name := b.Name
@@ -201,17 +203,22 @@ func (f *Func) CFG() *cfg.Graph {
 		nb.Instrs = len(b.Instrs) + 1
 	}
 	for _, b := range f.Blocks {
+		var err error
 		switch b.Term.Kind {
 		case Jump:
-			g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.To])
+			_, err = g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.To])
 		case Branch:
-			g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.To])
-			g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.Else])
+			if _, err = g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.To]); err == nil {
+				_, err = g.Connect(g.Blocks[b.Index], g.Blocks[b.Term.Else])
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ir %s b%d: %w", f.Name, b.Index, err)
 		}
 	}
 	g.Entry = g.Blocks[f.Entry]
 	g.Exit = g.Blocks[f.Exit]
-	return g
+	return g, nil
 }
 
 // Dump renders the routine as text.
@@ -320,7 +327,10 @@ func (p *Program) Validate() error {
 		if f.Blocks[f.Exit].Term.Kind != Ret {
 			return fmt.Errorf("ir %s: exit block does not ret", f.Name)
 		}
-		g := f.CFG()
+		g, err := f.CFG()
+		if err != nil {
+			return err
+		}
 		if err := g.Validate(); err != nil {
 			return err
 		}

@@ -45,7 +45,10 @@ func TestFuncSizeAndCFG(t *testing.T) {
 	if got := f.Size(); got != 9 {
 		t.Errorf("Size = %d, want 9", got)
 	}
-	g := f.CFG()
+	g, err := f.CFG()
+	if err != nil {
+		t.Fatalf("CFG: %v", err)
+	}
 	if err := g.Validate(); err != nil {
 		t.Fatalf("CFG invalid: %v", err)
 	}

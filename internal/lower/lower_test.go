@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"pathprof/internal/cfg"
 	"pathprof/internal/ir"
 	"pathprof/internal/lower"
 )
@@ -15,6 +16,15 @@ func compile(t *testing.T, src string, opts lower.Options) *ir.Program {
 		t.Fatalf("compile: %v", err)
 	}
 	return p
+}
+
+func mustCFG(t *testing.T, f *ir.Func) *cfg.Graph {
+	t.Helper()
+	g, err := f.CFG()
+	if err != nil {
+		t.Fatalf("CFG %s: %v", f.Name, err)
+	}
+	return g
 }
 
 func TestBasicShapes(t *testing.T) {
@@ -47,7 +57,7 @@ func f(x) {
 	if (x > 0) { r = 1; } else { r = 2; }
 	return r;
 }`, lower.Options{})
-	g := p.Func("f").CFG()
+	g := mustCFG(t, p.Func("f"))
 	g.Analyze()
 	if len(g.Loops()) != 0 {
 		t.Error("if/else produced loops")
@@ -83,7 +93,7 @@ func f() {
 		t.Errorf("loop 1 = %+v", f.Loops[1])
 	}
 	// The recorded headers must be actual loop headers in the CFG.
-	g := f.CFG()
+	g := mustCFG(t, f)
 	g.Analyze()
 	headers := map[int]bool{}
 	for _, l := range g.Loops() {
@@ -111,7 +121,7 @@ func f(n) {
 	}
 	// Exactly one back edge either way: copies share the single header.
 	backs := func(f *ir.Func) int {
-		g := f.CFG()
+		g := mustCFG(t, f)
 		g.Analyze()
 		n := 0
 		for _, e := range g.Edges {
@@ -227,7 +237,7 @@ func f() {
 		t.Fatal(err)
 	}
 	// All blocks reachable (pruning removed the dead tail).
-	g := p.Func("f").CFG()
+	g := mustCFG(t, p.Func("f"))
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -40,8 +40,9 @@ type InlineResult struct {
 // by expected benefit (call-site hotness) over cost (callee size) and
 // inlined greedily until total program size would exceed the bloat
 // budget. Self-recursive calls and callees above MaxCallee statements
-// are skipped.
-func Inline(prog *ir.Program, edges map[string]*profile.EdgeProfile, par InlineParams) *InlineResult {
+// are skipped. Malformed input (a routine whose CFG cannot be derived,
+// or a chosen site that is not a call) is reported as an error.
+func Inline(prog *ir.Program, edges map[string]*profile.EdgeProfile, par InlineParams) (*InlineResult, error) {
 	type site struct {
 		caller   *ir.Func
 		block    int
@@ -55,7 +56,10 @@ func Inline(prog *ir.Program, edges map[string]*profile.EdgeProfile, par InlineP
 	var sites []site
 	for _, f := range prog.Funcs {
 		ep := edges[f.Name]
-		g := f.CFG()
+		g, err := f.CFG()
+		if err != nil {
+			return nil, err
+		}
 		if ep != nil {
 			ep.ApplyTo(g)
 		}
@@ -139,20 +143,22 @@ func Inline(prog *ir.Program, edges map[string]*profile.EdgeProfile, par InlineP
 		return a.instr > b.instr
 	})
 	for _, s := range chosen {
-		inlineAt(s.caller, s.block, s.instr, s.callee)
+		if err := inlineAt(s.caller, s.block, s.instr, s.callee); err != nil {
+			return nil, err
+		}
 	}
 	res.SizeTo = prog.Size()
-	return res
+	return res, nil
 }
 
 // inlineAt splices callee into caller at the call instruction
 // (blockIdx, instrIdx), splitting the block around the call.
-func inlineAt(caller *ir.Func, blockIdx, instrIdx int, callee *ir.Func) {
+func inlineAt(caller *ir.Func, blockIdx, instrIdx int, callee *ir.Func) error {
 	b := caller.Blocks[blockIdx]
 	call := b.Instrs[instrIdx]
 	if call.Op != ir.Call {
-		panic(fmt.Sprintf("opt: inline site %s b%d[%d] is %v, not a call",
-			caller.Name, blockIdx, instrIdx, call.Op))
+		return fmt.Errorf("opt: inline site %s b%d[%d] is %v, not a call",
+			caller.Name, blockIdx, instrIdx, call.Op)
 	}
 
 	// Continuation block takes the tail and the original terminator.
@@ -221,4 +227,5 @@ func inlineAt(caller *ir.Func, blockIdx, instrIdx int, callee *ir.Func) {
 	for _, li := range callee.Loops {
 		caller.Loops = append(caller.Loops, ir.LoopInfo{ID: li.ID, Header: li.Header + blockBase, Kind: li.Kind})
 	}
+	return nil
 }

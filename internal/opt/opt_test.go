@@ -57,7 +57,10 @@ func TestInlinePreservesSemantics(t *testing.T) {
 	// The test program is tiny, so a 5% bloat budget admits nothing;
 	// loosen it to exercise the mechanics.
 	par := opt.InlineParams{Bloat: 0.8, MaxCallee: 200}
-	ires := opt.Inline(prog, base.Edges, par)
+	ires, err := opt.Inline(prog, base.Edges, par)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ires.Sites) == 0 {
 		t.Fatal("nothing inlined")
 	}
@@ -83,7 +86,10 @@ func TestInlinePreservesSemantics(t *testing.T) {
 func TestInlineRespectsBloat(t *testing.T) {
 	prog, base := compileRun(t, nil)
 	size0 := prog.Size()
-	ires := opt.Inline(prog, base.Edges, opt.DefaultInlineParams())
+	ires, err := opt.Inline(prog, base.Edges, opt.DefaultInlineParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	budget := int(float64(size0) * 1.05)
 	if ires.SizeTo > budget {
 		t.Errorf("size %d exceeds budget %d (from %d)", ires.SizeTo, budget, size0)
@@ -105,7 +111,10 @@ func main() { return fib(15); }`
 	if err != nil {
 		t.Fatal(err)
 	}
-	ires := opt.Inline(prog, base.Edges, opt.InlineParams{Bloat: 0.8, MaxCallee: 200})
+	ires, err := opt.Inline(prog, base.Edges, opt.InlineParams{Bloat: 0.8, MaxCallee: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range ires.Sites {
 		if s.Caller == "fib" && s.Callee == "fib" {
 			t.Error("self-recursive call inlined")
@@ -124,7 +133,10 @@ func TestInlineLargeCalleeSkipped(t *testing.T) {
 	prog, base := compileRun(t, nil)
 	par := opt.DefaultInlineParams()
 	par.MaxCallee = 1 // nothing fits
-	ires := opt.Inline(prog, base.Edges, par)
+	ires, err := opt.Inline(prog, base.Edges, par)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ires.Sites) != 0 {
 		t.Errorf("inlined %d sites with MaxCallee=1", len(ires.Sites))
 	}
@@ -132,7 +144,10 @@ func TestInlineLargeCalleeSkipped(t *testing.T) {
 
 func TestPlanUnroll(t *testing.T) {
 	prog, base := compileRun(t, nil)
-	plan, decisions := opt.PlanUnroll(prog, base.Edges, opt.DefaultUnrollParams())
+	plan, decisions, err := opt.PlanUnroll(prog, base.Edges, opt.DefaultUnrollParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// work#1 runs 50 iterations per entry: unroll by 4. main#1 runs 30
 	// iterations: also by 4. rand has no loops.
 	if plan["work#1"] != 4 {
@@ -163,7 +178,10 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan2, _ := opt.PlanUnroll(p2, r2.Edges, opt.DefaultUnrollParams())
+	plan2, _, err := opt.PlanUnroll(p2, r2.Edges, opt.DefaultUnrollParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plan2["main#2"] != 2 {
 		t.Errorf("inner loop trip 5: factor = %d, want 2", plan2["main#2"])
 	}
@@ -187,7 +205,10 @@ func TestUnrollSizeBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, _ := opt.PlanUnroll(prog, res.Edges, opt.DefaultUnrollParams())
+	plan, _, err := opt.PlanUnroll(prog, res.Edges, opt.DefaultUnrollParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f := plan["main#1"]; f > 2 {
 		t.Errorf("factor = %d for ~125-stmt body, want <= 2", f)
 	}
@@ -197,7 +218,10 @@ func TestFullStagePipeline(t *testing.T) {
 	// Stage 0: plain build and run.
 	p0, r0 := compileRun(t, nil)
 	// Stage 1: unroll guided by the profile, re-profile.
-	plan, _ := opt.PlanUnroll(p0, r0.Edges, opt.DefaultUnrollParams())
+	plan, _, err := opt.PlanUnroll(p0, r0.Edges, opt.DefaultUnrollParams())
+	if err != nil {
+		t.Fatal(err)
+	}
 	p1, err := lower.Compile(benchSrc, lower.Options{Unroll: plan})
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +234,9 @@ func TestFullStagePipeline(t *testing.T) {
 		t.Fatalf("unrolling changed result")
 	}
 	// Stage 2: inline, validate, rerun with path collection.
-	opt.Inline(p1, r1.Edges, opt.InlineParams{Bloat: 0.8, MaxCallee: 200})
+	if _, err := opt.Inline(p1, r1.Edges, opt.InlineParams{Bloat: 0.8, MaxCallee: 200}); err != nil {
+		t.Fatal(err)
+	}
 	if err := p1.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -39,8 +39,9 @@ type UnrollDecision struct {
 
 // PlanUnroll decides per-loop unroll factors from a prior run's edge
 // profile. Only inner for-loops are unrolled; the factor halves until
-// the replicated body fits the size budget.
-func PlanUnroll(prog *ir.Program, edges map[string]*profile.EdgeProfile, par UnrollParams) (map[string]int, []UnrollDecision) {
+// the replicated body fits the size budget. A routine whose CFG cannot
+// be derived (malformed input) is reported as an error.
+func PlanUnroll(prog *ir.Program, edges map[string]*profile.EdgeProfile, par UnrollParams) (map[string]int, []UnrollDecision, error) {
 	plan := map[string]int{}
 	var decisions []UnrollDecision
 	for _, f := range prog.Funcs {
@@ -48,7 +49,10 @@ func PlanUnroll(prog *ir.Program, edges map[string]*profile.EdgeProfile, par Unr
 		if ep == nil {
 			continue
 		}
-		g := f.CFG()
+		g, err := f.CFG()
+		if err != nil {
+			return nil, nil, err
+		}
 		ep.ApplyTo(g)
 		g.Analyze()
 		loopAt := map[int]*cfg.Loop{}
@@ -92,7 +96,7 @@ func PlanUnroll(prog *ir.Program, edges map[string]*profile.EdgeProfile, par Unr
 			decisions = append(decisions, d)
 		}
 	}
-	return plan, decisions
+	return plan, decisions, nil
 }
 
 // AvgUnrollFactor returns the unroll factor averaged over dynamic loop

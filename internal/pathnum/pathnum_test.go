@@ -48,13 +48,13 @@ func TestLoopGraphNumbering(t *testing.T) {
 	b2 := g.AddBlock("b2")
 	tl := g.AddBlock("t")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, h)
-	g.Connect(h, b1)
-	g.Connect(h, b2)
-	g.Connect(b1, tl)
-	g.Connect(b2, tl)
-	g.Connect(tl, h)
-	g.Connect(tl, exit)
+	cfgtest.Connect(g, entry, h)
+	cfgtest.Connect(g, h, b1)
+	cfgtest.Connect(g, h, b2)
+	cfgtest.Connect(g, b1, tl)
+	cfgtest.Connect(g, b2, tl)
+	cfgtest.Connect(g, tl, h)
+	cfgtest.Connect(g, tl, exit)
 	g.Entry = entry
 	g.Exit = exit
 	d := mustDAG(t, g)
@@ -240,16 +240,16 @@ func TestPathsThroughAndObvious(t *testing.T) {
 	y := g2.AddBlock("y")
 	j := g2.AddBlock("j")
 	exit := g2.AddBlock("exit")
-	g2.Connect(entry, a)
-	g2.Connect(a, b)
-	g2.Connect(a, c)
-	g2.Connect(b, m)
-	g2.Connect(c, m)
-	g2.Connect(m, x)
-	g2.Connect(m, y)
-	g2.Connect(x, j)
-	g2.Connect(y, j)
-	g2.Connect(j, exit)
+	cfgtest.Connect(g2, entry, a)
+	cfgtest.Connect(g2, a, b)
+	cfgtest.Connect(g2, a, c)
+	cfgtest.Connect(g2, b, m)
+	cfgtest.Connect(g2, c, m)
+	cfgtest.Connect(g2, m, x)
+	cfgtest.Connect(g2, m, y)
+	cfgtest.Connect(g2, x, j)
+	cfgtest.Connect(g2, y, j)
+	cfgtest.Connect(g2, j, exit)
 	g2.Entry = entry
 	g2.Exit = exit
 	d2 := mustDAG(t, g2)
@@ -384,10 +384,10 @@ func TestStaticWeightsFavorLoops(t *testing.T) {
 	h := g.AddBlock("h")
 	b := g.AddBlock("b")
 	exit := g.AddBlock("exit")
-	g.Connect(entry, h)
-	g.Connect(h, b)
-	g.Connect(b, h)
-	g.Connect(h, exit)
+	cfgtest.Connect(g, entry, h)
+	cfgtest.Connect(g, h, b)
+	cfgtest.Connect(g, b, h)
+	cfgtest.Connect(g, h, exit)
 	g.Entry = entry
 	g.Exit = exit
 	d := mustDAG(t, g)

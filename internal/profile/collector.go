@@ -112,16 +112,55 @@ type Snapshot struct {
 	Tables map[string]*Table
 }
 
+// SaturatedRoutines returns the sorted names of routines whose merged
+// counters clamped at CounterMax in any component (edge profile, path
+// profile, or counter table). Empty means no overflow anywhere.
+func (s *Snapshot) SaturatedRoutines() []string {
+	set := map[string]bool{}
+	for fn, ep := range s.Edges { //ppp:allow(mapiter) — collected into a sorted slice below
+		if ep.Saturated {
+			set[fn] = true
+		}
+	}
+	for fn, pp := range s.Paths { //ppp:allow(mapiter) — collected into a sorted slice below
+		if pp.Saturated {
+			set[fn] = true
+		}
+	}
+	for fn, t := range s.Tables { //ppp:allow(mapiter) — collected into a sorted slice below
+		if t.Saturated {
+			set[fn] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Overflowed reports whether any routine saturated.
+func (s *Snapshot) Overflowed() bool { return len(s.SaturatedRoutines()) > 0 }
+
 // Merge folds every shard into a fresh snapshot, deterministically:
 // shards in index order, routines in name order. The shards are not
 // modified and may be merged again after further recording.
 func (c *Collector) Merge() *Snapshot {
+	return c.MergeShards(nil)
+}
+
+// MergeShards folds the selected shards into a fresh snapshot. A nil
+// include selects every shard; otherwise shard i participates iff
+// include[i]. Quarantine (vm.RunReplicated's guarded mode) merges only
+// the surviving shards this way, and the result is identical to a
+// collector that never held the excluded shards: merge order over the
+// included shards is unchanged.
+func (c *Collector) MergeShards(include []bool) *Snapshot {
 	snap := &Snapshot{
 		Edges:  map[string]*EdgeProfile{},
 		Paths:  map[string]*PathProfile{},
 		Tables: map[string]*Table{},
 	}
 	for i := range c.shards {
+		if include != nil && (i >= len(include) || !include[i]) {
+			continue
+		}
 		sh := &c.shards[i]
 		for _, fn := range sortedKeys(sh.edges) {
 			dst := snap.Edges[fn]
@@ -174,6 +213,11 @@ func (s *Snapshot) Fingerprint() uint64 {
 		ws(fn)
 		ep := s.Edges[fn]
 		wi(ep.Calls)
+		if ep.Saturated {
+			// Emitted only on overflow so zero-fault fingerprints stay
+			// byte-compatible across releases.
+			ws("sat")
+		}
 		freq := ep.Freq()
 		for _, k := range sortedEdgeKeys(freq) {
 			wi(int64(k.Src))
@@ -185,6 +229,9 @@ func (s *Snapshot) Fingerprint() uint64 {
 		ws("P")
 		ws(fn)
 		pp := s.Paths[fn]
+		if pp.Saturated {
+			ws("sat")
+		}
 		for i := range pp.paths {
 			pc := &pp.paths[i]
 			wi(int64(len(pc.Path)))
@@ -203,6 +250,9 @@ func (s *Snapshot) Fingerprint() uint64 {
 		wi(t.Lost)
 		wi(t.Cold)
 		wi(t.Drops)
+		if t.Saturated {
+			ws("sat")
+		}
 		if t.Kind == ArrayTable {
 			for i, v := range t.arr {
 				if v != 0 {

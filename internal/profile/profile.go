@@ -14,10 +14,29 @@ package profile
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pathprof/internal/cfg"
 )
+
+// CounterMax is the saturation ceiling for every profile counter.
+// Counters never wrap: additions clamp here and raise the owning
+// container's Saturated flag, so an overflowed profile degrades to a
+// lower bound instead of corrupting downstream frequency analysis.
+const CounterMax = math.MaxInt64
+
+// satAdd returns a+b clamped at CounterMax, and whether it clamped.
+// Operands must be non-negative. Saturating addition of non-negative
+// values is associative and commutative, so shard merges remain
+// order-independent (and therefore deterministic) even when some
+// shards saturated.
+func satAdd(a, b int64) (int64, bool) {
+	if a > CounterMax-b {
+		return CounterMax, true
+	}
+	return a + b, false
+}
 
 // EdgeKey identifies a CFG edge by block indices.
 type EdgeKey struct {
@@ -34,6 +53,10 @@ type EdgeKey struct {
 type EdgeProfile struct {
 	Func  string
 	Calls int64
+
+	// Saturated reports that at least one counter (including Calls)
+	// hit CounterMax and clamped; the profile is a lower bound.
+	Saturated bool
 
 	slots map[EdgeKey]int32
 	keys  []EdgeKey
@@ -66,11 +89,27 @@ func (ep *EdgeProfile) Slot(src, dst int) int {
 }
 
 // BumpSlot increments the dense counter registered by Slot. This is
-// the hot-path operation: a single slice increment.
+// the hot-path operation: one compare and one slice increment; the
+// compare only fires its branch after 2^63-1 prior bumps.
 //
 //ppp:hotpath
 func (ep *EdgeProfile) BumpSlot(slot int) {
+	if ep.dense[slot] == CounterMax {
+		ep.Saturated = true
+		return
+	}
 	ep.dense[slot]++
+}
+
+// BumpCalls increments the routine-entry counter, saturating.
+//
+//ppp:hotpath
+func (ep *EdgeProfile) BumpCalls() {
+	if ep.Calls == CounterMax {
+		ep.Saturated = true
+		return
+	}
+	ep.Calls++
 }
 
 // Bump increments the edge count through the sparse backing.
@@ -78,12 +117,18 @@ func (ep *EdgeProfile) Bump(src, dst int) {
 	ep.Add(src, dst, 1)
 }
 
-// Add adds v executions of the edge src->dst.
+// Add adds v executions of the edge src->dst, saturating at
+// CounterMax.
 func (ep *EdgeProfile) Add(src, dst int, v int64) {
 	if ep.extra == nil {
 		ep.extra = map[EdgeKey]int64{}
 	}
-	ep.extra[EdgeKey{src, dst}] += v
+	k := EdgeKey{src, dst}
+	n, sat := satAdd(ep.extra[k], v)
+	ep.extra[k] = n
+	if sat {
+		ep.Saturated = true
+	}
 }
 
 // Get returns the count of edge src->dst.
@@ -93,7 +138,8 @@ func (ep *EdgeProfile) Get(src, dst int) int64 {
 	if s, ok := ep.slots[k]; ok {
 		n = ep.dense[s]
 	}
-	return n + ep.extra[k]
+	n, _ = satAdd(n, ep.extra[k])
+	return n
 }
 
 // Freq materializes the edge-count map, merging the dense and sparse
@@ -104,12 +150,12 @@ func (ep *EdgeProfile) Freq() map[EdgeKey]int64 {
 	out := make(map[EdgeKey]int64, len(ep.keys)+len(ep.extra))
 	for i, k := range ep.keys {
 		if ep.dense[i] != 0 {
-			out[k] += ep.dense[i]
+			out[k], _ = satAdd(out[k], ep.dense[i])
 		}
 	}
 	for k, v := range ep.extra {
 		if v != 0 {
-			out[k] += v
+			out[k], _ = satAdd(out[k], v)
 		}
 	}
 	return out
@@ -129,7 +175,11 @@ func (ep *EdgeProfile) ApplyTo(g *cfg.Graph) {
 // folded in sorted key order so merged profiles are built identically
 // regardless of how other's map laid out its entries.
 func (ep *EdgeProfile) Merge(other *EdgeProfile) {
-	ep.Calls += other.Calls
+	var sat bool
+	ep.Calls, sat = satAdd(ep.Calls, other.Calls)
+	if sat || other.Saturated {
+		ep.Saturated = true
+	}
 	for i, k := range other.keys {
 		if other.dense[i] != 0 {
 			ep.Add(k.Src, k.Dst, other.dense[i])
@@ -174,6 +224,10 @@ type PathCount struct {
 // building a string key or allocating.
 type PathProfile struct {
 	Func string
+
+	// Saturated reports that at least one path count hit CounterMax
+	// and clamped; the profile is a lower bound.
+	Saturated bool
 
 	// nodes[0] is the trie root. Node IDs index this slice so the
 	// backing array can grow without invalidating references.
@@ -228,7 +282,7 @@ func (pp *PathProfile) walk(p cfg.Path, grow bool) int32 {
 	return cur
 }
 
-// Add records count executions of path p.
+// Add records count executions of path p, saturating at CounterMax.
 func (pp *PathProfile) Add(p cfg.Path, count int64) {
 	n := pp.walk(p, true)
 	if pp.nodes[n].id == 0 {
@@ -237,7 +291,12 @@ func (pp *PathProfile) Add(p cfg.Path, count int64) {
 		pp.paths = append(pp.paths, PathCount{Path: cp})
 		pp.nodes[n].id = int32(len(pp.paths))
 	}
-	pp.paths[pp.nodes[n].id-1].Count += count
+	pc := &pp.paths[pp.nodes[n].id-1]
+	var sat bool
+	pc.Count, sat = satAdd(pc.Count, count)
+	if sat {
+		pp.Saturated = true
+	}
 }
 
 // Get returns the count of path p (0 if never taken).
@@ -263,13 +322,16 @@ func (pp *PathProfile) Distinct() int { return len(pp.paths) }
 func (pp *PathProfile) Total() int64 {
 	var sum int64
 	for i := range pp.paths {
-		sum += pp.paths[i].Count
+		sum, _ = satAdd(sum, pp.paths[i].Count)
 	}
 	return sum
 }
 
 // Merge adds other's counts into pp.
 func (pp *PathProfile) Merge(other *PathProfile) {
+	if other.Saturated {
+		pp.Saturated = true
+	}
 	for i := range other.paths {
 		pp.Add(other.paths[i].Path, other.paths[i].Count)
 	}
@@ -305,6 +367,10 @@ type Table struct {
 	Lost  int64 // hash conflicts beyond the secondary tries
 	Cold  int64 // check-based poisoning diverts here
 	Drops int64 // out-of-range indices (defensive; must stay 0)
+
+	// Saturated reports that at least one counter hit CounterMax and
+	// clamped; the table is a lower bound.
+	Saturated bool
 }
 
 // NewTable allocates a table: an array of size counters, or a hash
@@ -326,19 +392,42 @@ func NewTable(kind TableKind, n, size int64) *Table {
 //ppp:hotpath
 func (t *Table) Inc(idx int64) { t.add(idx, 1) }
 
+// Add records v executions of index idx through the normal probe
+// sequence (v must be non-negative). Exported for deserialization and
+// fault-injection preloading; the VM uses Inc.
+func (t *Table) Add(idx, v int64) { t.add(idx, v) }
+
+// BumpCold increments the check-based cold counter, saturating.
+//
+//ppp:hotpath
+func (t *Table) BumpCold() {
+	if t.Cold == CounterMax {
+		t.Saturated = true
+		return
+	}
+	t.Cold++
+}
+
 // add records v executions of index idx: Inc generalized to a weight,
 // so shard merging can replay another table's counts through the same
 // probe sequence. Dropped and lost executions carry their weight into
-// Drops and Lost.
+// Drops and Lost. Every counter saturates at CounterMax.
 //
 //ppp:hotpath
 func (t *Table) add(idx, v int64) {
+	var sat bool
 	if t.Kind == ArrayTable {
 		if idx < 0 || idx >= int64(len(t.arr)) {
-			t.Drops += v
+			t.Drops, sat = satAdd(t.Drops, v)
+			if sat {
+				t.Saturated = true
+			}
 			return
 		}
-		t.arr[idx] += v
+		t.arr[idx], sat = satAdd(t.arr[idx], v)
+		if sat {
+			t.Saturated = true
+		}
 		return
 	}
 	h := idx % HashSlots
@@ -355,15 +444,24 @@ func (t *Table) add(idx, v int64) {
 		if !t.used[s] {
 			t.used[s] = true
 			t.keys[s] = idx
-			t.vals[s] += v
+			t.vals[s], sat = satAdd(t.vals[s], v)
+			if sat {
+				t.Saturated = true
+			}
 			return
 		}
 		if t.keys[s] == idx {
-			t.vals[s] += v
+			t.vals[s], sat = satAdd(t.vals[s], v)
+			if sat {
+				t.Saturated = true
+			}
 			return
 		}
 	}
-	t.Lost += v
+	t.Lost, sat = satAdd(t.Lost, v)
+	if sat {
+		t.Saturated = true
+	}
 }
 
 // Size returns the counter-array capacity (0 for hash tables), so a
@@ -382,9 +480,13 @@ func (t *Table) Size() int64 {
 // from a single-table run, exactly as the paper's arrival-order-
 // sensitive hash table would.
 func (t *Table) Merge(other *Table) {
-	t.Lost += other.Lost
-	t.Cold += other.Cold
-	t.Drops += other.Drops
+	var sat [3]bool
+	t.Lost, sat[0] = satAdd(t.Lost, other.Lost)
+	t.Cold, sat[1] = satAdd(t.Cold, other.Cold)
+	t.Drops, sat[2] = satAdd(t.Drops, other.Drops)
+	if sat[0] || sat[1] || sat[2] || other.Saturated {
+		t.Saturated = true
+	}
 	if other.Kind == ArrayTable {
 		for i, v := range other.arr {
 			if v != 0 {
@@ -431,13 +533,13 @@ func (t *Table) ColdTotal() int64 {
 	sum := t.Cold
 	if t.Kind == ArrayTable {
 		for i := t.N; i < int64(len(t.arr)); i++ {
-			sum += t.arr[i]
+			sum, _ = satAdd(sum, t.arr[i])
 		}
 		return sum
 	}
 	for s := 0; s < HashSlots; s++ {
 		if t.used[s] && (t.keys[s] >= t.N || t.keys[s] < 0) {
-			sum += t.vals[s]
+			sum, _ = satAdd(sum, t.vals[s])
 		}
 	}
 	return sum
@@ -451,4 +553,77 @@ type IndexCount struct {
 
 func (t *Table) String() string {
 	return fmt.Sprintf("table(kind=%d N=%d lost=%d cold=%d)", t.Kind, t.N, t.Lost, t.ColdTotal())
+}
+
+// TableState is the complete serializable state of a Table, exposed
+// for the durable snapshot codec. For array tables Arr carries the
+// counter array; for hash tables Slots/Keys/Vals carry the occupied
+// slots (in slot order), so a restored table reproduces the original
+// slot layout bit-for-bit.
+type TableState struct {
+	Kind      TableKind
+	N         int64
+	Size      int64
+	Lost      int64
+	Cold      int64
+	Drops     int64
+	Saturated bool
+
+	Arr   []int64 // ArrayTable counters, dense
+	Slots []int32 // HashTable occupied slot indices, ascending
+	Keys  []int64 // HashTable keys, parallel to Slots
+	Vals  []int64 // HashTable values, parallel to Slots
+}
+
+// State exports the table's complete state for serialization.
+func (t *Table) State() TableState {
+	st := TableState{
+		Kind: t.Kind, N: t.N, Size: t.Size(),
+		Lost: t.Lost, Cold: t.Cold, Drops: t.Drops,
+		Saturated: t.Saturated,
+	}
+	if t.Kind == ArrayTable {
+		st.Arr = append([]int64(nil), t.arr...)
+		return st
+	}
+	for s := 0; s < HashSlots; s++ {
+		if t.used[s] {
+			st.Slots = append(st.Slots, int32(s))
+			st.Keys = append(st.Keys, t.keys[s])
+			st.Vals = append(st.Vals, t.vals[s])
+		}
+	}
+	return st
+}
+
+// NewTableFromState rebuilds a table from serialized state. Hash slot
+// contents are placed at their recorded slots directly (not re-probed),
+// so the restored table is bit-identical to the saved one.
+func NewTableFromState(st TableState) (*Table, error) {
+	t := NewTable(st.Kind, st.N, st.Size)
+	t.Lost, t.Cold, t.Drops = st.Lost, st.Cold, st.Drops
+	t.Saturated = st.Saturated
+	if st.Kind == ArrayTable {
+		if int64(len(st.Arr)) != st.Size {
+			return nil, fmt.Errorf("profile: array table state has %d counters, size %d", len(st.Arr), st.Size)
+		}
+		copy(t.arr, st.Arr)
+		return t, nil
+	}
+	if len(st.Keys) != len(st.Slots) || len(st.Vals) != len(st.Slots) {
+		return nil, fmt.Errorf("profile: hash table state slot/key/val lengths diverge: %d/%d/%d",
+			len(st.Slots), len(st.Keys), len(st.Vals))
+	}
+	for i, s := range st.Slots {
+		if s < 0 || s >= HashSlots {
+			return nil, fmt.Errorf("profile: hash table state slot %d out of range", s)
+		}
+		if t.used[s] {
+			return nil, fmt.Errorf("profile: hash table state repeats slot %d", s)
+		}
+		t.used[s] = true
+		t.keys[s] = st.Keys[i]
+		t.vals[s] = st.Vals[i]
+	}
+	return t, nil
 }

@@ -1,0 +1,94 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pathprof/internal/profile"
+)
+
+// Store persists snapshots at a fixed path with crash-safe writes and
+// a one-deep history:
+//
+//	<path>       the current snapshot
+//	<path>.prev  the previous good snapshot (fallback)
+//	<path>.tmp   in-flight write, renamed into place on success
+//
+// Save never overwrites the current snapshot in place — a torn write
+// can only lose the .tmp file — and Load falls back to .prev when the
+// primary is corrupt, so one bad write never strands the consumer
+// without a profile.
+type Store struct {
+	path string
+}
+
+// NewStore returns a store rooted at path.
+func NewStore(path string) *Store { return &Store{path: path} }
+
+// Path returns the primary snapshot path.
+func (st *Store) Path() string { return st.path }
+
+// PrevPath returns the fallback snapshot path.
+func (st *Store) PrevPath() string { return st.path + ".prev" }
+
+// Save atomically writes the snapshot: encode, write to .tmp, rotate
+// the existing snapshot to .prev, then rename .tmp into place.
+func (st *Store) Save(s *profile.Snapshot) error {
+	data := Encode(s)
+	if dir := filepath.Dir(st.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("snapshot: save: %w", err)
+		}
+	}
+	tmp := st.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	if _, err := os.Stat(st.path); err == nil {
+		if err := os.Rename(st.path, st.PrevPath()); err != nil {
+			return fmt.Errorf("snapshot: rotate: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, st.path); err != nil {
+		return fmt.Errorf("snapshot: commit: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies the current snapshot. When the primary file
+// is missing, unreadable, or corrupt, it falls back to .prev;
+// fromFallback reports that the returned snapshot came from the
+// fallback. When both copies are bad the error describes the primary
+// failure (with the fallback failure attached via errors.Join).
+func (st *Store) Load() (snap *profile.Snapshot, fromFallback bool, err error) {
+	primaryErr := st.loadFile(st.path, &snap)
+	if primaryErr == nil {
+		return snap, false, nil
+	}
+	fallbackErr := st.loadFile(st.PrevPath(), &snap)
+	if fallbackErr == nil {
+		return snap, true, nil
+	}
+	return nil, false, errors.Join(primaryErr, fallbackErr)
+}
+
+// loadFile decodes one snapshot file into *out, tagging corruption
+// errors with the file path.
+func (st *Store) loadFile(path string, out **profile.Snapshot) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = path
+		}
+		return err
+	}
+	*out = s
+	return nil
+}

@@ -21,15 +21,15 @@ func TestPPPBeatsSPPOnSkewedProfiles(t *testing.T) {
 		hotArm := g.AddBlock("")
 		coldArm := g.AddBlock("")
 		j := g.AddBlock("")
-		g.Connect(prev, a).Freq = 1000
-		g.Connect(a, hotArm).Freq = 950
-		g.Connect(a, coldArm).Freq = 50
-		g.Connect(hotArm, j).Freq = 950
-		g.Connect(coldArm, j).Freq = 50
+		cfgtest.Connect(g, prev, a).Freq = 1000
+		cfgtest.Connect(g, a, hotArm).Freq = 950
+		cfgtest.Connect(g, a, coldArm).Freq = 50
+		cfgtest.Connect(g, hotArm, j).Freq = 950
+		cfgtest.Connect(g, coldArm, j).Freq = 50
 		prev = j
 	}
 	exit := g.AddBlock("exit")
-	g.Connect(prev, exit).Freq = 1000
+	cfgtest.Connect(g, prev, exit).Freq = 1000
 	g.Entry, g.Exit = entry, exit
 	g.Calls = 1000
 	// Fix up the inter-diamond edges' frequencies.

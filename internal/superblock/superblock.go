@@ -145,7 +145,7 @@ func Form(prog *ir.Program, traces []Trace, par Params) (*Result, error) {
 		// selection).
 		snap := snapshot(fn)
 		apply(fn, plan)
-		if fn.CFG().CheckReducible() != nil {
+		if g, err := fn.CFG(); err != nil || g.CheckReducible() != nil {
 			restore(fn, snap)
 			res.SkippedShape++
 			continue

@@ -28,51 +28,51 @@ func buildFuzzGraph(data []byte) *cfg.Graph {
 		switch data[i] % 5 {
 		case 0: // straight line
 			b := g.AddBlock("")
-			g.Connect(prev, b)
+			cfgtest.Connect(g, prev, b)
 			prev = b
 		case 1: // diamond
 			c := g.AddBlock("")
 			l := g.AddBlock("")
 			r := g.AddBlock("")
 			j := g.AddBlock("")
-			g.Connect(prev, c)
-			g.Connect(c, l)
-			g.Connect(c, r)
-			g.Connect(l, j)
-			g.Connect(r, j)
+			cfgtest.Connect(g, prev, c)
+			cfgtest.Connect(g, c, l)
+			cfgtest.Connect(g, c, r)
+			cfgtest.Connect(g, l, j)
+			cfgtest.Connect(g, r, j)
 			prev = j
 		case 2: // triangle (if-then)
 			c := g.AddBlock("")
 			th := g.AddBlock("")
 			j := g.AddBlock("")
-			g.Connect(prev, c)
-			g.Connect(c, th)
-			g.Connect(c, j)
-			g.Connect(th, j)
+			cfgtest.Connect(g, prev, c)
+			cfgtest.Connect(g, c, th)
+			cfgtest.Connect(g, c, j)
+			cfgtest.Connect(g, th, j)
 			prev = j
 		case 3: // while loop with branching body
 			h := g.AddBlock("")
 			l := g.AddBlock("")
 			r := g.AddBlock("")
 			tl := g.AddBlock("")
-			g.Connect(prev, h)
-			g.Connect(h, l)
-			g.Connect(h, r)
-			g.Connect(l, tl)
-			g.Connect(r, tl)
-			g.Connect(tl, h) // back edge
+			cfgtest.Connect(g, prev, h)
+			cfgtest.Connect(g, h, l)
+			cfgtest.Connect(g, h, r)
+			cfgtest.Connect(g, l, tl)
+			cfgtest.Connect(g, r, tl)
+			cfgtest.Connect(g, tl, h) // back edge
 			prev = h
 		default: // do-while
 			b := g.AddBlock("")
 			latch := g.AddBlock("")
-			g.Connect(prev, b)
-			g.Connect(b, latch)
-			g.Connect(latch, b) // back edge
+			cfgtest.Connect(g, prev, b)
+			cfgtest.Connect(g, b, latch)
+			cfgtest.Connect(g, latch, b) // back edge
 			prev = latch
 		}
 	}
 	exit := g.AddBlock("exit")
-	g.Connect(prev, exit)
+	cfgtest.Connect(g, prev, exit)
 	g.Entry, g.Exit = entry, exit
 	return g
 }

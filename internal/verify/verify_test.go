@@ -32,7 +32,7 @@ func coldDiamond() *cfg.Graph {
 	}
 	g.Entry, g.Exit = bs["entry"], bs["exit"]
 	set := func(a, b string, f int64) {
-		g.Connect(bs[a], bs[b]).Freq = f
+		cfgtest.Connect(g, bs[a], bs[b]).Freq = f
 	}
 	set("entry", "a", 1000)
 	set("a", "b", 10)
@@ -259,15 +259,15 @@ func TestSamplingFallback(t *testing.T) {
 		b := g.AddBlock("")
 		c := g.AddBlock("")
 		j := g.AddBlock("")
-		g.Connect(prev, a)
-		g.Connect(a, b)
-		g.Connect(a, c)
-		g.Connect(b, j)
-		g.Connect(c, j)
+		cfgtest.Connect(g, prev, a)
+		cfgtest.Connect(g, a, b)
+		cfgtest.Connect(g, a, c)
+		cfgtest.Connect(g, b, j)
+		cfgtest.Connect(g, c, j)
 		prev = j
 	}
 	exit := g.AddBlock("exit")
-	g.Connect(prev, exit)
+	cfgtest.Connect(g, prev, exit)
 	g.Entry, g.Exit = entry, exit
 	rng := rand.New(rand.NewSource(11))
 	cfgtest.Profile(g, rng, 500, 400)

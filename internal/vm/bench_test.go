@@ -44,7 +44,7 @@ func ppPlans(tb testing.TB, prog *ir.Program) map[string]*instr.Plan {
 	}
 	plans := map[string]*instr.Plan{}
 	for _, f := range prog.Funcs {
-		g := f.CFG()
+		g := mustCFG(tb, f)
 		guide.Edges[f.Name].ApplyTo(g)
 		p, err := instr.Build(g, instr.PP(), instr.DefaultParams(), 0)
 		if err != nil {

@@ -25,6 +25,57 @@ type ProfileSink interface {
 	Table(fn string, kind profile.TableKind, n, size int64) *profile.Table
 }
 
+// FaultContext describes one replica attempt to a GuardConfig
+// FaultHook.
+type FaultContext struct {
+	Worker  int // shard index
+	Replica int // global replica index
+	Attempt int // 0 on the first try, counting retries
+	// Sink is the worker's shard. Overflow injection preloads its
+	// counters here; any mutation must be deterministic in Replica so
+	// merged snapshots stay reproducible across worker counts.
+	Sink ProfileSink
+}
+
+// GuardConfig configures guarded replication: how hard RunReplicated
+// tries to keep a run alive when replicas fail, and the hook through
+// which fault injection drives those failures.
+type GuardConfig struct {
+	// ReplicaRetries bounds retries of a replica whose pre-run hook
+	// failed cleanly (the shard untouched). 0 means no retries.
+	ReplicaRetries int
+	// ReplicaDeadline bounds each replica's wall clock, checked after
+	// every attempt; 0 disables the check. A replica that finishes past
+	// its deadline taints the shard: its counts are already recorded,
+	// so the whole shard is quarantined rather than unpicked.
+	ReplicaDeadline time.Duration
+	// FaultHook, if set, runs before every replica attempt. A returned
+	// error (or a panic) is a clean pre-run fault: the shard has not
+	// been written, so the replica is retried up to ReplicaRetries. A
+	// nil-returning hook may still inject pressure by mutating
+	// ctx.Sink (counter-overflow preloading).
+	FaultHook func(ctx FaultContext) error
+}
+
+// ShardFault records one quarantined shard in a guarded run.
+type ShardFault struct {
+	Worker   int  // shard index
+	Replica  int  // replica the terminal failure surfaced on
+	Attempts int  // attempts made for that replica
+	Tainted  bool // failure during/after Run: partial counts were possible
+	Lost     int  // replicas excluded from the merge with this shard
+	Err      error
+}
+
+func (f ShardFault) String() string {
+	state := "clean"
+	if f.Tainted {
+		state = "tainted"
+	}
+	return fmt.Sprintf("shard %d: %s quarantine at replica %d after %d attempt(s), %d replica(s) lost: %v",
+		f.Worker, state, f.Replica, f.Attempts, f.Lost, f.Err)
+}
+
 // ReplicatedResult aggregates a RunReplicated execution: summed costs
 // and step counts across all replicas, plus the merged profile
 // snapshot.
@@ -46,8 +97,19 @@ type ReplicatedResult struct {
 	// identical DAGs), for interpreting the merged paths.
 	DAGs map[string]*cfg.DAG
 
+	// Faults lists quarantined shards, in shard order (guarded mode
+	// only; empty on a clean run). Merged excludes their counts.
+	Faults []ShardFault
+	// LostReplicas is the number of replicas whose flow is missing
+	// from Merged because their shard was quarantined.
+	LostReplicas int
+
 	Elapsed time.Duration // wall clock of the whole replicated run
 }
+
+// Survivors returns the number of replicas whose counts made it into
+// Merged.
+func (r *ReplicatedResult) Survivors() int { return r.Replicas - r.LostReplicas }
 
 // RunsPerSec returns replica throughput over the measured wall clock.
 func (r *ReplicatedResult) RunsPerSec() float64 {
@@ -84,8 +146,10 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 		ran                       bool
 		dags                      map[string]*cfg.DAG
 		err                       error
+		fault                     *ShardFault
 	}
 	outs := make([]workerOut, par)
+	guard := opts.Guard
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
@@ -100,10 +164,25 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 				wopts.PathHook = opts.PathHookFor(w)
 			}
 			for i := lo; i < hi; i++ {
-				res, err := Run(prog, wopts)
-				if err != nil {
-					o.err = fmt.Errorf("replica %d: %w", i, err)
-					return
+				var res *Result
+				var err error
+				if guard == nil {
+					res, err = Run(prog, wopts)
+					if err != nil {
+						o.err = fmt.Errorf("replica %d: %w", i, err)
+						return
+					}
+				} else {
+					var fault *ShardFault
+					res, fault = runGuarded(prog, wopts, guard, w, i)
+					if fault != nil {
+						// Quarantine: the shard's counts (this replica's
+						// and its predecessors') leave the merge, so the
+						// whole block is lost flow.
+						fault.Lost = hi - lo
+						o.fault = fault
+						return
+					}
 				}
 				if o.ran && res.Ret != o.ret {
 					o.err = fmt.Errorf("replica %d: nondeterministic result %d vs %d", i, res.Ret, o.ret)
@@ -123,11 +202,18 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 	wg.Wait()
 
 	rr := &ReplicatedResult{Replicas: n, Workers: par}
+	include := make([]bool, par)
 	for w := range outs {
 		o := &outs[w]
 		if o.err != nil {
 			return nil, fmt.Errorf("vm: worker %d: %w", w, o.err)
 		}
+		if o.fault != nil {
+			rr.Faults = append(rr.Faults, *o.fault)
+			rr.LostReplicas += o.fault.Lost
+			continue
+		}
+		include[w] = true
 		if !o.ran {
 			continue
 		}
@@ -142,7 +228,77 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 		rr.Steps += o.steps
 		rr.DynCalls += o.calls
 	}
-	rr.Merged = col.Merge()
+	if guard != nil && rr.LostReplicas >= n {
+		return nil, fmt.Errorf("vm: all %d shards quarantined; first fault: %v", par, rr.Faults[0])
+	}
+	// MergeShards with every shard included is Merge; the guarded path
+	// drops quarantined shards, which is exactly a collector that never
+	// held them.
+	rr.Merged = col.MergeShards(include)
 	rr.Elapsed = time.Since(start)
 	return rr, nil
+}
+
+// runGuarded executes one replica under guard: the pre-run hook and
+// the run itself are panic-isolated, clean pre-run faults retry up to
+// the budget, and any failure or deadline overrun from the run itself
+// returns a tainted ShardFault (the shard may hold partial counts, so
+// the caller must quarantine it).
+func runGuarded(prog *ir.Program, opts Options, guard *GuardConfig, w, i int) (*Result, *ShardFault) {
+	replicaStart := time.Now()
+	overDeadline := func() bool {
+		return guard.ReplicaDeadline > 0 && time.Since(replicaStart) > guard.ReplicaDeadline
+	}
+	for attempt := 0; ; attempt++ {
+		herr := callFaultHook(guard, FaultContext{Worker: w, Replica: i, Attempt: attempt, Sink: opts.Sink})
+		if herr == nil && overDeadline() {
+			herr = fmt.Errorf("vm: deadline %s exceeded before run", guard.ReplicaDeadline)
+		}
+		if herr != nil {
+			if attempt < guard.ReplicaRetries && !overDeadline() {
+				continue
+			}
+			return nil, &ShardFault{
+				Worker: w, Replica: i, Attempts: attempt + 1,
+				Err: fmt.Errorf("replica %d: %w", i, herr),
+			}
+		}
+		res, rerr := runRecovered(prog, opts)
+		if rerr == nil && overDeadline() {
+			rerr = fmt.Errorf("vm: run finished %s past its %s deadline",
+				time.Since(replicaStart)-guard.ReplicaDeadline, guard.ReplicaDeadline)
+		}
+		if rerr != nil {
+			return nil, &ShardFault{
+				Worker: w, Replica: i, Attempts: attempt + 1, Tainted: true,
+				Err: fmt.Errorf("replica %d: %w", i, rerr),
+			}
+		}
+		return res, nil
+	}
+}
+
+// callFaultHook runs the guard's hook, converting a panic into an
+// error so injected panics are indistinguishable from returned faults.
+func callFaultHook(guard *GuardConfig, ctx FaultContext) (err error) {
+	if guard.FaultHook == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("vm: fault hook panicked: %v", r)
+		}
+	}()
+	return guard.FaultHook(ctx)
+}
+
+// runRecovered is Run with panic isolation: a panicking replica
+// reports an error instead of tearing down the whole replicated run.
+func runRecovered(prog *ir.Program, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("vm: replica panicked: %v", r)
+		}
+	}()
+	return Run(prog, opts)
 }

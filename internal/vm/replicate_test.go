@@ -53,7 +53,7 @@ func replPlans(t *testing.T, prog *ir.Program, hashThreshold int64) map[string]*
 	}
 	plans := map[string]*instr.Plan{}
 	for _, f := range prog.Funcs {
-		plan, err := instr.Build(f.CFG(), instr.PP(), par, total)
+		plan, err := instr.Build(mustCFG(t, f), instr.PP(), par, total)
 		if err != nil {
 			t.Fatalf("plan %s: %v", f.Name, err)
 		}

@@ -109,6 +109,11 @@ type Options struct {
 	MaxSteps int64
 	// Output receives print() values; nil discards them.
 	Output io.Writer
+	// Guard, if set, puts RunReplicated into guarded mode: replica
+	// panics are recovered, pre-run faults retried, and failing shards
+	// quarantined out of the merge instead of killing the run. A nil
+	// Guard preserves the strict fail-fast behavior. Run ignores it.
+	Guard *GuardConfig
 }
 
 // Result is the outcome of a run.
@@ -128,6 +133,13 @@ type Result struct {
 
 // Cost returns the total modeled cost.
 func (r *Result) Cost() int64 { return r.BaseCost + r.InstrCost }
+
+// Snapshot views the run's profiles as a profile.Snapshot, the
+// currency of merging, fingerprinting, and durable persistence
+// (internal/snapshot).
+func (r *Result) Snapshot() *profile.Snapshot {
+	return &profile.Snapshot{Edges: r.Edges, Paths: r.Paths, Tables: r.Tables}
+}
 
 // Overhead returns instrumentation cost relative to base cost.
 func (r *Result) Overhead() float64 {
@@ -262,7 +274,11 @@ func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
 		rt.hash = plan.Hash
 		rt.poisonCheck = plan.PoisonCheck
 	} else if needDAG {
-		d, err := cfg.BuildDAG(f.CFG())
+		g, err := f.CFG()
+		if err != nil {
+			return nil, err
+		}
+		d, err := cfg.BuildDAG(g)
 		if err != nil {
 			return nil, err
 		}
@@ -415,7 +431,7 @@ func (m *machine) newFrame(fi, callDst int) *frame {
 	}
 	fr.path = fr.path[:0]
 	if fr.rt.edges != nil {
-		fr.rt.edges.Calls++
+		fr.rt.edges.BumpCalls()
 	}
 	return fr
 }
@@ -646,7 +662,7 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 			if rt.poisonCheck {
 				m.res.InstrCost += costs.PoisonCheck
 				if fr.r < 0 {
-					rt.table.Cold++
+					rt.table.BumpCold()
 					m.res.InstrCost += costs.ColdBump
 					continue
 				}

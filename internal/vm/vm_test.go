@@ -5,11 +5,21 @@ import (
 	"strings"
 	"testing"
 
+	"pathprof/internal/cfg"
 	"pathprof/internal/instr"
 	"pathprof/internal/ir"
 	"pathprof/internal/lower"
 	"pathprof/internal/vm"
 )
+
+func mustCFG(t testing.TB, f *ir.Func) *cfg.Graph {
+	t.Helper()
+	g, err := f.CFG()
+	if err != nil {
+		t.Fatalf("CFG %s: %v", f.Name, err)
+	}
+	return g
+}
 
 func compile(t testing.TB, src string, opts lower.Options) *ir.Program {
 	t.Helper()
@@ -149,7 +159,7 @@ func TestUnrollingPreservesSemantics(t *testing.T) {
 	// The unrolled inner loop executes roughly a quarter of the back
 	// edges: find back edges from the edge profile applied to the CFG.
 	backFreq := func(prog *ir.Program, res *vm.Result, fn string) int64 {
-		g := prog.Func(fn).CFG()
+		g := mustCFG(t, prog.Func(fn))
 		res.Edges[fn].ApplyTo(g)
 		g.Analyze()
 		var sum int64
@@ -176,7 +186,7 @@ func TestPathProfileConsistency(t *testing.T) {
 	res := run(t, prog, vm.Options{CollectEdges: true, CollectPaths: true})
 	for name, pp := range res.Paths {
 		ep := res.Edges[name]
-		g := prog.Func(name).CFG()
+		g := mustCFG(t, prog.Func(name))
 		ep.ApplyTo(g)
 		g.Analyze()
 		if err := g.CheckFlow(); err != nil {
@@ -221,7 +231,7 @@ func TestPPInstrumentationMatchesGroundTruth(t *testing.T) {
 	// Stage 2: build PP plans from the profile and rerun instrumented.
 	plans := map[string]*instr.Plan{}
 	for _, f := range prog.Funcs {
-		g := f.CFG()
+		g := mustCFG(t, f)
 		stage1.Edges[f.Name].ApplyTo(g)
 		p, err := instr.Build(g, instr.PP(), instr.DefaultParams(), 0)
 		if err != nil {
