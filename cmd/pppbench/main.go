@@ -25,6 +25,13 @@
 // reports shard quarantine, lost flow, counter saturation, and merge
 // determinism across worker counts. Also explicit-only: its outcome
 // depends on the requested fault spec.
+//
+// Observability: -serve :addr exposes the suite's live telemetry over
+// HTTP (/metrics Prometheus text, /debug/vars, /debug/pprof, trace
+// exports) and keeps serving after the experiments finish, until
+// interrupted. -trace f writes the planner decision trace on exit —
+// JSON lines when f ends in .jsonl (byte-identical across identical
+// runs), Chrome trace_event JSON otherwise.
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"pathprof/internal/bench"
+	"pathprof/internal/telemetry"
 	"pathprof/internal/workloads"
 )
 
@@ -65,6 +75,8 @@ func run() int {
 	replicas := flag.Int("replicas", bench.DefaultThroughputReplicas, "replicas per measurement in -exp throughput/faults")
 	faults := flag.String("faults", "seed=1,kind=panic+overflow", "fault spec for -exp faults: seed=N,kind=a+b[,rate=r]")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (wall-clock + headline metrics) instead of tables")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof, trace exports) on this address and block after the experiments")
+	traceOut := flag.String("trace", "", "write the decision trace to this file on exit (.jsonl = JSON lines, else Chrome trace_event JSON)")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -102,6 +114,19 @@ func run() int {
 	s.Parallelism = *par
 	if *verbose {
 		s.Log = os.Stderr
+	}
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, s.Telemetry.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			}
+		}()
 	}
 	if *names != "" {
 		var sel []workloads.Workload
@@ -187,5 +212,34 @@ func run() int {
 			return 1
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTrace(s.Telemetry.Trace(), *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+	}
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "experiments done; serving telemetry until interrupted\n")
+		select {}
+	}
 	return 0
+}
+
+// writeTrace exports the decision trace: JSON lines for .jsonl paths,
+// Chrome trace_event JSON otherwise.
+func writeTrace(tr *telemetry.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChrome(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }

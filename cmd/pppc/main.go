@@ -10,6 +10,12 @@
 //	pppc -src prog.mc -profiler PPP -dump-plans
 //	pppc -workload mcf -snapshot mcf.ppsnap
 //	pppc -workload mcf -faults seed=7,kind=panic+overflow
+//	pppc -workload mcf -trace trace.jsonl -serve :8080
+//
+// -trace writes the planner decision trace on exit (JSON lines when
+// the path ends in .jsonl, Chrome trace_event JSON otherwise); -serve
+// exposes live telemetry (/metrics, /debug/vars, /debug/pprof, trace
+// exports) and blocks after the run until interrupted.
 //
 // Malformed or hostile input — unparsable source, truncated files,
 // corrupt profiles or snapshots — produces a diagnostic on stderr and
@@ -21,8 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 
 	"pathprof/internal/bench"
 	"pathprof/internal/core"
@@ -31,6 +40,7 @@ import (
 	"pathprof/internal/instr"
 	"pathprof/internal/profile"
 	"pathprof/internal/snapshot"
+	"pathprof/internal/telemetry"
 	"pathprof/internal/verify"
 	"pathprof/internal/vm"
 	"pathprof/internal/workloads"
@@ -56,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	snapPath := fs.String("snapshot", "", "durable profile snapshot path: load (with .prev fallback) before the run, save after")
 	faults := fs.String("faults", "", "deterministic fault injection spec: seed=N,kind=panic+stall+overflow+snapcorrupt+badcfg[,rate=r]")
 	dumpIR := fs.Bool("dump-ir", false, "dump the optimized IR")
+	serve := fs.String("serve", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof, trace exports) on this address and block on exit")
+	traceOut := fs.String("trace", "", "write the planner decision trace to this file (.jsonl = JSON lines, else Chrome trace_event JSON)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -115,8 +127,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Telemetry is only constructed when an exposition flag asks for
+	// it; otherwise the nil registry keeps every emission site on its
+	// no-op fast path.
+	var reg *telemetry.Registry
+	if *serve != "" || *traceOut != "" {
+		reg = telemetry.NewRegistry(1)
+	}
+	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return fail("serve: %v", err)
+		}
+		fmt.Fprintf(stderr, "telemetry on http://%s/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, reg.Handler()); err != nil {
+				fmt.Fprintf(stderr, "pppc: serve: %v\n", err)
+			}
+		}()
+	}
+
 	pipe := core.NewPipeline(name, source)
 	pipe.NoOpt = *noOpt
+	pipe.Instr.Trace = reg.Trace()
+	pipe.Metrics = telemetry.NewVMMetrics(reg)
 	staged, err := pipe.Stage()
 	if err != nil {
 		return fail("stage: %v", err)
@@ -210,7 +244,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if inj != nil {
-		if err := faultDrill(stdout, inj, staged, pr); err != nil {
+		if err := faultDrill(stdout, inj, staged, pr, reg.Trace(), name+"/faults"); err != nil {
 			return fail("faults: %v", err)
 		}
 	}
@@ -223,14 +257,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "  %8d x  %s | %s\n", h.Freq, h.Routine, h.Path)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(reg.Trace(), *traceOut); err != nil {
+			return fail("trace: %v", err)
+		}
+		fmt.Fprintf(stdout, "decision trace (%d events) written to %s\n", reg.Trace().Len(), *traceOut)
+	}
+	if *serve != "" {
+		fmt.Fprintf(stderr, "pppc: done; serving telemetry until interrupted\n")
+		select {}
+	}
 	return 0
+}
+
+// writeTrace exports the decision trace: JSON lines for .jsonl paths,
+// Chrome trace_event JSON otherwise.
+func writeTrace(tr *telemetry.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChrome(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // faultDrill exercises the robustness machinery against the staged
 // program under the parsed injector and reports what degraded and how.
 // Every fault kind must complete with a structured report — an error
 // return here means the guardrails themselves are broken.
-func faultDrill(w io.Writer, inj *faultinject.Injector, staged *core.Staged, pr *core.ProfilerResult) error {
+func faultDrill(w io.Writer, inj *faultinject.Injector, staged *core.Staged, pr *core.ProfilerResult, tr *telemetry.Trace, unit string) error {
 	fmt.Fprintf(w, "\nfault drill: %s\n", inj)
 
 	// panic/stall/overflow drive guarded replication.
@@ -243,7 +307,8 @@ func faultDrill(w io.Writer, inj *faultinject.Injector, staged *core.Staged, pr 
 			Costs: staged.Pipeline.Costs, Entry: staged.Pipeline.Entry,
 			MaxSteps:     staged.Pipeline.MaxSteps,
 			CollectEdges: true, CollectPaths: true,
-			Guard: bench.FaultGuard(inj, []string{entry}),
+			Guard: bench.FaultGuard(inj, []string{entry}, tr, unit),
+			Trace: tr, TraceUnit: unit,
 		}
 		rr, err := vm.RunReplicated(staged.Prog, opts, 8, 4)
 		if err != nil {

@@ -1,0 +1,45 @@
+// Command promcheck validates Prometheus text exposition format read
+// from stdin (or a file argument) using the repository's stdlib-only
+// checker. CI pipes a live /metrics response through it to catch
+// malformed exposition before a real scraper would.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck metrics.txt
+//
+// Exit status 0 when the input parses and contains at least one
+// sample; 1 with a line-numbered diagnostic otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"pathprof/internal/telemetry"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stderr)) }
+
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	in := stdin
+	if len(args) > 1 {
+		fmt.Fprintln(stderr, "promcheck: at most one file argument")
+		return 2
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(stderr, "promcheck: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := telemetry.ValidatePrometheus(in); err != nil {
+		fmt.Fprintf(stderr, "promcheck: %v\n", err)
+		return 1
+	}
+	return 0
+}

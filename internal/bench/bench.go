@@ -16,6 +16,7 @@ import (
 	"pathprof/internal/core"
 	"pathprof/internal/eval"
 	"pathprof/internal/netprof"
+	"pathprof/internal/telemetry"
 	"pathprof/internal/workloads"
 )
 
@@ -59,6 +60,11 @@ type Suite struct {
 	// Parallelism bounds concurrent workload runs (0 = GOMAXPROCS,
 	// 1 = sequential).
 	Parallelism int
+	// Telemetry collects the suite's metrics and decision trace. Every
+	// workload's planner emits into its trace (the trace is internally
+	// synchronized, and per-unit export order is deterministic); reports
+	// publish gauges into it. Nil disables all of it.
+	Telemetry *telemetry.Registry
 
 	mu      sync.Mutex
 	logMu   sync.Mutex
@@ -78,9 +84,13 @@ type ablateEntry struct {
 	err  error
 }
 
-// NewSuite returns a suite over all workloads.
+// NewSuite returns a suite over all workloads with telemetry enabled
+// (sized for the replicated throughput sweep's widest worker count).
 func NewSuite() *Suite {
-	return &Suite{Workloads: workloads.All()}
+	return &Suite{
+		Workloads: workloads.All(),
+		Telemetry: telemetry.NewRegistry(8),
+	}
 }
 
 func (s *Suite) parallelism() int {
@@ -124,6 +134,7 @@ func (s *Suite) runWorkload(name string) (*WorkloadResult, error) {
 	pred := netprof.New(netprof.DefaultThreshold)
 	pl := core.NewPipeline(w.Name, w.Source)
 	pl.PathHook = pred.Hook()
+	pl.Instr.Trace = s.Telemetry.Trace()
 	staged, err := pl.Stage()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"pathprof/internal/faultinject"
 	"pathprof/internal/profile"
+	"pathprof/internal/telemetry"
 	"pathprof/internal/vm"
 )
 
@@ -31,10 +32,26 @@ const (
 // entry routine's counters at profile.CounterMax so the run saturates
 // (overflowFns names the routines to poison). Nil or kind-less
 // injectors yield a guard that never fires.
-func FaultGuard(inj *faultinject.Injector, overflowFns []string) *vm.GuardConfig {
+//
+// Every fired fault is also recorded in tr (nil disables this) as an
+// EvFaultInject event under unit, keyed by replica so the recorded
+// fault set matches the injected one at any worker count.
+func FaultGuard(inj *faultinject.Injector, overflowFns []string, tr *telemetry.Trace, unit string) *vm.GuardConfig {
 	g := &vm.GuardConfig{ReplicaRetries: FaultRetries}
 	if inj != nil && inj.Active(faultinject.Stall) {
 		g.ReplicaDeadline = FaultDeadline
+	}
+	emit := func(ctx vm.FaultContext, kind faultinject.Kind, detail string) {
+		if tr == nil {
+			return
+		}
+		tr.Emit(telemetry.Event{
+			Unit:    unit,
+			Routine: fmt.Sprintf("replica-%d", ctx.Replica),
+			Kind:    telemetry.EvFaultInject,
+			Detail: fmt.Sprintf("%s at replica %d attempt %d (seed %d): %s",
+				kind, ctx.Replica, ctx.Attempt, inj.Seed(), detail),
+		})
 	}
 	g.FaultHook = func(ctx vm.FaultContext) error {
 		if inj == nil {
@@ -42,12 +59,15 @@ func FaultGuard(inj *faultinject.Injector, overflowFns []string) *vm.GuardConfig
 		}
 		site := uint64(ctx.Replica)
 		if inj.Active(faultinject.Panic) && inj.Hit(faultinject.Panic, site*4+uint64(ctx.Attempt)) {
+			emit(ctx, faultinject.Panic, "pre-run hook panics")
 			panic(fmt.Sprintf("injected panic: replica %d attempt %d", ctx.Replica, ctx.Attempt))
 		}
 		if inj.Active(faultinject.Stall) && inj.Hit(faultinject.Stall, site) {
+			emit(ctx, faultinject.Stall, "replica stalls past its deadline")
 			time.Sleep(FaultStall)
 		}
 		if inj.Active(faultinject.Overflow) && ctx.Attempt == 0 && inj.Hit(faultinject.Overflow, site) {
+			emit(ctx, faultinject.Overflow, "counters preloaded to saturation")
 			for _, fn := range overflowFns {
 				ep := ctx.Sink.EdgeProfile(fn)
 				ep.Add(0, 1, profile.CounterMax)
@@ -91,8 +111,12 @@ func (s *Suite) FaultsReport(w io.Writer, spec string, replicas int) error {
 		if entry == "" {
 			entry = "main"
 		}
-		guard := FaultGuard(inj, []string{entry})
-		opts := vm.Options{CollectEdges: true, CollectPaths: true, Guard: guard}
+		unit := wl.Name + "/faults"
+		guard := FaultGuard(inj, []string{entry}, s.Telemetry.Trace(), unit)
+		opts := vm.Options{
+			CollectEdges: true, CollectPaths: true, Guard: guard,
+			Trace: s.Telemetry.Trace(), TraceUnit: unit,
+		}
 
 		var faults []vm.ShardFault
 		survived, lost, saturated := 0, 0, 0

@@ -16,13 +16,20 @@ import (
 // The predictor is fed by a PathHook tee off each workload's staging
 // run (WorkloadResult.NET), so this report adds no VM executions on
 // top of RunAll.
+//
+// The "why" column surfaces the decision trace: each row shows the
+// single flow-losing planner decision with the most flow at stake for
+// the workload's PPP unit, so a coverage gap points straight at its
+// cause instead of a bare mode letter. Rows without any lossy decision
+// fall back to the mode summary. Coverage ratios are also published as
+// registry gauges for the /metrics surface.
 func (s *Suite) NETReport(w io.Writer) error {
 	rs, err := s.RunAll()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Section 2: NET (Dynamo) trace selection vs PPP, %% of hot flow covered\n")
-	fmt.Fprintf(w, "%-10s %8s %8s %8s  %s\n", "bench", "NET", "PPP", "traces", "mode")
+	fmt.Fprintf(w, "%-10s %8s %8s %8s  %s\n", "bench", "NET", "PPP", "traces", "why")
 	var nets, ppps []float64
 	for _, r := range rs {
 		pred := r.NET
@@ -48,11 +55,32 @@ func (s *Suite) NETReport(w io.Writer) error {
 			pppCov = float64(covered) / float64(total)
 		}
 		fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%% %8d  %s\n",
-			r.W.Name, 100*netCov, 100*pppCov, len(pred.Traces()),
-			r.Profilers["PPP"].ModeSummary())
+			r.W.Name, 100*netCov, 100*pppCov, len(pred.Traces()), s.whyOf(r))
 		nets = append(nets, netCov)
 		ppps = append(ppps, pppCov)
+		s.Telemetry.Gauge(
+			fmt.Sprintf("ppp_net_coverage_ratio{workload=%q}", r.W.Name),
+			"fraction of actual hot-path flow covered by NET trace selection").Set(netCov)
+		s.Telemetry.Gauge(
+			fmt.Sprintf("ppp_estimated_coverage_ratio{workload=%q}", r.W.Name),
+			"fraction of actual hot-path flow covered by PPP's estimated profile").Set(pppCov)
+		pred.PublishMetrics(s.Telemetry, r.W.Name)
 	}
 	fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%%\n", "avg", 100*mean(nets), 100*mean(ppps))
 	return nil
+}
+
+// whyOf renders one workload's top flow-losing PPP decision, or the
+// mode summary when the trace recorded none (trace disabled, or a
+// fully instrumented run).
+func (s *Suite) whyOf(r *WorkloadResult) string {
+	ev, ok := s.Telemetry.Trace().TopLoss(r.W.Name + "/PPP")
+	if !ok {
+		return r.Profilers["PPP"].ModeSummary()
+	}
+	why := fmt.Sprintf("%s %s", ev.Kind, ev.Routine)
+	if ev.Edge != "" {
+		why += " " + ev.Edge
+	}
+	return fmt.Sprintf("%s (flow %d)", why, ev.Flow)
 }

@@ -1,0 +1,78 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pathprof/internal/telemetry"
+)
+
+// TestSuiteFeedsTelemetry runs a workload through the suite and checks
+// the wiring end to end: staging populates the decision trace, the NET
+// report explains inexact profiles with a "why" drawn from it, and the
+// registry renders a valid Prometheus exposition.
+func TestSuiteFeedsTelemetry(t *testing.T) {
+	s := smallSuite(t)
+	if s.Telemetry == nil {
+		t.Fatal("NewSuite did not install a telemetry registry")
+	}
+	if _, err := s.Run("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Telemetry.Trace().Len() == 0 {
+		t.Fatal("staging a workload emitted no decision events")
+	}
+	evs := s.Telemetry.Trace().Snapshot()
+	units := map[string]bool{}
+	for _, e := range evs {
+		units[e.Unit] = true
+	}
+	if !units["mcf/PPP"] {
+		t.Errorf("no events under unit mcf/PPP; units seen: %v", units)
+	}
+
+	var sb strings.Builder
+	if err := s.NETReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "why") {
+		t.Errorf("NET report lost its why column:\n%s", sb.String())
+	}
+
+	var buf bytes.Buffer
+	if err := s.Telemetry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidatePrometheus(&buf); err != nil {
+		t.Errorf("suite exposition does not validate: %v", err)
+	}
+	var again bytes.Buffer
+	if err := s.Telemetry.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSuiteTraceExportDeterministic stages the same workloads in two
+// fresh suites and requires byte-identical JSONL exports — the
+// contract the CI smoke test enforces on the real binary.
+func TestSuiteTraceExportDeterministic(t *testing.T) {
+	var outs [2]bytes.Buffer
+	for rep := 0; rep < 2; rep++ {
+		s := smallSuite(t)
+		for _, wl := range s.Workloads {
+			if _, err := s.Run(wl.Name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Telemetry.Trace().WriteJSONL(&outs[rep]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if outs[0].Len() == 0 {
+		t.Fatal("suite staging exported an empty trace")
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Error("identical suite runs exported different decision traces")
+	}
+}

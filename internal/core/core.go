@@ -29,6 +29,7 @@ import (
 	"pathprof/internal/lower"
 	"pathprof/internal/opt"
 	"pathprof/internal/profile"
+	"pathprof/internal/telemetry"
 	"pathprof/internal/vm"
 )
 
@@ -54,6 +55,9 @@ type Pipeline struct {
 	// to an online consumer such as netprof's NET predictor, so stream
 	// observers need no second execution of the program.
 	PathHook func(fn string, p cfg.Path)
+	// Metrics, if set, receives the VM hot-loop counters from every run
+	// the pipeline performs. Nil is the zero-overhead no-op sink.
+	Metrics *telemetry.VMMetrics
 }
 
 // NewPipeline returns a pipeline with the paper's default parameters.
@@ -93,6 +97,7 @@ func (p *Pipeline) Stage() (*Staged, error) {
 		o := vm.Options{
 			Costs: p.Costs, Entry: p.Entry, MaxSteps: p.MaxSteps,
 			CollectEdges: true, CollectPaths: paths,
+			Metrics: p.Metrics,
 		}
 		if final && paths {
 			o.PathHook = p.PathHook
@@ -317,6 +322,8 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 	total := s.TotalUnitFlow()
 	plans := map[string]*instr.Plan{}
 	pr := &ProfilerResult{Name: name, Tech: tech, Plans: plans, Modes: map[string]Mode{}}
+	par := s.Pipeline.Instr
+	par.Unit = s.Pipeline.Name + "/" + name
 	for _, f := range s.Prog.Funcs {
 		g, err := f.CFG()
 		if err != nil {
@@ -325,7 +332,7 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 		if ep := guide[f.Name]; ep != nil {
 			ep.ApplyTo(g)
 		}
-		plan, err := instr.Build(g, tech, s.Pipeline.Instr, total)
+		plan, err := instr.Build(g, tech, par, total)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: plan %s: %w", s.Pipeline.Name, name, f.Name, err)
 		}
@@ -335,12 +342,16 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 		// even that cannot number it, the routine runs uninstrumented
 		// and is served by the edge profile alone.
 		if plan.Reason == "too-many-paths" {
-			tppPlan, tppErr := instr.Build(g, instr.TPP(), s.Pipeline.Instr, total)
+			tppPlan, tppErr := instr.Build(g, instr.TPP(), par, total)
 			if tppErr == nil && tppPlan.Reason != "too-many-paths" {
 				plan = tppPlan
 				pr.Modes[f.Name] = ModeTPP
+				s.emitDemote(par, f.Name, ModeTPP,
+					"too-many-paths: demoted to TPP cold-path removal")
 			} else {
 				pr.Modes[f.Name] = ModeEdgeOnly
+				s.emitDemote(par, f.Name, ModeEdgeOnly,
+					"too-many-paths under TPP too: demoted to edge-only")
 			}
 		}
 		plans[f.Name] = plan
@@ -357,6 +368,7 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 	run, err := vm.Run(s.Prog, vm.Options{
 		Costs: s.Pipeline.Costs, Entry: s.Pipeline.Entry, MaxSteps: s.Pipeline.MaxSteps,
 		Plans: plans, CollectPaths: true,
+		Metrics: s.Pipeline.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: instrumented run: %w", s.Pipeline.Name, name, err)
@@ -368,16 +380,32 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 
 	// Runtime overflow is the ladder's last rung: a saturated counter
 	// table means the routine's path counts are lower bounds, so its
-	// consumers must fall back to the edge profile.
+	// consumers must fall back to the edge profile. Saturated routines
+	// are collected into a sorted set first so trace emission order is
+	// deterministic.
+	saturated := map[string]bool{}
 	for fn, tab := range run.Tables {
 		if tab.Saturated {
-			pr.Modes[fn] = ModeEdgeOnly
+			saturated[fn] = true
 		}
 	}
 	for fn, pp := range run.Paths {
 		if pp.Saturated {
-			pr.Modes[fn] = ModeEdgeOnly
+			saturated[fn] = true
 		}
+	}
+	satNames := make([]string, 0, len(saturated))
+	for fn := range saturated {
+		satNames = append(satNames, fn)
+	}
+	sort.Strings(satNames)
+	for _, fn := range satNames {
+		pr.Modes[fn] = ModeEdgeOnly
+		par.Trace.Emit(telemetry.Event{
+			Unit: par.Unit, Routine: fn, Kind: telemetry.EvSaturate,
+			Flow:   s.baseFlowOf(fn),
+			Detail: "runtime counter saturation: path counts are lower bounds, demoted to edge-only",
+		})
 	}
 
 	var routines []*eval.Routine
@@ -398,6 +426,26 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 	return pr, nil
 }
 
+// baseFlowOf returns the routine's ground-truth dynamic path count,
+// the flow at stake when a whole routine leaves path profiling.
+func (s *Staged) baseFlowOf(fn string) int64 {
+	if pp := s.Base.Paths[fn]; pp != nil {
+		return pp.Total()
+	}
+	return 0
+}
+
+// emitDemote records a degraded-mode ladder step in the decision trace.
+func (s *Staged) emitDemote(par instr.Params, fn string, to Mode, detail string) {
+	if par.Trace == nil {
+		return
+	}
+	par.Trace.Emit(telemetry.Event{
+		Unit: par.Unit, Routine: fn, Kind: telemetry.EvModeDemote,
+		Flow: s.baseFlowOf(fn), Detail: detail + " (" + to.String() + ")",
+	})
+}
+
 // EdgeOverheadRun measures software edge-profiling instrumentation
 // cost on the optimized program. The paper treats edge profiling as
 // nearly free (sampling or hardware support, 0.5-3%); this models the
@@ -406,6 +454,7 @@ func (s *Staged) EdgeOverheadRun() (*vm.Result, error) {
 	return vm.Run(s.Prog, vm.Options{
 		Costs: s.Pipeline.Costs, Entry: s.Pipeline.Entry,
 		MaxSteps: s.Pipeline.MaxSteps, EdgeInstrument: true,
+		Metrics: s.Pipeline.Metrics,
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/flow"
 	"pathprof/internal/pathnum"
+	"pathprof/internal/telemetry"
 )
 
 // OpKind enumerates the instrumentation operations.
@@ -177,6 +178,16 @@ type Params struct {
 	HashThreshold int64
 	// Metric used for coverage computations.
 	Metric flow.Metric
+
+	// Trace, if set, receives one decision event per planner choice —
+	// LC skips, cold-edge marks, SAC rounds, push combines, SPN
+	// ordering, FP cold-range assignments — with the routine and edge
+	// witness and the flow at stake. Nil (the default) disables
+	// emission before any event or detail string is built.
+	Trace *telemetry.Trace
+	// Unit labels the trace events with the program unit being planned
+	// (convention: "workload/profiler").
+	Unit string
 }
 
 // DefaultParams returns the paper's parameter settings.
@@ -290,4 +301,38 @@ func (p *Plan) StaticOps() int {
 		n += len(ops)
 	}
 	return n
+}
+
+// emitf records one planner decision in the configured trace. A nil
+// trace returns before the detail string is built; edge may be nil when
+// the decision has no single witness.
+func (p *Plan) emitf(kind telemetry.EventKind, edge *cfg.DAGEdge, flowAt int64, format string, args ...interface{}) {
+	tr := p.Par.Trace
+	if tr == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Unit:    p.Par.Unit,
+		Routine: p.G.Name,
+		Kind:    kind,
+		Flow:    flowAt,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+	if edge != nil {
+		ev.Edge = edge.String()
+	}
+	tr.Emit(ev)
+}
+
+// emitColdEdges records one lossy event per newly-cold edge, each with
+// the edge's measured frequency as the flow at stake. The why string is
+// only formatted when a trace is installed.
+func (p *Plan) emitColdEdges(kind telemetry.EventKind, edges []*cfg.DAGEdge, format string, args ...interface{}) {
+	if p.Par.Trace == nil {
+		return
+	}
+	why := fmt.Sprintf(format, args...)
+	for _, e := range edges {
+		p.emitf(kind, e, e.Freq, "%s: edge freq %d", why, e.Freq)
+	}
 }

@@ -3,6 +3,7 @@ package instr
 import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/pathnum"
+	"pathprof/internal/telemetry"
 )
 
 // disconnectObviousLoops finds inner loops whose body paths are all
@@ -155,6 +156,9 @@ func (p *Plan) tryDisconnect(l *cfg.Loop) {
 	}
 
 	// The loop qualifies: disconnect it.
+	p.emitf(telemetry.EvObviousLoop, entryDummy, entryDummy.Freq,
+		"obvious loop at %s disconnected: %d body path(s) edge-attributed, trip count %.1f",
+		header.Name, num.N, p.G.TripCount(l))
 	p.Disc[entryDummy.ID] = true
 	for _, xd := range exitDummies {
 		p.Disc[xd.ID] = true

@@ -7,6 +7,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/flow"
 	"pathprof/internal/pathnum"
+	"pathprof/internal/telemetry"
 )
 
 // Build plans instrumentation for routine g under the given techniques
@@ -27,9 +28,13 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 	}
 
 	// LC (Section 4.1): skip routines the edge profile already covers.
-	if tech.LowCoverage && flow.Coverage(d, par.Metric) >= par.CoverageSkip {
-		p.Reason = "low-coverage"
-		return p, nil
+	if tech.LowCoverage {
+		if cov := flow.Coverage(d, par.Metric); cov >= par.CoverageSkip {
+			p.Reason = "low-coverage"
+			p.emitf(telemetry.EvLCSkip, nil, flow.TotalFlow(d, par.Metric),
+				"edge-profile coverage %.3f >= %.3f: routine not instrumented", cov, par.CoverageSkip)
+			return p, nil
+		}
 	}
 
 	// Cold-edge marking (Sections 3.2 and 4.2).
@@ -38,17 +43,21 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 			// TPP: remove cold paths only when that turns a hash-table
 			// routine into an array routine.
 			if d.TotalPaths(nil, par.HashThreshold+1) > par.HashThreshold {
-				p.markLocalCold()
+				marked := p.markLocalCold()
 				if d.TotalPaths(p.excluded(), par.HashThreshold+1) > par.HashThreshold {
 					p.Cold = make([]bool, len(d.Edges)) // still hashes: keep all paths
+				} else {
+					p.emitColdEdges(telemetry.EvColdLocal, marked, "local criterion (to avoid hashing)")
 				}
 			}
 		} else {
-			p.markLocalCold()
+			p.emitColdEdges(telemetry.EvColdLocal, p.markLocalCold(), "local criterion")
 		}
 	}
 	if tech.GlobalCold {
-		p.markGlobalCold(totalUnitFlow, par.GlobalColdRatio)
+		p.emitColdEdges(telemetry.EvColdGlobal,
+			p.markGlobalCold(totalUnitFlow, par.GlobalColdRatio),
+			"global criterion (ratio %.4g)", par.GlobalColdRatio)
 	}
 
 	// Obvious-loop disconnection (Section 3.2, after cold removal).
@@ -75,13 +84,26 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 		if !tech.SelfAdjust || !tech.GlobalCold || p.SACIterations >= par.SelfAdjustMax {
 			if tooMany {
 				p.Reason = "too-many-paths"
+				p.emitf(telemetry.EvSkip, nil, flow.TotalFlow(d, par.Metric),
+					"too many paths after %d SAC iteration(s): routine not instrumented", p.SACIterations)
 				return p, nil
 			}
 			break // hash it
 		}
 		p.SACIterations++
 		p.FinalGlobalRatio *= par.SelfAdjustFactor
-		p.markGlobalCold(totalUnitFlow, p.FinalGlobalRatio)
+		newCold := p.markGlobalCold(totalUnitFlow, p.FinalGlobalRatio)
+		if par.Trace != nil {
+			var lost int64
+			for _, e := range newCold {
+				lost += e.Freq
+			}
+			p.emitf(telemetry.EvSACRound, nil, lost,
+				"iteration %d: global ratio raised to %.4g, %d edge(s) newly cold",
+				p.SACIterations, p.FinalGlobalRatio, len(newCold))
+			p.emitColdEdges(telemetry.EvColdGlobal, newCold,
+				"self-adjusted criterion (iteration %d)", p.SACIterations)
+		}
 		num, err = pathnum.Number(d, p.excluded(), order)
 	}
 	p.Num = num
@@ -91,6 +113,7 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 		// Every path crosses a cold or disconnected edge; there is
 		// nothing to count and poisoning protects nothing.
 		p.Reason = "no-hot-paths"
+		p.emitf(telemetry.EvSkip, nil, 0, "no hot paths survive cold removal")
 		return p, nil
 	}
 
@@ -99,10 +122,26 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 	if tech.ObviousPaths && num.AllObvious() {
 		p.Reason = "all-obvious"
 		p.attributeAllPaths()
+		p.emitf(telemetry.EvObviousAttr, nil, flow.TotalFlow(d, par.Metric),
+			"all-obvious routine: %d path(s) attributed from the edge profile", len(p.Attr))
 		return p, nil
 	}
 
 	p.Hash = num.N > par.HashThreshold
+	if p.Hash {
+		p.emitf(telemetry.EvHashTable, nil, 0,
+			"N=%d exceeds hash threshold %d: hash-table counters", num.N, par.HashThreshold)
+	}
+	if tech.SmartNumber && par.Trace != nil {
+		var heavy *cfg.DAGEdge
+		for _, e := range d.Edges {
+			if heavy == nil || e.Freq > heavy.Freq {
+				heavy = e
+			}
+		}
+		p.emitf(telemetry.EvSPNOrder, heavy, heavy.Freq,
+			"numbering ordered by measured edge frequency")
+	}
 
 	// Event counting (Section 3.1): move increments off the predicted
 	// hot spanning tree. SPN (Section 4.5) predicts with the measured
@@ -139,32 +178,44 @@ func (p *Plan) excluded() []bool {
 // markLocalCold applies TPP's local criterion: an edge is cold when
 // its frequency is below LocalColdRatio of its source's frequency.
 // Blocks that never executed are skipped: the paths reaching them are
-// already severed by the cold edges upstream.
-func (p *Plan) markLocalCold() {
+// already severed by the cold edges upstream. Returns the newly marked
+// edges for decision tracing.
+func (p *Plan) markLocalCold() []*cfg.DAGEdge {
+	var marked []*cfg.DAGEdge
 	for _, e := range p.D.Edges {
 		src := p.D.NodeFreq(e.Src)
-		if src <= 0 {
+		if src <= 0 || p.Cold[e.ID] {
 			continue
 		}
 		if float64(e.Freq) < p.Par.LocalColdRatio*float64(src) {
 			p.Cold[e.ID] = true
+			marked = append(marked, e)
 		}
 	}
+	return marked
 }
 
 // markGlobalCold applies PPP's global criterion at the given ratio: an
 // edge is cold when its frequency is below ratio * total program unit
-// flow. Marking is monotone in ratio, so SAC re-marks on top.
-func (p *Plan) markGlobalCold(totalUnitFlow int64, ratio float64) {
+// flow. Marking is monotone in ratio, so SAC re-marks on top; only the
+// newly marked edges are returned, so each SAC round traces just its
+// own damage.
+func (p *Plan) markGlobalCold(totalUnitFlow int64, ratio float64) []*cfg.DAGEdge {
 	if totalUnitFlow <= 0 {
-		return
+		return nil
 	}
 	cut := ratio * float64(totalUnitFlow)
+	var marked []*cfg.DAGEdge
 	for _, e := range p.D.Edges {
+		if p.Cold[e.ID] {
+			continue
+		}
 		if float64(e.Freq) < cut {
 			p.Cold[e.ID] = true
+			marked = append(marked, e)
 		}
 	}
+	return marked
 }
 
 // attributeAllPaths records every hot path of an all-obvious routine
@@ -204,6 +255,8 @@ func (p *Plan) removeObviousCounts() error {
 		}
 		p.Attr = append(p.Attr, EdgeAttr{Num: ops[0].V, Path: path, Edge: e})
 		p.Ops[e.ID] = nil
+		p.emitf(telemetry.EvObviousAttr, e, e.Freq,
+			"obvious path %d: count dropped, attributed from the edge profile", ops[0].V)
 	}
 	return nil
 }

@@ -1,5 +1,7 @@
 package instr
 
+import "pathprof/internal/telemetry"
+
 // poison places poisoning assignments on cold edges and sizes the
 // counter table.
 //
@@ -39,6 +41,8 @@ func (p *Plan) poison() {
 		}
 		p.PoisonCheck = true
 		p.TableSize = p.N
+		p.emitf(telemetry.EvFPColdRange, nil, 0,
+			"free poisoning off: every count carries an r<0 check")
 		return
 	}
 
@@ -56,6 +60,8 @@ func (p *Plan) poison() {
 			}
 		}
 		p.Ops[e.ID] = []Op{{Kind: OpSet, V: v}}
+		p.emitf(telemetry.EvFPColdRange, e, e.Freq,
+			"poison r=%d lands any later count in the cold range [%d, tableSize)", v, p.N)
 	}
 	p.TableSize = maxIdx + 1
 }

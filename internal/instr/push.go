@@ -2,6 +2,7 @@ package instr
 
 import (
 	"pathprof/internal/cfg"
+	"pathprof/internal/telemetry"
 )
 
 // hot reports whether e participates in hot-path instrumentation: it
@@ -75,6 +76,8 @@ func (p *Plan) place(inc []int64, chord []bool) {
 func (p *Plan) placeInit(val int64, e *cfg.DAGEdge) {
 	ops := p.Ops[e.ID]
 	if len(ops) == 1 && ops[0].Kind == OpInc {
+		p.emitf(telemetry.EvPushCombine, e, e.Freq,
+			"init r=%d combined with r+=%d into r=%d", val, ops[0].V, val+ops[0].V)
 		p.Ops[e.ID] = []Op{{Kind: OpSet, V: val + ops[0].V}}
 		return
 	}
@@ -106,9 +109,13 @@ func (p *Plan) placeCount(e *cfg.DAGEdge) {
 	if len(ops) == 1 {
 		switch ops[0].Kind {
 		case OpInc:
+			p.emitf(telemetry.EvPushCombine, e, e.Freq,
+				"count[r]++ combined with r+=%d into count[r+%d]++", ops[0].V, ops[0].V)
 			p.Ops[e.ID] = []Op{{Kind: OpCountRV, V: ops[0].V}}
 			return
 		case OpSet:
+			p.emitf(telemetry.EvPushCombine, e, e.Freq,
+				"count[r]++ combined with r=%d into count[%d]++", ops[0].V, ops[0].V)
 			p.Ops[e.ID] = []Op{{Kind: OpCountC, V: ops[0].V}}
 			return
 		}

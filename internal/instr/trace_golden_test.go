@@ -1,0 +1,76 @@
+package instr_test
+
+// Golden-file tests pinning the planner's decision trace for the
+// paper's worked examples: the JSONL export must be byte-stable run to
+// run, and drift only with an intentional planner or event-format
+// change. Regenerate with
+//
+//	go test ./internal/instr -run TestTraceGolden -update
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/instr"
+	"pathprof/internal/telemetry"
+)
+
+func TestTraceGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		graph func() (*cfg.Graph, map[string]*cfg.Block)
+		tech  instr.Techniques
+		total int64
+	}{
+		{"figure1-pp", figure1Graph, instr.PP(), 1000},
+		{"figure1-ppp", figure1Graph, func() instr.Techniques {
+			x := instr.PPP()
+			x.LowCoverage = false
+			return x
+		}(), 1000},
+		{"figure3-fp", figure3Graph, instr.Techniques{ColdLocal: true, FreePoison: true}, 1000},
+		{"figure4-tpp", figure4Graph, instr.TPP(), 100},
+		{"figure4-ppp", figure4Graph, instr.PPP(), 100},
+	}
+	jsonl := func(tb testing.TB, tc int) []byte {
+		tb.Helper()
+		c := cases[tc]
+		g, _ := c.graph()
+		par := instr.DefaultParams()
+		par.Trace = telemetry.NewTrace(0)
+		par.Unit = "golden/" + c.name
+		if _, err := instr.Build(g, c.tech, par, c.total); err != nil {
+			tb.Fatalf("Build: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := par.Trace.WriteJSONL(&buf); err != nil {
+			tb.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes()
+	}
+	for i, tc := range cases {
+		i, tc := i, tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := jsonl(t, i)
+			if again := jsonl(t, i); !bytes.Equal(got, again) {
+				t.Error("two identical builds exported different traces")
+			}
+			path := filepath.Join("testdata", "trace-"+tc.name+".jsonl")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("update: %v", err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("decision trace drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -80,6 +80,8 @@ func runHotPath(p *Pass) {
 						p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: sync.%s", name, fun.Sel.Name)
 					case "sync/atomic":
 						p.reportf("hotpath", "atomic", n.Pos(), "%s is a hot path: atomic.%s contends on shared cache lines (use a per-shard counter)", name, fun.Sel.Name)
+					case "fmt":
+						p.reportf("hotpath", "fmt", n.Pos(), "%s is a hot path: fmt.%s formats through reflection and allocates", name, fun.Sel.Name)
 					default:
 						switch fun.Sel.Name {
 						case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
@@ -87,10 +89,56 @@ func runHotPath(p *Pass) {
 						}
 					}
 				}
+				p.checkBoxing(n, name)
 			}
 			return true
 		})
 	})
+}
+
+// checkBoxing flags hot-path calls that pass a concrete value where
+// the callee takes an interface parameter: the implicit conversion
+// boxes the value, which allocates when it escapes — the usual way a
+// "zero-alloc" telemetry call quietly stops being one. Calls whose Fun
+// has no resolved *types.Signature (unresolved imports, conversions)
+// are skipped: vet supplies real type information, so the degraded
+// mode only loses findings, never invents them.
+func (p *Pass) checkBoxing(call *ast.CallExpr, fnName string) {
+	sig, ok := p.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a slice passed whole does not box per argument
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := p.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		p.reportf("hotpath", "box", arg.Pos(),
+			"%s is a hot path: %s boxed into an interface parameter (allocates)", fnName, at)
+	}
 }
 
 // isBuiltin reports whether id resolves to a builtin function (or did

@@ -11,7 +11,10 @@
 //     scheduling, or allocating constructs (make, new, append,
 //     composite and function literals) in functions marked
 //     //ppp:hotpath. These run once per profiled branch; the
-//     benchmarks assume they stay alloc- and contention-free.
+//     benchmarks assume they stay alloc- and contention-free. The
+//     check also covers the allocations a telemetry call can hide:
+//     fmt calls (reflection-based formatting) and concrete values
+//     boxed into interface parameters both report.
 //   - wallclock: no time.Now/Since/Until or math/rand in
 //     deterministic scope; replay must not depend on wall clock or
 //     a global rand source.

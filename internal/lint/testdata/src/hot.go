@@ -4,6 +4,7 @@ package fixtures
 // bumpAllowed shows the //ppp:allow escape hatch.
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -25,6 +26,17 @@ func (h *hot) bump() {
 	_ = []int64{h.n}           // finding: alloc (composite literal)
 	defer h.mu.Unlock()        // findings: defer + lock
 	go func() {}()             // findings: goroutine + alloc (closure)
+}
+
+// record stands in for an interface-taking telemetry sink.
+func record(vs ...interface{}) { _ = vs }
+
+// bumpTelemetry shows the allocations a telemetry call can hide.
+//
+//ppp:hotpath
+func (h *hot) bumpTelemetry() {
+	record(h.n)                  // finding: box (int64 into interface{})
+	_ = fmt.Sprintf("n=%d", h.n) // finding: fmt
 }
 
 // bumpAllowed acknowledges a deliberate amortized append.

@@ -18,9 +18,11 @@
 package netprof
 
 import (
+	"fmt"
 	"sort"
 
 	"pathprof/internal/cfg"
+	"pathprof/internal/telemetry"
 )
 
 // DefaultThreshold is Dynamo's published trace-head threshold.
@@ -170,4 +172,16 @@ func (p *Predictor) Merge(other *Predictor) {
 			p.selectTrace(tr)
 		}
 	}
+}
+
+// PublishMetrics exports the predictor's state as registry gauges,
+// labeled by workload: hot heads seen and traces selected. A nil
+// registry is a no-op.
+func (p *Predictor) PublishMetrics(reg *telemetry.Registry, workload string) {
+	reg.Gauge(
+		fmt.Sprintf("ppp_net_heads{workload=%q}", workload),
+		"trace heads NET has observed crossing its threshold").Set(float64(p.Heads()))
+	reg.Gauge(
+		fmt.Sprintf("ppp_net_traces{workload=%q}", workload),
+		"traces NET has selected (one per hot head)").Set(float64(len(p.traces)))
 }

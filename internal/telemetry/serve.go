@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvar.Publish panics on duplicate names and registers globally, so
+// the registry-backed var is published once and reads whichever
+// registry most recently built a handler.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// Handler returns the exposition surface:
+//
+//	/metrics      Prometheus text format
+//	/debug/vars   expvar JSON (includes a ppp_telemetry snapshot)
+//	/debug/pprof  live profiling endpoints
+//	/trace.jsonl  decision trace as deterministic JSON lines
+//	/trace.json   decision trace as Chrome trace_event JSON
+//	/             a plain-text index of the above
+//
+// Everything is stdlib-only. Counter reads during a live run are
+// best-effort (see Cell); exports after workers quiesce are exact.
+func (r *Registry) Handler() http.Handler {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("ppp_telemetry", expvar.Func(func() interface{} {
+			return expvarReg.Load().snapshotMap()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if err := r.Trace().WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.Trace().WriteChrome(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "pathprof telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/trace.jsonl\n/trace.json\n")
+	})
+	return mux
+}
+
+// snapshotMap renders counters and gauges for expvar. encoding/json
+// sorts map keys, so /debug/vars output is deterministic for a given
+// state.
+func (r *Registry) snapshotMap() map[string]interface{} {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make(map[string]interface{}, len(r.counters)+len(r.gauges)+2)
+	for name, c := range r.counters { //ppp:allow(mapiter) — json sorts keys
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges { //ppp:allow(mapiter) — json sorts keys
+		out[name] = g.Value()
+	}
+	trace := r.trace
+	r.mu.Unlock()
+	if trace != nil {
+		emitted, dropped := trace.Stats()
+		out["ppp_trace_events_total"] = emitted
+		out["ppp_trace_dropped_total"] = dropped
+	}
+	return out
+}

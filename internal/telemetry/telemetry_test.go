@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFoldDeterministicAcrossWorkers distributes one fixed workload of
+// counter increments and histogram observations over 1/2/4/8 worker
+// cells and demands the folded values — and the rendered exposition —
+// come out identical: the fold must not depend on how work sharded.
+func TestFoldDeterministicAcrossWorkers(t *testing.T) {
+	const observations = 1000
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := NewRegistry(workers)
+		c := r.Counter("ppp_test_total", "test counter")
+		h := r.Histogram("ppp_test_len", "test histogram", []int64{1, 4, 16})
+		for i := 0; i < observations; i++ {
+			w := i % workers
+			c.Cell(w).Inc()
+			c.Cell(w).Add(2)
+			h.Cell(w).Observe(int64(i % 40))
+		}
+		if got := c.Value(); got != 3*observations {
+			t.Fatalf("workers=%d: counter folded to %d, want %d", workers, got, 3*observations)
+		}
+		if got := h.Count(); got != observations {
+			t.Fatalf("workers=%d: histogram count %d, want %d", workers, got, observations)
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("workers=%d: WritePrometheus: %v", workers, err)
+		}
+		if want == "" {
+			want = buf.String()
+		} else if buf.String() != want {
+			t.Errorf("workers=%d: exposition differs from workers=1:\n%s", workers, buf.String())
+		}
+	}
+}
+
+// TestNilSinkZeroAlloc is the nil-receiver contract: every sink type
+// accepts operations on a nil receiver without allocating.
+func TestNilSinkZeroAlloc(t *testing.T) {
+	var (
+		c  *Cell
+		hc *HistCell
+		g  *Gauge
+		tr *Trace
+	)
+	ev := Event{Unit: "u", Routine: "r", Kind: EvSkip}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		hc.Observe(7)
+		g.Set(1.5)
+		tr.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-sink operations allocated %.1f/op, want 0", allocs)
+	}
+	var reg *Registry
+	if reg.Counter("x", "").Cell(0) != nil {
+		t.Error("nil registry should chain to a nil cell")
+	}
+	if reg.Trace() != nil || reg.Workers() != 0 {
+		t.Error("nil registry accessors should return zero values")
+	}
+	if NewVMMetrics(nil) != nil {
+		t.Error("NewVMMetrics(nil) should be nil")
+	}
+	cells := (*VMMetrics)(nil).Cells(0)
+	allocs = testing.AllocsPerRun(1000, func() {
+		cells.Transitions.Inc()
+		cells.Ops.Add(4)
+		cells.PathLen.Observe(2)
+	})
+	if allocs != 0 {
+		t.Errorf("zero VMCells operations allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestInstalledSinkZeroAlloc is the other half of the contract: with a
+// real registry installed, the hot-path cell operations still allocate
+// nothing per operation.
+func TestInstalledSinkZeroAlloc(t *testing.T) {
+	r := NewRegistry(2)
+	m := NewVMMetrics(r)
+	cells := m.Cells(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		cells.Transitions.Inc()
+		cells.Ops.Add(4)
+		cells.TableIncs.Inc()
+		cells.ColdBumps.Inc()
+		cells.Paths.Inc()
+		cells.PathLen.Observe(9)
+	})
+	if allocs != 0 {
+		t.Errorf("installed-sink operations allocated %.1f/op, want 0", allocs)
+	}
+	// AllocsPerRun makes one warm-up call before its measured runs.
+	if got := m.Transitions.Value(); got != 1001 {
+		t.Errorf("transitions folded to %d, want 1001", got)
+	}
+}
+
+// TestWritePrometheusRoundTrip renders a populated registry twice
+// (byte-identical), and feeds the output through ValidatePrometheus.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry(4)
+	r.Counter(`ppp_rt_total{workload="mcf"}`, "labeled counter").Cell(1).Add(42)
+	r.Counter(`ppp_rt_total{workload="gzip"}`, "labeled counter").Cell(2).Add(7)
+	r.Gauge(`ppp_rt_ratio{workload="mcf"}`, "labeled gauge").Set(0.875)
+	h := r.Histogram("ppp_rt_len", "histogram", []int64{1, 2, 4})
+	for i := int64(0); i < 10; i++ {
+		h.Cell(int(i) % 4).Observe(i)
+	}
+	r.Trace().Emit(Event{Unit: "u", Routine: "f", Kind: EvSkip, Flow: 5})
+
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders over the same state differ")
+	}
+	if err := ValidatePrometheus(bytes.NewReader(a.Bytes())); err != nil {
+		t.Errorf("rendered exposition does not validate: %v", err)
+	}
+	for _, want := range []string{
+		`ppp_rt_total{workload="mcf"} 42`,
+		`ppp_rt_total{workload="gzip"} 7`,
+		`ppp_rt_ratio{workload="mcf"} 0.875`,
+		`ppp_rt_len_bucket{le="2"}`,
+		"ppp_rt_len_count 10",
+		"ppp_trace_events_total 1",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad metric name":   "9bad_name 1\n",
+		"unterminated":      `x{a="b" 1` + "\n",
+		"unquoted label":    "x{a=b} 1\n",
+		"unparseable value": "x{} notanumber\n",
+		"bad TYPE":          "# TYPE x frobnitz\nx 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidatePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader("# just a comment\nok_name 1 1234\n")); err != nil {
+		t.Errorf("valid sample with timestamp rejected: %v", err)
+	}
+}
+
+// TestTraceRingBound proves the ring keeps the newest events and
+// accounts for drops.
+func TestTraceRingBound(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Unit: "u", Routine: "f", Kind: EvSkip, Flow: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d events, want 4", tr.Len())
+	}
+	emitted, dropped := tr.Stats()
+	if emitted != 10 || dropped != 6 {
+		t.Errorf("stats = (%d emitted, %d dropped), want (10, 6)", emitted, dropped)
+	}
+	evs := tr.Snapshot()
+	for i, e := range evs {
+		if want := int64(6 + i); e.Flow != want {
+			t.Errorf("snapshot[%d].Flow = %d, want %d (oldest dropped first)", i, e.Flow, want)
+		}
+	}
+}
+
+// TestTraceExportDeterministic emits the same per-routine event
+// sequences from concurrently running goroutines, twice, and demands
+// byte-identical JSONL and Chrome exports: global interleaving varies,
+// but the exported order must not.
+func TestTraceExportDeterministic(t *testing.T) {
+	emitAll := func(goroutines int) *Trace {
+		tr := NewTrace(0)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				routine := fmt.Sprintf("fn%d", g)
+				for i := 0; i < 50; i++ {
+					tr.Emit(Event{
+						Unit: "bench/PPP", Routine: routine, Kind: EvColdGlobal,
+						Edge: fmt.Sprintf("b%d->b%d", i, i+1), Flow: int64(i),
+						Detail: "global criterion",
+					})
+				}
+			}(g)
+		}
+		wg.Wait()
+		return tr
+	}
+	var jsonl, chrome [2]bytes.Buffer
+	for rep := 0; rep < 2; rep++ {
+		tr := emitAll(8)
+		if err := tr.WriteJSONL(&jsonl[rep]); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteChrome(&chrome[rep]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(jsonl[0].Bytes(), jsonl[1].Bytes()) {
+		t.Error("JSONL exports differ across identical concurrent runs")
+	}
+	if !bytes.Equal(chrome[0].Bytes(), chrome[1].Bytes()) {
+		t.Error("Chrome exports differ across identical concurrent runs")
+	}
+	if strings.Contains(jsonl[0].String(), `"seq"`) {
+		t.Error("JSONL export leaks the nondeterministic sequence number")
+	}
+}
+
+func TestTopLoss(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Emit(Event{Unit: "a", Routine: "f", Kind: EvPushCombine, Flow: 999}) // not lossy
+	tr.Emit(Event{Unit: "a", Routine: "f", Kind: EvColdGlobal, Flow: 10})
+	tr.Emit(Event{Unit: "a", Routine: "g", Kind: EvLCSkip, Flow: 40})
+	tr.Emit(Event{Unit: "a", Routine: "h", Kind: EvSkip, Flow: 40}) // ties lose to earlier Seq
+	tr.Emit(Event{Unit: "b", Routine: "f", Kind: EvSkip, Flow: 500})
+
+	ev, ok := tr.TopLoss("a")
+	if !ok || ev.Routine != "g" || ev.Flow != 40 {
+		t.Errorf("TopLoss(a) = %+v ok=%v, want routine g flow 40", ev, ok)
+	}
+	if _, ok := tr.TopLoss("missing"); ok {
+		t.Error("TopLoss on an absent unit reported an event")
+	}
+	if _, ok := (*Trace)(nil).TopLoss("a"); ok {
+		t.Error("TopLoss on a nil trace reported an event")
+	}
+}

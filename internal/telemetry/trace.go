@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// EventKind classifies one planner or runtime decision.
+type EventKind int
+
+const (
+	// EvLCSkip: the low-coverage criterion skipped a routine (PPP 4.1).
+	EvLCSkip EventKind = iota
+	// EvSkip: a routine got no instrumentation for a terminal reason
+	// (too-many-paths, no-hot-paths).
+	EvSkip
+	// EvColdLocal: an edge went cold under TPP's local criterion.
+	EvColdLocal
+	// EvColdGlobal: an edge went cold under PPP's global criterion
+	// (initial marking or an SAC re-mark).
+	EvColdGlobal
+	// EvSACRound: one self-adjusting-criterion iteration raised the
+	// global threshold and renumbered (PPP 4.3).
+	EvSACRound
+	// EvObviousLoop: an obvious high-trip-count loop was disconnected;
+	// its body paths are edge-attributed (Section 3.2).
+	EvObviousLoop
+	// EvObviousAttr: an obvious path's constant counter update was
+	// removed in favour of edge attribution (Section 4.4), or a whole
+	// routine was found all-obvious.
+	EvObviousAttr
+	// EvPushCombine: instrumentation pushing merged two operations into
+	// one (Sections 3.1, 4.4).
+	EvPushCombine
+	// EvSPNOrder: smart path numbering ordered the numbering by
+	// measured edge frequency (PPP 4.5).
+	EvSPNOrder
+	// EvFPColdRange: free poisoning assigned a cold edge a register
+	// value landing counts in the cold range [N, TableSize) (PPP 4.6).
+	EvFPColdRange
+	// EvHashTable: the routine's path count forced a hash table.
+	EvHashTable
+	// EvModeDemote: the degraded-mode ladder dropped a routine to TPP
+	// or edge-only at plan time.
+	EvModeDemote
+	// EvSaturate: runtime counter saturation demoted a routine to
+	// edge-only after the run.
+	EvSaturate
+	// EvQuarantine: guarded replication quarantined a shard; its
+	// replicas' flow left the merge.
+	EvQuarantine
+	// EvFaultInject: the deterministic fault injector fired at a site.
+	EvFaultInject
+)
+
+var eventKindNames = [...]string{
+	EvLCSkip:      "lc-skip",
+	EvSkip:        "skip",
+	EvColdLocal:   "cold-local",
+	EvColdGlobal:  "cold-global",
+	EvSACRound:    "sac-round",
+	EvObviousLoop: "obvious-loop",
+	EvObviousAttr: "obvious-attr",
+	EvPushCombine: "push-combine",
+	EvSPNOrder:    "spn-order",
+	EvFPColdRange: "fp-cold-range",
+	EvHashTable:   "hash-table",
+	EvModeDemote:  "mode-demote",
+	EvSaturate:    "saturate",
+	EvQuarantine:  "quarantine",
+	EvFaultInject: "fault-inject",
+}
+
+func (k EventKind) String() string {
+	if k >= 0 && int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Lossy reports whether the decision gives up measured flow: the
+// event's Flow is path executions the profile will not attribute
+// exactly. Combining, numbering, poisoning, and attribution events
+// reshape instrumentation without losing flow.
+func (k EventKind) Lossy() bool {
+	switch k {
+	case EvLCSkip, EvSkip, EvColdLocal, EvColdGlobal, EvModeDemote, EvSaturate, EvQuarantine:
+		return true
+	}
+	return false
+}
+
+// Event is one recorded decision: which unit and routine it concerns,
+// an optional edge witness, and the flow at stake (dynamic executions
+// the decision affects — lost flow for Lossy kinds, reshaped flow
+// otherwise).
+type Event struct {
+	Seq     int64 // global emission order within one trace
+	Unit    string
+	Routine string
+	Kind    EventKind
+	Edge    string // witness edge, e.g. "b2->b4", when one exists
+	Flow    int64
+	Detail  string
+}
+
+// DefaultTraceCap bounds the ring when NewTrace is given 0.
+const DefaultTraceCap = 1 << 16
+
+// Trace is a bounded ring of decision events. Emission is
+// mutex-protected (decisions are planner/report-rate, never VM
+// hot-loop-rate) and a nil *Trace is a valid no-op sink, so emission
+// sites need no installed-sink check of their own.
+type Trace struct {
+	mu      sync.Mutex
+	ringCap int
+	events  []Event
+	start   int // index of the oldest event once the ring wrapped
+	seq     int64
+	dropped int64
+}
+
+// NewTrace returns a trace holding at most capacity events
+// (DefaultTraceCap when 0); the oldest events drop first.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{ringCap: capacity}
+}
+
+// Emit records an event, assigning its sequence number. Nil-safe.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if len(t.events) < t.ringCap {
+		t.events = append(t.events, e)
+	} else {
+		t.events[t.start] = e
+		t.start = (t.start + 1) % t.ringCap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Stats returns total emitted and dropped event counts.
+func (t *Trace) Stats() (emitted, dropped int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq, t.dropped
+}
+
+// Snapshot copies the retained events in emission order.
+func (t *Trace) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// sortedSnapshot orders events by (Unit, Routine, Seq). Concurrent
+// emitters interleave global sequence numbers nondeterministically,
+// but each (unit, routine) subsequence comes from one goroutine's
+// deterministic decision order, so this sort — with Seq excluded from
+// the export — makes two identical runs export byte-identical traces
+// at any parallelism.
+//
+//ppp:deterministic
+func (t *Trace) sortedSnapshot() []Event {
+	evs := t.Snapshot()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Unit != evs[j].Unit {
+			return evs[i].Unit < evs[j].Unit
+		}
+		if evs[i].Routine != evs[j].Routine {
+			return evs[i].Routine < evs[j].Routine
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	return evs
+}
+
+// jsonEvent is the deterministic JSONL shape: Seq is deliberately
+// excluded (see sortedSnapshot).
+type jsonEvent struct {
+	Unit    string `json:"unit"`
+	Routine string `json:"routine"`
+	Kind    string `json:"kind"`
+	Edge    string `json:"edge,omitempty"`
+	Flow    int64  `json:"flow"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// WriteJSONL exports the trace as JSON lines, deterministically: two
+// identical runs produce byte-identical output. Nil-safe (writes
+// nothing).
+//
+//ppp:deterministic
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.sortedSnapshot() {
+		je := jsonEvent{
+			Unit: e.Unit, Routine: e.Routine, Kind: e.Kind.String(),
+			Edge: e.Edge, Flow: e.Flow, Detail: e.Detail,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace_event record. Timestamps are sorted
+// ranks, not wall clock: the viewer shows decision order, and the
+// export stays deterministic.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	Ts   int64      `json:"ts"`
+	Dur  int64      `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Args chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name    string `json:"name,omitempty"`
+	Routine string `json:"routine,omitempty"`
+	Edge    string `json:"edge,omitempty"`
+	Flow    int64  `json:"flow,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON (load via
+// chrome://tracing or Perfetto). Units map to processes and routines
+// to threads; event timestamps are the deterministic sorted ranks.
+//
+//ppp:deterministic
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	evs := t.sortedSnapshot()
+	pids := map[string]int{}
+	tids := map[string]int{}
+	var out struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	for i, e := range evs {
+		pid, ok := pids[e.Unit]
+		if !ok {
+			pid = len(pids) + 1
+			pids[e.Unit] = pid
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: chromeArgs{Name: e.Unit},
+			})
+		}
+		tkey := e.Unit + "\x00" + e.Routine
+		tid, ok := tids[tkey]
+		if !ok {
+			tid = len(tids) + 1
+			tids[tkey] = tid
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: chromeArgs{Name: e.Routine},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Kind.String(), Cat: "ppp", Ph: "X",
+			Ts: int64(i), Dur: 1, Pid: pid, Tid: tid,
+			Args: chromeArgs{Routine: e.Routine, Edge: e.Edge, Flow: e.Flow, Detail: e.Detail},
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// TopLoss returns the unit's flow-losing decision with the most flow
+// at stake (earliest emission wins ties), and whether one exists. This
+// is the "why" a report shows for a unit whose profile is not exact.
+func (t *Trace) TopLoss(unit string) (Event, bool) {
+	if t == nil {
+		return Event{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best Event
+	found := false
+	for i := range t.events {
+		e := &t.events[i]
+		if e.Unit != unit || !e.Kind.Lossy() {
+			continue
+		}
+		if !found || e.Flow > best.Flow || (e.Flow == best.Flow && e.Seq < best.Seq) {
+			best = *e
+			found = true
+		}
+	}
+	return best, found
+}

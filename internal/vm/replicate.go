@@ -14,6 +14,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/ir"
 	"pathprof/internal/profile"
+	"pathprof/internal/telemetry"
 )
 
 // ProfileSink supplies a run's profile containers so repeated runs
@@ -160,6 +161,7 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 			o := &outs[w]
 			wopts := opts
 			wopts.Sink = col.Shard(w)
+			wopts.MetricsWorker = w
 			if opts.PathHookFor != nil {
 				wopts.PathHook = opts.PathHookFor(w)
 			}
@@ -211,6 +213,23 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 		if o.fault != nil {
 			rr.Faults = append(rr.Faults, *o.fault)
 			rr.LostReplicas += o.fault.Lost
+			// The quarantine event carries only fields deterministic in
+			// (worker, replica) — never o.fault.Err, whose text can embed
+			// wall-clock durations.
+			if opts.Trace != nil {
+				state := "clean"
+				if o.fault.Tainted {
+					state = "tainted"
+				}
+				opts.Trace.Emit(telemetry.Event{
+					Unit:    opts.TraceUnit,
+					Routine: fmt.Sprintf("shard-%d", w),
+					Kind:    telemetry.EvQuarantine,
+					Flow:    int64(o.fault.Lost),
+					Detail: fmt.Sprintf("%s quarantine at replica %d after %d attempt(s): %d replica(s) left the merge",
+						state, o.fault.Replica, o.fault.Attempts, o.fault.Lost),
+				})
+			}
 			continue
 		}
 		include[w] = true

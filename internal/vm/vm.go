@@ -33,6 +33,7 @@ import (
 	"pathprof/internal/instr"
 	"pathprof/internal/ir"
 	"pathprof/internal/profile"
+	"pathprof/internal/telemetry"
 )
 
 // CostModel assigns costs to executed operations.
@@ -114,6 +115,17 @@ type Options struct {
 	// quarantined out of the merge instead of killing the run. A nil
 	// Guard preserves the strict fail-fast behavior. Run ignores it.
 	Guard *GuardConfig
+	// Metrics, if set, receives hot-loop counters (transitions, ops,
+	// table increments, completed paths). Nil is the no-op sink: every
+	// bump site degrades to one predictable nil-check branch with zero
+	// allocations. MetricsWorker selects the metric cell the run writes;
+	// RunReplicated assigns each worker its own.
+	Metrics       *telemetry.VMMetrics
+	MetricsWorker int
+	// Trace, if set, receives runtime decision events (RunReplicated
+	// shard quarantines); TraceUnit labels them.
+	Trace     *telemetry.Trace
+	TraceUnit string
 }
 
 // Result is the outcome of a run.
@@ -225,6 +237,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		Tables: map[string]*profile.Table{},
 		DAGs:   map[string]*cfg.DAG{},
 	}}
+	m.tel = opts.Metrics.Cells(opts.MetricsWorker)
 	m.globals = append([]int64(nil), prog.GlobalInit...)
 	m.arrays = make([][]int64, len(prog.Arrays))
 	for i, a := range prog.Arrays {
@@ -255,6 +268,9 @@ type machine struct {
 	arrays  [][]int64
 	rts     []*funcRT
 	pool    []*frame // recycled frames; regs/path capacity is retained
+	// tel is this run's private view of the telemetry counters; the
+	// zero VMCells (no registry installed) makes every bump a no-op.
+	tel telemetry.VMCells
 }
 
 // prepare derives the per-function runtime tables: DAG-edge and
@@ -567,6 +583,8 @@ func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
 		case ir.Ret:
 			if rt.paths != nil {
 				rt.paths.Add(fr.path, 1)
+				m.tel.Paths.Inc()
+				m.tel.PathLen.Observe(int64(len(fr.path)))
 				if m.opts.PathHook != nil {
 					m.opts.PathHook(rt.fn.Name, fr.path)
 				}
@@ -614,6 +632,7 @@ func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
 //ppp:hotpath
 func (m *machine) transition(fr *frame, s *succRT) {
 	rt := fr.rt
+	m.tel.Transitions.Inc()
 	if s.edgeSlot >= 0 {
 		rt.edges.BumpSlot(int(s.edgeSlot))
 	}
@@ -625,6 +644,8 @@ func (m *machine) transition(fr *frame, s *succRT) {
 		if s.back {
 			fr.path = append(fr.path, s.exitDummy) //ppp:allow(alloc)
 			rt.paths.Add(fr.path, 1)
+			m.tel.Paths.Inc()
+			m.tel.PathLen.Observe(int64(len(fr.path)))
 			if m.opts.PathHook != nil {
 				m.opts.PathHook(rt.fn.Name, fr.path)
 			}
@@ -643,6 +664,7 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 	costs := &m.opts.Costs
 	rt := fr.rt
 	hash := rt.hash
+	m.tel.Ops.Add(int64(len(ops)))
 	for _, op := range ops {
 		switch op.Kind {
 		case instr.OpInc:
@@ -663,6 +685,7 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 				m.res.InstrCost += costs.PoisonCheck
 				if fr.r < 0 {
 					rt.table.BumpCold()
+					m.tel.ColdBumps.Inc()
 					m.res.InstrCost += costs.ColdBump
 					continue
 				}
@@ -676,6 +699,7 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 				m.res.InstrCost += costs.CountArray
 			}
 			rt.table.Inc(idx)
+			m.tel.TableIncs.Inc()
 		}
 	}
 }
