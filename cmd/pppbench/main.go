@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput|faults]
-//	         [-workloads a,b,c] [-par n] [-replicas n] [-faults spec] [-json] [-v]
-//	         [-cpuprofile f] [-memprofile f]
+//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput|faults|backend]
+//	         [-backend dense|compiled] [-workloads a,b,c] [-par n] [-replicas n]
+//	         [-faults spec] [-json] [-v] [-cpuprofile f] [-memprofile f]
 //
 // The workload sweep runs on a bounded worker pool (-par, default
 // GOMAXPROCS); table and figure output is deterministic regardless of
@@ -23,8 +23,17 @@
 // -exp faults runs guarded replication under deterministic fault
 // injection (-faults seed=N,kind=panic+stall+overflow[,rate=r]) and
 // reports shard quarantine, lost flow, counter saturation, and merge
-// determinism across worker counts. Also explicit-only: its outcome
-// depends on the requested fault spec.
+// determinism across worker counts and both VM backends. Also
+// explicit-only: its outcome depends on the requested fault spec.
+//
+// -backend selects the VM execution strategy for the pipeline runs:
+// "dense" (the interpreter, default) or "compiled" (threaded code);
+// every table and figure is identical under either. -exp backend runs
+// the cross-backend smoke: the workload sweep PP-instrumented on both
+// backends at 1 and 8 workers, diffing merged fingerprints (a
+// divergence is a hard failure) and reporting wall clock, speedup, and
+// per-routine compile cost. With -json, the comparison lands in the
+// report's backend_comparison field.
 //
 // Observability: -serve :addr exposes the suite's live telemetry over
 // HTTP (/metrics Prometheus text, /debug/vars, /debug/pprof, trace
@@ -49,6 +58,7 @@ import (
 
 	"pathprof/internal/bench"
 	"pathprof/internal/telemetry"
+	"pathprof/internal/vm"
 	"pathprof/internal/workloads"
 )
 
@@ -56,9 +66,13 @@ import (
 type report struct {
 	Workloads   []string           `json:"workloads"`
 	Parallelism int                `json:"parallelism"`
+	Backend     string             `json:"backend"`
 	Experiments []experimentTiming `json:"experiments"`
 	TotalSecs   float64            `json:"total_seconds"`
 	Headline    map[string]float64 `json:"headline"`
+	// Backends holds the dense-vs-compiled comparison (wall clock,
+	// speedup, per-routine compile stats) when -exp backend ran.
+	Backends *bench.BackendReport `json:"backend_comparison,omitempty"`
 }
 
 type experimentTiming struct {
@@ -69,7 +83,8 @@ type experimentTiming struct {
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput, faults)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput, faults, backend)")
+	backendName := flag.String("backend", "dense", "VM execution backend for pipeline runs (dense, compiled)")
 	names := flag.String("workloads", "", "comma-separated subset of workloads (default: all 18)")
 	par := flag.Int("par", 0, "worker pool size for the workload sweep (0 = GOMAXPROCS, 1 = sequential)")
 	replicas := flag.Int("replicas", bench.DefaultThroughputReplicas, "replicas per measurement in -exp throughput/faults")
@@ -110,8 +125,14 @@ func run() int {
 		}()
 	}
 
+	backend, err := vm.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
 	s := bench.NewSuite()
 	s.Parallelism = *par
+	s.Backend = backend
 	if *verbose {
 		s.Log = os.Stderr
 	}
@@ -162,8 +183,14 @@ func run() int {
 		{"static", s.StaticReport, false},
 		{"throughput", func(w io.Writer) error { return s.ThroughputReport(w, *replicas) }, true},
 		{"faults", func(w io.Writer) error { return s.FaultsReport(w, *faults, *replicas) }, true},
+		{"backend", nil, true}, // run function filled in below; needs access to rep
 	}
-	rep := report{Parallelism: s.Parallelism}
+	rep := report{Parallelism: s.Parallelism, Backend: backend.String()}
+	all[len(all)-1].run = func(w io.Writer) error {
+		br, err := s.BackendSmoke(w, *replicas)
+		rep.Backends = br
+		return err
+	}
 	for _, w := range s.Workloads {
 		rep.Workloads = append(rep.Workloads, w.Name)
 	}

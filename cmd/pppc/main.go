@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	profiler := fs.String("profiler", "PPP", "profiler: PP, TPP, PPP, or PPP-{SAC,FP,Push,SPN,LC}")
 	hot := fs.Int("hot", 10, "number of hot paths to print")
 	noOpt := fs.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
+	backendName := fs.String("backend", "dense", "VM execution backend (dense, compiled)")
 	verifyPlans := fs.Bool("verify", false, "statically verify every instrumentation plan before running")
 	dumpPlans := fs.Bool("dump-plans", false, "dump per-routine instrumentation plans")
 	saveProfile := fs.String("save-profile", "", "write the optimized run's edge profile to a file")
@@ -147,8 +148,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	backend, err := vm.ParseBackend(*backendName)
+	if err != nil {
+		return fail("%v", err)
+	}
+
 	pipe := core.NewPipeline(name, source)
 	pipe.NoOpt = *noOpt
+	pipe.Backend = backend
 	pipe.Instr.Trace = reg.Trace()
 	pipe.Metrics = telemetry.NewVMMetrics(reg)
 	staged, err := pipe.Stage()
@@ -309,6 +316,7 @@ func faultDrill(w io.Writer, inj *faultinject.Injector, staged *core.Staged, pr 
 			CollectEdges: true, CollectPaths: true,
 			Guard: bench.FaultGuard(inj, []string{entry}, tr, unit),
 			Trace: tr, TraceUnit: unit,
+			Backend: staged.Pipeline.Backend,
 		}
 		rr, err := vm.RunReplicated(staged.Prog, opts, 8, 4)
 		if err != nil {

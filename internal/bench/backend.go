@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pathprof/internal/vm"
+)
+
+// BackendWorkers are the worker counts the backend smoke sweeps: the
+// sequential baseline and the widest sharded configuration.
+var BackendWorkers = []int{1, 8}
+
+// BackendCompileStat records one routine's threaded-code compilation:
+// how big it was and how long specializing it took.
+type BackendCompileStat struct {
+	Workload string  `json:"workload"`
+	Routine  string  `json:"routine"`
+	Blocks   int     `json:"blocks"`
+	Closures int     `json:"closures"`
+	Micros   float64 `json:"compile_micros"`
+}
+
+// BackendReport is the dense-vs-compiled comparison over the full
+// workload sweep: wall clock per backend, the resulting speedup,
+// per-routine compile cost, and any fingerprint divergence (which must
+// be empty — the backends are contractually bit-identical).
+type BackendReport struct {
+	Replicas     int                  `json:"replicas"`
+	Workers      []int                `json:"workers"`
+	Workloads    int                  `json:"workloads"`
+	DenseSecs    float64              `json:"dense_seconds"`
+	CompiledSecs float64              `json:"compiled_seconds"`
+	Speedup      float64              `json:"speedup"`
+	Divergent    []string             `json:"divergent,omitempty"`
+	CompileStats []BackendCompileStat `json:"compile_stats"`
+	CompileSecs  float64              `json:"compile_total_seconds"`
+}
+
+// BackendCompare runs every workload's PP-instrumented profiling
+// configuration through vm.RunReplicated on both backends at
+// BackendWorkers worker counts, diffing merged fingerprints across
+// backends and worker counts, and accumulating wall clock per backend.
+// Per-routine compile stats come from each workload's compiled engine
+// (compilation happens once per workload, not per replica or worker).
+func (s *Suite) BackendCompare(replicas int) (*BackendReport, error) {
+	if replicas <= 0 {
+		replicas = DefaultThroughputReplicas
+	}
+	rep := &BackendReport{Replicas: replicas, Workers: BackendWorkers, Workloads: len(s.Workloads)}
+	var denseNS, compiledNS, compileNS time.Duration
+	for _, wl := range s.Workloads {
+		wr, err := s.Run(wl.Name)
+		if err != nil {
+			return nil, err
+		}
+		opts := vm.Options{Plans: wr.Profilers["PP"].Plans, CollectPaths: true}
+		var want uint64
+		haveWant := false
+		for _, be := range []vm.Backend{vm.BackendDense, vm.BackendCompiled} {
+			opts.Backend = be
+			for _, par := range BackendWorkers {
+				rr, err := vm.RunReplicated(wr.Staged.Prog, opts, replicas, par)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s w=%d: %w", wl.Name, be, par, err)
+				}
+				switch be {
+				case vm.BackendDense:
+					denseNS += rr.Elapsed
+				case vm.BackendCompiled:
+					compiledNS += rr.Elapsed
+					if par == BackendWorkers[0] {
+						for _, st := range rr.CompileStats {
+							rep.CompileStats = append(rep.CompileStats, BackendCompileStat{
+								Workload: wl.Name, Routine: st.Name,
+								Blocks: st.Blocks, Closures: st.Closures,
+								Micros: float64(st.Elapsed) / float64(time.Microsecond),
+							})
+							compileNS += st.Elapsed
+						}
+					}
+				}
+				fp := rr.Merged.Fingerprint()
+				if !haveWant {
+					want, haveWant = fp, true
+				} else if fp != want {
+					rep.Divergent = append(rep.Divergent,
+						fmt.Sprintf("%s backend=%s w=%d: %#x != %#x", wl.Name, be, par, fp, want))
+				}
+			}
+		}
+	}
+	sort.Slice(rep.CompileStats, func(i, j int) bool {
+		a, b := rep.CompileStats[i], rep.CompileStats[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Routine < b.Routine
+	})
+	rep.DenseSecs = denseNS.Seconds()
+	rep.CompiledSecs = compiledNS.Seconds()
+	rep.CompileSecs = compileNS.Seconds()
+	if rep.CompiledSecs > 0 {
+		rep.Speedup = rep.DenseSecs / rep.CompiledSecs
+	}
+	return rep, nil
+}
+
+// BackendSmoke renders BackendCompare as the CI smoke check: the
+// full-suite sweep on both backends, failing (with an error) on any
+// fingerprint divergence. The wall-clock numbers are informational;
+// the divergence check is the part CI gates on.
+func (s *Suite) BackendSmoke(w io.Writer, replicas int) (*BackendReport, error) {
+	rep, err := s.BackendCompare(replicas)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Backend smoke: %d workloads x PP-instrumented x %d replicas at workers %v\n",
+		rep.Workloads, rep.Replicas, rep.Workers)
+	fmt.Fprintf(w, "%-10s %8.3fs\n", "dense", rep.DenseSecs)
+	fmt.Fprintf(w, "%-10s %8.3fs  (compile %0.1fms across %d routines)\n",
+		"compiled", rep.CompiledSecs, rep.CompileSecs*1000, len(rep.CompileStats))
+	fmt.Fprintf(w, "speedup: %.2fx, fingerprints: ", rep.Speedup)
+	if len(rep.Divergent) == 0 {
+		fmt.Fprintf(w, "identical across backends and worker counts\n")
+		return rep, nil
+	}
+	fmt.Fprintf(w, "DIVERGED\n")
+	for _, d := range rep.Divergent {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	return rep, fmt.Errorf("bench: %d backend fingerprint divergence(s)", len(rep.Divergent))
+}

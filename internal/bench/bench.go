@@ -17,6 +17,7 @@ import (
 	"pathprof/internal/eval"
 	"pathprof/internal/netprof"
 	"pathprof/internal/telemetry"
+	"pathprof/internal/vm"
 	"pathprof/internal/workloads"
 )
 
@@ -65,6 +66,10 @@ type Suite struct {
 	// synchronized, and per-unit export order is deterministic); reports
 	// publish gauges into it. Nil disables all of it.
 	Telemetry *telemetry.Registry
+	// Backend selects the VM execution strategy for every pipeline run
+	// (dense interpreter or compiled threaded code). All tables and
+	// figures are identical under either; only wall clock differs.
+	Backend vm.Backend
 
 	mu      sync.Mutex
 	logMu   sync.Mutex
@@ -134,6 +139,7 @@ func (s *Suite) runWorkload(name string) (*WorkloadResult, error) {
 	pred := netprof.New(netprof.DefaultThreshold)
 	pl := core.NewPipeline(w.Name, w.Source)
 	pl.PathHook = pred.Hook()
+	pl.Backend = s.Backend
 	pl.Instr.Trace = s.Telemetry.Trace()
 	staged, err := pl.Stage()
 	if err != nil {

@@ -84,11 +84,13 @@ func FaultGuard(inj *faultinject.Injector, overflowFns []string, tr *telemetry.T
 // collection degrades: surviving replicas, quarantined shards,
 // saturated routines, and whether the degraded merge is reproducible —
 // two runs with the same spec and worker count must produce
-// bit-identical snapshots. (Across different worker counts the
-// surviving set may legitimately differ: the quarantine unit is the
-// shard, and shard boundaries move with the worker count.) A run that
-// loses every shard is reported, not fatal: total quarantine is a
-// legitimate degraded outcome.
+// bit-identical snapshots, and the dense and compiled backends must
+// agree on the degraded merge as well (fault decisions are keyed by
+// replica, so the surviving set is backend-independent). (Across
+// different worker counts the surviving set may legitimately differ:
+// the quarantine unit is the shard, and shard boundaries move with the
+// worker count.) A run that loses every shard is reported, not fatal:
+// total quarantine is a legitimate degraded outcome.
 func (s *Suite) FaultsReport(w io.Writer, spec string, replicas int) error {
 	inj, err := faultinject.Parse(spec)
 	if err != nil {
@@ -122,21 +124,27 @@ func (s *Suite) FaultsReport(w io.Writer, spec string, replicas int) error {
 		survived, lost, saturated := 0, 0, 0
 		merge := "identical"
 		var fps []uint64
-		for rep := 0; rep < 2; rep++ {
-			rr, rerr := vm.RunReplicated(wr.Staged.Prog, opts, replicas, 4)
-			if rerr != nil {
-				merge = "all shards quarantined"
-				survived, lost = 0, replicas
-				faults = nil
-				break
+	backends:
+		for _, be := range []vm.Backend{vm.BackendDense, vm.BackendCompiled} {
+			opts.Backend = be
+			for rep := 0; rep < 2; rep++ {
+				rr, rerr := vm.RunReplicated(wr.Staged.Prog, opts, replicas, 4)
+				if rerr != nil {
+					merge = "all shards quarantined"
+					survived, lost = 0, replicas
+					faults = nil
+					break backends
+				}
+				survived, lost = rr.Survivors(), rr.LostReplicas
+				saturated = len(rr.Merged.SaturatedRoutines())
+				faults = rr.Faults
+				fps = append(fps, rr.Merged.Fingerprint())
 			}
-			survived, lost = rr.Survivors(), rr.LostReplicas
-			saturated = len(rr.Merged.SaturatedRoutines())
-			faults = rr.Faults
-			fps = append(fps, rr.Merged.Fingerprint())
 		}
-		if len(fps) == 2 && fps[0] != fps[1] {
-			merge = "DIVERGED"
+		for _, f := range fps {
+			if f != fps[0] {
+				merge = "DIVERGED"
+			}
 		}
 		fmt.Fprintf(w, "%-10s %6d/%-2d %6d %9d %9s  %d\n",
 			wl.Name, survived, replicas, lost, saturated, merge, len(faults))

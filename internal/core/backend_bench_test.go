@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"pathprof/internal/core"
+	"pathprof/internal/vm"
+	"pathprof/internal/workloads"
+)
+
+// BenchmarkInstrumentedRun measures one PP-instrumented replica on
+// each backend: the configuration whose interpreter tax the compiled
+// backend exists to cut. Engine construction (plan lowering, DAGs,
+// threaded-code compilation) is outside the timed region, matching the
+// replicated serving shape where it happens once.
+func BenchmarkInstrumentedRun(b *testing.B) {
+	for _, name := range []string{"crafty", "bzip2", "swim"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			b.Fatalf("unknown workload %q", name)
+		}
+		staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := staged.Profile("PP", core.Profilers()[0].Tech)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, be := range []vm.Backend{vm.BackendDense, vm.BackendCompiled} {
+			b.Run(name+"/"+be.String(), func(b *testing.B) {
+				e, err := vm.NewEngine(staged.Prog, vm.Options{
+					Plans: pr.Plans, CollectPaths: true, Backend: be,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				if _, err := e.RunReplicated(b.N, 1); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

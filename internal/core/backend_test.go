@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/core"
+	"pathprof/internal/vm"
+	"pathprof/internal/workloads"
+)
+
+// requireSameRun asserts two vm results are observably identical:
+// return value, cost accounting, step count, call count, and profile
+// fingerprint. The compiled backend must be indistinguishable from the
+// dense interpreter on every one of these.
+func requireSameRun(t *testing.T, label string, dense, compiled *vm.Result) {
+	t.Helper()
+	if dense == nil || compiled == nil {
+		t.Fatalf("%s: nil run (dense=%v compiled=%v)", label, dense != nil, compiled != nil)
+	}
+	if dense.Ret != compiled.Ret {
+		t.Errorf("%s: ret %d vs %d", label, dense.Ret, compiled.Ret)
+	}
+	if dense.Steps != compiled.Steps {
+		t.Errorf("%s: steps %d vs %d", label, dense.Steps, compiled.Steps)
+	}
+	if dense.BaseCost != compiled.BaseCost {
+		t.Errorf("%s: base cost %d vs %d", label, dense.BaseCost, compiled.BaseCost)
+	}
+	if dense.InstrCost != compiled.InstrCost {
+		t.Errorf("%s: instr cost %d vs %d", label, dense.InstrCost, compiled.InstrCost)
+	}
+	if dense.DynCalls != compiled.DynCalls {
+		t.Errorf("%s: dyn calls %d vs %d", label, dense.DynCalls, compiled.DynCalls)
+	}
+	if df, cf := dense.Snapshot().Fingerprint(), compiled.Snapshot().Fingerprint(); df != cf {
+		t.Errorf("%s: profile fingerprint %#x vs %#x", label, df, cf)
+	}
+}
+
+// TestBackendsAgree drives every workload through the full pipeline —
+// staging, then PP/TPP/PPP profiling — once per backend, and requires
+// bit-identical observable outcomes at every stage: run accounting,
+// profile fingerprints, degradation modes, and hashing decisions.
+func TestBackendsAgree(t *testing.T) {
+	ws := workloads.All()
+	if testing.Short() {
+		ws = ws[:4]
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			stage := func(b vm.Backend) (*core.Staged, map[string]*core.ProfilerResult) {
+				pl := core.NewPipeline(w.Name, w.Source)
+				pl.Backend = b
+				staged, err := pl.Stage()
+				if err != nil {
+					t.Fatalf("%v stage: %v", b, err)
+				}
+				prs := map[string]*core.ProfilerResult{}
+				for _, p := range core.Profilers() {
+					pr, err := staged.Profile(p.Name, p.Tech)
+					if err != nil {
+						t.Fatalf("%v profile %s: %v", b, p.Name, err)
+					}
+					prs[p.Name] = pr
+				}
+				return staged, prs
+			}
+			ds, dp := stage(vm.BackendDense)
+			cs, cp := stage(vm.BackendCompiled)
+
+			requireSameRun(t, "original", ds.OriginalRun, cs.OriginalRun)
+			requireSameRun(t, "base", ds.Base, cs.Base)
+			for _, p := range core.Profilers() {
+				d, c := dp[p.Name], cp[p.Name]
+				requireSameRun(t, p.Name, d.Run, c.Run)
+				if !reflect.DeepEqual(d.Modes, c.Modes) {
+					t.Errorf("%s: modes %v vs %v", p.Name, d.Modes, c.Modes)
+				}
+				if d.HashedRoutines != c.HashedRoutines {
+					t.Errorf("%s: hashed routines %d vs %d", p.Name, d.HashedRoutines, c.HashedRoutines)
+				}
+				if d.SACAdjusted != c.SACAdjusted || d.MaxSACIterations != c.MaxSACIterations {
+					t.Errorf("%s: SAC %d/%d vs %d/%d", p.Name,
+						d.SACAdjusted, d.MaxSACIterations, c.SACAdjusted, c.MaxSACIterations)
+				}
+			}
+
+			// Edge-instrumented overhead run, both backends.
+			de, err := ds.EdgeOverheadRun()
+			if err != nil {
+				t.Fatalf("dense edge overhead: %v", err)
+			}
+			ce, err := cs.EdgeOverheadRun()
+			if err != nil {
+				t.Fatalf("compiled edge overhead: %v", err)
+			}
+			requireSameRun(t, "edge-overhead", de, ce)
+		})
+	}
+}

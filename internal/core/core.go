@@ -58,6 +58,10 @@ type Pipeline struct {
 	// Metrics, if set, receives the VM hot-loop counters from every run
 	// the pipeline performs. Nil is the zero-overhead no-op sink.
 	Metrics *telemetry.VMMetrics
+	// Backend selects the VM execution strategy for every run the
+	// pipeline performs (dense interpreter or compiled threaded code);
+	// both produce identical results, profiles, and cost accounting.
+	Backend vm.Backend
 }
 
 // NewPipeline returns a pipeline with the paper's default parameters.
@@ -97,7 +101,7 @@ func (p *Pipeline) Stage() (*Staged, error) {
 		o := vm.Options{
 			Costs: p.Costs, Entry: p.Entry, MaxSteps: p.MaxSteps,
 			CollectEdges: true, CollectPaths: paths,
-			Metrics: p.Metrics,
+			Metrics: p.Metrics, Backend: p.Backend,
 		}
 		if final && paths {
 			o.PathHook = p.PathHook
@@ -368,7 +372,7 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 	run, err := vm.Run(s.Prog, vm.Options{
 		Costs: s.Pipeline.Costs, Entry: s.Pipeline.Entry, MaxSteps: s.Pipeline.MaxSteps,
 		Plans: plans, CollectPaths: true,
-		Metrics: s.Pipeline.Metrics,
+		Metrics: s.Pipeline.Metrics, Backend: s.Pipeline.Backend,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: instrumented run: %w", s.Pipeline.Name, name, err)
@@ -454,7 +458,7 @@ func (s *Staged) EdgeOverheadRun() (*vm.Result, error) {
 	return vm.Run(s.Prog, vm.Options{
 		Costs: s.Pipeline.Costs, Entry: s.Pipeline.Entry,
 		MaxSteps: s.Pipeline.MaxSteps, EdgeInstrument: true,
-		Metrics: s.Pipeline.Metrics,
+		Metrics: s.Pipeline.Metrics, Backend: s.Pipeline.Backend,
 	})
 }
 

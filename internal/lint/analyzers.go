@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // MapIter forbids ranging over maps in deterministic scope. Collect
@@ -49,50 +50,93 @@ var HotPath = &Analyzer{
 
 func runHotPath(p *Pass) {
 	eachFunc(p.Files, func(f *ast.File, fd *ast.FuncDecl) {
-		if !hotPathScope(fd) {
+		imports := fileImports(f)
+		if hotPathScope(fd) {
+			p.inspectHot(imports, fd.Name.Name, fd.Body)
 			return
 		}
-		imports := fileImports(f)
-		name := fd.Name.Name
+		// A compile-time code generator builds its hot code as function
+		// literals inside cold builders (internal/vm/compile lowers every
+		// transition this way). A //ppp:hotpath comment on the literal —
+		// or the line above it, the conventional spot before a return —
+		// puts the literal's body in hot-path scope even though the
+		// enclosing builder is not.
+		marks := hotMarkLines(p, f)
+		if len(marks) == 0 {
+			return
+		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				p.reportf("hotpath", "goroutine", n.Pos(), "%s is a hot path: no goroutine launches", name)
-			case *ast.DeferStmt:
-				p.reportf("hotpath", "defer", n.Pos(), "%s is a hot path: defer has per-call scheduling cost", name)
-			case *ast.FuncLit:
-				p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: function literal may allocate a closure", name)
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			line := p.Fset.Position(lit.Pos()).Line
+			if marks[line] || marks[line-1] {
+				p.inspectHot(imports, fd.Name.Name+" closure", lit.Body)
 				return false
-			case *ast.CompositeLit:
-				p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: composite literal may allocate", name)
-			case *ast.CallExpr:
-				switch fun := n.Fun.(type) {
-				case *ast.Ident:
-					switch fun.Name {
-					case "make", "new", "append":
-						if isBuiltin(p, fun) {
-							p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: %s allocates", name, fun.Name)
-						}
-					}
-				case *ast.SelectorExpr:
-					switch p.selectorPkg(imports, fun) {
-					case "sync":
-						p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: sync.%s", name, fun.Sel.Name)
-					case "sync/atomic":
-						p.reportf("hotpath", "atomic", n.Pos(), "%s is a hot path: atomic.%s contends on shared cache lines (use a per-shard counter)", name, fun.Sel.Name)
-					case "fmt":
-						p.reportf("hotpath", "fmt", n.Pos(), "%s is a hot path: fmt.%s formats through reflection and allocates", name, fun.Sel.Name)
-					default:
-						switch fun.Sel.Name {
-						case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
-							p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: %s acquires a lock", name, fun.Sel.Name)
-						}
-					}
-				}
-				p.checkBoxing(n, name)
 			}
 			return true
 		})
+	})
+}
+
+// hotMarkLines collects the lines of f bearing a //ppp:hotpath
+// comment, the index inspectHot uses to follow the mark onto function
+// literals.
+func hotMarkLines(p *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "ppp:hotpath" || strings.HasPrefix(text, "ppp:hotpath ") {
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// inspectHot walks one hot-path body (a marked function's, or a marked
+// function literal's) reporting synchronization and allocation.
+func (p *Pass) inspectHot(imports map[string]string, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.reportf("hotpath", "goroutine", n.Pos(), "%s is a hot path: no goroutine launches", name)
+		case *ast.DeferStmt:
+			p.reportf("hotpath", "defer", n.Pos(), "%s is a hot path: defer has per-call scheduling cost", name)
+		case *ast.FuncLit:
+			p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: function literal may allocate a closure", name)
+			return false
+		case *ast.CompositeLit:
+			p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: composite literal may allocate", name)
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make", "new", "append":
+					if isBuiltin(p, fun) {
+						p.reportf("hotpath", "alloc", n.Pos(), "%s is a hot path: %s allocates", name, fun.Name)
+					}
+				}
+			case *ast.SelectorExpr:
+				switch p.selectorPkg(imports, fun) {
+				case "sync":
+					p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: sync.%s", name, fun.Sel.Name)
+				case "sync/atomic":
+					p.reportf("hotpath", "atomic", n.Pos(), "%s is a hot path: atomic.%s contends on shared cache lines (use a per-shard counter)", name, fun.Sel.Name)
+				case "fmt":
+					p.reportf("hotpath", "fmt", n.Pos(), "%s is a hot path: fmt.%s formats through reflection and allocates", name, fun.Sel.Name)
+				default:
+					switch fun.Sel.Name {
+					case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+						p.reportf("hotpath", "lock", n.Pos(), "%s is a hot path: %s acquires a lock", name, fun.Sel.Name)
+					}
+				}
+			}
+			p.checkBoxing(n, name)
+		}
+		return true
 	})
 }
 

@@ -63,9 +63,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		"mapiter":   2, // counter.Merge and Digest, not Unmarked
 		"wallclock": 1, // time.Now in Merge
 		"rand":      1, // rand.Intn in Merge
-		"lock":      2, // mu.Lock and the deferred mu.Unlock
+		"lock":      3, // mu.Lock, the deferred mu.Unlock, mkBump's closure
 		"atomic":    1, // atomic.AddInt64
-		"alloc":     4, // append, make, composite literal, go closure
+		"alloc":     5, // append, make, composite literal, go closure, mkBump's make
 		"defer":     1,
 		"goroutine": 1,
 		"fmt":       1, // fmt.Sprintf in bumpTelemetry

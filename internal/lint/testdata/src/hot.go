@@ -52,3 +52,25 @@ func (h *hot) cool() {
 	defer h.mu.Unlock()
 	h.buf = append(h.buf, h.n)
 }
+
+// mkBump builds a per-transition closure the way the threaded-code
+// compiler does: the builder is cold, the returned literal is the hot
+// code, marked on the line above it.
+func (h *hot) mkBump() func() {
+	scratch := make([]int64, 8) // fine: the builder runs once
+	//ppp:hotpath
+	return func() {
+		h.mu.Lock()              // finding: lock (inside followed literal)
+		_ = make([]int64, 4)     // finding: alloc (inside followed literal)
+		h.buf = append(h.buf, 1) //ppp:allow(alloc)
+		_ = scratch
+	}
+}
+
+// mkCool builds an unmarked literal; neither the builder nor the
+// literal is hot scope.
+func (h *hot) mkCool() func() {
+	return func() {
+		h.buf = append(h.buf, h.n)
+	}
+}

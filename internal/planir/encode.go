@@ -1,0 +1,320 @@
+package planir
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// The canonical binary encoding: a magic+version header, each routine's
+// fields in declaration order with varint scalars (zigzag for signed)
+// and length-prefixed strings, and a trailing CRC-32 of everything
+// before it. The encoder has exactly one output per Program value, so
+// encoded bytes double as the plan's identity: Fingerprint hashes them.
+
+const (
+	magic   = "PPIR"
+	version = 1
+)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) i(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) b(v bool)   { e.buf = append(e.buf, boolByte(v)) }
+func (e *encoder) s(v string) { e.u(uint64(len(v))); e.buf = append(e.buf, v...) }
+func (e *encoder) ops(v []Op) {
+	e.u(uint64(len(v)))
+	for _, op := range v {
+		e.buf = append(e.buf, byte(op.Kind))
+		e.i(op.V)
+	}
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Encode renders the program in its canonical binary form.
+func (p *Program) Encode() []byte {
+	e := &encoder{buf: make([]byte, 0, 256)}
+	e.buf = append(e.buf, magic...)
+	e.buf = append(e.buf, version)
+	e.u(uint64(len(p.Routines)))
+	for _, r := range p.Routines {
+		e.s(r.Name)
+		e.u(uint64(r.NBlocks))
+		e.b(r.Instrumented)
+		e.s(r.Reason)
+		e.i(r.N)
+		e.i(r.TableSize)
+		e.b(r.Hash)
+		e.b(r.PoisonCheck)
+		e.u(uint64(len(r.Edges)))
+		for i := range r.Edges {
+			ed := &r.Edges[i]
+			e.u(uint64(ed.Src))
+			e.u(uint64(ed.Dst))
+			e.buf = append(e.buf, byte(ed.Kind), boolByte(ed.Cold), boolByte(ed.Disc))
+			e.ops(ed.Ops)
+		}
+		e.u(uint64(len(r.Transitions)))
+		for i := range r.Transitions {
+			t := &r.Transitions[i]
+			e.u(uint64(t.Src))
+			e.u(uint64(t.Dst))
+			e.b(t.Back)
+			e.ops(t.Ops)
+		}
+		e.u(uint64(len(r.Attr)))
+		for _, a := range r.Attr {
+			e.i(a.Num)
+			e.i(int64(a.EdgeID))
+		}
+	}
+	sum := crc32.ChecksumIEEE(e.buf)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, sum)
+	return e.buf
+}
+
+// Fingerprint hashes the canonical encoding: two programs share a
+// fingerprint iff their artifacts are identical.
+func (p *Program) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(p.Encode())
+	return h.Sum64()
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) fail(what string) error {
+	return fmt.Errorf("planir: truncated or corrupt %s at offset %d", what, d.off)
+}
+
+func (d *decoder) u() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, d.fail("uvarint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) i() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, d.fail("varint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) b() (bool, error) {
+	if d.off >= len(d.buf) {
+		return false, d.fail("bool")
+	}
+	v := d.buf[d.off]
+	d.off++
+	if v > 1 {
+		return false, d.fail("bool")
+	}
+	return v == 1, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, d.fail("byte")
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) s() (string, error) {
+	n, err := d.u()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		return "", d.fail("string")
+	}
+	v := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return v, nil
+}
+
+// count reads a length prefix, bounding it by the bytes remaining so a
+// corrupt length cannot drive a huge allocation.
+func (d *decoder) count(what string) (int, error) {
+	n, err := d.u()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return 0, d.fail(what + " count")
+	}
+	return int(n), nil
+}
+
+func (d *decoder) ops() ([]Op, error) {
+	n, err := d.count("op")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Op, n)
+	for i := range out {
+		k, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.i()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Op{Kind: OpKind(k), V: v}
+	}
+	return out, nil
+}
+
+// Decode parses a canonical encoding, verifying the header and
+// checksum. The result re-encodes to the identical bytes.
+func Decode(data []byte) (*Program, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("planir: encoding too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("planir: bad magic %q", data[:len(magic)])
+	}
+	if data[len(magic)] != version {
+		return nil, fmt.Errorf("planir: unsupported version %d", data[len(magic)])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("planir: checksum mismatch: %08x vs %08x", got, want)
+	}
+	d := &decoder{buf: body, off: len(magic) + 1}
+	nr, err := d.count("routine")
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Routines: make([]*Routine, 0, nr)}
+	for ri := 0; ri < nr; ri++ {
+		r := &Routine{}
+		if r.Name, err = d.s(); err != nil {
+			return nil, err
+		}
+		nb, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		r.NBlocks = int32(nb)
+		if r.Instrumented, err = d.b(); err != nil {
+			return nil, err
+		}
+		if r.Reason, err = d.s(); err != nil {
+			return nil, err
+		}
+		if r.N, err = d.i(); err != nil {
+			return nil, err
+		}
+		if r.TableSize, err = d.i(); err != nil {
+			return nil, err
+		}
+		if r.Hash, err = d.b(); err != nil {
+			return nil, err
+		}
+		if r.PoisonCheck, err = d.b(); err != nil {
+			return nil, err
+		}
+		ne, err := d.count("edge")
+		if err != nil {
+			return nil, err
+		}
+		if ne > 0 {
+			r.Edges = make([]Edge, ne)
+		}
+		for i := 0; i < ne; i++ {
+			ed := &r.Edges[i]
+			ed.ID = int32(i)
+			src, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			dst, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			ed.Src, ed.Dst = int32(src), int32(dst)
+			k, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			ed.Kind = EdgeKind(k)
+			if ed.Cold, err = d.b(); err != nil {
+				return nil, err
+			}
+			if ed.Disc, err = d.b(); err != nil {
+				return nil, err
+			}
+			if ed.Ops, err = d.ops(); err != nil {
+				return nil, err
+			}
+		}
+		nt, err := d.count("transition")
+		if err != nil {
+			return nil, err
+		}
+		if nt > 0 {
+			r.Transitions = make([]Transition, nt)
+		}
+		for i := 0; i < nt; i++ {
+			t := &r.Transitions[i]
+			src, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			dst, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			t.Src, t.Dst = int32(src), int32(dst)
+			if t.Back, err = d.b(); err != nil {
+				return nil, err
+			}
+			if t.Ops, err = d.ops(); err != nil {
+				return nil, err
+			}
+		}
+		na, err := d.count("attr")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < na; i++ {
+			var a Attr
+			if a.Num, err = d.i(); err != nil {
+				return nil, err
+			}
+			eid, err := d.i()
+			if err != nil {
+				return nil, err
+			}
+			a.EdgeID = int32(eid)
+			r.Attr = append(r.Attr, a)
+		}
+		p.Routines = append(p.Routines, r)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("planir: %d trailing bytes after last routine", len(body)-d.off)
+	}
+	return p, nil
+}

@@ -1,0 +1,126 @@
+package planir
+
+import (
+	"sort"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/instr"
+)
+
+// FromPlan lowers a planner plan into its pure-data artifact. The
+// per-transition streams apply the back-edge fusion executors need: a
+// back edge runs its tail's exit-dummy ops (finish the truncated path)
+// followed by its header's entry-dummy ops (start the next one).
+// Returns nil for a nil plan.
+func FromPlan(p *instr.Plan) *Routine {
+	if p == nil {
+		return nil
+	}
+	r := &Routine{
+		Name:         p.G.Name,
+		NBlocks:      int32(len(p.G.Blocks)),
+		Instrumented: p.Instrumented,
+		Reason:       p.Reason,
+		N:            p.N,
+		TableSize:    p.TableSize,
+		Hash:         p.Hash,
+		PoisonCheck:  p.PoisonCheck,
+	}
+	var entryDummy, exitDummy map[int]*cfg.DAGEdge
+	if p.D != nil {
+		entryDummy = map[int]*cfg.DAGEdge{}
+		exitDummy = map[int]*cfg.DAGEdge{}
+		r.Edges = make([]Edge, len(p.D.Edges))
+		for i, e := range p.D.Edges {
+			ie := Edge{
+				ID:  int32(e.ID),
+				Src: int32(e.Src.ID),
+				Dst: int32(e.Dst.ID),
+			}
+			switch e.Kind {
+			case cfg.EntryDummy:
+				ie.Kind = EntryDummy
+				entryDummy[e.Dst.ID] = e
+			case cfg.ExitDummy:
+				ie.Kind = ExitDummy
+				exitDummy[e.Src.ID] = e
+			}
+			if p.Cold != nil {
+				ie.Cold = p.Cold[e.ID]
+			}
+			if p.Disc != nil {
+				ie.Disc = p.Disc[e.ID]
+			}
+			if p.Ops != nil {
+				ie.Ops = convertOps(p.Ops[e.ID])
+			}
+			r.Edges[i] = ie
+		}
+	}
+	if p.Instrumented {
+		r.Transitions = make([]Transition, 0, len(p.D.G.Edges))
+		for _, e := range p.D.G.Edges {
+			t := Transition{Src: int32(e.Src.ID), Dst: int32(e.Dst.ID), Back: e.Back}
+			if e.Back {
+				var ops []Op
+				if xd := exitDummy[e.Src.ID]; xd != nil {
+					ops = append(ops, r.Edges[xd.ID].Ops...)
+				}
+				if ed := entryDummy[e.Dst.ID]; ed != nil {
+					ops = append(ops, r.Edges[ed.ID].Ops...)
+				}
+				t.Ops = ops
+			} else {
+				t.Ops = r.Edges[findReal(r.Edges, t.Src, t.Dst)].Ops
+			}
+			r.Transitions = append(r.Transitions, t)
+		}
+	}
+	for _, a := range p.Attr {
+		ia := Attr{Num: a.Num, EdgeID: -1}
+		if a.Edge != nil {
+			ia.EdgeID = int32(a.Edge.ID)
+		}
+		r.Attr = append(r.Attr, ia)
+	}
+	return r
+}
+
+// findReal locates the real DAG edge src->dst (every non-back CFG edge
+// has exactly one).
+func findReal(edges []Edge, src, dst int32) int {
+	for i := range edges {
+		if edges[i].Kind == Real && edges[i].Src == src && edges[i].Dst == dst {
+			return i
+		}
+	}
+	return -1
+}
+
+func convertOps(ops []instr.Op) []Op {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		out[i] = Op{Kind: OpKind(op.Kind), V: op.V}
+	}
+	return out
+}
+
+// FromPlans lowers a plan map into a Program with routines in name
+// order. Nil plans are skipped.
+func FromPlans(plans map[string]*instr.Plan) *Program {
+	names := make([]string, 0, len(plans))
+	for n, p := range plans {
+		if p != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	prog := &Program{Routines: make([]*Routine, 0, len(names))}
+	for _, n := range names {
+		prog.Routines = append(prog.Routines, FromPlan(plans[n]))
+	}
+	return prog
+}

@@ -1,0 +1,218 @@
+package planir_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/instr"
+	"pathprof/internal/planir"
+)
+
+// plansFor builds plans for a spread of random profiled graphs under
+// the given techniques.
+func plansFor(t *testing.T, tech instr.Techniques, seeds ...int64) map[string]*instr.Plan {
+	t.Helper()
+	plans := map[string]*instr.Plan{}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 24)
+		cfgtest.Profile(g, rng, 400, 200)
+		p, err := instr.Build(g, tech, instr.DefaultParams(), 400)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plans[g.Name] = p
+	}
+	return plans
+}
+
+func TestFromPlanFusesBackEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := cfgtest.Random(rng, 30)
+	cfgtest.Profile(g, rng, 500, 300)
+	p, err := instr.Build(g, instr.PP(), instr.DefaultParams(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Instrumented {
+		t.Skip("seed produced an uninstrumented plan")
+	}
+	r := planir.FromPlan(p)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// Rebuild the expected fusion straight from the plan and compare
+	// against every transition.
+	exitOps := map[int][]instr.Op{}
+	entryOps := map[int][]instr.Op{}
+	realOps := map[[2]int][]instr.Op{}
+	for _, e := range p.D.Edges {
+		switch e.Kind {
+		case cfg.ExitDummy:
+			exitOps[e.Src.ID] = p.Ops[e.ID]
+		case cfg.EntryDummy:
+			entryOps[e.Dst.ID] = p.Ops[e.ID]
+		case cfg.RealEdge:
+			realOps[[2]int{e.Src.ID, e.Dst.ID}] = p.Ops[e.ID]
+		}
+	}
+	if len(r.Transitions) != len(p.D.G.Edges) {
+		t.Fatalf("%d transitions for %d CFG edges", len(r.Transitions), len(p.D.G.Edges))
+	}
+	for i, e := range p.D.G.Edges {
+		tr := r.Transitions[i]
+		if int(tr.Src) != e.Src.ID || int(tr.Dst) != e.Dst.ID || tr.Back != e.Back {
+			t.Fatalf("transition %d is %d->%d back=%v, want %d->%d back=%v",
+				i, tr.Src, tr.Dst, tr.Back, e.Src.ID, e.Dst.ID, e.Back)
+		}
+		var want []instr.Op
+		if e.Back {
+			want = append(append([]instr.Op{}, exitOps[e.Src.ID]...), entryOps[e.Dst.ID]...)
+		} else {
+			want = realOps[[2]int{e.Src.ID, e.Dst.ID}]
+		}
+		if len(tr.Ops) != len(want) {
+			t.Fatalf("transition %d->%d has %d ops, want %d", tr.Src, tr.Dst, len(tr.Ops), len(want))
+		}
+		for j := range want {
+			if tr.Ops[j].Kind != planir.OpKind(want[j].Kind) || tr.Ops[j].V != want[j].V {
+				t.Fatalf("transition %d->%d op %d = %v, want %v", tr.Src, tr.Dst, j, tr.Ops[j], want[j])
+			}
+		}
+	}
+}
+
+func TestValidateAcceptsPlannerOutput(t *testing.T) {
+	techs := map[string]instr.Techniques{
+		"pp":  instr.PP(),
+		"tpp": instr.TPP(),
+		"ppp": instr.PPP(),
+	}
+	// Check-based poisoning (free poisoning ablated) exercises the
+	// NegPoison rule.
+	noFP := instr.PPP()
+	noFP.FreePoison = false
+	techs["ppp-nofp"] = noFP
+	for name, tech := range techs {
+		for _, seed := range []int64{1, 2, 3, 4, 5, 11, 12, 13} {
+			rng := rand.New(rand.NewSource(seed))
+			g := cfgtest.Random(rng, 40)
+			cfgtest.Profile(g, rng, 600, 300)
+			p, err := instr.Build(g, tech, instr.DefaultParams(), 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := planir.FromPlan(p)
+			if err := r.Validate(); err != nil {
+				t.Errorf("%s seed %d: %v\n%s", name, seed, err, p.Dump())
+			}
+		}
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	plans := plansFor(t, instr.PP(), 21, 22, 23, 24)
+	var r *planir.Routine
+	for _, p := range plans {
+		c := planir.FromPlan(p)
+		if c.Instrumented && len(c.Transitions) > 0 {
+			r = c
+			break
+		}
+	}
+	if r == nil {
+		t.Fatal("no instrumented plan among seeds")
+	}
+
+	// Tampered transition stream: diverges from the edge fusion. The
+	// replacement slice leaves the (possibly aliased) edge ops intact.
+	for i := range r.Transitions {
+		if len(r.Transitions[i].Ops) > 0 {
+			orig := r.Transitions[i].Ops
+			tampered := append([]planir.Op(nil), orig...)
+			tampered[0].V += 99
+			r.Transitions[i].Ops = tampered
+			if err := r.Validate(); err == nil {
+				t.Error("Validate accepted a tampered transition stream")
+			}
+			r.Transitions[i].Ops = orig
+			break
+		}
+	}
+	// Out-of-range block reference.
+	origSrc := r.Transitions[0].Src
+	r.Transitions[0].Src = r.NBlocks + 5
+	if err := r.Validate(); err == nil {
+		t.Error("Validate accepted an out-of-range transition source")
+	}
+	r.Transitions[0].Src = origSrc
+	// A disconnected edge must carry no ops.
+	for i := range r.Edges {
+		if len(r.Edges[i].Ops) > 0 {
+			r.Edges[i].Disc = true
+			if err := r.Validate(); err == nil {
+				t.Error("Validate accepted ops on a disconnected edge")
+			}
+			r.Edges[i].Disc = false
+			break
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("restored routine no longer validates: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tech := range []instr.Techniques{instr.PP(), instr.TPP(), instr.PPP()} {
+		prog := planir.FromPlans(plansFor(t, tech, 31, 32, 33, 34, 35))
+		if err := prog.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		enc := prog.Encode()
+		dec, err := planir.Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !reflect.DeepEqual(prog, dec) {
+			t.Fatal("decoded program diverges from original")
+		}
+		re := dec.Encode()
+		if !bytes.Equal(enc, re) {
+			t.Fatal("re-encoding is not byte-identical")
+		}
+		if prog.Fingerprint() != dec.Fingerprint() {
+			t.Fatal("fingerprint changed across a round trip")
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := planir.FromPlans(plansFor(t, instr.PPP(), 41, 42, 43))
+	b := planir.FromPlans(plansFor(t, instr.PPP(), 41, 42, 43))
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("two lowerings of identical plans encode differently")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	prog := planir.FromPlans(plansFor(t, instr.PP(), 51))
+	enc := prog.Encode()
+	if _, err := planir.Decode(enc[:len(enc)-1]); err == nil {
+		t.Error("Decode accepted a truncated encoding")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := planir.Decode(bad); err == nil {
+		t.Error("Decode accepted a corrupted body (checksum miss)")
+	}
+	bad2 := append([]byte(nil), enc...)
+	bad2[0] = 'X'
+	if _, err := planir.Decode(bad2); err == nil {
+		t.Error("Decode accepted a bad magic")
+	}
+}

@@ -284,12 +284,50 @@ func (pp *PathProfile) walk(p cfg.Path, grow bool) int32 {
 
 // Add records count executions of path p, saturating at CounterMax.
 func (pp *PathProfile) Add(p cfg.Path, count int64) {
-	n := pp.walk(p, true)
+	pp.AddAt(pp.walk(p, true), p, count)
+}
+
+// Root returns the trie cursor for an empty path, the starting point
+// of incremental recording via Step/AddAt.
+func (pp *PathProfile) Root() int32 { return 0 }
+
+// Step advances a trie cursor by one DAG edge, growing the trie when
+// the edge was never walked from cur. Together with AddAt this lets an
+// executor record a path in a single forward pass — one trie descent
+// per edge as it executes, O(1) at completion — instead of re-walking
+// the whole path in Add. The steady state (every node present) is a
+// short scan of a tiny kid list with no allocation.
+//
+//ppp:hotpath
+func (pp *PathProfile) Step(cur int32, edgeID int32) int32 {
+	for _, kid := range pp.nodes[cur].kids {
+		if kid.edge == edgeID {
+			return kid.node
+		}
+	}
+	return pp.growKid(cur, edgeID)
+}
+
+// growKid appends a fresh node under cur for edgeID (cold path of
+// Step, split out to keep Step inlineable and allocation-free in the
+// steady state).
+func (pp *PathProfile) growKid(cur, edgeID int32) int32 {
+	next := int32(len(pp.nodes))
+	pp.nodes = append(pp.nodes, pathNode{})
+	pp.nodes[cur].kids = append(pp.nodes[cur].kids, pathKid{edge: edgeID, node: next})
+	return next
+}
+
+// AddAt records count executions of the path ending at trie cursor n,
+// which must have been produced by Step calls over exactly p's edges
+// (or walk(p, true)). Interns p (copied) on first sight, so interned
+// path IDs stay in first-seen completion order no matter how the trie
+// nodes were grown.
+//
+//ppp:hotpath
+func (pp *PathProfile) AddAt(n int32, p cfg.Path, count int64) {
 	if pp.nodes[n].id == 0 {
-		cp := make(cfg.Path, len(p))
-		copy(cp, p)
-		pp.paths = append(pp.paths, PathCount{Path: cp})
-		pp.nodes[n].id = int32(len(pp.paths))
+		pp.intern(n, p)
 	}
 	pc := &pp.paths[pp.nodes[n].id-1]
 	var sat bool
@@ -297,6 +335,14 @@ func (pp *PathProfile) Add(p cfg.Path, count int64) {
 	if sat {
 		pp.Saturated = true
 	}
+}
+
+// intern assigns the next path ID to node n and stores a copy of p.
+func (pp *PathProfile) intern(n int32, p cfg.Path) {
+	cp := make(cfg.Path, len(p))
+	copy(cp, p)
+	pp.paths = append(pp.paths, PathCount{Path: cp})
+	pp.nodes[n].id = int32(len(pp.paths))
 }
 
 // Get returns the count of path p (0 if never taken).
@@ -391,6 +437,25 @@ func NewTable(kind TableKind, n, size int64) *Table {
 //
 //ppp:hotpath
 func (t *Table) Inc(idx int64) { t.add(idx, 1) }
+
+// IncArray increments array counter idx without the table-kind branch
+// and weight generalization of add: an in-range increment is a bounds
+// check, a saturation compare, and a slice increment, small enough to
+// inline into a compiled transition closure. Out-of-range indices fall
+// back to add (the Drops path). Must only be called on ArrayTable.
+//
+//ppp:hotpath
+func (t *Table) IncArray(idx int64) {
+	if uint64(idx) < uint64(len(t.arr)) {
+		if t.arr[idx] == CounterMax {
+			t.Saturated = true
+			return
+		}
+		t.arr[idx]++
+		return
+	}
+	t.add(idx, 1)
+}
 
 // Add records v executions of index idx through the normal probe
 // sequence (v must be non-negative). Exported for deserialization and

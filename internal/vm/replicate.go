@@ -15,6 +15,7 @@ import (
 	"pathprof/internal/ir"
 	"pathprof/internal/profile"
 	"pathprof/internal/telemetry"
+	"pathprof/internal/vm/compile"
 )
 
 // ProfileSink supplies a run's profile containers so repeated runs
@@ -105,6 +106,11 @@ type ReplicatedResult struct {
 	// from Merged because their shard was quarantined.
 	LostReplicas int
 
+	// CompileStats holds per-routine threaded-code compile stats when
+	// the run used BackendCompiled (nil under dense). The compilation
+	// happened once, before the workers started.
+	CompileStats []compile.Stat
+
 	Elapsed time.Duration // wall clock of the whole replicated run
 }
 
@@ -127,10 +133,26 @@ func (r *ReplicatedResult) RunsPerSec() float64 {
 // shards merge afterwards in worker order, which makes the merged
 // snapshot bit-identical to a sequential run regardless of par.
 //
+// The engine — plan lowering and validation, DAGs, successor tables,
+// threaded-code compilation under BackendCompiled — is built ONCE and
+// shared by every worker; each worker binds it to its own shard and
+// reuses that binding (machine or compiled executor, pooled frames)
+// across all of its replicas.
+//
 // opts.Sink and opts.PathHook are overridden per worker (use
 // opts.PathHookFor for per-worker hooks); opts.Output, if set, must be
 // safe for concurrent writes.
 func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResult, error) {
+	e, err := NewEngine(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunReplicated(n, par)
+}
+
+// RunReplicated executes n replicas across par workers against the
+// prepared engine; see the package-level RunReplicated.
+func (e *Engine) RunReplicated(n, par int) (*ReplicatedResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("vm: RunReplicated needs at least 1 replica, got %d", n)
 	}
@@ -140,6 +162,7 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 	if par > n {
 		par = n
 	}
+	opts := &e.opts
 	col := profile.NewCollector(par)
 	type workerOut struct {
 		base, instr, steps, calls int64
@@ -159,24 +182,27 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			o := &outs[w]
-			wopts := opts
-			wopts.Sink = col.Shard(w)
-			wopts.MetricsWorker = w
+			shard := col.Shard(w)
+			hook := opts.PathHook
 			if opts.PathHookFor != nil {
-				wopts.PathHook = opts.PathHookFor(w)
+				hook = opts.PathHookFor(w)
+			}
+			b, err := e.bind(shard, w, hook)
+			if err != nil {
+				o.err = err
+				return
 			}
 			for i := lo; i < hi; i++ {
 				var res *Result
-				var err error
 				if guard == nil {
-					res, err = Run(prog, wopts)
+					res, err = b.run(opts.Args)
 					if err != nil {
 						o.err = fmt.Errorf("replica %d: %w", i, err)
 						return
 					}
 				} else {
 					var fault *ShardFault
-					res, fault = runGuarded(prog, wopts, guard, w, i)
+					res, fault = b.runGuarded(guard, shard, w, i)
 					if fault != nil {
 						// Quarantine: the shard's counts (this replica's
 						// and its predecessors') leave the merge, so the
@@ -203,7 +229,7 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 	}
 	wg.Wait()
 
-	rr := &ReplicatedResult{Replicas: n, Workers: par}
+	rr := &ReplicatedResult{Replicas: n, Workers: par, CompileStats: e.CompileStats()}
 	include := make([]bool, par)
 	for w := range outs {
 		o := &outs[w]
@@ -263,13 +289,13 @@ func RunReplicated(prog *ir.Program, opts Options, n, par int) (*ReplicatedResul
 // the budget, and any failure or deadline overrun from the run itself
 // returns a tainted ShardFault (the shard may hold partial counts, so
 // the caller must quarantine it).
-func runGuarded(prog *ir.Program, opts Options, guard *GuardConfig, w, i int) (*Result, *ShardFault) {
+func (b *binding) runGuarded(guard *GuardConfig, sink ProfileSink, w, i int) (*Result, *ShardFault) {
 	replicaStart := time.Now()
 	overDeadline := func() bool {
 		return guard.ReplicaDeadline > 0 && time.Since(replicaStart) > guard.ReplicaDeadline
 	}
 	for attempt := 0; ; attempt++ {
-		herr := callFaultHook(guard, FaultContext{Worker: w, Replica: i, Attempt: attempt, Sink: opts.Sink})
+		herr := callFaultHook(guard, FaultContext{Worker: w, Replica: i, Attempt: attempt, Sink: sink})
 		if herr == nil && overDeadline() {
 			herr = fmt.Errorf("vm: deadline %s exceeded before run", guard.ReplicaDeadline)
 		}
@@ -282,7 +308,7 @@ func runGuarded(prog *ir.Program, opts Options, guard *GuardConfig, w, i int) (*
 				Err: fmt.Errorf("replica %d: %w", i, herr),
 			}
 		}
-		res, rerr := runRecovered(prog, opts)
+		res, rerr := b.runRecovered()
 		if rerr == nil && overDeadline() {
 			rerr = fmt.Errorf("vm: run finished %s past its %s deadline",
 				time.Since(replicaStart)-guard.ReplicaDeadline, guard.ReplicaDeadline)
@@ -311,13 +337,14 @@ func callFaultHook(guard *GuardConfig, ctx FaultContext) (err error) {
 	return guard.FaultHook(ctx)
 }
 
-// runRecovered is Run with panic isolation: a panicking replica
-// reports an error instead of tearing down the whole replicated run.
-func runRecovered(prog *ir.Program, opts Options) (res *Result, err error) {
+// runRecovered is a bound replica run with panic isolation: a
+// panicking replica reports an error instead of tearing down the whole
+// replicated run.
+func (b *binding) runRecovered() (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("vm: replica panicked: %v", r)
 		}
 	}()
-	return Run(prog, opts)
+	return b.run(b.eng.opts.Args)
 }

@@ -32,6 +32,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/instr"
 	"pathprof/internal/ir"
+	"pathprof/internal/planir"
 	"pathprof/internal/profile"
 	"pathprof/internal/telemetry"
 )
@@ -126,6 +127,11 @@ type Options struct {
 	// shard quarantines); TraceUnit labels them.
 	Trace     *telemetry.Trace
 	TraceUnit string
+	// Backend selects the execution engine: BackendDense (the default)
+	// interprets over dense successor tables; BackendCompiled runs
+	// threaded code specialized per routine (internal/vm/compile). The
+	// two produce bit-identical results, profiles, and modeled costs.
+	Backend Backend
 }
 
 // Result is the outcome of a run.
@@ -175,7 +181,7 @@ type succRT struct {
 	back      bool  // transition follows a CFG back edge
 	takenCost int64 // TakenPenalty when to != from+1
 	instrCost int64 // EdgeCount under EdgeInstrument on branches
-	ops       []instr.Op
+	ops       []planir.Op
 	// Path tracking: real DAG edge to append, or the dummy pair that
 	// truncates and restarts the path at a back edge.
 	pathEdge   *cfg.DAGEdge
@@ -189,11 +195,11 @@ type blockRT struct {
 	succ [2]succRT
 }
 
-// funcRT is the per-function runtime state derived before execution.
+// funcRT is one routine's binding-level state: the engine's immutable
+// successor template joined with this worker's profile containers.
 type funcRT struct {
 	fn    *ir.Func
 	d     *cfg.DAG
-	plan  *instr.Plan
 	table *profile.Table
 
 	blocks []blockRT
@@ -215,210 +221,51 @@ type frame struct {
 	callDst int // caller register receiving the return value
 }
 
-// Run executes the program under the given options.
+// Run executes the program under the given options. It is
+// NewEngine + one run; callers executing the same program repeatedly
+// (replication, benchmarking) should build the Engine once instead.
 func Run(prog *ir.Program, opts Options) (*Result, error) {
-	if opts.Entry == "" {
-		opts.Entry = "main"
-	}
-	if opts.MaxSteps == 0 {
-		opts.MaxSteps = defaultMaxSteps
-	}
-	if !opts.UseZeroCosts && opts.Costs == (CostModel{}) {
-		opts.Costs = DefaultCosts()
-	}
-	entryIdx, ok := prog.FuncIndex[opts.Entry]
-	if !ok {
-		return nil, fmt.Errorf("vm: no function %q", opts.Entry)
-	}
-
-	m := &machine{prog: prog, opts: opts, res: &Result{
-		Edges:  map[string]*profile.EdgeProfile{},
-		Paths:  map[string]*profile.PathProfile{},
-		Tables: map[string]*profile.Table{},
-		DAGs:   map[string]*cfg.DAG{},
-	}}
-	m.tel = opts.Metrics.Cells(opts.MetricsWorker)
-	m.globals = append([]int64(nil), prog.GlobalInit...)
-	m.arrays = make([][]int64, len(prog.Arrays))
-	for i, a := range prog.Arrays {
-		m.arrays[i] = make([]int64, a.Size)
-	}
-	m.rts = make([]*funcRT, len(prog.Funcs))
-	for i, f := range prog.Funcs {
-		rt, err := m.prepare(f)
-		if err != nil {
-			return nil, err
-		}
-		m.rts[i] = rt
-	}
-
-	ret, err := m.exec(entryIdx, opts.Args)
+	e, err := NewEngine(prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	m.res.Ret = ret
-	return m.res, nil
+	return e.Run()
 }
 
 type machine struct {
-	prog    *ir.Program
-	opts    Options
-	res     *Result
-	globals []int64
-	arrays  [][]int64
-	rts     []*funcRT
-	pool    []*frame // recycled frames; regs/path capacity is retained
+	prog  *ir.Program
+	opts  *Options // the engine's defaulted options, shared read-only
+	entry int
+	res   *Result
+	// pathHook is this worker's hook (Options.PathHook, or
+	// PathHookFor(worker) under RunReplicated).
+	pathHook func(fn string, p cfg.Path)
+	globals  []int64
+	arrays   [][]int64
+	rts      []*funcRT
+	pool     []*frame // recycled frames; regs/path capacity is retained
 	// tel is this run's private view of the telemetry counters; the
 	// zero VMCells (no registry installed) makes every bump a no-op.
 	tel telemetry.VMCells
 }
 
-// prepare derives the per-function runtime tables: DAG-edge and
-// instrumentation maps are resolved here, once, into the dense
-// per-block successor tables the interpreter dispatches on.
-func (m *machine) prepare(f *ir.Func) (*funcRT, error) {
-	rt := &funcRT{fn: f}
-	var plan *instr.Plan
-	if m.opts.Plans != nil {
-		plan = m.opts.Plans[f.Name]
-	}
-	needDAG := m.opts.CollectPaths || (plan != nil && plan.Instrumented)
-	if plan != nil {
-		// Reuse the plan's DAG so edge IDs in Ops resolve correctly.
-		rt.d = plan.D
-		rt.plan = plan
-		rt.hash = plan.Hash
-		rt.poisonCheck = plan.PoisonCheck
-	} else if needDAG {
-		g, err := f.CFG()
-		if err != nil {
-			return nil, err
-		}
-		d, err := cfg.BuildDAG(g)
-		if err != nil {
-			return nil, err
-		}
-		rt.d = d
-	}
-
-	var (
-		real       map[[2]int]*cfg.DAGEdge
-		entryDummy map[int]*cfg.DAGEdge // by header block index
-		exitDummy  map[int]*cfg.DAGEdge // by tail block index
-		back       map[[2]int]bool
-		edgeOps    map[[2]int][]instr.Op
-	)
-	if rt.d != nil {
-		real = map[[2]int]*cfg.DAGEdge{}
-		entryDummy = map[int]*cfg.DAGEdge{}
-		exitDummy = map[int]*cfg.DAGEdge{}
-		back = map[[2]int]bool{}
-		for _, e := range rt.d.Edges {
-			switch e.Kind {
-			case cfg.RealEdge:
-				real[[2]int{e.Src.ID, e.Dst.ID}] = e
-			case cfg.EntryDummy:
-				entryDummy[e.Dst.ID] = e
-			case cfg.ExitDummy:
-				exitDummy[e.Src.ID] = e
-			}
-		}
-		for _, e := range rt.d.G.Edges {
-			if e.Back {
-				back[[2]int{e.Src.ID, e.Dst.ID}] = true
-			}
+// run executes one replica: restore program state, run, report. The
+// machine itself — successor tables, pooled frames, containers — is
+// reused across a worker's replicas.
+func (m *machine) run(args []int64, b *binding) (*Result, error) {
+	copy(m.globals, m.prog.GlobalInit)
+	for _, a := range m.arrays {
+		for i := range a {
+			a[i] = 0
 		}
 	}
-	if plan != nil && plan.Instrumented {
-		edgeOps = map[[2]int][]instr.Op{}
-		for _, e := range rt.d.G.Edges {
-			key := [2]int{e.Src.ID, e.Dst.ID}
-			if e.Back {
-				var ops []instr.Op
-				if xd := exitDummy[e.Src.ID]; xd != nil {
-					ops = append(ops, plan.Ops[xd.ID]...)
-				}
-				if ed := entryDummy[e.Dst.ID]; ed != nil {
-					ops = append(ops, plan.Ops[ed.ID]...)
-				}
-				if len(ops) > 0 {
-					edgeOps[key] = ops
-				}
-				continue
-			}
-			de := real[key]
-			if de != nil && len(plan.Ops[de.ID]) > 0 {
-				edgeOps[key] = plan.Ops[de.ID]
-			}
-		}
-		kind := profile.ArrayTable
-		if plan.Hash {
-			kind = profile.HashTable
-		}
-		if sink := m.opts.Sink; sink != nil {
-			rt.table = sink.Table(f.Name, kind, plan.N, plan.TableSize)
-		} else {
-			rt.table = profile.NewTable(kind, plan.N, plan.TableSize)
-		}
-		m.res.Tables[f.Name] = rt.table
+	m.res = &Result{Edges: b.edges, Paths: b.paths, Tables: b.tables, DAGs: b.dags}
+	ret, err := m.exec(m.entry, args)
+	if err != nil {
+		return nil, err
 	}
-	if m.opts.CollectEdges {
-		if sink := m.opts.Sink; sink != nil {
-			rt.edges = sink.EdgeProfile(f.Name)
-		} else {
-			rt.edges = profile.NewEdgeProfile(f.Name)
-		}
-		m.res.Edges[f.Name] = rt.edges
-	}
-	if m.opts.CollectPaths {
-		if sink := m.opts.Sink; sink != nil {
-			rt.paths = sink.PathProfile(f.Name)
-		} else {
-			rt.paths = profile.NewPathProfile(f.Name)
-		}
-		m.res.Paths[f.Name] = rt.paths
-	}
-	if rt.d != nil {
-		m.res.DAGs[f.Name] = rt.d
-	}
-
-	// Compile the successor tables.
-	mk := func(from, to int, isBranch bool) succRT {
-		s := succRT{to: to, edgeSlot: -1}
-		if to != from+1 {
-			s.takenCost = m.opts.Costs.TakenPenalty
-		}
-		if m.opts.EdgeInstrument && isBranch {
-			s.instrCost = m.opts.Costs.EdgeCount
-		}
-		if rt.edges != nil {
-			s.edgeSlot = int32(rt.edges.Slot(from, to))
-		}
-		if edgeOps != nil {
-			s.ops = edgeOps[[2]int{from, to}]
-		}
-		if rt.d != nil {
-			if back[[2]int{from, to}] {
-				s.back = true
-				s.exitDummy = exitDummy[from]
-				s.entryDummy = entryDummy[to]
-			} else {
-				s.pathEdge = real[[2]int{from, to}]
-			}
-		}
-		return s
-	}
-	rt.blocks = make([]blockRT, len(f.Blocks))
-	for i, b := range f.Blocks {
-		switch b.Term.Kind {
-		case ir.Jump:
-			rt.blocks[i].succ[0] = mk(i, b.Term.To, false)
-		case ir.Branch:
-			rt.blocks[i].succ[0] = mk(i, b.Term.To, true)
-			rt.blocks[i].succ[1] = mk(i, b.Term.Else, true)
-		}
-	}
-	return rt, nil
+	m.res.Ret = ret
+	return m.res, nil
 }
 
 // newFrame pushes a pooled frame for function fi. Register and path
@@ -585,8 +432,8 @@ func (m *machine) exec(fnIdx int, args []int64) (int64, error) {
 				rt.paths.Add(fr.path, 1)
 				m.tel.Paths.Inc()
 				m.tel.PathLen.Observe(int64(len(fr.path)))
-				if m.opts.PathHook != nil {
-					m.opts.PathHook(rt.fn.Name, fr.path)
+				if m.pathHook != nil {
+					m.pathHook(rt.fn.Name, fr.path)
 				}
 			}
 			if t.Ret >= 0 {
@@ -646,8 +493,8 @@ func (m *machine) transition(fr *frame, s *succRT) {
 			rt.paths.Add(fr.path, 1)
 			m.tel.Paths.Inc()
 			m.tel.PathLen.Observe(int64(len(fr.path)))
-			if m.opts.PathHook != nil {
-				m.opts.PathHook(rt.fn.Name, fr.path)
+			if m.pathHook != nil {
+				m.pathHook(rt.fn.Name, fr.path)
 			}
 			fr.path = fr.path[:0]
 			fr.path = append(fr.path, s.entryDummy) //ppp:allow(alloc)
@@ -657,28 +504,29 @@ func (m *machine) transition(fr *frame, s *succRT) {
 	}
 }
 
-// runOps executes instrumentation operations with modeled cost.
+// runOps executes a planir instrumentation op stream with modeled
+// cost.
 //
 //ppp:hotpath
-func (m *machine) runOps(fr *frame, ops []instr.Op) {
+func (m *machine) runOps(fr *frame, ops []planir.Op) {
 	costs := &m.opts.Costs
 	rt := fr.rt
 	hash := rt.hash
 	m.tel.Ops.Add(int64(len(ops)))
 	for _, op := range ops {
 		switch op.Kind {
-		case instr.OpInc:
+		case planir.OpInc:
 			fr.r += op.V
 			m.res.InstrCost += costs.RegOp
-		case instr.OpSet:
+		case planir.OpSet:
 			fr.r = op.V
 			m.res.InstrCost += costs.RegOp
-		case instr.OpCountR, instr.OpCountRV, instr.OpCountC:
+		case planir.OpCountR, planir.OpCountRV, planir.OpCountC:
 			idx := fr.r
 			switch op.Kind {
-			case instr.OpCountRV:
+			case planir.OpCountRV:
 				idx += op.V
-			case instr.OpCountC:
+			case planir.OpCountC:
 				idx = op.V
 			}
 			if rt.poisonCheck {
@@ -693,7 +541,7 @@ func (m *machine) runOps(fr *frame, ops []instr.Op) {
 			switch {
 			case hash:
 				m.res.InstrCost += costs.CountHash
-			case op.Kind == instr.OpCountC:
+			case op.Kind == planir.OpCountC:
 				m.res.InstrCost += costs.CountConst
 			default:
 				m.res.InstrCost += costs.CountArray
