@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput|faults|backend]
-//	         [-backend dense|compiled] [-workloads a,b,c] [-par n] [-replicas n]
-//	         [-faults spec] [-json] [-v] [-cpuprofile f] [-memprofile f]
+//	pppbench [-exp all|table1|table2|fig9|fig10|fig11|fig12|fig13|sac|net|static|throughput|faults|backend|placement]
+//	         [-backend dense|compiled] [-placement spanning|mincost] [-workloads a,b,c]
+//	         [-par n] [-replicas n] [-faults spec] [-json] [-v] [-cpuprofile f] [-memprofile f]
 //
 // The workload sweep runs on a bounded worker pool (-par, default
 // GOMAXPROCS); table and figure output is deterministic regardless of
@@ -35,6 +35,17 @@
 // per-routine compile cost. With -json, the comparison lands in the
 // report's backend_comparison field.
 //
+// -placement selects the edge-probe placement the suite's pipelines
+// plan under: "spanning" (a counter per CFG transition, default) or
+// "mincost" (probes only on the cotree chords of a max-cost spanning
+// tree, remaining counts recovered by flow conservation); every table
+// and figure is identical under either. -exp placement runs the
+// spanning-vs-mincost head-to-head: per-workload probe-site counts and
+// modeled overhead for PP/TPP/PPP under both placements, plus the
+// recovery bit-identity check at 1/2/4/8 workers on both backends (a
+// fingerprint divergence is a hard failure). With -json, the
+// comparison lands in the report's placement_comparison field.
+//
 // Observability: -serve :addr exposes the suite's live telemetry over
 // HTTP (/metrics Prometheus text, /debug/vars, /debug/pprof, trace
 // exports) and keeps serving after the experiments finish, until
@@ -57,6 +68,7 @@ import (
 	"time"
 
 	"pathprof/internal/bench"
+	"pathprof/internal/instr"
 	"pathprof/internal/telemetry"
 	"pathprof/internal/vm"
 	"pathprof/internal/workloads"
@@ -67,12 +79,20 @@ type report struct {
 	Workloads   []string           `json:"workloads"`
 	Parallelism int                `json:"parallelism"`
 	Backend     string             `json:"backend"`
+	Placement   string             `json:"placement"`
 	Experiments []experimentTiming `json:"experiments"`
 	TotalSecs   float64            `json:"total_seconds"`
 	Headline    map[string]float64 `json:"headline"`
+	// StaticOps lists per-routine, per-profiler static instrumentation
+	// (path-profiling ops and edge probe sites) under the selected
+	// placement.
+	StaticOps []bench.StaticOpsRow `json:"static_ops,omitempty"`
 	// Backends holds the dense-vs-compiled comparison (wall clock,
 	// speedup, per-routine compile stats) when -exp backend ran.
 	Backends *bench.BackendReport `json:"backend_comparison,omitempty"`
+	// Placements holds the spanning-vs-mincost probe-placement
+	// head-to-head when -exp placement ran.
+	Placements *bench.PlacementReport `json:"placement_comparison,omitempty"`
 }
 
 type experimentTiming struct {
@@ -83,8 +103,9 @@ type experimentTiming struct {
 func main() { os.Exit(run()) }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput, faults, backend)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1, table2, fig9, fig10, fig11, fig12, fig13, sac, net, static, throughput, faults, backend, placement)")
 	backendName := flag.String("backend", "dense", "VM execution backend for pipeline runs (dense, compiled)")
+	placementName := flag.String("placement", "spanning", "edge-probe placement for pipeline runs (spanning, mincost)")
 	names := flag.String("workloads", "", "comma-separated subset of workloads (default: all 18)")
 	par := flag.Int("par", 0, "worker pool size for the workload sweep (0 = GOMAXPROCS, 1 = sequential)")
 	replicas := flag.Int("replicas", bench.DefaultThroughputReplicas, "replicas per measurement in -exp throughput/faults")
@@ -130,9 +151,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 2
 	}
+	placement, err := instr.ParsePlacement(*placementName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
 	s := bench.NewSuite()
 	s.Parallelism = *par
 	s.Backend = backend
+	s.Placement = placement
 	if *verbose {
 		s.Log = os.Stderr
 	}
@@ -183,12 +210,19 @@ func run() int {
 		{"static", s.StaticReport, false},
 		{"throughput", func(w io.Writer) error { return s.ThroughputReport(w, *replicas) }, true},
 		{"faults", func(w io.Writer) error { return s.FaultsReport(w, *faults, *replicas) }, true},
-		{"backend", nil, true}, // run function filled in below; needs access to rep
+		// run functions filled in below; they need access to rep.
+		{"backend", nil, true},
+		{"placement", nil, true},
 	}
-	rep := report{Parallelism: s.Parallelism, Backend: backend.String()}
-	all[len(all)-1].run = func(w io.Writer) error {
+	rep := report{Parallelism: s.Parallelism, Backend: backend.String(), Placement: placement.String()}
+	all[len(all)-2].run = func(w io.Writer) error {
 		br, err := s.BackendSmoke(w, *replicas)
 		rep.Backends = br
+		return err
+	}
+	all[len(all)-1].run = func(w io.Writer) error {
+		pr, err := s.PlacementTable(w, *replicas)
+		rep.Placements = pr
 		return err
 	}
 	for _, w := range s.Workloads {
@@ -232,6 +266,11 @@ func run() int {
 			return 1
 		}
 		rep.Headline = headline
+		rep.StaticOps, err = s.StaticOpsRows()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "static ops: %v\n", err)
+			return 1
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {

@@ -8,6 +8,7 @@
 //	pppc -workload mcf -profiler PPP
 //	pppc -src prog.mc -profiler TPP -hot 10
 //	pppc -src prog.mc -profiler PPP -dump-plans
+//	pppc -workload mcf -profiler PPP -placement mincost -verify
 //	pppc -workload mcf -snapshot mcf.ppsnap
 //	pppc -workload mcf -faults seed=7,kind=panic+overflow
 //	pppc -workload mcf -trace trace.jsonl -serve :8080
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	hot := fs.Int("hot", 10, "number of hot paths to print")
 	noOpt := fs.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
 	backendName := fs.String("backend", "dense", "VM execution backend (dense, compiled)")
+	placementName := fs.String("placement", "spanning", "edge-probe placement (spanning, mincost)")
 	verifyPlans := fs.Bool("verify", false, "statically verify every instrumentation plan before running")
 	dumpPlans := fs.Bool("dump-plans", false, "dump per-routine instrumentation plans")
 	saveProfile := fs.String("save-profile", "", "write the optimized run's edge profile to a file")
@@ -152,10 +154,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("%v", err)
 	}
+	placement, err := instr.ParsePlacement(*placementName)
+	if err != nil {
+		return fail("%v", err)
+	}
 
 	pipe := core.NewPipeline(name, source)
 	pipe.NoOpt = *noOpt
 	pipe.Backend = backend
+	pipe.Instr.Placement = placement
 	pipe.Instr.Trace = reg.Trace()
 	pipe.Metrics = telemetry.NewVMMetrics(reg)
 	staged, err := pipe.Stage()

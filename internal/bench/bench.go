@@ -15,6 +15,7 @@ import (
 
 	"pathprof/internal/core"
 	"pathprof/internal/eval"
+	"pathprof/internal/instr"
 	"pathprof/internal/netprof"
 	"pathprof/internal/telemetry"
 	"pathprof/internal/vm"
@@ -70,6 +71,12 @@ type Suite struct {
 	// (dense interpreter or compiled threaded code). All tables and
 	// figures are identical under either; only wall clock differs.
 	Backend vm.Backend
+	// Placement selects the edge-probe placement every pipeline in the
+	// suite plans under: spanning full counters (the default) or
+	// min-cost cotree-chord probes. All tables and figures are identical
+	// under either — placement only decides how edge counts are
+	// acquired, and the suite's instrumented runs recover them exactly.
+	Placement instr.Placement
 
 	mu      sync.Mutex
 	logMu   sync.Mutex
@@ -140,6 +147,7 @@ func (s *Suite) runWorkload(name string) (*WorkloadResult, error) {
 	pl := core.NewPipeline(w.Name, w.Source)
 	pl.PathHook = pred.Hook()
 	pl.Backend = s.Backend
+	pl.Instr.Placement = s.Placement
 	pl.Instr.Trace = s.Telemetry.Trace()
 	staged, err := pl.Stage()
 	if err != nil {

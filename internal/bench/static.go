@@ -5,6 +5,48 @@ import (
 	"io"
 )
 
+// StaticOpsRow is the machine-readable static-instrumentation record
+// for one routine under one profiler: inserted path-profiling ops and
+// the edge-counter probe sites the plan's placement implies.
+type StaticOpsRow struct {
+	Workload     string `json:"workload"`
+	Routine      string `json:"routine"`
+	Profiler     string `json:"profiler"`
+	Ops          int    `json:"static_ops"`
+	EdgeSites    int    `json:"static_edge_sites"`
+	Instrumented bool   `json:"instrumented"`
+}
+
+// StaticOpsRows flattens every workload x routine x profiler plan into
+// rows for pppbench's JSON report, in deterministic order (suite
+// workload order, then routine name, then PP/TPP/PPP).
+func (s *Suite) StaticOpsRows() ([]StaticOpsRow, error) {
+	rs, err := s.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	var rows []StaticOpsRow
+	for _, r := range rs {
+		for _, rn := range sortedNames(r.Profilers["PP"].Plans) {
+			for _, p := range []string{"PP", "TPP", "PPP"} {
+				plan := r.Profilers[p].Plans[rn]
+				if plan == nil {
+					continue
+				}
+				rows = append(rows, StaticOpsRow{
+					Workload:     r.W.Name,
+					Routine:      rn,
+					Profiler:     p,
+					Ops:          plan.StaticOps(),
+					EdgeSites:    plan.StaticEdgeSites(),
+					Instrumented: plan.Instrumented,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
 // StaticReport summarises the compile-time side of each profiler
 // (Section 4.7 discusses PPP's analysis cost qualitatively): the
 // number of instrumentation operations inserted, the number of

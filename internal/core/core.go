@@ -323,52 +323,13 @@ func (s *Staged) Profile(name string, tech instr.Techniques) (*ProfilerResult, e
 // input — the classic two-run profile-guided workflow, and the way to
 // study stale-profile behaviour.
 func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[string]*profile.EdgeProfile) (*ProfilerResult, error) {
-	total := s.TotalUnitFlow()
-	plans := map[string]*instr.Plan{}
-	pr := &ProfilerResult{Name: name, Tech: tech, Plans: plans, Modes: map[string]Mode{}}
+	pr := &ProfilerResult{Name: name, Tech: tech, Plans: map[string]*instr.Plan{}, Modes: map[string]Mode{}}
 	par := s.Pipeline.Instr
 	par.Unit = s.Pipeline.Name + "/" + name
-	for _, f := range s.Prog.Funcs {
-		g, err := f.CFG()
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: cfg %s: %w", s.Pipeline.Name, name, f.Name, err)
-		}
-		if ep := guide[f.Name]; ep != nil {
-			ep.ApplyTo(g)
-		}
-		plan, err := instr.Build(g, tech, par, total)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: plan %s: %w", s.Pipeline.Name, name, f.Name, err)
-		}
-		// Degraded-mode ladder: a routine whose path space defeats the
-		// requested techniques (SAC included) retries under TPP's local
-		// criterion, which removes cold paths far more aggressively; if
-		// even that cannot number it, the routine runs uninstrumented
-		// and is served by the edge profile alone.
-		if plan.Reason == "too-many-paths" {
-			tppPlan, tppErr := instr.Build(g, instr.TPP(), par, total)
-			if tppErr == nil && tppPlan.Reason != "too-many-paths" {
-				plan = tppPlan
-				pr.Modes[f.Name] = ModeTPP
-				s.emitDemote(par, f.Name, ModeTPP,
-					"too-many-paths: demoted to TPP cold-path removal")
-			} else {
-				pr.Modes[f.Name] = ModeEdgeOnly
-				s.emitDemote(par, f.Name, ModeEdgeOnly,
-					"too-many-paths under TPP too: demoted to edge-only")
-			}
-		}
-		plans[f.Name] = plan
-		if plan.SACIterations > 0 {
-			pr.SACAdjusted++
-			if plan.SACIterations > pr.MaxSACIterations {
-				pr.MaxSACIterations = plan.SACIterations
-			}
-		}
-		if plan.Hash {
-			pr.HashedRoutines++
-		}
+	if err := s.buildPlans(pr, tech, guide, par); err != nil {
+		return nil, err
 	}
+	plans := pr.Plans
 	run, err := vm.Run(s.Prog, vm.Options{
 		Costs: s.Pipeline.Costs, Entry: s.Pipeline.Entry, MaxSteps: s.Pipeline.MaxSteps,
 		Plans: plans, CollectPaths: true,
@@ -428,6 +389,74 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 	}
 	pr.Eval = eval.New(routines)
 	return pr, nil
+}
+
+// PlansFor builds the per-routine instrumentation plans ProfileWith
+// would use — degraded-mode ladder included — without executing the
+// instrumented program, under an explicit probe placement mode. The
+// path-plan side is identical across placements (probe placement only
+// decides which transitions carry edge counters), which is what lets
+// bench pair spanning and min-cost plan sets over one staged program
+// and compare their acquisition cost head to head.
+func (s *Staged) PlansFor(name string, tech instr.Techniques, pl instr.Placement) (map[string]*instr.Plan, error) {
+	pr := &ProfilerResult{Name: name, Tech: tech, Plans: map[string]*instr.Plan{}, Modes: map[string]Mode{}}
+	par := s.Pipeline.Instr
+	par.Placement = pl
+	par.Unit = s.Pipeline.Name + "/" + name
+	if err := s.buildPlans(pr, tech, s.Base.Edges, par); err != nil {
+		return nil, err
+	}
+	return pr.Plans, nil
+}
+
+// buildPlans fills pr.Plans (and the plan-time ladder state) for every
+// routine of the staged program, guided by the given edge profile.
+func (s *Staged) buildPlans(pr *ProfilerResult, tech instr.Techniques, guide map[string]*profile.EdgeProfile, par instr.Params) error {
+	total := s.TotalUnitFlow()
+	name := pr.Name
+	plans := pr.Plans
+	for _, f := range s.Prog.Funcs {
+		g, err := f.CFG()
+		if err != nil {
+			return fmt.Errorf("%s/%s: cfg %s: %w", s.Pipeline.Name, name, f.Name, err)
+		}
+		if ep := guide[f.Name]; ep != nil {
+			ep.ApplyTo(g)
+		}
+		plan, err := instr.Build(g, tech, par, total)
+		if err != nil {
+			return fmt.Errorf("%s/%s: plan %s: %w", s.Pipeline.Name, name, f.Name, err)
+		}
+		// Degraded-mode ladder: a routine whose path space defeats the
+		// requested techniques (SAC included) retries under TPP's local
+		// criterion, which removes cold paths far more aggressively; if
+		// even that cannot number it, the routine runs uninstrumented
+		// and is served by the edge profile alone.
+		if plan.Reason == "too-many-paths" {
+			tppPlan, tppErr := instr.Build(g, instr.TPP(), par, total)
+			if tppErr == nil && tppPlan.Reason != "too-many-paths" {
+				plan = tppPlan
+				pr.Modes[f.Name] = ModeTPP
+				s.emitDemote(par, f.Name, ModeTPP,
+					"too-many-paths: demoted to TPP cold-path removal")
+			} else {
+				pr.Modes[f.Name] = ModeEdgeOnly
+				s.emitDemote(par, f.Name, ModeEdgeOnly,
+					"too-many-paths under TPP too: demoted to edge-only")
+			}
+		}
+		plans[f.Name] = plan
+		if plan.SACIterations > 0 {
+			pr.SACAdjusted++
+			if plan.SACIterations > pr.MaxSACIterations {
+				pr.MaxSACIterations = plan.SACIterations
+			}
+		}
+		if plan.Hash {
+			pr.HashedRoutines++
+		}
+	}
+	return nil
 }
 
 // baseFlowOf returns the routine's ground-truth dynamic path count,

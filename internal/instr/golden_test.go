@@ -21,28 +21,41 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestDumpGolden(t *testing.T) {
+	pppNoLC := func() instr.Techniques {
+		x := instr.PPP()
+		x.LowCoverage = false
+		return x
+	}()
 	cases := []struct {
-		name  string
-		graph func() (*cfg.Graph, map[string]*cfg.Block)
-		tech  instr.Techniques
-		total int64
+		name      string
+		graph     func() (*cfg.Graph, map[string]*cfg.Block)
+		tech      instr.Techniques
+		total     int64
+		placement instr.Placement
 	}{
-		{"figure1-pp", figure1Graph, instr.PP(), 1000},
-		{"figure1-ppp", figure1Graph, func() instr.Techniques {
-			x := instr.PPP()
-			x.LowCoverage = false
-			return x
-		}(), 1000},
-		{"figure3-fp", figure3Graph, instr.Techniques{ColdLocal: true, FreePoison: true}, 1000},
-		{"figure3-nofp", figure3Graph, instr.Techniques{ColdLocal: true}, 1000},
-		{"figure4-tpp", figure4Graph, instr.TPP(), 100},
-		{"figure4-pp", figure4Graph, instr.PP(), 100},
+		{"figure1-pp", figure1Graph, instr.PP(), 1000, instr.PlaceSpanning},
+		{"figure1-ppp", figure1Graph, pppNoLC, 1000, instr.PlaceSpanning},
+		{"figure3-fp", figure3Graph, instr.Techniques{ColdLocal: true, FreePoison: true}, 1000, instr.PlaceSpanning},
+		{"figure3-nofp", figure3Graph, instr.Techniques{ColdLocal: true}, 1000, instr.PlaceSpanning},
+		{"figure4-tpp", figure4Graph, instr.TPP(), 100, instr.PlaceSpanning},
+		{"figure4-pp", figure4Graph, instr.PP(), 100, instr.PlaceSpanning},
+		// Min-cost probe placement on the same worked examples: the path
+		// plan is identical to the spanning dump; the trailing placement
+		// section pins which cotree chords carry edge probes.
+		{"figure1-ppp-mincost", figure1Graph, pppNoLC, 1000, instr.PlaceMinCost},
+		{"figure3-fp-mincost", figure3Graph, instr.Techniques{ColdLocal: true, FreePoison: true}, 1000, instr.PlaceMinCost},
+		{"figure4-tpp-mincost", figure4Graph, instr.TPP(), 100, instr.PlaceMinCost},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			g, _ := tc.graph()
-			p := build(t, g, tc.tech, tc.total)
+			par := instr.DefaultParams()
+			par.Placement = tc.placement
+			p, err := instr.Build(g, tc.tech, par, tc.total)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
 			got := p.Dump()
 			path := filepath.Join("testdata", tc.name+".golden")
 			if *update {

@@ -22,6 +22,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/flow"
 	"pathprof/internal/pathnum"
+	"pathprof/internal/placement"
 	"pathprof/internal/telemetry"
 )
 
@@ -156,6 +157,45 @@ func PPP() Techniques {
 	}
 }
 
+// Placement selects how edge-counter probes are placed when a run
+// acquires the routine's edge profile by instrumentation. It is
+// orthogonal to the path-profiling techniques: the Ball-Larus path
+// plan is identical under either mode.
+type Placement int
+
+const (
+	// PlaceSpanning is the baseline: a counter on every CFG
+	// transition, the classic full edge instrumentation the paper's
+	// edge-profiling overhead numbers assume.
+	PlaceSpanning Placement = iota
+	// PlaceMinCost probes only the E-V+2 cotree chords of a max-cost
+	// spanning tree over the profile-weighted CFG (plus a virtual
+	// exit->entry edge) and recovers every other count, including the
+	// call count, from flow conservation (internal/placement).
+	PlaceMinCost
+)
+
+func (pl Placement) String() string {
+	switch pl {
+	case PlaceSpanning:
+		return "spanning"
+	case PlaceMinCost:
+		return "mincost"
+	}
+	return fmt.Sprintf("Placement(%d)", int(pl))
+}
+
+// ParsePlacement maps the CLI spelling to a Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "spanning":
+		return PlaceSpanning, nil
+	case "mincost":
+		return PlaceMinCost, nil
+	}
+	return PlaceSpanning, fmt.Errorf("instr: unknown placement %q (want spanning or mincost)", s)
+}
+
 // Params holds the profiling thresholds; defaults follow Section 7.4.
 type Params struct {
 	// LocalColdRatio: an edge is cold if freq(e) < ratio * freq(src).
@@ -178,6 +218,9 @@ type Params struct {
 	HashThreshold int64
 	// Metric used for coverage computations.
 	Metric flow.Metric
+	// Placement selects the edge-counter probe placement
+	// (PlaceSpanning or PlaceMinCost).
+	Placement Placement
 
 	// Trace, if set, receives one decision event per planner choice —
 	// LC skips, cold-edge marks, SAC rounds, push combines, SPN
@@ -255,6 +298,11 @@ type Plan struct {
 	// the global cold ratio after adjustment.
 	SACIterations    int
 	FinalGlobalRatio float64
+
+	// Placement is the edge-probe placement mode the plan was built
+	// under; Probes carries the min-cost spec (nil under spanning).
+	Placement Placement
+	Probes    *placement.Spec
 }
 
 // Dump renders the plan as text for debugging and golden tests.
@@ -290,6 +338,14 @@ func (p *Plan) Dump() string {
 	for _, a := range p.Attr {
 		fmt.Fprintf(&sb, "  attr %s <- freq(%s)\n", a.Path, a.Edge)
 	}
+	if p.Probes != nil {
+		fmt.Fprintf(&sb, "  placement mincost: %d probe(s) on %d edges (recovering %d)\n",
+			p.Probes.NumProbes(), len(p.G.Edges), len(p.G.Edges)-p.Probes.NumProbes())
+		for _, pr := range p.Probes.Probes {
+			fmt.Fprintf(&sb, "    probe %d: %s\n", pr.Index,
+				p.G.FindEdge(p.G.Blocks[pr.Src], p.G.Blocks[pr.Dst]))
+		}
+	}
 	return sb.String()
 }
 
@@ -301,6 +357,17 @@ func (p *Plan) StaticOps() int {
 		n += len(ops)
 	}
 	return n
+}
+
+// StaticEdgeSites counts the edge-counter probe sites the plan's
+// placement implies when a run instruments edges: one per CFG edge
+// under spanning (full edge instrumentation), one per cotree chord
+// under min-cost.
+func (p *Plan) StaticEdgeSites() int {
+	if p.Probes != nil {
+		return p.Probes.NumProbes()
+	}
+	return len(p.G.Edges)
 }
 
 // emitf records one planner decision in the configured trace. A nil

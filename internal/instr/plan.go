@@ -7,6 +7,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/flow"
 	"pathprof/internal/pathnum"
+	"pathprof/internal/placement"
 	"pathprof/internal/telemetry"
 )
 
@@ -25,6 +26,21 @@ func Build(g *cfg.Graph, tech Techniques, par Params, totalUnitFlow int64) (*Pla
 		Cold:             make([]bool, len(d.Edges)),
 		Disc:             make([]bool, len(d.Edges)),
 		FinalGlobalRatio: par.GlobalColdRatio,
+		Placement:        par.Placement,
+	}
+
+	// Min-cost edge-probe placement is planned for every routine,
+	// instrumented or not: edge counting is orthogonal to the path
+	// pipeline below, and skipped routines still need their edge
+	// profiles recovered from sparse probes.
+	if par.Placement == PlaceMinCost {
+		spec, err := placement.Plan(g)
+		if err != nil {
+			return nil, err
+		}
+		p.Probes = spec
+		p.emitf(telemetry.EvPlacement, nil, spec.DynamicProbeHits(g),
+			"min-cost placement: %d probe(s) on %d edges", spec.NumProbes(), len(g.Edges))
 	}
 
 	// LC (Section 4.1): skip routines the edge profile already covers.

@@ -1,0 +1,343 @@
+// Package placement computes minimum-cost probe placements for edge
+// profiling (Knuth 1973; Ball-Larus 1994; minimum coverage
+// instrumentation, arXiv 2208.13907): instead of counting every CFG
+// edge, count only the cotree chords of a maximum-cost spanning tree
+// over the undirected CFG plus a virtual exit->entry edge, and
+// reconstruct every uninstrumented count — including the routine's
+// call count, carried by the virtual edge — from Kirchhoff flow
+// conservation at each block.
+//
+// The probe set is provably minimal: the counts of a strongly
+// conserved flow have E - V + 2 degrees of freedom (the cycle-space
+// dimension of the CFG with the virtual edge), so no placement with
+// fewer probes can distinguish all edge profiles, and the cotree of
+// any spanning tree achieves exactly that many. Choosing the
+// *maximum-cost* tree under measured edge frequencies pushes the
+// probes onto the coldest chords, minimizing the expected number of
+// dynamic counter increments; the virtual edge is pinned into the
+// tree with infinite weight so the per-call entry/exit transitions
+// are never instrumented.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/profile"
+)
+
+// Probe is one instrumented CFG edge: executions of Src->Dst bump the
+// dense counter Index. Indices are dense in [0, len(Spec.Probes)) and
+// assigned in (Src, Dst) block-ID order, so a spec's probe layout is a
+// pure function of the graph and weights.
+type Probe struct {
+	Src, Dst int // block IDs
+	Index    int
+}
+
+// specEdge is one edge of the flow system: every CFG edge plus the
+// virtual exit->entry edge (the last entry, Virtual == true).
+type specEdge struct {
+	src, dst int
+	probe    int  // dense probe index, or -1 for tree edges
+	virtual  bool // the exit->entry closure edge
+}
+
+// Spec is the placement for one routine: which edges carry probes and
+// which are recovered. It is immutable after Plan and safe to share
+// across workers.
+type Spec struct {
+	Func    string
+	NBlocks int
+	Probes  []Probe
+
+	// MeasuredCalls is set when the routine's entry block is also its
+	// exit: the virtual exit->entry edge degenerates to a self-loop,
+	// which cancels out of every block's flow balance, so the call
+	// count cannot be recovered from conservation and must come from
+	// the measured profile (the VM counts calls for free whenever it
+	// collects edges). One fewer probe is needed: the self-loop is not
+	// an independent constraint on the real edges.
+	MeasuredCalls bool
+
+	edges []specEdge
+}
+
+// Plan computes the minimum-cost placement for g. Edge weights are the
+// measured frequencies on g (a guide profile applied via ApplyTo, or
+// all zero for a static plan — the probe count is the same either way,
+// only which chords carry them moves). The graph must pass
+// cfg.Validate, which guarantees the undirected CFG plus the virtual
+// edge is connected and therefore spans.
+func Plan(g *cfg.Graph) (*Spec, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	s := &Spec{Func: g.Name, NBlocks: len(g.Blocks), MeasuredCalls: g.Entry.ID == g.Exit.ID}
+
+	// Union-find over block IDs, path halving.
+	parent := make([]int, len(g.Blocks))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Pin the virtual exit->entry edge into the tree first (infinite
+	// weight): Calls is recovered, never probed. When entry == exit the
+	// pin is a no-op (self-loop) and the tree gains one more real edge
+	// instead; Calls then comes from the measured profile.
+	parent[find(g.Exit.ID)] = find(g.Entry.ID)
+
+	// Kruskal on the real edges in descending weight order; ties break
+	// by edge ID so the tree is deterministic. An edge whose endpoints
+	// are already connected (including self loops) is a chord.
+	order := make([]*cfg.Edge, len(g.Edges))
+	copy(order, g.Edges)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Freq > order[j].Freq })
+	inTree := make(map[int]bool, len(g.Blocks))
+	for _, e := range order {
+		a, b := find(e.Src.ID), find(e.Dst.ID)
+		if a != b {
+			parent[a] = b
+			inTree[e.ID] = true
+		}
+	}
+
+	// Chords become probes in (Src, Dst) order — g.Edges is not sorted
+	// by endpoints, so sort explicitly for a canonical dense layout.
+	chords := make([]*cfg.Edge, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		if !inTree[e.ID] {
+			chords = append(chords, e)
+		}
+	}
+	sort.Slice(chords, func(i, j int) bool {
+		if chords[i].Src.ID != chords[j].Src.ID {
+			return chords[i].Src.ID < chords[j].Src.ID
+		}
+		return chords[i].Dst.ID < chords[j].Dst.ID
+	})
+	probeIdx := make(map[int]int, len(chords))
+	for i, e := range chords {
+		s.Probes = append(s.Probes, Probe{Src: e.Src.ID, Dst: e.Dst.ID, Index: i})
+		probeIdx[e.ID] = i
+	}
+
+	for _, e := range g.Edges {
+		idx, ok := probeIdx[e.ID]
+		if !ok {
+			idx = -1
+		}
+		s.edges = append(s.edges, specEdge{src: e.Src.ID, dst: e.Dst.ID, probe: idx})
+	}
+	if !s.MeasuredCalls {
+		s.edges = append(s.edges, specEdge{src: g.Exit.ID, dst: g.Entry.ID, probe: -1, virtual: true})
+	}
+
+	want := len(g.Edges) - len(g.Blocks) + 2
+	if s.MeasuredCalls {
+		want--
+	}
+	if len(s.Probes) != want {
+		return nil, fmt.Errorf("placement: %s: %d probes, want %d (cycle-space dimension)", g.Name, len(s.Probes), want)
+	}
+	return s, nil
+}
+
+// NumProbes returns the static probe-site count: E - V + 2, or one
+// fewer when MeasuredCalls (the virtual edge is a self-loop).
+func (s *Spec) NumProbes() int { return len(s.Probes) }
+
+// Probed reports whether the CFG edge src->dst carries a probe and at
+// which index.
+func (s *Spec) Probed(src, dst int) (int, bool) {
+	for _, p := range s.Probes {
+		if p.Src == src && p.Dst == dst {
+			return p.Index, true
+		}
+	}
+	return 0, false
+}
+
+// Recover reconstructs the complete edge profile — every CFG edge's
+// count plus the routine call count — from the probe counts alone.
+// counts[i] is the measured execution count of Probes[i]. Tree edges
+// are solved by leaf peeling the flow-conservation system: each block
+// balances inflow against outflow once the virtual exit->entry edge
+// carries the call count, giving V independent equations (one is
+// redundant) for the V - 1 tree-edge unknowns, so the solution is
+// exact, not an estimate.
+func (s *Spec) Recover(counts []int64) (*profile.EdgeProfile, error) {
+	if len(counts) != len(s.Probes) {
+		return nil, fmt.Errorf("placement: %s: %d probe counts for %d probes", s.Func, len(counts), len(s.Probes))
+	}
+	val := make([]int64, len(s.edges))
+	known := make([]bool, len(s.edges))
+	for i, e := range s.edges {
+		if e.probe >= 0 {
+			val[i] = counts[e.probe]
+			known[i] = true
+		}
+	}
+
+	// Incidence lists over unknown (tree) edges only; self loops cancel
+	// out of their block's balance and are always chords anyway.
+	type inc struct {
+		edge int
+		out  bool // edge leaves the block
+	}
+	incident := make([][]inc, s.NBlocks)
+	unknownDeg := make([]int, s.NBlocks)
+	for i, e := range s.edges {
+		if known[i] || e.src == e.dst {
+			continue
+		}
+		incident[e.src] = append(incident[e.src], inc{edge: i, out: true})
+		incident[e.dst] = append(incident[e.dst], inc{edge: i})
+		unknownDeg[e.src]++
+		unknownDeg[e.dst]++
+	}
+
+	// balance[b] = sum of known inflow - sum of known outflow. When b
+	// has exactly one unknown incident edge e, conservation fixes it:
+	// val(e) = balance[b] if e leaves b, -balance[b] if it enters.
+	balance := make([]int64, s.NBlocks)
+	for i, e := range s.edges {
+		if !known[i] {
+			continue
+		}
+		balance[e.dst] += val[i]
+		balance[e.src] -= val[i]
+	}
+
+	queue := make([]int, 0, s.NBlocks)
+	for b, d := range unknownDeg {
+		if d == 1 {
+			queue = append(queue, b)
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if unknownDeg[b] != 1 {
+			continue // solved transitively since enqueue
+		}
+		var pick inc
+		found := false
+		for _, in := range incident[b] {
+			if !known[in.edge] {
+				pick, found = in, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		v := balance[b]
+		if !pick.out {
+			v = -v
+		}
+		e := pick.edge
+		val[e] = v
+		known[e] = true
+		balance[s.edges[e].dst] += v
+		balance[s.edges[e].src] -= v
+		for _, end := range []int{s.edges[e].src, s.edges[e].dst} {
+			unknownDeg[end]--
+			if unknownDeg[end] == 1 {
+				queue = append(queue, end)
+			}
+		}
+	}
+
+	ep := profile.NewEdgeProfile(s.Func)
+	for i, e := range s.edges {
+		if !known[i] {
+			return nil, fmt.Errorf("placement: %s: edge %d->%d not recoverable (tree disconnected?)", s.Func, e.src, e.dst)
+		}
+		if val[i] < 0 {
+			return nil, fmt.Errorf("placement: %s: edge %d->%d recovered negative count %d (probe counts violate conservation)", s.Func, e.src, e.dst, val[i])
+		}
+		if e.virtual {
+			ep.Calls = val[i]
+			continue
+		}
+		if val[i] != 0 {
+			ep.Add(e.src, e.dst, val[i])
+		}
+	}
+	return ep, nil
+}
+
+// RecoverFrom reads the probe counts out of a sparsely collected edge
+// profile (only probed transitions were bumped) and recovers the full
+// profile. The sparse profile's Calls, if collected, cross-checks the
+// flow-derived call count.
+func (s *Spec) RecoverFrom(sparse *profile.EdgeProfile) (*profile.EdgeProfile, error) {
+	counts := make([]int64, len(s.Probes))
+	for i, p := range s.Probes {
+		counts[i] = sparse.Get(p.Src, p.Dst)
+	}
+	ep, err := s.Recover(counts)
+	if err != nil {
+		return nil, err
+	}
+	if s.MeasuredCalls {
+		// Entry == exit: flow conservation cannot see the call count;
+		// take it from the measured profile.
+		ep.Calls = sparse.Calls
+	} else if sparse.Calls != 0 && sparse.Calls != ep.Calls {
+		return nil, fmt.Errorf("placement: %s: recovered %d calls, measured %d", s.Func, ep.Calls, sparse.Calls)
+	}
+	if sparse.Saturated {
+		ep.Saturated = true
+	}
+	return ep, nil
+}
+
+// CheckExact verifies recovery round-trips against a fully measured
+// profile: feeding the probes' measured counts through Recover must
+// reproduce every edge count and the call count exactly. The verifier
+// runs this as its recovery-exactness invariant.
+func (s *Spec) CheckExact(g *cfg.Graph) error {
+	counts := make([]int64, len(s.Probes))
+	for _, e := range g.Edges {
+		if idx, ok := s.Probed(e.Src.ID, e.Dst.ID); ok {
+			counts[idx] = e.Freq
+		}
+	}
+	ep, err := s.Recover(counts)
+	if err != nil {
+		return err
+	}
+	if !s.MeasuredCalls && ep.Calls != g.Calls {
+		return fmt.Errorf("placement: %s: recovered %d calls, want %d", g.Name, ep.Calls, g.Calls)
+	}
+	for _, e := range g.Edges {
+		if got := ep.Get(e.Src.ID, e.Dst.ID); got != e.Freq {
+			return fmt.Errorf("placement: %s: edge %s recovered %d, want %d", g.Name, e, got, e.Freq)
+		}
+	}
+	return nil
+}
+
+// DynamicProbeHits returns the number of dynamic counter increments
+// this placement costs under the graph's measured frequencies: the sum
+// of probe-edge counts. Full edge instrumentation pays the sum over
+// all edges; the difference is the placement's runtime saving.
+func (s *Spec) DynamicProbeHits(g *cfg.Graph) int64 {
+	var sum int64
+	for _, e := range g.Edges {
+		if _, ok := s.Probed(e.Src.ID, e.Dst.ID); ok {
+			sum += e.Freq
+		}
+	}
+	return sum
+}

@@ -1,0 +1,226 @@
+package placement_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/placement"
+	"pathprof/internal/profile"
+)
+
+// loopGraph is the Figure 1 shape: entry -> h; h -> b1 | b2; both ->
+// t; t -> h (back) | exit, with a hot back edge.
+func loopGraph() *cfg.Graph {
+	g := cfg.New("loop")
+	entry := g.AddBlock("entry")
+	h := g.AddBlock("h")
+	b1 := g.AddBlock("b1")
+	b2 := g.AddBlock("b2")
+	tl := g.AddBlock("t")
+	exit := g.AddBlock("exit")
+	g.Entry, g.Exit = entry, exit
+	set := func(a, b *cfg.Block, f int64) {
+		cfgtest.Connect(g, a, b).Freq = f
+	}
+	set(entry, h, 100)
+	set(h, b1, 700)
+	set(h, b2, 300)
+	set(b1, tl, 700)
+	set(b2, tl, 300)
+	set(tl, h, 900) // back edge
+	set(tl, exit, 100)
+	g.Calls = 100
+	return g
+}
+
+func TestPlanProbeCount(t *testing.T) {
+	g := loopGraph()
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E=7, V=6: exactly E-V+2 = 3 probes, strictly fewer than the 7
+	// edges full instrumentation counts.
+	if s.NumProbes() != 3 {
+		t.Fatalf("probes = %d, want 3", s.NumProbes())
+	}
+	if err := s.CheckExact(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCostTreeAvoidsHotEdges(t *testing.T) {
+	g := loopGraph()
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three independent cycles, three chords; the cotree of a max-cost
+	// tree is the min-weight chord set, here 700 (cheapest edge of the
+	// all-hot cycle h-b1-t) + 300 (h-b2-t cycle) + 100 (the
+	// entry..exit/virtual cycle) = 1100 of 3100 total flow. In
+	// particular the hot back edge (900) must stay in the tree.
+	if hits := s.DynamicProbeHits(g); hits != 1100 {
+		t.Errorf("dynamic probe hits = %d, want the optimum 1100", hits)
+	}
+	for _, p := range s.Probes {
+		e := g.FindEdge(g.Blocks[p.Src], g.Blocks[p.Dst])
+		if e.Freq >= 900 {
+			t.Errorf("hottest edge %s (freq %d) carries probe %d", e, e.Freq, p.Index)
+		}
+	}
+}
+
+func TestVirtualEdgeNeverProbed(t *testing.T) {
+	// Straight line entry -> a -> exit plus the direct entry -> exit
+	// bypass: the undirected CFG has a cycle through the virtual edge,
+	// but the probe must land on a real edge, never on exit->entry.
+	g := cfg.New("bypass")
+	entry := g.AddBlock("entry")
+	a := g.AddBlock("a")
+	exit := g.AddBlock("exit")
+	g.Entry, g.Exit = entry, exit
+	cfgtest.Connect(g, entry, a).Freq = 70
+	cfgtest.Connect(g, a, exit).Freq = 70
+	cfgtest.Connect(g, entry, exit).Freq = 30
+	g.Calls = 100
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumProbes() != 2 {
+		t.Fatalf("probes = %d, want 2", s.NumProbes())
+	}
+	for _, p := range s.Probes {
+		if p.Src == exit.ID && p.Dst == entry.ID {
+			t.Fatalf("virtual edge probed: %+v", p)
+		}
+	}
+	if err := s.CheckExact(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverFromSparseProfile(t *testing.T) {
+	g := loopGraph()
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a sparse run: only probed transitions were bumped (plus
+	// the per-call entry bump every collected run performs).
+	sparse := profile.NewEdgeProfile(g.Name)
+	sparse.Calls = g.Calls
+	for _, p := range s.Probes {
+		sparse.Add(p.Src, p.Dst, g.FindEdge(g.Blocks[p.Src], g.Blocks[p.Dst]).Freq)
+	}
+	full, err := s.RecoverFrom(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Calls != g.Calls {
+		t.Errorf("recovered calls %d, want %d", full.Calls, g.Calls)
+	}
+	for _, e := range g.Edges {
+		if got := full.Get(e.Src.ID, e.Dst.ID); got != e.Freq {
+			t.Errorf("edge %s recovered %d, want %d", e, got, e.Freq)
+		}
+	}
+}
+
+func TestRecoverRejectsInconsistentCounts(t *testing.T) {
+	g := loopGraph()
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := profile.NewEdgeProfile(g.Name)
+	sparse.Calls = g.Calls + 13 // measured calls disagree with flow
+	for _, p := range s.Probes {
+		sparse.Add(p.Src, p.Dst, g.FindEdge(g.Blocks[p.Src], g.Blocks[p.Dst]).Freq)
+	}
+	if _, err := s.RecoverFrom(sparse); err == nil {
+		t.Fatal("inconsistent calls accepted")
+	}
+}
+
+func TestRecoveryPropertyRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 3+rng.Intn(20))
+		cfgtest.Profile(g, rng, 1+rng.Intn(400), 300)
+		s, err := placement.Plan(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if want := len(g.Edges) - len(g.Blocks) + 2; s.NumProbes() != want {
+			t.Fatalf("seed %d: %d probes, want %d", seed, s.NumProbes(), want)
+		}
+		if err := s.CheckExact(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestZeroWeightPlanStillExact(t *testing.T) {
+	// A static plan (no guide profile) places the same number of
+	// probes; recovery is exact for any conserving assignment.
+	g := loopGraph()
+	for _, e := range g.Edges {
+		e.Freq = 0
+	}
+	g.Calls = 0
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumProbes() != 3 {
+		t.Fatalf("probes = %d, want 3", s.NumProbes())
+	}
+	// Re-apply the real frequencies and check recovery against them.
+	real := loopGraph()
+	for _, e := range real.Edges {
+		g.FindEdge(g.Blocks[e.Src.ID], g.Blocks[e.Dst.ID]).Freq = e.Freq
+	}
+	g.Calls = real.Calls
+	if err := s.CheckExact(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryIsExitMeasuresCalls(t *testing.T) {
+	// When the entry block is also the exit, the virtual exit->entry
+	// edge is a self-loop: it cannot join the spanning tree, Calls
+	// cancels out of every flow balance, and the cycle space of the
+	// real edges alone has dimension E - V + 1. The plan must mark
+	// Calls as measured and place one fewer probe.
+	g := cfg.New("single")
+	b0 := g.AddBlock("entry")
+	g.Entry, g.Exit = b0, b0
+	g.Calls = 42
+	s, err := placement.Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MeasuredCalls {
+		t.Fatal("entry==exit plan did not mark MeasuredCalls")
+	}
+	// E=0, V=1: zero probes, nothing to recover but Calls.
+	if s.NumProbes() != 0 {
+		t.Fatalf("probes = %d, want 0", s.NumProbes())
+	}
+	sparse := profile.NewEdgeProfile("single")
+	sparse.Calls = 42
+	ep, err := s.RecoverFrom(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Calls != 42 {
+		t.Fatalf("recovered Calls = %d, want 42 (from the measured profile)", ep.Calls)
+	}
+	if err := s.CheckExact(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,7 +15,7 @@ import (
 
 const (
 	magic   = "PPIR"
-	version = 1
+	version = 2 // v2 added the placement byte and min-cost probe list
 )
 
 type encoder struct{ buf []byte }
@@ -74,6 +74,12 @@ func (p *Program) Encode() []byte {
 		for _, a := range r.Attr {
 			e.i(a.Num)
 			e.i(int64(a.EdgeID))
+		}
+		e.buf = append(e.buf, byte(r.Placement))
+		e.u(uint64(len(r.Probes)))
+		for _, pr := range r.Probes {
+			e.u(uint64(pr.Src))
+			e.u(uint64(pr.Dst))
 		}
 	}
 	sum := crc32.ChecksumIEEE(e.buf)
@@ -310,6 +316,30 @@ func Decode(data []byte) (*Program, error) {
 			}
 			a.EdgeID = int32(eid)
 			r.Attr = append(r.Attr, a)
+		}
+		pl, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		r.Placement = Placement(pl)
+		np, err := d.count("probe")
+		if err != nil {
+			return nil, err
+		}
+		if np > 0 {
+			r.Probes = make([]EdgeProbe, np)
+		}
+		for i := 0; i < np; i++ {
+			src, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			dst, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			// Probe indices are dense by construction: position is index.
+			r.Probes[i] = EdgeProbe{Src: int32(src), Dst: int32(dst), Index: int32(i)}
 		}
 		p.Routines = append(p.Routines, r)
 	}

@@ -83,6 +83,13 @@ func FromPlan(p *instr.Plan) *Routine {
 		}
 		r.Attr = append(r.Attr, ia)
 	}
+	if p.Placement == instr.PlaceMinCost && p.Probes != nil {
+		r.Placement = PlaceMinCost
+		r.Probes = make([]EdgeProbe, len(p.Probes.Probes))
+		for i, pr := range p.Probes.Probes {
+			r.Probes[i] = EdgeProbe{Src: int32(pr.Src), Dst: int32(pr.Dst), Index: int32(pr.Index)}
+		}
+	}
 	return r
 }
 

@@ -107,6 +107,26 @@ type Attr struct {
 	EdgeID int32
 }
 
+// Placement mirrors instr.Placement: how edge-counter probes are
+// placed when a run instruments edges.
+type Placement uint8
+
+const (
+	// PlaceSpanning: a counter on every CFG transition.
+	PlaceSpanning Placement = iota
+	// PlaceMinCost: counters only on the cotree chords listed in
+	// Probes; all other edge counts are recovered from flow
+	// conservation after the run.
+	PlaceMinCost
+)
+
+// EdgeProbe is one min-cost probe site: executions of the CFG
+// transition Src->Dst bump dense counter Index.
+type EdgeProbe struct {
+	Src, Dst int32
+	Index    int32
+}
+
 // Routine is the complete instrumentation artifact for one routine.
 type Routine struct {
 	Name    string
@@ -135,6 +155,14 @@ type Routine struct {
 	Transitions []Transition
 	// Attr lists edge-attributed paths.
 	Attr []Attr
+
+	// Placement says how edge counters are placed when a run collects
+	// instrumented edge profiles. Under PlaceMinCost, Probes lists the
+	// chord probe sites in dense index order; it applies to every
+	// routine (instrumented or not), since edge counting is orthogonal
+	// to the path pipeline.
+	Placement Placement
+	Probes    []EdgeProbe
 }
 
 // ColdRange returns the counter-index interval [lo, hi) reserved for
@@ -192,6 +220,9 @@ func (r *Routine) Validate() error {
 			return err
 		}
 	}
+	if err := r.validatePlacement(); err != nil {
+		return err
+	}
 	if !r.Instrumented {
 		if len(r.Transitions) != 0 {
 			return fmt.Errorf("planir %s: %d transitions on a non-instrumented routine",
@@ -231,6 +262,88 @@ func (r *Routine) Validate() error {
 			return fmt.Errorf("planir %s: transition %d->%d ops %v diverge from edge fusion %v",
 				r.Name, t.Src, t.Dst, t.Ops, want)
 		}
+	}
+	return nil
+}
+
+// validatePlacement checks the min-cost probe list: dense distinct
+// indices over in-range, pairwise-distinct transitions, and — when the
+// routine carries its CFG edge set as Transitions — that the probes
+// are exactly a cotree: the unprobed transitions form an acyclic set
+// of NBlocks-2 edges (a spanning tree once the virtual exit->entry
+// edge joins its two components), which is what makes every unprobed
+// count recoverable from flow conservation. Whether the tree really
+// spans entry and exit is a graph-level fact checked in
+// internal/verify.
+func (r *Routine) validatePlacement() error {
+	switch r.Placement {
+	case PlaceSpanning:
+		if len(r.Probes) != 0 {
+			return fmt.Errorf("planir %s: %d probes under spanning placement", r.Name, len(r.Probes))
+		}
+		return nil
+	case PlaceMinCost:
+	default:
+		return fmt.Errorf("planir %s: placement %d", r.Name, r.Placement)
+	}
+	probed := make(map[[2]int32]bool, len(r.Probes))
+	for i := range r.Probes {
+		p := &r.Probes[i]
+		if int(p.Index) != i {
+			return fmt.Errorf("planir %s: probe %d has index %d", r.Name, i, p.Index)
+		}
+		if p.Src < 0 || p.Src >= r.NBlocks || p.Dst < 0 || p.Dst >= r.NBlocks {
+			return fmt.Errorf("planir %s: probe %d endpoints %d->%d outside %d blocks",
+				r.Name, i, p.Src, p.Dst, r.NBlocks)
+		}
+		key := [2]int32{p.Src, p.Dst}
+		if probed[key] {
+			return fmt.Errorf("planir %s: duplicate probe on %d->%d", r.Name, p.Src, p.Dst)
+		}
+		probed[key] = true
+	}
+	if len(r.Transitions) == 0 {
+		return nil
+	}
+	// With the full transition set in hand, check the cotree property.
+	parent := make([]int32, r.NBlocks)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	unprobed := 0
+	for i := range r.Transitions {
+		t := &r.Transitions[i]
+		if probed[[2]int32{t.Src, t.Dst}] {
+			continue
+		}
+		unprobed++
+		a, b := find(t.Src), find(t.Dst)
+		if a == b {
+			return fmt.Errorf("planir %s: unprobed transitions contain a cycle through %d->%d",
+				r.Name, t.Src, t.Dst)
+		}
+		parent[a] = b
+	}
+	if probes := len(r.Transitions) - unprobed; probes != len(r.Probes) {
+		return fmt.Errorf("planir %s: %d probes but %d probed transitions",
+			r.Name, len(r.Probes), probes)
+	}
+	// The unprobed (tree) edges number NBlocks-2 in general — the
+	// virtual exit->entry edge, absent from Transitions, is the tree's
+	// remaining edge — or NBlocks-1 when entry == exit and the virtual
+	// edge degenerates to a self-loop. The routine carries no
+	// entry/exit identity, so accept both; the verifier, which has the
+	// graph, enforces the exact count.
+	if unprobed != int(r.NBlocks)-2 && unprobed != int(r.NBlocks)-1 {
+		return fmt.Errorf("planir %s: %d unprobed transitions, want %d or %d (minimal cotree)",
+			r.Name, unprobed, r.NBlocks-2, r.NBlocks-1)
 	}
 	return nil
 }

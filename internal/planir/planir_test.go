@@ -216,3 +216,48 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		t.Error("Decode accepted a bad magic")
 	}
 }
+
+func TestEncodeDecodeRoundTripMinCost(t *testing.T) {
+	// v2 placement fields: min-cost plans carry a placement byte and a
+	// probe list that must survive the codec bit-for-bit.
+	plans := map[string]*instr.Plan{}
+	par := instr.DefaultParams()
+	par.Placement = instr.PlaceMinCost
+	for _, seed := range []int64{61, 62, 63, 64} {
+		rng := rand.New(rand.NewSource(seed))
+		g := cfgtest.Random(rng, 24)
+		cfgtest.Profile(g, rng, 400, 200)
+		p, err := instr.Build(g, instr.PPP(), par, 400)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plans[g.Name] = p
+	}
+	prog := planir.FromPlans(plans)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	probed := 0
+	for _, r := range prog.Routines {
+		if r.Placement == planir.PlaceMinCost && len(r.Probes) > 0 {
+			probed++
+		}
+	}
+	if probed == 0 {
+		t.Fatal("no routine lowered with a min-cost probe list")
+	}
+	enc := prog.Encode()
+	dec, err := planir.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(prog, dec) {
+		t.Fatal("decoded min-cost program diverges from original")
+	}
+	if !bytes.Equal(enc, dec.Encode()) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+	if prog.Fingerprint() != dec.Fingerprint() {
+		t.Fatal("fingerprint changed across a round trip")
+	}
+}

@@ -239,21 +239,35 @@ type PathProfile struct {
 type pathNode struct {
 	// id is the interned path ID + 1 of the path ending at this node;
 	// 0 means no recorded path ends here.
-	id   int32
-	kids []pathKid
+	id int32
+	// kid0 is the first child, stored inline: kids are added in
+	// first-walked order, so on the skewed branches of real profiles
+	// kid0 is the hot successor and Step's inlined probe touches only
+	// this node's cache line. edge is noKid while the node is
+	// childless; later siblings overflow to rest.
+	kid0 pathKid
+	rest []pathKid
 }
 
+// noKid marks an empty kid0 slot (edge IDs are non-negative).
+const noKid = int32(-1)
+
 // pathKid is one trie child, keyed by DAG edge ID. Fan-out per node is
-// tiny (bounded by a block's successor count), so a linear scan beats
-// a map.
+// tiny (bounded by a block's successor count), so the inline first
+// child plus a linear overflow scan beats a map.
 type pathKid struct {
 	edge int32
 	node int32
 }
 
+// newPathNode returns a childless trie node.
+func newPathNode() pathNode {
+	return pathNode{kid0: pathKid{edge: noKid}}
+}
+
 // NewPathProfile returns an empty path profile.
 func NewPathProfile(name string) *PathProfile {
-	return &PathProfile{Func: name, nodes: make([]pathNode, 1)}
+	return &PathProfile{Func: name, nodes: []pathNode{newPathNode()}}
 }
 
 // walk returns the trie node index for path p, appending missing nodes
@@ -263,23 +277,38 @@ func (pp *PathProfile) walk(p cfg.Path, grow bool) int32 {
 	for _, e := range p {
 		id := int32(e.ID)
 		next := int32(-1)
-		for _, kid := range pp.nodes[cur].kids {
-			if kid.edge == id {
-				next = kid.node
-				break
+		if n := &pp.nodes[cur]; n.kid0.edge == id {
+			next = n.kid0.node
+		} else {
+			for _, kid := range n.rest {
+				if kid.edge == id {
+					next = kid.node
+					break
+				}
 			}
 		}
 		if next < 0 {
 			if !grow {
 				return -1
 			}
-			next = int32(len(pp.nodes))
-			pp.nodes = append(pp.nodes, pathNode{})
-			pp.nodes[cur].kids = append(pp.nodes[cur].kids, pathKid{edge: id, node: next})
+			next = pp.addKid(cur, id)
 		}
 		cur = next
 	}
 	return cur
+}
+
+// addKid appends a fresh node under cur for edge id.
+func (pp *PathProfile) addKid(cur, id int32) int32 {
+	next := int32(len(pp.nodes))
+	pp.nodes = append(pp.nodes, newPathNode())
+	n := &pp.nodes[cur]
+	if n.kid0.edge == noKid {
+		n.kid0 = pathKid{edge: id, node: next}
+	} else {
+		n.rest = append(n.rest, pathKid{edge: id, node: next})
+	}
+	return next
 }
 
 // Add records count executions of path p, saturating at CounterMax.
@@ -295,27 +324,34 @@ func (pp *PathProfile) Root() int32 { return 0 }
 // the edge was never walked from cur. Together with AddAt this lets an
 // executor record a path in a single forward pass — one trie descent
 // per edge as it executes, O(1) at completion — instead of re-walking
-// the whole path in Add. The steady state (every node present) is a
-// short scan of a tiny kid list with no allocation.
+// the whole path in Add.
+//
+// The body is only the inline first-kid probe — one load and one
+// compare — which keeps it under the compiler's inlining budget, so
+// the steady-state descent inlines into the executors' transition
+// code with no call at all. Later siblings and first descents take
+// the stepScan outline.
 //
 //ppp:hotpath
 func (pp *PathProfile) Step(cur int32, edgeID int32) int32 {
-	for _, kid := range pp.nodes[cur].kids {
+	if k := pp.nodes[cur].kid0; k.edge == edgeID {
+		return k.node
+	}
+	return pp.stepScan(cur, edgeID)
+}
+
+// stepScan is Step's outlined slow path: scan the overflow siblings,
+// then grow a fresh node on a miss. Kept out of line so Step's own
+// body stays inlineable at every executor call site.
+//
+//go:noinline
+func (pp *PathProfile) stepScan(cur, edgeID int32) int32 {
+	for _, kid := range pp.nodes[cur].rest {
 		if kid.edge == edgeID {
 			return kid.node
 		}
 	}
-	return pp.growKid(cur, edgeID)
-}
-
-// growKid appends a fresh node under cur for edgeID (cold path of
-// Step, split out to keep Step inlineable and allocation-free in the
-// steady state).
-func (pp *PathProfile) growKid(cur, edgeID int32) int32 {
-	next := int32(len(pp.nodes))
-	pp.nodes = append(pp.nodes, pathNode{})
-	pp.nodes[cur].kids = append(pp.nodes[cur].kids, pathKid{edge: edgeID, node: next})
-	return next
+	return pp.addKid(cur, edgeID)
 }
 
 // AddAt records count executions of the path ending at trie cursor n,

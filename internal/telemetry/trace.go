@@ -54,6 +54,10 @@ const (
 	EvQuarantine
 	// EvFaultInject: the deterministic fault injector fired at a site.
 	EvFaultInject
+	// EvPlacement: the min-cost probe planner chose an edge-probe set;
+	// Flow carries the expected dynamic probe hits under the guide
+	// profile.
+	EvPlacement
 )
 
 var eventKindNames = [...]string{
@@ -72,6 +76,7 @@ var eventKindNames = [...]string{
 	EvSaturate:    "saturate",
 	EvQuarantine:  "quarantine",
 	EvFaultInject: "fault-inject",
+	EvPlacement:   "placement",
 }
 
 func (k EventKind) String() string {

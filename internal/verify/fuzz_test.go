@@ -126,7 +126,14 @@ func FuzzVerifyPlan(f *testing.F) {
 		cfgtest.Profile(g, rng, 50+rng.Intn(300), 300)
 
 		tech := fuzzTechniques(data[len(data)-1])
-		p, err := instr.Build(g, tech, instr.DefaultParams(), g.Calls)
+		par := instr.DefaultParams()
+		if len(data) > 1 && data[len(data)-2]&1 == 1 {
+			// Half the corpus plans min-cost probe placement, exercising
+			// the verifier's probe-set rule (cotree minimality, spanning
+			// complement, exact recovery) alongside the path checks.
+			par.Placement = instr.PlaceMinCost
+		}
+		p, err := instr.Build(g, tech, par, g.Calls)
 		if err != nil {
 			return // e.g. too many paths; not a verifier concern
 		}

@@ -67,6 +67,11 @@ const (
 	// RuleAttr: an edge attribution is malformed (missing edge, edge
 	// not on the path).
 	RuleAttr Rule = "attr"
+	// RuleProbes: a min-cost edge-probe set is not the minimal
+	// spanning-tree complement — wrong size, a probe off the graph, a
+	// cycle of unprobed edges — or flow-conservation recovery from the
+	// probes fails to reproduce the guide profile exactly.
+	RuleProbes Rule = "probe-set"
 )
 
 // Diagnostic is one verifier finding.
@@ -160,6 +165,7 @@ func CheckWith(p *instr.Plan, opts Options) *Report {
 		return v.rep // shape is broken; later checks would index out of range
 	}
 	v.attribution()
+	v.probes()
 	if p.Instrumented {
 		v.numbering()
 		v.placement()
@@ -389,6 +395,105 @@ func (v *checker) placement() {
 				v.diag(RulePlacement, nil, e,
 					"increment r+=%d disagrees with derived chord increment %d", op.V, inc[e.ID])
 			}
+		}
+	}
+}
+
+// probes checks a min-cost placement plan against the CFG itself:
+// the probe set must be exactly a spanning-tree complement — E-V+2
+// probes (the cycle-space dimension, the provable minimum), each on a
+// distinct real edge, with the unprobed edges plus the virtual
+// exit->entry edge forming a spanning tree — and flow-conservation
+// recovery from the probes alone must reproduce the guide profile
+// bit for bit. Runs for every routine carrying a probe spec,
+// instrumented or not.
+func (v *checker) probes() {
+	p := v.p
+	if p.Placement != instr.PlaceMinCost {
+		if p.Probes != nil {
+			v.diag(RuleProbes, nil, nil, "probe spec present under %s placement", p.Placement)
+		}
+		return
+	}
+	spec := p.Probes
+	if spec == nil {
+		v.diag(RuleProbes, nil, nil, "min-cost placement without a probe spec")
+		return
+	}
+	g := p.G
+	nv, ne := len(g.Blocks), len(g.Edges)
+	want := ne - nv + 2
+	if g.Entry.ID == g.Exit.ID {
+		// The virtual exit->entry edge degenerates to a self-loop: it
+		// cannot join the tree, so one more real edge does and one
+		// fewer probe is needed (Calls is measured, not recovered).
+		want--
+	}
+	if spec.NumProbes() != want {
+		v.diag(RuleProbes, nil, nil,
+			"%d probes for %d edges over %d blocks, want the cycle-space minimum %d",
+			spec.NumProbes(), ne, nv, want)
+		return
+	}
+	probed := make(map[[2]int]bool, spec.NumProbes())
+	for i, pr := range spec.Probes {
+		if pr.Index != i {
+			v.diag(RuleProbes, nil, nil, "probe %d carries index %d: indices not dense", i, pr.Index)
+			return
+		}
+		if pr.Src < 0 || pr.Src >= nv || pr.Dst < 0 || pr.Dst >= nv ||
+			g.FindEdge(g.Blocks[pr.Src], g.Blocks[pr.Dst]) == nil {
+			v.diag(RuleProbes, nil, nil, "probe %d sits on %d->%d, not a CFG edge", i, pr.Src, pr.Dst)
+			return
+		}
+		key := [2]int{pr.Src, pr.Dst}
+		if probed[key] {
+			v.diag(RuleProbes, nil, nil, "duplicate probe on %d->%d", pr.Src, pr.Dst)
+			return
+		}
+		probed[key] = true
+	}
+	// The unprobed edges plus the virtual exit->entry edge must be a
+	// spanning tree: V-1 edges (ensured by the count check above) and
+	// no cycle.
+	parent := make([]int, nv)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+	// Seed the tree with the virtual edge; a no-op self-loop when
+	// entry == exit (the unprobed real edges then span on their own).
+	union(g.Exit.ID, g.Entry.ID)
+	for _, e := range g.Edges {
+		if probed[[2]int{e.Src.ID, e.Dst.ID}] {
+			continue
+		}
+		if !union(e.Src.ID, e.Dst.ID) {
+			v.diag(RuleProbes, nil, nil,
+				"unprobed edges form a cycle through %s: its flow is unrecoverable", e)
+			return
+		}
+	}
+	// Exactness: feeding the guide profile's probe counts through
+	// recovery must reproduce every edge frequency and the call count.
+	// Only meaningful when the guide profile itself conserves flow.
+	if err := g.CheckFlow(); err == nil {
+		if err := spec.CheckExact(g); err != nil {
+			v.diag(RuleProbes, nil, nil, "recovery not exact on the guide profile: %v", err)
 		}
 	}
 }

@@ -76,11 +76,17 @@ type Options struct {
 // block, its canonical edge-profile slot, the lowered op stream, and
 // the path-tracking edges.
 type SuccSpec struct {
-	To       int
-	Branch   bool // arm of a Branch terminator (EdgeInstrument cost)
-	Back     bool // follows a CFG back edge (path truncation)
-	EdgeSlot int32
-	Ops      []planir.Op
+	To     int
+	Branch bool // arm of a Branch terminator
+	Back   bool // follows a CFG back edge (path truncation)
+	// EdgeSlot is the dense edge-counter slot (-1: none); InstrCost is
+	// the modeled edge-counting charge the engine resolved for this
+	// transition — EdgeCount on instrumented branches under spanning
+	// placement, EdgeCount on exactly the probed chords under min-cost
+	// placement, zero elsewhere.
+	EdgeSlot  int32
+	InstrCost int64
+	Ops       []planir.Op
 	// PathEdge is the real DAG edge to append; ExitDummy/EntryDummy the
 	// truncation pair for back edges. Nil when paths are off.
 	PathEdge   *cfg.DAGEdge

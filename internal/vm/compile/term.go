@@ -293,10 +293,7 @@ func (c *comp) mkSucc(fc *fnCode, from int, s *SuccSpec) termFn {
 		baseC += costs.TakenPenalty
 	}
 	lo := c.lowerOps(s.Ops)
-	icostC := lo.cost
-	if c.opts.EdgeInstrument && s.Branch {
-		icostC += costs.EdgeCount
-	}
+	icostC := lo.cost + s.InstrCost
 	opsFn, rm, ra, opsN := lo.fn, lo.mask, lo.add, lo.n
 	// hasFold skips the identity fold: an uninstrumented transition
 	// leaves the path register alone instead of rewriting it.

@@ -241,15 +241,37 @@ func (e *Engine) prepare(f *ir.Func) (*routineRT, error) {
 		}
 	}
 
+	// Min-cost placement restricts edge counting to the plan's chord
+	// probes: only probed transitions carry a counter (slot + EdgeCount
+	// cost, jump or branch alike); everything else is recovered from
+	// flow conservation after the run (placement.Spec.RecoverFrom).
+	// Probes stay nil under spanning placement — or when edge
+	// instrumentation is off, so plain CollectEdges still gathers the
+	// full ground-truth profile.
+	var probed map[[2]int32]bool
+	if plan != nil && plan.Placement == instr.PlaceMinCost && plan.Probes != nil && e.opts.EdgeInstrument {
+		probed = make(map[[2]int32]bool, plan.Probes.NumProbes())
+		for _, pr := range plan.Probes.Probes {
+			probed[[2]int32{int32(pr.Src), int32(pr.Dst)}] = true
+		}
+	}
+
 	mk := func(from, to int, isBranch bool) succRT {
 		s := succRT{to: to, edgeSlot: -1}
 		if to != from+1 {
 			s.takenCost = e.opts.Costs.TakenPenalty
 		}
-		if e.opts.EdgeInstrument && isBranch {
+		slotted := e.opts.CollectEdges
+		if probed != nil {
+			if probed[[2]int32{int32(from), int32(to)}] {
+				s.instrCost = e.opts.Costs.EdgeCount
+			} else {
+				slotted = false
+			}
+		} else if e.opts.EdgeInstrument && isBranch {
 			s.instrCost = e.opts.Costs.EdgeCount
 		}
-		if e.opts.CollectEdges {
+		if slotted {
 			s.edgeSlot = int32(len(rt.slotPairs))
 			rt.slotPairs = append(rt.slotPairs, [2]int32{int32(from), int32(to)})
 		}
@@ -297,6 +319,7 @@ func (e *Engine) buildSpecs() []compile.FuncSpec {
 					Branch:     isBranch,
 					Back:       s.back,
 					EdgeSlot:   s.edgeSlot,
+					InstrCost:  s.instrCost,
 					Ops:        s.ops,
 					PathEdge:   s.pathEdge,
 					ExitDummy:  s.exitDummy,

@@ -262,8 +262,10 @@ func requireIdentical(t *testing.T, label string, d, c *vm.Result, prog *ir.Prog
 // fuzzPlans builds per-routine instrumentation plans from a profiled
 // run, mirroring the pipeline's profile-then-instrument stages.
 // Routines the planner declines stay uninstrumented.
-func fuzzPlans(t *testing.T, prog *ir.Program, profiled *vm.Result, tech instr.Techniques) map[string]*instr.Plan {
+func fuzzPlans(t *testing.T, prog *ir.Program, profiled *vm.Result, tech instr.Techniques, pl instr.Placement) map[string]*instr.Plan {
 	t.Helper()
+	par := instr.DefaultParams()
+	par.Placement = pl
 	plans := map[string]*instr.Plan{}
 	for _, f := range prog.Funcs {
 		g, err := f.CFG()
@@ -271,7 +273,7 @@ func fuzzPlans(t *testing.T, prog *ir.Program, profiled *vm.Result, tech instr.T
 			t.Fatalf("CFG %s: %v", f.Name, err)
 		}
 		profiled.Edges[f.Name].ApplyTo(g)
-		p, err := instr.Build(g, tech, instr.DefaultParams(), 0)
+		p, err := instr.Build(g, tech, par, 0)
 		if err != nil {
 			continue
 		}
@@ -309,13 +311,40 @@ func FuzzCompiledVsInterp(f *testing.F) {
 			return
 		}
 
-		// Instrumented rerun under a fuzzed technique.
+		// Instrumented rerun under a fuzzed technique; one flag bit flips
+		// the edge-probe placement to min-cost cotree chords.
 		tech := []func() instr.Techniques{instr.PP, instr.TPP, instr.PPP}[int(flags>>2)%3]()
-		plans := fuzzPlans(t, prog, d, tech)
+		pl := instr.PlaceSpanning
+		if flags&16 != 0 {
+			pl = instr.PlaceMinCost
+		}
+		plans := fuzzPlans(t, prog, d, tech, pl)
 		if len(plans) > 0 {
 			iopts := vm.Options{Plans: plans, CollectPaths: true}
 			di, ci := runBoth(t, prog, iopts, flags&2 != 0)
 			requireIdentical(t, "instrumented", di, ci, prog)
+
+			// Min-cost differential: sparse chord acquisition plus
+			// Kirchhoff recovery must reproduce the fully instrumented
+			// spanning run's profiles bit for bit, on both backends.
+			if pl == instr.PlaceMinCost && di != nil {
+				eopts := vm.Options{Plans: plans, CollectPaths: true, CollectEdges: true, EdgeInstrument: true}
+				de, ce := runBoth(t, prog, eopts, false)
+				requireIdentical(t, "mincost-instrumented", de, ce, prog)
+				if de != nil {
+					rec, err := vm.RecoverEdges(de.Snapshot(), plans)
+					if err != nil {
+						t.Fatalf("mincost recovery: %v\n%s", err, prog.Dump())
+					}
+					span := fuzzPlans(t, prog, d, tech, instr.PlaceSpanning)
+					fopts := vm.Options{Plans: span, CollectPaths: true, CollectEdges: true, EdgeInstrument: true}
+					df, _ := runBoth(t, prog, fopts, false)
+					if df != nil && rec.Fingerprint() != df.Snapshot().Fingerprint() {
+						t.Fatalf("recovered mincost snapshot %#x diverges from fully instrumented %#x\n%s",
+							rec.Fingerprint(), df.Snapshot().Fingerprint(), prog.Dump())
+					}
+				}
+			}
 		}
 
 		// Budget saturation: a small step budget must exhaust (or not)

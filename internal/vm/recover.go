@@ -1,0 +1,41 @@
+package vm
+
+import (
+	"fmt"
+
+	"pathprof/internal/instr"
+	"pathprof/internal/profile"
+)
+
+// RecoverEdges completes a min-cost-placement run: routines planned
+// under PlaceMinCost collected only their chord probes, and this pass
+// rederives every remaining edge count (and the call count) from flow
+// conservation. The returned snapshot holds fresh, full edge profiles
+// for recovered routines — sharing paths, tables, and any untouched
+// edge profiles with snap — and fingerprints identically to a
+// fully-instrumented spanning run of the same program.
+//
+// Snapshots from spanning runs pass through unchanged, so callers can
+// apply it unconditionally after every instrumented run.
+func RecoverEdges(snap *profile.Snapshot, plans map[string]*instr.Plan) (*profile.Snapshot, error) {
+	if snap == nil || len(snap.Edges) == 0 {
+		return snap, nil
+	}
+	out := &profile.Snapshot{
+		Edges:  make(map[string]*profile.EdgeProfile, len(snap.Edges)),
+		Paths:  snap.Paths,
+		Tables: snap.Tables,
+	}
+	for name, ep := range snap.Edges {
+		if p := plans[name]; p != nil && p.Probes != nil {
+			full, err := p.Probes.RecoverFrom(ep)
+			if err != nil {
+				return nil, fmt.Errorf("vm: %s: edge recovery failed: %w", name, err)
+			}
+			out.Edges[name] = full
+		} else {
+			out.Edges[name] = ep
+		}
+	}
+	return out, nil
+}
