@@ -8,7 +8,7 @@
 //	pppc -workload mcf -profiler PPP
 //	pppc -src prog.mc -profiler TPP -hot 10
 //	pppc -src prog.mc -profiler PPP -dump-plans
-//	pppc -workload mcf -profiler PPP -placement mincost -verify
+//	pppc -workload mcf -profiler PPP -placement mincost -verify=both
 //	pppc -workload mcf -snapshot mcf.ppsnap
 //	pppc -workload mcf -faults seed=7,kind=panic+overflow
 //	pppc -workload mcf -trace trace.jsonl -serve :8080
@@ -62,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noOpt := fs.Bool("no-opt", false, "skip profile-guided inlining and unrolling")
 	backendName := fs.String("backend", "dense", "VM execution backend (dense, compiled)")
 	placementName := fs.String("placement", "spanning", "edge-probe placement (spanning, mincost)")
-	verifyPlans := fs.Bool("verify", false, "statically verify every instrumentation plan before running")
+	verifyMode := fs.String("verify", "", "statically verify every instrumentation plan: proof (all-paths abstract interpretation), enum (budgeted enumeration), or both (differential)")
 	dumpPlans := fs.Bool("dump-plans", false, "dump per-routine instrumentation plans")
 	saveProfile := fs.String("save-profile", "", "write the optimized run's edge profile to a file")
 	loadProfile := fs.String("load-profile", "", "guide instrumentation with this edge profile instead of the run's own")
@@ -212,15 +212,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail("profile: %v", err)
 	}
-	if *verifyPlans {
-		diags, ok := verify.CheckAll(pr.Plans, verify.Options{})
+	if *verifyMode != "" {
+		mode, err := verify.ParseMode(*verifyMode)
+		if err != nil {
+			return fail("%v", err)
+		}
+		diags, ok := verify.CheckAll(pr.Plans, verify.Options{
+			Mode: mode, Trace: reg.Trace(), TraceUnit: name + "/verify",
+		})
 		if !ok {
 			for _, d := range diags {
 				fmt.Fprintln(stderr, d)
 			}
 			return fail("verify: %d invariant violation(s) in %s plans", len(diags), *profiler)
 		}
-		fmt.Fprintf(stdout, "verify: %d routine plan(s) ok\n", len(pr.Plans))
+		fmt.Fprintf(stdout, "verify(%s): %d routine plan(s) ok\n", mode, len(pr.Plans))
 	}
 	if *dumpPlans {
 		names := make([]string, 0, len(pr.Plans))

@@ -1,0 +1,185 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/cfg/cfgtest"
+	"pathprof/internal/dataflow"
+)
+
+// twoDiamonds builds entry -> c1 -> {l1,r1} -> c2 -> {l2,r2} -> exit,
+// four acyclic paths.
+func twoDiamonds(t *testing.T) (*cfg.Graph, *cfg.DAG) {
+	t.Helper()
+	g := cfg.New("dd")
+	entry := g.AddBlock("entry")
+	c1 := g.AddBlock("c1")
+	l1 := g.AddBlock("l1")
+	r1 := g.AddBlock("r1")
+	c2 := g.AddBlock("c2")
+	l2 := g.AddBlock("l2")
+	r2 := g.AddBlock("r2")
+	exit := g.AddBlock("exit")
+	cfgtest.Connect(g, entry, c1)
+	cfgtest.Connect(g, c1, l1)
+	cfgtest.Connect(g, c1, r1)
+	cfgtest.Connect(g, l1, c2)
+	cfgtest.Connect(g, r1, c2)
+	cfgtest.Connect(g, c2, l2)
+	cfgtest.Connect(g, c2, r2)
+	cfgtest.Connect(g, l2, exit)
+	cfgtest.Connect(g, r2, exit)
+	g.Entry, g.Exit = entry, exit
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	d, err := cfg.BuildDAG(g)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	return g, d
+}
+
+func TestIntervalOps(t *testing.T) {
+	e := dataflow.Empty()
+	if !e.IsEmpty() || !e.Add(5).IsEmpty() || !e.SubFrom(3).IsEmpty() {
+		t.Fatalf("empty interval not preserved by transfers")
+	}
+	iv := dataflow.Point(2).Join(dataflow.Point(7)) // [2,7]
+	if iv.Lo != 2 || iv.Hi != 7 {
+		t.Fatalf("join = %v", iv)
+	}
+	if got := iv.Add(-2); got.Lo != 0 || got.Hi != 5 {
+		t.Fatalf("add = %v", got)
+	}
+	if got := iv.SubFrom(10); got.Lo != 3 || got.Hi != 8 {
+		t.Fatalf("subfrom = %v", got)
+	}
+	if !iv.Contains(2, 7) || iv.Contains(3, 7) || iv.Contains(2, 6) {
+		t.Fatalf("contains misbehaves on %v", iv)
+	}
+	if !e.Contains(0, 0) {
+		t.Fatalf("empty should be contained in everything")
+	}
+	// Saturation clamps instead of overflowing.
+	big := dataflow.Point(dataflow.Lim - 1).Add(100)
+	if big.Hi != dataflow.Lim || big.Lo != dataflow.Lim {
+		t.Fatalf("saturation = %v", big)
+	}
+}
+
+func TestPathSumsExactHull(t *testing.T) {
+	g, d := twoDiamonds(t)
+	// Value each edge by destination: left arms 0, right arms get
+	// distinct powers so every path sum is unique.
+	val := func(e *cfg.DAGEdge) int64 {
+		switch e.Dst.Name {
+		case "r1":
+			return 1
+		case "r2":
+			return 2
+		}
+		return 0
+	}
+	sums := dataflow.PathSums(d, nil, val)
+	got := sums[g.Exit.ID]
+	if !got.Reached() {
+		t.Fatalf("exit unreached")
+	}
+	if got.Iv.Lo != 0 || got.Iv.Hi != 3 {
+		t.Fatalf("exit sums = %v, want [0,3]", got.Iv)
+	}
+	// Cross-check the hull against enumeration: every endpoint must be
+	// achieved by a concrete path.
+	lo, hi := int64(1)<<62, int64(-1)<<62
+	for _, p := range d.EnumeratePaths(nil, -1) {
+		var s int64
+		for _, e := range p {
+			s += val(e)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo != got.Iv.Lo || hi != got.Iv.Hi {
+		t.Fatalf("hull [%d,%d] disagrees with enumeration [%d,%d]", got.Iv.Lo, got.Iv.Hi, lo, hi)
+	}
+}
+
+func TestWalkBackWitness(t *testing.T) {
+	g, d := twoDiamonds(t)
+	val := func(e *cfg.DAGEdge) int64 {
+		switch e.Dst.Name {
+		case "r1":
+			return 1
+		case "r2":
+			return 2
+		}
+		return 0
+	}
+	sums := dataflow.PathSums(d, nil, val)
+	get := func(block int, slot, bound uint8) dataflow.Prov {
+		return sums[block].Prov(bound)
+	}
+	for bound, want := range map[uint8]int64{dataflow.BoundLo: 0, dataflow.BoundHi: 3} {
+		p := dataflow.WalkBack(get, g.Exit.ID, 0, bound, len(d.Edges))
+		if len(p) == 0 {
+			t.Fatalf("no witness for bound %d", bound)
+		}
+		if p[0].Src != g.Entry || p[len(p)-1].Dst != g.Exit {
+			t.Fatalf("witness %s is not entry->exit", p)
+		}
+		var s int64
+		for i, e := range p {
+			if i > 0 && p[i-1].Dst != e.Src {
+				t.Fatalf("witness %s not contiguous", p)
+			}
+			s += val(e)
+		}
+		if s != want {
+			t.Fatalf("witness %s sums to %d, want the %d endpoint", p, s, want)
+		}
+	}
+}
+
+func TestSkipAndReach(t *testing.T) {
+	g, d := twoDiamonds(t)
+	// Skip all edges touching r1: r1 drops out of the analyzed
+	// sub-DAG in both directions, exit stays reachable through l1.
+	skip := make([]bool, len(d.Edges))
+	var r1 *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Name == "r1" {
+			r1 = b
+		}
+	}
+	for _, e := range d.In[r1.ID] {
+		skip[e.ID] = true
+	}
+	for _, e := range d.Out[r1.ID] {
+		skip[e.ID] = true
+	}
+	reach := dataflow.Reach(d, skip)
+	if reach[r1.ID] {
+		t.Fatalf("r1 should be unreachable under skip")
+	}
+	if !reach[g.Exit.ID] {
+		t.Fatalf("exit should stay reachable")
+	}
+	back := dataflow.ReachExit(d, skip)
+	if !back[g.Entry.ID] || back[r1.ID] {
+		t.Fatalf("ReachExit wrong: entry=%v r1=%v", back[g.Entry.ID], back[r1.ID])
+	}
+	sums := dataflow.PathSums(d, skip, func(e *cfg.DAGEdge) int64 { return 1 })
+	if sums[r1.ID].Reached() {
+		t.Fatalf("skipped-region state should be bottom")
+	}
+	// All surviving paths have the same length (5 edges).
+	if iv := sums[g.Exit.ID].Iv; iv.Lo != 5 || iv.Hi != 5 {
+		t.Fatalf("surviving path lengths = %v, want [5,5]", iv)
+	}
+}

@@ -1,0 +1,130 @@
+// Package dataflow is a small forward-dataflow / abstract-
+// interpretation framework over the acyclic path DAG. The verifier
+// uses it to prove plan invariants over *all* acyclic paths in O(E)
+// per routine, where budgeted enumeration could only check a sample.
+//
+// The framework is deliberately tiny: a saturating interval lattice
+// (Interval), provenance-carrying intervals for counterexample
+// extraction (Track, Prov), a one-pass topological solver (Forward),
+// and a ready-made affine path-sum domain (PathSums). Everything is
+// byte-deterministic — solver code carries //ppp:dataflow marks and
+// ppplint's fixpoint rule rejects map iteration anywhere reachable
+// from one.
+//
+// Why intervals are exact here: the solved graph is a DAG and every
+// transfer function is a per-component affine map (x+c or c-x) of a
+// single input component. The image of an interval under an affine
+// map is an interval, and the convex hull of a union of intervals is
+// their join, so by induction over topological order each component's
+// interval is exactly the hull of the concrete values reachable at
+// that block — both endpoints are achieved by real paths. No widening
+// is needed and fixpoints are reached in one sweep.
+package dataflow
+
+// Lim is the saturation bound for interval endpoints. All plan
+// quantities (path numbers, op constants, event counts) are far below
+// it, so saturation never loses a real violation; it only keeps
+// adversarial inputs from overflowing.
+const Lim = int64(1) << 62
+
+// Interval is a saturating integer interval [Lo, Hi]. The empty
+// interval (Lo > Hi) is the lattice bottom: "no path reaches this
+// state".
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty returns the bottom interval.
+func Empty() Interval { return Interval{Lo: Lim, Hi: -Lim} }
+
+// Point returns the singleton interval [v, v].
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// IsEmpty reports whether iv is bottom.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// satAdd adds two endpoints, clamping to [-Lim, Lim]. Both operands
+// are already in that range, so the sum cannot overflow int64.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s > Lim {
+		return Lim
+	}
+	if s < -Lim {
+		return -Lim
+	}
+	return s
+}
+
+// Add shifts the interval by v (the affine transfer x -> x+v).
+func (iv Interval) Add(v int64) Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	return Interval{Lo: satAdd(iv.Lo, v), Hi: satAdd(iv.Hi, v)}
+}
+
+// SubFrom maps the interval through x -> v-x, the other affine
+// transfer shape the plan semantics need (a Set op replaces the
+// register, so the derived quantity V-W flips the endpoints).
+func (iv Interval) SubFrom(v int64) Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	return Interval{Lo: satAdd(v, -iv.Hi), Hi: satAdd(v, -iv.Lo)}
+}
+
+// Join returns the smallest interval containing both operands.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if o.Lo < out.Lo {
+		out.Lo = o.Lo
+	}
+	if o.Hi > out.Hi {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Contains reports whether iv lies within [lo, hi]. The empty
+// interval is contained in everything.
+func (iv Interval) Contains(lo, hi int64) bool {
+	return iv.IsEmpty() || (iv.Lo >= lo && iv.Hi <= hi)
+}
+
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "⊥"
+	}
+	return "[" + itoa(iv.Lo) + "," + itoa(iv.Hi) + "]"
+}
+
+// itoa avoids strconv for this one cold diagnostic path, keeping the
+// package dependency-free.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,99 @@
+package dataflow
+
+import "pathprof/internal/cfg"
+
+// Analysis describes a forward analysis over the path DAG. The state
+// type S is arbitrary; the solver only needs bottom, join, and a
+// per-edge transfer.
+type Analysis[S any] struct {
+	// Bottom allocates the "no path reaches here" state.
+	Bottom func() S
+	// Init is the state at the DAG entry.
+	Init S
+	// Join merges two flow facts at a merge point. It must be
+	// associative; the solver folds predecessors in edge order, so a
+	// deterministic Join yields deterministic results.
+	Join func(a, b S) S
+	// Transfer pushes a source-block state across one DAG edge,
+	// applying the edge's instrumentation ops.
+	Transfer func(e *cfg.DAGEdge, in S) S
+	// Skip, if non-nil, marks edges excluded from the analysis (cold,
+	// disconnected, exclusively-attributed), indexed by DAG edge ID.
+	Skip []bool
+	// Dead, if non-nil, reports that a state is bottom, letting the
+	// solver avoid transferring unreachable facts.
+	Dead func(S) bool
+}
+
+// Forward solves the analysis over the DAG in one pass and returns
+// the per-block states, indexed by block ID. One pass suffices: the
+// DAG is acyclic and d.Topo is a topological order, so every
+// predecessor's state is final before its successors fold it in —
+// this is the degenerate fixpoint where the worklist is the
+// topological order itself.
+//
+//ppp:dataflow
+func Forward[S any](d *cfg.DAG, a Analysis[S]) []S {
+	states := make([]S, len(d.G.Blocks))
+	for i := range states {
+		states[i] = a.Bottom()
+	}
+	states[d.G.Entry.ID] = a.Join(states[d.G.Entry.ID], a.Init)
+	for _, b := range d.Topo {
+		in := states[b.ID]
+		if a.Dead != nil && a.Dead(in) {
+			continue
+		}
+		for _, e := range d.Out[b.ID] {
+			if a.Skip != nil && a.Skip[e.ID] {
+				continue
+			}
+			states[e.Dst.ID] = a.Join(states[e.Dst.ID], a.Transfer(e, in))
+		}
+	}
+	return states
+}
+
+// Reach computes forward reachability from the entry over non-skipped
+// edges: reach[b] reports that some analyzed path reaches block b.
+//
+//ppp:dataflow
+func Reach(d *cfg.DAG, skip []bool) []bool {
+	reach := make([]bool, len(d.G.Blocks))
+	reach[d.G.Entry.ID] = true
+	for _, b := range d.Topo {
+		if !reach[b.ID] {
+			continue
+		}
+		for _, e := range d.Out[b.ID] {
+			if skip != nil && skip[e.ID] {
+				continue
+			}
+			reach[e.Dst.ID] = true
+		}
+	}
+	return reach
+}
+
+// ReachExit computes backward reachability to the exit over
+// non-skipped edges: out[b] reports that some analyzed path completes
+// from block b.
+//
+//ppp:dataflow
+func ReachExit(d *cfg.DAG, skip []bool) []bool {
+	reach := make([]bool, len(d.G.Blocks))
+	reach[d.G.Exit.ID] = true
+	for i := len(d.Topo) - 1; i >= 0; i-- {
+		b := d.Topo[i]
+		for _, e := range d.Out[b.ID] {
+			if skip != nil && skip[e.ID] {
+				continue
+			}
+			if reach[e.Dst.ID] {
+				reach[b.ID] = true
+				break
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,24 @@
+package dataflow
+
+import "pathprof/internal/cfg"
+
+// PathSums runs the affine-sum domain: for every block it returns the
+// exact min/max of the sum of val(e) over all non-skipped DAG paths
+// entry->block, with witness provenance on both endpoints. With val =
+// the Ball-Larus edge increment this proves the path register at the
+// exit stays inside [0, N) without enumerating a single path; with
+// val = 1 it bounds path lengths; any affine per-edge quantity works.
+//
+//ppp:dataflow
+func PathSums(d *cfg.DAG, skip []bool, val func(e *cfg.DAGEdge) int64) []Track {
+	return Forward(d, Analysis[Track]{
+		Bottom: EmptyTrack,
+		Init:   PointTrack(0),
+		Join:   Track.Join,
+		Transfer: func(e *cfg.DAGEdge, in Track) Track {
+			return in.Via(e, 0).Add(val(e))
+		},
+		Skip: skip,
+		Dead: func(t Track) bool { return !t.Reached() },
+	})
+}

@@ -1,0 +1,150 @@
+package dataflow
+
+import "pathprof/internal/cfg"
+
+// Bound selects an interval endpoint in a provenance record.
+const (
+	BoundLo uint8 = 0
+	BoundHi uint8 = 1
+)
+
+// Prov records where an interval endpoint came from: the DAG edge
+// whose transfer produced it, and which (slot, bound) of the source
+// block's state it was derived from. Slots are domain-defined labels
+// for state components (a class/component encoding chosen by the
+// analysis). A zero Prov (E == nil) marks an analysis-entry value and
+// terminates the walk-back.
+type Prov struct {
+	E     *cfg.DAGEdge
+	Slot  uint8
+	Bound uint8
+}
+
+// Track is an interval with per-endpoint provenance, so a failed
+// proof can be walked back to a concrete witness path achieving the
+// violating endpoint.
+type Track struct {
+	Iv       Interval
+	LoP, HiP Prov
+}
+
+// EmptyTrack returns the bottom tracked interval.
+func EmptyTrack() Track { return Track{Iv: Empty()} }
+
+// PointTrack returns a tracked singleton with entry provenance.
+func PointTrack(v int64) Track { return Track{Iv: Point(v)} }
+
+// Reached reports whether any path produces this state.
+func (t Track) Reached() bool { return !t.Iv.IsEmpty() }
+
+// Via rebases the provenance across edge e: both endpoints now point
+// at (srcSlot, bound) of e's source block. Called once at the start
+// of every edge transfer, before the edge's own ops adjust the value,
+// so all subsequent Add/SubFrom/Join provenance refers across e.
+func (t Track) Via(e *cfg.DAGEdge, srcSlot uint8) Track {
+	if t.Iv.IsEmpty() {
+		return t
+	}
+	t.LoP = Prov{E: e, Slot: srcSlot, Bound: BoundLo}
+	t.HiP = Prov{E: e, Slot: srcSlot, Bound: BoundHi}
+	return t
+}
+
+// Add shifts the tracked interval; a shift moves both endpoints the
+// same way, so provenance is unchanged.
+func (t Track) Add(v int64) Track {
+	t.Iv = t.Iv.Add(v)
+	return t
+}
+
+// SubFrom maps the tracked interval through x -> v-x. The endpoints
+// swap roles, so their provenance swaps with them.
+func (t Track) SubFrom(v int64) Track {
+	t.Iv = t.Iv.SubFrom(v)
+	t.LoP, t.HiP = t.HiP, t.LoP
+	return t
+}
+
+// Join merges two tracked intervals. Each endpoint keeps the
+// provenance of whichever operand supplied it; ties keep t's, which
+// is deterministic because callers fold inputs in edge order.
+func (t Track) Join(o Track) Track {
+	if t.Iv.IsEmpty() {
+		return o
+	}
+	if o.Iv.IsEmpty() {
+		return t
+	}
+	if o.Iv.Lo < t.Iv.Lo {
+		t.Iv.Lo, t.LoP = o.Iv.Lo, o.LoP
+	}
+	if o.Iv.Hi > t.Iv.Hi {
+		t.Iv.Hi, t.HiP = o.Iv.Hi, o.HiP
+	}
+	return t
+}
+
+// Prov returns the provenance of the requested endpoint.
+func (t Track) Prov(bound uint8) Prov {
+	if bound == BoundLo {
+		return t.LoP
+	}
+	return t.HiP
+}
+
+// Flag is a boolean lattice component with provenance: "some path
+// reaches this state", plus evidence of one such path.
+type Flag struct {
+	On bool
+	P  Prov
+}
+
+// Via rebases a set flag's provenance across edge e.
+func (f Flag) Via(e *cfg.DAGEdge, srcSlot uint8) Flag {
+	if f.On {
+		f.P = Prov{E: e, Slot: srcSlot, Bound: BoundLo}
+	}
+	return f
+}
+
+// Join keeps the first witness seen (deterministic under edge-order
+// folding).
+func (f Flag) Join(o Flag) Flag {
+	if f.On {
+		return f
+	}
+	return o
+}
+
+// WalkBack reconstructs a concrete entry-to-block path witnessing the
+// (slot, bound) endpoint of block's state. get must return the stored
+// provenance for a (block, slot, bound) triple; the walk follows
+// provenance edges until it reaches an entry value (E == nil). The
+// result is in forward order. Returns nil if the chain is longer than
+// maxLen edges, which would indicate corrupted provenance (the DAG is
+// acyclic, so a valid chain visits each block at most once).
+//
+//ppp:dataflow
+func WalkBack(get func(block int, slot, bound uint8) Prov, block int, slot, bound uint8, maxLen int) cfg.Path {
+	return WalkBackProv(get, get(block, slot, bound), maxLen)
+}
+
+// WalkBackProv is WalkBack starting from an explicit provenance
+// record, for endpoints held in a transfer-local value rather than a
+// block state.
+//
+//ppp:dataflow
+func WalkBackProv(get func(block int, slot, bound uint8) Prov, p Prov, maxLen int) cfg.Path {
+	var rev cfg.Path
+	for p.E != nil {
+		if len(rev) > maxLen {
+			return nil
+		}
+		rev = append(rev, p.E)
+		p = get(p.E.Src.ID, p.Slot, p.Bound)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fixpoint forbids map iteration in any function reachable from a
+// //ppp:dataflow mark. The marked functions are fixpoint solvers
+// (internal/dataflow, the verify proof drivers): their results must not
+// depend on visit order, and Go randomizes map iteration order, so a
+// map range anywhere in the solve — including in transfer or join
+// helpers the solver calls — can make two runs of the same proof visit
+// facts in different orders. The mapiter check covers functions whose
+// *output* must be deterministic; this one follows the call graph so
+// the whole solve is in scope, not just the entry point.
+var Fixpoint = &Analyzer{
+	Name: "fixpoint",
+	Doc:  "forbid map iteration in functions reachable from //ppp:dataflow fixpoint solvers",
+	Run:  runFixpoint,
+}
+
+// fixNode is one package-level function declaration in the call graph.
+type fixNode struct {
+	fd *ast.FuncDecl
+}
+
+func runFixpoint(p *Pass) {
+	byObj := map[types.Object]*fixNode{}
+	byName := map[string][]*fixNode{}
+	var marked []*fixNode
+	eachFunc(p.Files, func(f *ast.File, fd *ast.FuncDecl) {
+		n := &fixNode{fd: fd}
+		if obj := p.TypesInfo.Defs[fd.Name]; obj != nil {
+			byObj[obj] = n
+		}
+		byName[fd.Name.Name] = append(byName[fd.Name.Name], n)
+		if hasMark(fd.Doc, "ppp:dataflow") {
+			marked = append(marked, n)
+		}
+	})
+	if len(marked) == 0 {
+		return
+	}
+
+	// BFS over the intra-package call graph from the marked roots.
+	reached := map[*fixNode]bool{}
+	queue := append([]*fixNode(nil), marked...)
+	for _, n := range marked {
+		reached[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		ast.Inspect(n.fd.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range p.calleeDecls(byObj, byName, call) {
+				if !reached[callee] {
+					reached[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Report map ranges in every reached body. RunAll sorts findings by
+	// position, so the set's iteration order does not leak.
+	for n := range reached {
+		fd := n.fd
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			rs, ok := x.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true // no type info; stay silent rather than guess
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				p.reportf("fixpoint", "fixpoint", rs.Pos(),
+					"%s is reachable from a //ppp:dataflow solver: map iteration order is randomized and perturbs fact visit order", fd.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+// calleeDecls resolves a call expression to package-level function
+// declarations. The typed path follows the identifier's object; when
+// the identifier did not resolve, the fallback matches by name, which
+// over-approximates reachability — safe, since it can only widen the
+// checked region.
+func (p *Pass) calleeDecls(byObj map[types.Object]*fixNode, byName map[string][]*fixNode, call *ast.CallExpr) []*fixNode {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		if n := byObj[obj]; n != nil {
+			return []*fixNode{n}
+		}
+		return nil // resolved outside the package
+	}
+	return byName[id.Name]
+}

@@ -18,6 +18,10 @@
 //   - wallclock: no time.Now/Since/Until or math/rand in
 //     deterministic scope; replay must not depend on wall clock or
 //     a global rand source.
+//   - fixpoint: no map iteration anywhere reachable (intra-package
+//     call graph) from a function marked //ppp:dataflow — the fixpoint
+//     solvers and proof drivers whose fact visit order must be stable
+//     run to run.
 //
 // A finding on one line can be acknowledged with a same-line
 // //ppp:allow(rule) comment naming the violated rule (for example
@@ -48,7 +52,7 @@ type Analyzer struct {
 }
 
 // Analyzers lists every check ppplint runs, in report order.
-var Analyzers = []*Analyzer{MapIter, HotPath, WallClock}
+var Analyzers = []*Analyzer{MapIter, HotPath, WallClock, Fixpoint}
 
 // A Diagnostic is one finding, attributed to the analyzer and the
 // fine-grained rule that //ppp:allow comments suppress.

@@ -70,6 +70,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		"goroutine": 1,
 		"fmt":       1, // fmt.Sprintf in bumpTelemetry
 		"box":       1, // record(h.n) boxes the int64
+		"fixpoint":  2, // transferFix (via solveFix) and joinFix, not strayFix or allowedFix
 	}
 	for rule, n := range want {
 		if got[rule] != n {

@@ -1,0 +1,54 @@
+package fixtures
+
+// solveFix is a fixpoint driver: it must visit facts in a stable
+// order, and so must everything it calls.
+//
+//ppp:dataflow
+func solveFix(facts map[int]int, order []int) int {
+	total := 0
+	for _, b := range order { // slice range: fine
+		total += transferFix(facts, b)
+	}
+	return total
+}
+
+// transferFix is not marked itself, but solveFix calls it — its map
+// range reports.
+func transferFix(facts map[int]int, b int) int {
+	s := 0
+	for k, v := range facts {
+		s += k * v
+	}
+	return s + b
+}
+
+// joinFix ranges a map directly inside a marked function.
+//
+//ppp:dataflow
+func joinFix(a, b map[int]int) map[int]int {
+	for k, v := range b {
+		a[k] = v
+	}
+	return a
+}
+
+// allowedFix acknowledges its map range: order feeds a commutative sum.
+//
+//ppp:dataflow
+func allowedFix(facts map[int]int) int {
+	s := 0
+	for _, v := range facts { //ppp:allow(fixpoint)
+		s += v
+	}
+	return s
+}
+
+// strayFix is reachable from no //ppp:dataflow mark; its map range is
+// outside fixpoint scope.
+func strayFix(facts map[int]int) int {
+	s := 0
+	for _, v := range facts {
+		s += v
+	}
+	return s
+}

@@ -571,6 +571,36 @@ func (t *Table) Size() int64 {
 	return int64(len(t.arr))
 }
 
+// Get returns the counter recorded for index idx, probing exactly as
+// add would; out-of-range, unoccupied, and lost indices read as zero.
+func (t *Table) Get(idx int64) int64 {
+	if t.Kind == ArrayTable {
+		if idx < 0 || idx >= int64(len(t.arr)) {
+			return 0
+		}
+		return t.arr[idx]
+	}
+	h := idx % HashSlots
+	if h < 0 {
+		h += HashSlots
+	}
+	step := idx % (HashSlots - 2)
+	if step < 0 {
+		step += HashSlots - 2
+	}
+	step++
+	for try := 0; try < HashTries; try++ {
+		s := (h + int64(try)*step) % HashSlots
+		if !t.used[s] {
+			return 0
+		}
+		if t.keys[s] == idx {
+			return t.vals[s]
+		}
+	}
+	return 0
+}
+
 // Merge adds other's counters into t. Array entries add elementwise;
 // hash entries replay other's occupied slots in slot order through the
 // normal probe sequence, which is deterministic. When t and other have

@@ -58,6 +58,12 @@ const (
 	// Flow carries the expected dynamic probe hits under the guide
 	// profile.
 	EvPlacement
+	// EvProof: the all-paths verifier proved (or refuted) a routine's
+	// plan; Flow carries the violation count.
+	EvProof
+	// EvValidate: translation validation checked a compiled routine
+	// against its plan IR; Flow carries the violation count.
+	EvValidate
 )
 
 var eventKindNames = [...]string{
@@ -77,6 +83,8 @@ var eventKindNames = [...]string{
 	EvQuarantine:  "quarantine",
 	EvFaultInject: "fault-inject",
 	EvPlacement:   "placement",
+	EvProof:       "proof",
+	EvValidate:    "validate",
 }
 
 func (k EventKind) String() string {

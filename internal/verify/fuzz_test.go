@@ -100,6 +100,73 @@ func fuzzTechniques(b byte) instr.Techniques {
 	return tech
 }
 
+// FuzzProofVsEnum differentially tests the two verifier modes: on
+// small graphs, where budgeted enumeration is exhaustive, the
+// abstract-interpretation proof and the enumerator must reach the same
+// verdict — on pristine planner output and on deterministically
+// corrupted plans alike. Enumeration rejecting while the proof accepts
+// is always a soundness bug in the proof (it claims to cover all
+// paths); the reverse is a completeness bug when enumeration finished.
+func FuzzProofVsEnum(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{0xFF})       // entry==exit degenerate routine
+	f.Add([]byte{0xFF, 0xFF}) // ... with min-cost probe placement
+	f.Add([]byte{1, 3, 2})
+	f.Add([]byte{2, 1, 2, 0, 5})
+	f.Add([]byte{4, 1, 7, 3, 99, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		var g *cfg.Graph
+		if data[0] == 0xFF {
+			// The entry block is also the exit, so the virtual
+			// exit->entry edge degenerates to a self-loop (the probe
+			// planner's MeasuredCalls case).
+			g = cfg.New("dgen")
+			b0 := g.AddBlock("entry")
+			g.Entry, g.Exit = b0, b0
+		} else {
+			g = buildFuzzGraph(data)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated graph invalid: %v", err)
+		}
+		h := fnv.New64a()
+		h.Write(data)
+		h.Write([]byte("proof-vs-enum"))
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		cfgtest.Profile(g, rng, 50+rng.Intn(300), 300)
+
+		tech := fuzzTechniques(data[len(data)-1])
+		par := instr.DefaultParams()
+		if len(data) > 1 && data[len(data)-2]&1 == 1 {
+			par.Placement = instr.PlaceMinCost
+		}
+		p, err := instr.Build(g, tech, par, g.Calls)
+		if err != nil {
+			return
+		}
+		// Half the inputs corrupt one op value so the differential
+		// covers invalid plans, not just planner output.
+		if len(data) > 2 && data[len(data)-3]&1 == 1 && p.Instrumented {
+			if sites := mutableOps(p); len(sites) > 0 {
+				s := sites[int(data[len(data)-3])%len(sites)]
+				p.Ops[s.edge.ID][s.op].V += 1 + int64(data[len(data)-3]%3)
+			}
+		}
+
+		proof := verify.CheckWith(p, verify.Options{Mode: verify.ModeProof})
+		enum := verify.CheckWith(p, verify.Options{Mode: verify.ModeEnum})
+		if !enum.OK() && proof.OK() {
+			t.Fatalf("enumeration rejects but the all-paths proof accepts:\n%s\n%s", enum, p.Dump())
+		}
+		if !proof.OK() && enum.OK() && !enum.Sampled && !enum.Truncated {
+			t.Fatalf("proof rejects but exhaustive enumeration accepts:\n%s\n%s", proof, p.Dump())
+		}
+	})
+}
+
 // FuzzVerifyPlan generates random small CFGs, plans instrumentation
 // under a fuzzed technique mix, and cross-checks the static verifier
 // against VM-level op execution: whenever the verifier passes a plan,

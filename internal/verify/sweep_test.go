@@ -23,10 +23,13 @@ func TestVerifySweep(t *testing.T) {
 		names = names[:4]
 	}
 
+	// ModeBoth runs the all-paths proof and budgeted enumeration on
+	// every plan and reports any disagreement between them, so a
+	// passing sweep is also a differential test of the two verifiers.
 	checkPlans := func(t *testing.T, pr *core.ProfilerResult) {
 		t.Helper()
 		routines := 0
-		diags, ok := verify.CheckAll(pr.Plans, verify.Options{})
+		diags, ok := verify.CheckAll(pr.Plans, verify.Options{Mode: verify.ModeBoth})
 		routines += len(pr.Plans)
 		if !ok {
 			for _, d := range diags {

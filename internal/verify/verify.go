@@ -18,12 +18,18 @@
 //     tree, and cold/disconnected edges carry only their sanctioned
 //     ops.
 //
-// Path-sensitive checks enumerate DAG paths exactly up to a budget;
-// routines beyond it (for example hash-table routines above the SAC
-// threshold) fall back to the symbolic bijection proof plus a
-// deterministic sample of reconstructed paths. Violations come back as
-// structured diagnostics carrying a concrete witness path whenever one
-// exists.
+// Path-sensitive invariants are established by default through
+// abstract interpretation (ModeProof): a forward interval dataflow
+// over the acyclic path DAG whose per-component transfers are affine,
+// so one topological sweep computes the exact min/max of every tracked
+// quantity over all paths at once — a proof covering routines with
+// billions of paths in O(E) time (see package dataflow and proof.go).
+// Failed proofs walk the lattice back to a concrete witness path.
+// Budgeted exact enumeration (ModeEnum, the PR 3 behaviour with its
+// sampling fallback) remains available as an independent cross-check,
+// and ModeBoth runs both and reports any disagreement. Violations come
+// back as structured diagnostics carrying a concrete witness path
+// whenever one exists.
 package verify
 
 import (
@@ -34,6 +40,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/instr"
 	"pathprof/internal/pathnum"
+	"pathprof/internal/telemetry"
 )
 
 // Rule identifies the invariant a diagnostic violates.
@@ -72,6 +79,9 @@ const (
 	// cycle of unprobed edges — or flow-conservation recovery from the
 	// probes fails to reproduce the guide profile exactly.
 	RuleProbes Rule = "probe-set"
+	// RuleDisagree: under ModeBoth, the all-paths proof and exhaustive
+	// enumeration reached different verdicts — a verifier bug.
+	RuleDisagree Rule = "mode-disagreement"
 )
 
 // Diagnostic is one verifier finding.
@@ -100,15 +110,22 @@ func (d Diagnostic) String() string {
 
 // Options tune the verification effort.
 type Options struct {
-	// Budget bounds exact path enumeration (hot paths and
-	// cold-crossing paths each). Zero means DefaultBudget. Routines
-	// with more hot paths than the budget — in particular hash-table
-	// routines above the SAC threshold — are verified symbolically
-	// plus by sampling.
+	// Mode selects proof (default), enumeration, or both.
+	Mode Mode
+	// Budget bounds exact path enumeration under ModeEnum/ModeBoth
+	// (hot paths and cold-crossing paths each). Zero means
+	// DefaultBudget. Routines with more hot paths than the budget —
+	// in particular hash-table routines above the SAC threshold — are
+	// verified symbolically plus by sampling.
 	Budget int
 	// Samples is the number of hot paths reconstructed and simulated
 	// in sampling mode. Zero means DefaultSamples.
 	Samples int
+	// Trace, when set, receives one EvProof event per verified routine
+	// (nil-safe; enumeration-only runs emit nothing).
+	Trace *telemetry.Trace
+	// TraceUnit labels emitted trace events.
+	TraceUnit string
 }
 
 // DefaultBudget matches the instrumentation hashing threshold: every
@@ -121,11 +138,14 @@ const DefaultSamples = 256
 // Report is the outcome of verifying one plan.
 type Report struct {
 	Routine string
-	// HotChecked and ColdChecked count the paths actually simulated;
-	// Sampled is set when the hot side used the sampling fallback.
+	// HotChecked and ColdChecked count the paths covered — simulated
+	// under ModeEnum, proven under ModeProof (saturating); Sampled is
+	// set when enumeration's hot side used the sampling fallback,
+	// Truncated when its cold walk exhausted the budget.
 	HotChecked  int
 	ColdChecked int
 	Sampled     bool
+	Truncated   bool
 	Diags       []Diagnostic
 }
 
@@ -146,7 +166,7 @@ func (r *Report) String() string {
 	return sb.String()
 }
 
-// Check verifies p with default options.
+// Check verifies p with default options (proof mode).
 func Check(p *instr.Plan) *Report { return CheckWith(p, Options{}) }
 
 // CheckWith verifies p. Non-instrumented plans get structural checks
@@ -162,6 +182,7 @@ func CheckWith(p *instr.Plan, opts Options) *Report {
 	v := &checker{p: p, opts: opts, rep: &Report{Routine: p.G.Name}}
 	v.structural()
 	if len(v.rep.Diags) > 0 {
+		v.emitProofEvent()
 		return v.rep // shape is broken; later checks would index out of range
 	}
 	v.attribution()
@@ -169,10 +190,56 @@ func CheckWith(p *instr.Plan, opts Options) *Report {
 	if p.Instrumented {
 		v.numbering()
 		v.placement()
-		v.hotPaths()
-		v.coldPaths()
+		switch opts.Mode {
+		case ModeEnum:
+			v.hotPaths()
+			v.coldPaths()
+		case ModeBoth:
+			pre := len(v.rep.Diags)
+			v.proofHot()
+			v.proofCold()
+			proofBad := len(v.rep.Diags) > pre
+			mid := len(v.rep.Diags)
+			v.hotPaths()
+			v.coldPaths()
+			enumBad := len(v.rep.Diags) > mid
+			// Enumeration only refutes the proof when it was itself
+			// exhaustive; the proof always covers all paths, so a
+			// clean proof against enum findings is a bug either way.
+			switch {
+			case enumBad && !proofBad:
+				v.diag(RuleDisagree, nil, nil,
+					"enumeration found violations the all-paths proof missed")
+			case proofBad && !enumBad && !v.rep.Sampled && !v.rep.Truncated:
+				v.diag(RuleDisagree, nil, nil,
+					"all-paths proof found violations exhaustive enumeration missed")
+			}
+		default: // ModeProof
+			v.proofHot()
+			v.proofCold()
+		}
 	}
+	v.emitProofEvent()
 	return v.rep
+}
+
+// emitProofEvent records the verdict in the decision trace. The detail
+// is deterministic (no timing): traces must byte-compare across runs.
+func (v *checker) emitProofEvent() {
+	if v.opts.Trace == nil || v.opts.Mode == ModeEnum {
+		return
+	}
+	detail := "ok"
+	if n := len(v.rep.Diags); n > 0 {
+		detail = fmt.Sprintf("%d violation(s)", n)
+	}
+	v.opts.Trace.Emit(telemetry.Event{
+		Unit:    v.opts.TraceUnit,
+		Routine: v.p.G.Name,
+		Kind:    telemetry.EvProof,
+		Flow:    int64(len(v.rep.Diags)),
+		Detail:  detail,
+	})
 }
 
 type checker struct {
@@ -477,7 +544,10 @@ func (v *checker) probes() {
 	}
 	// Seed the tree with the virtual edge; a no-op self-loop when
 	// entry == exit (the unprobed real edges then span on their own).
-	union(g.Exit.ID, g.Entry.ID)
+	comps := nv
+	if union(g.Exit.ID, g.Entry.ID) {
+		comps--
+	}
 	for _, e := range g.Edges {
 		if probed[[2]int{e.Src.ID, e.Dst.ID}] {
 			continue
@@ -487,13 +557,29 @@ func (v *checker) probes() {
 				"unprobed edges form a cycle through %s: its flow is unrecoverable", e)
 			return
 		}
+		comps--
 	}
-	// Exactness: feeding the guide profile's probe counts through
-	// recovery must reproduce every edge frequency and the call count.
+	// Rank argument: the count check above fixed the unprobed set
+	// (plus the virtual edge) at V-1 edges, and the union-find proved
+	// it acyclic; one component therefore means it is a spanning tree.
+	// Flow conservation then determines every tree edge's frequency
+	// from the probed chords alone — the cycle space of the augmented
+	// graph has dimension E-V+2, so the probe set is both sufficient
+	// and minimal. This is a static proof of exact recoverability; no
+	// profile needs to be run through the recovery.
+	if comps != 1 {
+		v.diag(RuleProbes, nil, nil,
+			"unprobed edges leave the graph in %d components: flow on the cut edges is unrecoverable", comps)
+		return
+	}
+	// Under enumeration modes, additionally replay the guide profile
+	// through the recovery as a dynamic cross-check of the same fact.
 	// Only meaningful when the guide profile itself conserves flow.
-	if err := g.CheckFlow(); err == nil {
-		if err := spec.CheckExact(g); err != nil {
-			v.diag(RuleProbes, nil, nil, "recovery not exact on the guide profile: %v", err)
+	if v.opts.Mode != ModeProof {
+		if err := g.CheckFlow(); err == nil {
+			if err := spec.CheckExact(g); err != nil {
+				v.diag(RuleProbes, nil, nil, "recovery not exact on the guide profile: %v", err)
+			}
 		}
 	}
 }
@@ -652,10 +738,15 @@ func (v *checker) hotSampled() {
 			v.diag(RuleHotID, path, nil, "hot path counted at %d, want its number %d", events[0].index, id)
 		}
 	}
+	// Always include the extreme paths explicitly. The stride loop
+	// covers id 0 but misses p.N-1 whenever stride does not divide
+	// p.N-1 — notably N = budget+1, where stride sampling alone would
+	// silently skip the single max-ID path.
+	sample(0)
+	sample(p.N - 1)
 	for id := int64(0); id < p.N; id += stride {
 		sample(id)
 	}
-	sample(p.N - 1)
 }
 
 // coldPaths enumerates executions crossing at least one cold edge
@@ -720,12 +811,22 @@ func (v *checker) coldPaths() {
 		}
 		return true
 	}
-	walk(d.G.Entry, false)
+	if !walk(d.G.Entry, false) {
+		v.rep.Truncated = true
+	}
 }
 
 func (v *checker) checkColdPath(path cfg.Path) {
-	p := v.p
 	v.rep.ColdChecked++
+	v.coldPathDiags(path)
+}
+
+// coldPathDiags runs the concrete per-path poisoning and overcount
+// checks, emitting diagnostics only. Shared between the enumerator and
+// proof-mode witness resolution (which re-derives the enumerator's
+// exact wording from a walked-back path).
+func (v *checker) coldPathDiags(path cfg.Path) {
+	p := v.p
 	events, sets := simulate(p, path)
 	unpoisoned := 0
 	for _, ev := range events {

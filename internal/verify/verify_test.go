@@ -276,7 +276,7 @@ func TestSamplingFallback(t *testing.T) {
 	if !p.Instrumented || p.N != 4096 {
 		t.Fatalf("want 4096 hot paths, got N=%d", p.N)
 	}
-	opts := verify.Options{Budget: 100, Samples: 64}
+	opts := verify.Options{Mode: verify.ModeEnum, Budget: 100, Samples: 64}
 	rep := verify.CheckWith(p, opts)
 	if !rep.OK() {
 		t.Fatalf("sampled verification rejected valid plan: %s", rep)
@@ -307,6 +307,53 @@ func TestSamplingFallback(t *testing.T) {
 		t.Error("corrupted numbering accepted in sampling mode")
 	} else if !hasRule(rep.Diags, verify.RuleNumbering) {
 		t.Errorf("want a numbering diagnostic, got: %s", rep)
+	}
+}
+
+// TestSamplingIncludesExtremes pins the budget+1 edge case: with N one
+// over the enumeration budget, stride sampling alone misses the single
+// max-ID path (stride 3 over [0,129) never lands on 128), so the
+// sampler must include the first and last paths explicitly.
+func TestSamplingIncludesExtremes(t *testing.T) {
+	// Seven chained diamonds (128 paths) plus an entry->exit bypass:
+	// N = 129 = budget+1.
+	g := cfg.New("edgecase")
+	entry := g.AddBlock("entry")
+	exit := g.AddBlock("exit")
+	prev := entry
+	for i := 0; i < 7; i++ {
+		a := g.AddBlock("")
+		b := g.AddBlock("")
+		c := g.AddBlock("")
+		j := g.AddBlock("")
+		cfgtest.Connect(g, prev, a)
+		cfgtest.Connect(g, a, b)
+		cfgtest.Connect(g, a, c)
+		cfgtest.Connect(g, b, j)
+		cfgtest.Connect(g, c, j)
+		prev = j
+	}
+	cfgtest.Connect(g, prev, exit)
+	cfgtest.Connect(g, entry, exit)
+	g.Entry, g.Exit = entry, exit
+	rng := rand.New(rand.NewSource(7))
+	cfgtest.Profile(g, rng, 500, 400)
+
+	p := build(t, g, instr.PP(), 500)
+	if !p.Instrumented || p.N != 129 {
+		t.Fatalf("want 129 hot paths, got N=%d", p.N)
+	}
+	rep := verify.CheckWith(p, verify.Options{Mode: verify.ModeEnum, Budget: 128, Samples: 43})
+	if !rep.OK() {
+		t.Fatalf("sampled verification rejected valid plan: %s", rep)
+	}
+	if !rep.Sampled {
+		t.Fatal("expected sampling fallback at N = budget+1")
+	}
+	// Stride 129/43 = 3 covers ids 0,3,...,126 (43 paths); the
+	// explicit last-path sample adds id 128.
+	if rep.HotChecked != 44 {
+		t.Errorf("sampled %d hot paths, want 44 (43 strided + the max-ID path)", rep.HotChecked)
 	}
 }
 

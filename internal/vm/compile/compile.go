@@ -118,6 +118,11 @@ type Program struct {
 	opts       Options
 	globalInit []int64
 	arraySizes []int64
+	// prog and specs are the compilation inputs, retained so translation
+	// validation (Validate) can replay every compiled transition against
+	// the IR terminator and successor spec it was lowered from.
+	prog  *ir.Program
+	specs []FuncSpec
 	// Stats holds per-routine compile time and code size, in function
 	// index order.
 	Stats []Stat
@@ -153,6 +158,11 @@ type segment struct {
 type blockCode struct {
 	segs []segment
 	term termFn
+	// arms retains the per-successor transition closures the terminator
+	// dispatches between, so translation validation (validate.go) can
+	// drive each arm directly: [0] the Jump/Ret closure or Branch taken
+	// arm, [1] the Branch else arm.
+	arms [2]termFn
 	// code is the hoisted single segment of a solo block; the executor
 	// runs it without the segment loop (or fr.seg bookkeeping). A solo
 	// block's step/cost charge is folded into the constant charge of
@@ -194,6 +204,8 @@ func New(prog *ir.Program, specs []FuncSpec, opts Options) (*Program, error) {
 	p := &Program{
 		opts:       opts,
 		globalInit: prog.GlobalInit,
+		prog:       prog,
+		specs:      specs,
 		fns:        make([]fnCode, len(prog.Funcs)),
 		Stats:      make([]Stat, 0, len(prog.Funcs)),
 	}

@@ -1,0 +1,40 @@
+package compile
+
+// MutatedSite records where the test mutation hook struck.
+type MutatedSite struct {
+	Fn       string
+	From, To int
+}
+
+// MutateFirstSuccBase arms the lowering-mutation hook: the first
+// transition compiled after the call gets delta added to its folded
+// base-cost constant — a deliberate miscompilation — and the site is
+// recorded in the returned struct. Disarm with ClearMutateSucc.
+func MutateFirstSuccBase(delta int64) *MutatedSite {
+	site := &MutatedSite{From: -1, To: -1}
+	testMutateSucc = func(fn string, from, to int, c *succConsts) {
+		if site.From >= 0 {
+			return
+		}
+		*site = MutatedSite{Fn: fn, From: from, To: to}
+		c.Base += delta
+	}
+	return site
+}
+
+// MutateFirstSuccSteps arms the hook to corrupt the folded step-count
+// constant instead, covering the solo-successor charge fold.
+func MutateFirstSuccSteps(delta int64) *MutatedSite {
+	site := &MutatedSite{From: -1, To: -1}
+	testMutateSucc = func(fn string, from, to int, c *succConsts) {
+		if site.From >= 0 {
+			return
+		}
+		*site = MutatedSite{Fn: fn, From: from, To: to}
+		c.Steps += delta
+	}
+	return site
+}
+
+// ClearMutateSucc disarms the lowering-mutation hook.
+func ClearMutateSucc() { testMutateSucc = nil }

@@ -28,6 +28,19 @@ import (
 // Telemetry=false build emits closures containing no counter code at
 // all, rather than nil-checking a sink per transition.
 
+// succConsts exposes one transition closure's folded compile-time
+// constants to the mutation hook below.
+type succConsts struct {
+	Steps, Base, ICost, Mask, Add int64
+}
+
+// testMutateSucc, when non-nil, may corrupt a transition's folded
+// constants after they are finalized (including the solo-successor
+// charge fold), simulating a miscompiled lowering. Tests use it to
+// prove translation validation actually detects broken terminators;
+// it must stay nil outside tests.
+var testMutateSucc func(fn string, from, to int, c *succConsts)
+
 // lowered is the compiled form of one op stream.
 type lowered struct {
 	fn        instrFn // non-nil only for count-carrying streams
@@ -204,14 +217,20 @@ func (c *comp) lowerGeneric(ops []planir.Op) lowered {
 // extracted trailing comparison) dispatches the branch on the native
 // bool.
 func (c *comp) compileTerm(fc *fnCode, bi int, t *ir.Term, cond condFn) termFn {
+	bc := &fc.blocks[bi]
 	switch t.Kind {
 	case ir.Ret:
-		return c.mkRet(t)
+		f := c.mkRet(t)
+		bc.arms[0] = f
+		return f
 	case ir.Jump:
-		return c.mkSucc(fc, bi, &c.spec.Succs[bi][0])
+		f := c.mkSucc(fc, bi, &c.spec.Succs[bi][0])
+		bc.arms[0] = f
+		return f
 	case ir.Branch:
 		f0 := c.mkSucc(fc, bi, &c.spec.Succs[bi][0])
 		f1 := c.mkSucc(fc, bi, &c.spec.Succs[bi][1])
+		bc.arms[0], bc.arms[1] = f0, f1
 		c.closures++
 		if cond != nil {
 			//ppp:hotpath
@@ -307,6 +326,12 @@ func (c *comp) mkSucc(fc *fnCode, from int, s *SuccSpec) termFn {
 	if to.solo {
 		stepsC += to.segs[0].steps
 		baseC += to.segs[0].cost
+	}
+	if testMutateSucc != nil {
+		sc := succConsts{Steps: stepsC, Base: baseC, ICost: icostC, Mask: rm, Add: ra}
+		testMutateSucc(c.fname, from, s.To, &sc)
+		stepsC, baseC, icostC, rm, ra = sc.Steps, sc.Base, sc.ICost, sc.Mask, sc.Add
+		hasFold = rm != -1 || ra != 0
 	}
 	c.closures++
 

@@ -1,0 +1,548 @@
+package compile
+
+// Translation validation: prove, per block pair, that the compiled
+// threaded code has the same observable effect as the specification it
+// was lowered from. The compiled form is aggressively fused — op
+// streams fold to masked adds, constant costs collapse into one
+// addition, solo successors' charges migrate into their predecessors'
+// terminators — so instead of trusting the folds, Validate replays
+// every retained transition closure (blockCode.arms) against a
+// reference interpretation built ONLY from the inputs: the ir.Func
+// terminator, the SuccSpec, and the planir op stream. Both sides run
+// over twin profile containers and the complete observable state is
+// compared after every probe:
+//
+//   - path register (the fold target)
+//   - step, base-cost, and instrumentation-cost deltas, with the
+//     solo-successor charge derived independently from the IR (a
+//     call-free successor of n instructions folds n steps and
+//     n*Instr cost into the transition)
+//   - returned successor identity (pointer into the function's blocks)
+//   - counter-table state (array or hash), including poison-check
+//     cold bumps, drops, and lost counts
+//   - edge-profile counts over every canonical slot
+//   - path-tracking effects: trie cursor, pending path, recorded
+//     totals, and path-hook invocations
+//
+// Probe register values cover zero, small positives that distinguish
+// mask from add, a value outside small table ranges, and negatives
+// (including deep poison) that exercise the check-based cold path.
+//
+// Deliberately NOT validated, because the reference would have to
+// mirror the implementation rather than the spec: segment register
+// semantics (micro-op lowering, dead-store elimination), fused branch
+// condition closures, and global/array effects of block bodies. Those
+// stay covered by the dense-vs-compiled differential tests and fuzzing
+// (vm package); validation owns the terminator lowering, where every
+// instrumentation effect of the Bond–McKinley plans lives.
+//
+// What IS proven statically per function, before any probes: segment
+// charges resum to the interpreter's per-instruction accounting
+// (sum of seg.steps == len(instrs), sum of seg.cost == len(instrs) *
+// Instr + calls*Call), the solo flag and budget-check gate match the
+// call-free criterion, the entry precharge matches the entry block,
+// and every live terminator arm was compiled.
+
+import (
+	"fmt"
+	"math"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/planir"
+	"pathprof/internal/profile"
+)
+
+// ValidationError reports one divergence between a compiled transition
+// and its specification, naming the block pair and the probe register
+// value that exposed it.
+type ValidationError struct {
+	Routine string
+	From    int
+	To      int // -1 for a Ret arm
+	Arm     int // 0: Jump/Ret/taken, 1: Branch else; -1: static check
+	Field   string
+	Probe   int64
+	Got     int64
+	Want    int64
+}
+
+func (e *ValidationError) Error() string {
+	if e.Arm < 0 {
+		return fmt.Sprintf("compile: validate %s: block %d: %s: got %d, want %d",
+			e.Routine, e.From, e.Field, e.Got, e.Want)
+	}
+	return fmt.Sprintf("compile: validate %s: block %d->%d arm %d: %s diverges at probe r=%d: got %d, want %d",
+		e.Routine, e.From, e.To, e.Arm, e.Field, e.Probe, e.Got, e.Want)
+}
+
+// vProbes are the path-register values every arm is driven with:
+// 0 and 1 separate mask from add, 5 and 97 catch swapped constants and
+// out-of-range table indices (the twin tables are vTableSize wide),
+// -3 and the deep NegPoison value exercise check-based poisoning and
+// index wraparound.
+var vProbes = []int64{0, 1, 5, 97, -3, math.MinInt64 / 4}
+
+// vTableSize shapes the twin counter tables: small enough that probe
+// 97 exercises the out-of-range Drops path on array tables.
+const vTableSize = 64
+
+// Validate proves every compiled routine equivalent to its spec;
+// the first divergence is returned as a *ValidationError.
+func Validate(p *Program) error {
+	for fi := range p.fns {
+		if err := ValidateFunc(p, fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateFunc validates one routine by function index.
+func ValidateFunc(p *Program, fi int) error {
+	f := p.prog.Funcs[fi]
+	if err := staticCheck(p, fi); err != nil {
+		return err
+	}
+	h, err := newVHarness(p, fi)
+	if err != nil {
+		return err
+	}
+	for bi := range f.Blocks {
+		arms := 1
+		if f.Blocks[bi].Term.Kind == ir.Branch {
+			arms = 2
+		}
+		for arm := 0; arm < arms; arm++ {
+			if err := h.checkArm(bi, arm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// staticCheck proves the per-block compiled structure against the IR:
+// segment charge conservation, the solo criterion, the entry
+// precharge, and arm presence.
+func staticCheck(p *Program, fi int) error {
+	f := p.prog.Funcs[fi]
+	fc := &p.fns[fi]
+	costs := &p.opts.Costs
+	serr := func(bi int, field string, got, want int64) error {
+		return &ValidationError{Routine: f.Name, From: bi, To: -1, Arm: -1, Field: field, Got: got, Want: want}
+	}
+	if len(fc.blocks) != len(f.Blocks) {
+		return serr(-1, "block-count", int64(len(fc.blocks)), int64(len(f.Blocks)))
+	}
+	for bi := range f.Blocks {
+		b := f.Blocks[bi]
+		bc := &fc.blocks[bi]
+		var steps, cost, calls int64
+		for i := range bc.segs {
+			steps += bc.segs[i].steps
+			cost += bc.segs[i].cost
+			if bc.segs[i].call != nil {
+				calls++
+			}
+		}
+		var wantCalls int64
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.Call {
+				wantCalls++
+			}
+		}
+		n := int64(len(b.Instrs))
+		if steps != n {
+			return serr(bi, "segment-steps", steps, n)
+		}
+		if want := n*costs.Instr + wantCalls*costs.Call; cost != want {
+			return serr(bi, "segment-cost", cost, want)
+		}
+		if calls != wantCalls {
+			return serr(bi, "segment-calls", calls, wantCalls)
+		}
+		solo := !hasCall(b.Instrs)
+		if bc.solo != solo {
+			return serr(bi, "solo", b2i(bc.solo), b2i(solo))
+		}
+		if solo && bc.check != (n > 0) {
+			return serr(bi, "solo-check", b2i(bc.check), b2i(n > 0))
+		}
+		wantArms := 1
+		if b.Term.Kind == ir.Branch {
+			wantArms = 2
+		}
+		for k := 0; k < 2; k++ {
+			has := bc.arms[k] != nil
+			if has != (k < wantArms) {
+				return serr(bi, fmt.Sprintf("arm[%d]", k), b2i(has), b2i(k < wantArms))
+			}
+		}
+	}
+	var wantES, wantEC int64
+	if eb := f.Blocks[f.Entry]; !hasCall(eb.Instrs) {
+		wantES = int64(len(eb.Instrs))
+		wantEC = wantES * costs.Instr
+	}
+	if fc.entrySteps != wantES {
+		return serr(f.Entry, "entry-steps", fc.entrySteps, wantES)
+	}
+	if fc.entryCost != wantEC {
+		return serr(f.Entry, "entry-cost", fc.entryCost, wantEC)
+	}
+	return nil
+}
+
+// vTwin is one side's profile containers.
+type vTwin struct {
+	edges *profile.EdgeProfile
+	paths *profile.PathProfile
+	table *profile.Table
+	hooks []string
+}
+
+// vHarness drives one routine's compiled arms (got side, through a
+// real Exec) against the reference interpretation (ref side).
+type vHarness struct {
+	p    *Program
+	f    *ir.Func
+	spec *FuncSpec
+	fc   *fnCode
+	fi   int
+
+	x   *Exec
+	got *vTwin
+	ref *vTwin
+	// slotPairs lists the canonical (from, to) pairs by edge slot, for
+	// the full edge-profile comparison after each probe.
+	slotPairs [][2]int
+}
+
+// liveSuccs iterates the routine's compiled transitions: arm 0 for
+// Jump and Branch blocks, arm 1 for Branch blocks. (The unused arm of
+// a Jump block is a zero SuccSpec and must not be read.)
+func (h *vHarness) liveSuccs(visit func(bi, arm int, s *SuccSpec)) {
+	for bi := range h.f.Blocks {
+		switch h.f.Blocks[bi].Term.Kind {
+		case ir.Jump:
+			visit(bi, 0, &h.spec.Succs[bi][0])
+		case ir.Branch:
+			visit(bi, 0, &h.spec.Succs[bi][0])
+			visit(bi, 1, &h.spec.Succs[bi][1])
+		}
+	}
+}
+
+func newVHarness(p *Program, fi int) (*vHarness, error) {
+	h := &vHarness{p: p, f: p.prog.Funcs[fi], spec: &p.specs[fi], fc: &p.fns[fi], fi: fi}
+	kind := profile.ArrayTable
+	if h.spec.Hash {
+		kind = profile.HashTable
+	}
+	h.got = &vTwin{table: profile.NewTable(kind, vTableSize, vTableSize)}
+	h.ref = &vTwin{table: profile.NewTable(kind, vTableSize, vTableSize)}
+	if p.opts.CollectEdges {
+		h.got.edges = profile.NewEdgeProfile(h.f.Name)
+		h.ref.edges = profile.NewEdgeProfile(h.f.Name)
+		// Pre-register the canonical slot order on both twins and check
+		// it is the dense 0..n-1 numbering the spec promises.
+		bySlot := map[int][2]int{}
+		maxSlot := -1
+		h.liveSuccs(func(bi, arm int, s *SuccSpec) {
+			if s.EdgeSlot < 0 {
+				return
+			}
+			bySlot[int(s.EdgeSlot)] = [2]int{bi, s.To}
+			if int(s.EdgeSlot) > maxSlot {
+				maxSlot = int(s.EdgeSlot)
+			}
+		})
+		for slot := 0; slot <= maxSlot; slot++ {
+			pair, ok := bySlot[slot]
+			if !ok {
+				return nil, &ValidationError{Routine: h.f.Name, From: -1, To: -1, Arm: -1,
+					Field: fmt.Sprintf("edge-slot-%d-unassigned", slot)}
+			}
+			if got := h.got.edges.Slot(pair[0], pair[1]); got != slot {
+				return nil, &ValidationError{Routine: h.f.Name, From: pair[0], To: pair[1], Arm: -1,
+					Field: "edge-slot", Got: int64(got), Want: int64(slot)}
+			}
+			h.ref.edges.Slot(pair[0], pair[1])
+			h.slotPairs = append(h.slotPairs, pair)
+		}
+	}
+	if p.opts.CollectPaths {
+		h.got.paths = profile.NewPathProfile(h.f.Name)
+		h.ref.paths = profile.NewPathProfile(h.f.Name)
+	}
+	fts := make([]FuncRun, len(p.fns))
+	fts[fi] = FuncRun{Edges: h.got.edges, Paths: h.got.paths, Table: h.got.table}
+	x, err := NewExec(p, Config{Fts: fts, PathHook: func(fn string, pa cfg.Path) {
+		h.got.hooks = append(h.got.hooks, hookSig(fn, pa))
+	}})
+	if err != nil {
+		return nil, err
+	}
+	h.x = x
+	return h, nil
+}
+
+func hookSig(fn string, p cfg.Path) string {
+	s := fn
+	for _, e := range p {
+		s += fmt.Sprintf(":%d", e.ID)
+	}
+	return s
+}
+
+// refOps is the reference interpretation of a planir op stream,
+// mirroring the dense interpreter's runOps contract (which planir
+// validation pins down): it returns the final path register and the
+// accrued instrumentation cost, recording counter effects in t.
+func refOps(ops []planir.Op, r int64, t *profile.Table, hash, poison bool, costs *CostModel) (int64, int64) {
+	var icost int64
+	for _, op := range ops {
+		switch op.Kind {
+		case planir.OpInc:
+			r += op.V
+			icost += costs.RegOp
+		case planir.OpSet:
+			r = op.V
+			icost += costs.RegOp
+		case planir.OpCountR, planir.OpCountRV, planir.OpCountC:
+			idx := r
+			switch op.Kind {
+			case planir.OpCountRV:
+				idx += op.V
+			case planir.OpCountC:
+				idx = op.V
+			}
+			if poison {
+				icost += costs.PoisonCheck
+				if r < 0 {
+					t.BumpCold()
+					icost += costs.ColdBump
+					continue
+				}
+			}
+			switch {
+			case hash:
+				icost += costs.CountHash
+			case op.Kind == planir.OpCountC:
+				icost += costs.CountConst
+			default:
+				icost += costs.CountArray
+			}
+			t.Inc(idx)
+		}
+	}
+	return r, icost
+}
+
+// checkArm drives one compiled transition closure through every probe
+// and compares it against the reference. Closure panics surface as
+// structured errors rather than killing the engine build.
+func (h *vHarness) checkArm(bi, arm int) (err error) {
+	term := &h.f.Blocks[bi].Term
+	to := -1
+	var s *SuccSpec
+	if term.Kind != ir.Ret {
+		s = &h.spec.Succs[bi][arm]
+		to = s.To
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ValidationError{Routine: h.f.Name, From: bi, To: to, Arm: arm,
+				Field: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	for _, probe := range vProbes {
+		if err := h.probeArm(bi, arm, s, term, probe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *vHarness) probeArm(bi, arm int, s *SuccSpec, term *ir.Term, probe int64) error {
+	p, fc := h.p, h.fc
+	costs := &p.opts.Costs
+	to := -1
+	if s != nil {
+		to = s.To
+	}
+	fail := func(field string, got, want int64) error {
+		return &ValidationError{Routine: h.f.Name, From: bi, To: to, Arm: arm,
+			Field: field, Probe: probe, Got: got, Want: want}
+	}
+
+	// Compiled side: a hand-built frame, zeroed charge accumulators,
+	// then one direct call of the retained arm closure.
+	x := h.x
+	x.steps, x.base, x.icost, x.ret = 0, 0, 0, -1
+	fr := &frame{fc: fc, ft: &x.fts[h.fi], r: probe, regs: make([]int64, fc.nregs)}
+	for i := range fr.regs {
+		fr.regs[i] = int64(1000 + i)
+	}
+	ret := fc.blocks[bi].arms[arm](x, fr)
+
+	// Reference side, derived from term/spec/IR only.
+	refR := probe
+	var wantSteps, wantBase, wantICost int64
+	var refPath cfg.Path
+	refTrie := int32(0)
+	wantSucc := -1 // block index of the returned code; -1 for Ret
+	if term.Kind == ir.Ret {
+		wantSteps, wantBase = 1, costs.Term
+		if p.opts.CollectPaths {
+			h.ref.paths.AddAt(0, nil, 1)
+			if p.opts.PathHooks {
+				h.ref.hooks = append(h.ref.hooks, hookSig(h.f.Name, nil))
+			}
+		}
+		wantRet := int64(0)
+		if term.Ret >= 0 {
+			wantRet = int64(1000 + term.Ret)
+		}
+		if x.ret != wantRet {
+			return fail("ret", x.ret, wantRet)
+		}
+	} else {
+		wantSucc = s.To
+		wantSteps, wantBase = 1, costs.Term
+		if s.To != bi+1 {
+			wantBase += costs.TakenPenalty
+		}
+		// The solo-successor fold, derived from the IR: a call-free
+		// successor's whole body charge rides on this transition.
+		if toInstrs := h.f.Blocks[s.To].Instrs; !hasCall(toInstrs) {
+			wantSteps += int64(len(toInstrs))
+			wantBase += int64(len(toInstrs)) * costs.Instr
+		}
+		var opIcost int64
+		refR, opIcost = refOps(s.Ops, probe, h.ref.table, h.spec.Hash, h.spec.PoisonCheck, costs)
+		wantICost = s.InstrCost + opIcost
+		if p.opts.CollectEdges && s.EdgeSlot >= 0 {
+			h.ref.edges.BumpSlot(int(s.EdgeSlot))
+		}
+		if p.opts.CollectPaths {
+			rp := h.ref.paths
+			if !s.Back {
+				refPath = cfg.Path{s.PathEdge}
+				refTrie = rp.Step(0, int32(s.PathEdge.ID))
+			} else {
+				refTrie = rp.Step(0, int32(s.ExitDummy.ID))
+				rp.AddAt(refTrie, cfg.Path{s.ExitDummy}, 1)
+				if p.opts.PathHooks {
+					h.ref.hooks = append(h.ref.hooks, hookSig(h.f.Name, cfg.Path{s.ExitDummy}))
+				}
+				refPath = cfg.Path{s.EntryDummy}
+				refTrie = rp.Step(0, int32(s.EntryDummy.ID))
+			}
+		}
+	}
+
+	// Successor identity: the returned pointer must be the compiled
+	// code of exactly the spec'd block.
+	gotSucc := -1
+	if ret != nil {
+		gotSucc = -2
+		for i := range fc.blocks {
+			if ret == &fc.blocks[i] {
+				gotSucc = i
+				break
+			}
+		}
+	}
+	if gotSucc != wantSucc {
+		return fail("succ", int64(gotSucc), int64(wantSucc))
+	}
+	if fr.r != refR {
+		return fail("reg", fr.r, refR)
+	}
+	if x.steps != wantSteps {
+		return fail("steps", x.steps, wantSteps)
+	}
+	if x.base != wantBase {
+		return fail("base", x.base, wantBase)
+	}
+	if x.icost != wantICost {
+		return fail("icost", x.icost, wantICost)
+	}
+	if err := h.compareTables(fail); err != nil {
+		return err
+	}
+	if p.opts.CollectEdges {
+		for _, pair := range h.slotPairs {
+			g, w := h.got.edges.Get(pair[0], pair[1]), h.ref.edges.Get(pair[0], pair[1])
+			if g != w {
+				return fail(fmt.Sprintf("edge[%d->%d]", pair[0], pair[1]), g, w)
+			}
+		}
+	}
+	if p.opts.CollectPaths {
+		if fr.trie != refTrie {
+			return fail("trie", int64(fr.trie), int64(refTrie))
+		}
+		if len(fr.path) != len(refPath) {
+			return fail("path-len", int64(len(fr.path)), int64(len(refPath)))
+		}
+		for i := range refPath {
+			if fr.path[i].ID != refPath[i].ID {
+				return fail(fmt.Sprintf("path[%d]", i), int64(fr.path[i].ID), int64(refPath[i].ID))
+			}
+		}
+		if g, w := h.got.paths.Total(), h.ref.paths.Total(); g != w {
+			return fail("path-total", g, w)
+		}
+		if g, w := h.got.paths.Distinct(), h.ref.paths.Distinct(); g != w {
+			return fail("path-distinct", int64(g), int64(w))
+		}
+		if len(h.got.hooks) != len(h.ref.hooks) {
+			return fail("hooks", int64(len(h.got.hooks)), int64(len(h.ref.hooks)))
+		}
+		for i := range h.ref.hooks {
+			if h.got.hooks[i] != h.ref.hooks[i] {
+				return fail(fmt.Sprintf("hook[%d]", i), 0, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// compareTables checks the complete observable counter-table state of
+// both twins: every index either side could have touched, plus the
+// cold, lost, drop, and saturation accounting.
+func (h *vHarness) compareTables(fail func(field string, got, want int64) error) error {
+	g, w := h.got.table.State(), h.ref.table.State()
+	if g.Cold != w.Cold {
+		return fail("table-cold", g.Cold, w.Cold)
+	}
+	if g.Lost != w.Lost {
+		return fail("table-lost", g.Lost, w.Lost)
+	}
+	if g.Drops != w.Drops {
+		return fail("table-drops", g.Drops, w.Drops)
+	}
+	if g.Saturated != w.Saturated {
+		return fail("table-saturated", b2i(g.Saturated), b2i(w.Saturated))
+	}
+	for i := range g.Arr {
+		if g.Arr[i] != w.Arr[i] {
+			return fail(fmt.Sprintf("table[%d]", i), g.Arr[i], w.Arr[i])
+		}
+	}
+	if len(g.Slots) != len(w.Slots) {
+		return fail("table-slots", int64(len(g.Slots)), int64(len(w.Slots)))
+	}
+	for i := range g.Slots {
+		if g.Slots[i] != w.Slots[i] || g.Keys[i] != w.Keys[i] {
+			return fail(fmt.Sprintf("table-slot[%d]", g.Slots[i]), g.Keys[i], w.Keys[i])
+		}
+		if g.Vals[i] != w.Vals[i] {
+			return fail(fmt.Sprintf("table-key[%d]", g.Keys[i]), g.Vals[i], w.Vals[i])
+		}
+	}
+	return nil
+}

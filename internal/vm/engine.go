@@ -13,12 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"pathprof/internal/cfg"
 	"pathprof/internal/instr"
 	"pathprof/internal/ir"
 	"pathprof/internal/planir"
 	"pathprof/internal/profile"
+	"pathprof/internal/telemetry"
 	"pathprof/internal/vm/compile"
 )
 
@@ -90,6 +92,9 @@ type Engine struct {
 	routines []*routineRT
 	plan     *planir.Program
 	compiled *compile.Program
+	// validateUs records per-routine translation-validation wall time
+	// (µs), populated when the compiled backend builds with ValidateOn.
+	validateUs map[string]int64
 }
 
 // NewEngine prepares prog for execution under opts: option defaulting,
@@ -147,9 +152,34 @@ func NewEngine(prog *ir.Program, opts Options) (*Engine, error) {
 			return nil, err
 		}
 		e.compiled = cp
+		if opts.Validate == ValidateOn {
+			// Translation validation: prove each compiled routine
+			// effect-equivalent to the spec it was lowered from before any
+			// replica runs it. The trace detail stays deterministic (no
+			// timing) so decision traces byte-compare across runs.
+			e.validateUs = make(map[string]int64, len(prog.Funcs))
+			for fi, f := range prog.Funcs {
+				start := time.Now()
+				err := compile.ValidateFunc(cp, fi)
+				e.validateUs[f.Name] = time.Since(start).Microseconds()
+				if err != nil {
+					return nil, fmt.Errorf("vm: translation validation: %w", err)
+				}
+				opts.Trace.Emit(telemetry.Event{
+					Unit:    opts.TraceUnit,
+					Routine: f.Name,
+					Kind:    telemetry.EvValidate,
+					Detail:  "ok",
+				})
+			}
+		}
 	}
 	return e, nil
 }
+
+// ValidateUs returns per-routine translation-validation wall time in
+// microseconds (nil unless the compiled backend built with ValidateOn).
+func (e *Engine) ValidateUs() map[string]int64 { return e.validateUs }
 
 // PlanIR returns the validated planir artifact the engine executes
 // (nil when no routine has a plan).
@@ -482,6 +512,7 @@ func (b *binding) run(args []int64) (*Result, error) {
 			Ret: ret, BaseCost: c.BaseCost, InstrCost: c.InstrCost,
 			Steps: c.Steps, DynCalls: c.DynCalls,
 			Edges: b.edges, Paths: b.paths, Tables: b.tables, DAGs: b.dags,
+			ValidateUs: b.eng.validateUs,
 		}, nil
 	}
 	return b.m.run(args, b)
