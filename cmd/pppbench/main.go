@@ -60,7 +60,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -69,6 +68,7 @@ import (
 
 	"pathprof/internal/bench"
 	"pathprof/internal/instr"
+	srv "pathprof/internal/serve"
 	"pathprof/internal/telemetry"
 	"pathprof/internal/vm"
 	"pathprof/internal/workloads"
@@ -163,6 +163,8 @@ func run() int {
 	if *verbose {
 		s.Log = os.Stderr
 	}
+	var telemetrySrv *srv.Graceful
+	var telemetryErr <-chan error
 	if *serve != "" {
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
@@ -170,11 +172,8 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "telemetry on http://%s/\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, s.Telemetry.Handler()); err != nil {
-				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
-			}
-		}()
+		telemetrySrv = &srv.Graceful{Handler: s.Telemetry.Handler(), Log: os.Stderr}
+		telemetryErr = telemetrySrv.Start(ln)
 	}
 	if *names != "" {
 		var sel []workloads.Workload
@@ -285,8 +284,13 @@ func run() int {
 		}
 	}
 	if *serve != "" {
-		fmt.Fprintf(os.Stderr, "experiments done; serving telemetry until interrupted\n")
-		select {}
+		fmt.Fprintf(os.Stderr, "experiments done; serving telemetry until SIGINT/SIGTERM\n")
+		ctx, stop := srv.SignalContext()
+		defer stop()
+		if err := telemetrySrv.Wait(ctx, telemetryErr); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

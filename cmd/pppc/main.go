@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -40,6 +39,7 @@ import (
 	"pathprof/internal/faultinject"
 	"pathprof/internal/instr"
 	"pathprof/internal/profile"
+	srv "pathprof/internal/serve"
 	"pathprof/internal/snapshot"
 	"pathprof/internal/telemetry"
 	"pathprof/internal/verify"
@@ -137,17 +137,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *serve != "" || *traceOut != "" {
 		reg = telemetry.NewRegistry(1)
 	}
+	var telemetrySrv *srv.Graceful
+	var telemetryErr <-chan error
 	if *serve != "" {
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
 			return fail("serve: %v", err)
 		}
 		fmt.Fprintf(stderr, "telemetry on http://%s/\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, reg.Handler()); err != nil {
-				fmt.Fprintf(stderr, "pppc: serve: %v\n", err)
-			}
-		}()
+		telemetrySrv = &srv.Graceful{Handler: reg.Handler(), Log: stderr}
+		telemetryErr = telemetrySrv.Start(ln)
 	}
 
 	backend, err := vm.ParseBackend(*backendName)
@@ -285,8 +284,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "decision trace (%d events) written to %s\n", reg.Trace().Len(), *traceOut)
 	}
 	if *serve != "" {
-		fmt.Fprintf(stderr, "pppc: done; serving telemetry until interrupted\n")
-		select {}
+		fmt.Fprintf(stderr, "pppc: done; serving telemetry until SIGINT/SIGTERM\n")
+		ctx, stop := srv.SignalContext()
+		defer stop()
+		if err := telemetrySrv.Wait(ctx, telemetryErr); err != nil {
+			return fail("serve: %v", err)
+		}
 	}
 	return 0
 }

@@ -1,0 +1,129 @@
+// Command pppd is the fault-tolerant multi-tenant profile service:
+// clients POST PPSNAP snapshots to per-program tenants, pppd folds
+// them into durable per-tenant aggregates with the collector's
+// deterministic shard merge, and serves the merged snapshots, NET
+// hot-path predictions, and instrumentation plans back out.
+//
+// Usage:
+//
+//	pppd -addr :9523 -store ./profiles
+//	pppd -addr :9523 -store mem -queue 64 -batch 16
+//	pppd -addr :9523 -store ./profiles -faults seed=7,kind=conndrop+storefail,rate=0.2
+//
+// Endpoints:
+//
+//	POST /v1/profiles/{tenant}       ingest a snapshot (ack JSON; 429/503 + Retry-After under pressure)
+//	GET  /v1/profiles/{tenant}       merged aggregate (PPSNAP bytes)
+//	GET  /v1/profiles/{tenant}/info  aggregate summary
+//	GET  /v1/profiles/{tenant}/log   commit log (fold order)
+//	GET  /v1/hot/{tenant}            NET hot-path predictions
+//	GET  /v1/plans/{tenant}          instrumentation plan IR for built-in workloads
+//	GET  /v1/tenants, /healthz, /metrics, /debug/..., /trace.*
+//
+// An acknowledged snapshot is durable: pppd acks only after the
+// updated aggregate is committed to the store, so a crash and restart
+// resumes from exactly the acked state. SIGINT/SIGTERM drains: the
+// listener closes, in-flight requests finish, the queued snapshots
+// commit, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"pathprof/internal/faultinject"
+	"pathprof/internal/serve"
+	"pathprof/internal/telemetry"
+	"pathprof/internal/workloads"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":9523", "listen address")
+	storeSpec := flag.String("store", "pppd-store", "durable store: a directory path, or \"mem\" for in-memory")
+	queue := flag.Int("queue", 256, "ingest queue depth (full queue answers 429 + Retry-After)")
+	batch := flag.Int("batch", 64, "max snapshots folded per durable commit")
+	maxBytes := flag.Int64("max-snapshot-bytes", 8<<20, "ingest body size limit (larger requests are quarantined with 413)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request commit-wait timeout")
+	shed := flag.Float64("shed", 0.75, "queue fill ratio above which read/plan traffic sheds with 503")
+	drain := flag.Duration("drain", 5*time.Second, "shutdown drain window for in-flight requests and the queue")
+	faults := flag.String("faults", "", "deterministic chaos spec: seed=N,kind=conndrop+netstall+partialwrite+storefail[,rate=r]")
+	flag.Parse()
+
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(os.Stderr, "pppd: "+format+"\n", a...)
+		return 1
+	}
+
+	var inj *faultinject.Injector
+	if *faults != "" {
+		var err error
+		if inj, err = faultinject.Parse(*faults); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pppd: chaos active: %s\n", inj)
+	}
+
+	var store serve.Store
+	if *storeSpec == "mem" {
+		store = serve.NewMemStore()
+	} else {
+		fs, err := serve.OpenFileStore(*storeSpec)
+		if err != nil {
+			return fail("%v", err)
+		}
+		store = fs
+		if tenants, err := fs.Tenants(); err == nil && len(tenants) > 0 {
+			fmt.Fprintf(os.Stderr, "pppd: recovered %d tenant(s) from %s\n", len(tenants), fs.Dir())
+		}
+	}
+
+	reg := telemetry.NewRegistry(1)
+	server, err := serve.New(serve.Config{
+		Store:            store,
+		QueueDepth:       *queue,
+		BatchMax:         *batch,
+		MaxSnapshotBytes: *maxBytes,
+		RequestTimeout:   *timeout,
+		ShedThreshold:    *shed,
+		Registry:         reg,
+		Inject:           inj,
+		Program: func(tenant string) (string, bool) {
+			w, ok := workloads.ByName(tenant)
+			if !ok {
+				return "", false
+			}
+			return w.Source, true
+		},
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	server.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pppd: serving on http://%s/ (store %s, queue %d, batch %d)\n",
+		ln.Addr(), *storeSpec, *queue, *batch)
+
+	g := &serve.Graceful{
+		Handler: server.Handler(),
+		Drain:   *drain,
+		Log:     os.Stderr,
+		OnDrain: []func(ctx context.Context) error{server.Shutdown},
+	}
+	serveErr := g.Start(ln)
+	ctx, stop := serve.SignalContext()
+	defer stop()
+	if err := g.Wait(ctx, serveErr); err != nil {
+		return fail("%v", err)
+	}
+	return 0
+}

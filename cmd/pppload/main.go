@@ -1,0 +1,162 @@
+// Command pppload is the load generator and drill client for pppd:
+// it profiles a built-in workload once, then has N concurrent
+// emitters publish the resulting PPSNAP snapshot to the service with
+// idempotent keys, jittered exponential-backoff retries, and deadline
+// propagation — the client half of the chaos drill.
+//
+// Usage:
+//
+//	pppload -addr http://127.0.0.1:9523 -workload mcf -emitters 8 -count 4
+//	pppload -addr http://127.0.0.1:9523 -workload mcf -verify
+//
+// With -verify, pppload fetches the tenant's commit log and merged
+// aggregate afterward and refolds the published snapshot once per
+// committed entry, asserting the server's fingerprint is bit-identical
+// to the local fold — acked snapshots are all in the aggregate, each
+// exactly once, regardless of retries, drops, and backpressure along
+// the way.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"pathprof/internal/core"
+	"pathprof/internal/instr"
+	"pathprof/internal/profile"
+	"pathprof/internal/serve"
+	"pathprof/internal/snapshot"
+	"pathprof/internal/workloads"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:9523", "pppd base URL")
+	workload := flag.String("workload", "mcf", "built-in workload to profile and publish")
+	tenant := flag.String("tenant", "", "tenant name (default: the workload name)")
+	emitters := flag.Int("emitters", 8, "concurrent emitter goroutines")
+	count := flag.Int("count", 4, "snapshots each emitter publishes")
+	attempts := flag.Int("attempts", 8, "max attempts per publish")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline for the whole load run")
+	seed := flag.Uint64("seed", 1, "backoff jitter seed")
+	verifyFlag := flag.Bool("verify", false, "refold the commit log locally and assert fingerprint identity")
+	flag.Parse()
+
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(os.Stderr, "pppload: "+format+"\n", a...)
+		return 1
+	}
+
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		return fail("unknown workload %q", *workload)
+	}
+	if *tenant == "" {
+		*tenant = w.Name
+	}
+
+	// Profile the workload once; every emitter publishes this snapshot
+	// under distinct idempotency keys, so the expected aggregate is
+	// the snapshot folded once per acked key.
+	staged, err := core.NewPipeline(w.Name, w.Source).Stage()
+	if err != nil {
+		return fail("stage %s: %v", w.Name, err)
+	}
+	pr, err := staged.ProfileWith("PP", instr.PP(), nil)
+	if err != nil {
+		return fail("profile %s: %v", w.Name, err)
+	}
+	snap := pr.Run.Snapshot()
+	data := snapshot.Encode(snap)
+	fmt.Printf("pppload: %s snapshot %016x (%d bytes), %d emitters x %d\n",
+		w.Name, snap.Fingerprint(), len(data), *emitters, *count)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	type outcome struct {
+		acks     int
+		deduped  int
+		attempts int
+		err      error
+	}
+	results := make([]outcome, *emitters)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *emitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &serve.Client{
+				BaseURL:     *addr,
+				MaxAttempts: *attempts,
+				Backoff:     serve.Backoff{Seed: *seed},
+			}
+			for j := 0; j < *count; j++ {
+				key := fmt.Sprintf("e%d-s%d", i, j)
+				res, err := client.Publish(ctx, *tenant, key, data)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				results[i].acks++
+				results[i].attempts += res.Attempts
+				if res.Ack.Deduped {
+					results[i].deduped++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var acks, deduped, tries, failures int
+	for i := range results {
+		acks += results[i].acks
+		deduped += results[i].deduped
+		tries += results[i].attempts
+		if results[i].err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "pppload: emitter %d: %v\n", i, results[i].err)
+		}
+	}
+	fmt.Printf("pppload: %d acked (%d deduped) over %d attempts in %v; %d emitter failure(s)\n",
+		acks, deduped, tries, time.Since(start).Round(time.Millisecond), failures)
+
+	if *verifyFlag {
+		client := &serve.Client{BaseURL: *addr}
+		log, err := client.FetchLog(ctx, *tenant)
+		if err != nil {
+			return fail("fetch log: %v", err)
+		}
+		_, serverFP, err := client.Fetch(ctx, *tenant)
+		if err != nil {
+			return fail("fetch aggregate: %v", err)
+		}
+		want := profile.NewSnapshot()
+		for range log {
+			one, err := snapshot.Decode(data)
+			if err != nil {
+				return fail("decode own snapshot: %v", err)
+			}
+			want.MergeSnapshot(one)
+		}
+		localFP := fmt.Sprintf("%016x", want.Fingerprint())
+		if localFP != serverFP {
+			return fail("fingerprint mismatch: server %s, local refold of %d commits %s", serverFP, len(log), localFP)
+		}
+		fmt.Printf("pppload: verified: %d committed snapshots refold to server fingerprint %s\n", len(log), serverFP)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -399,11 +399,22 @@ func (s *Staged) ProfileWith(name string, tech instr.Techniques, guide map[strin
 // bench pair spanning and min-cost plan sets over one staged program
 // and compare their acquisition cost head to head.
 func (s *Staged) PlansFor(name string, tech instr.Techniques, pl instr.Placement) (map[string]*instr.Plan, error) {
+	return s.PlansGuided(name, tech, pl, s.Base.Edges)
+}
+
+// PlansGuided is PlansFor with an explicit guiding edge profile — the
+// profile service's plan endpoint builds plans against the live
+// merged aggregate this way, without executing anything. A nil guide
+// falls back to the staged base profile.
+func (s *Staged) PlansGuided(name string, tech instr.Techniques, pl instr.Placement, guide map[string]*profile.EdgeProfile) (map[string]*instr.Plan, error) {
 	pr := &ProfilerResult{Name: name, Tech: tech, Plans: map[string]*instr.Plan{}, Modes: map[string]Mode{}}
 	par := s.Pipeline.Instr
 	par.Placement = pl
 	par.Unit = s.Pipeline.Name + "/" + name
-	if err := s.buildPlans(pr, tech, s.Base.Edges, par); err != nil {
+	if guide == nil {
+		guide = s.Base.Edges
+	}
+	if err := s.buildPlans(pr, tech, guide, par); err != nil {
 		return nil, err
 	}
 	return pr.Plans, nil

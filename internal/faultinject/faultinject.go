@@ -33,11 +33,31 @@ const (
 	SnapCorrupt
 	// BadCFG feeds malformed control-flow input to the planner.
 	BadCFG
+	// ConnDrop severs an in-flight network connection without a
+	// response: before the server processes the request (client
+	// retries, nothing committed) or after it commits (retry must be
+	// deduplicated). Whether the drop lands pre- or post-commit is
+	// itself deterministic in the stream value.
+	ConnDrop
+	// NetStall delays a response past the client's per-attempt
+	// deadline, forcing a timeout-and-retry against work that may
+	// still complete server-side.
+	NetStall
+	// PartialWrite tears a durable store write partway through and
+	// surfaces it as a short-write error, leaving torn bytes behind
+	// for crash recovery to fall back past.
+	PartialWrite
+	// StoreFail makes a durable store save fail outright (disk full,
+	// permission lost) with nothing written.
+	StoreFail
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"panic", "stall", "overflow", "snapcorrupt", "badcfg"}
+var kindNames = [numKinds]string{
+	"panic", "stall", "overflow", "snapcorrupt", "badcfg",
+	"conndrop", "netstall", "partialwrite", "storefail",
+}
 
 func (k Kind) String() string {
 	if k < 0 || k >= numKinds {

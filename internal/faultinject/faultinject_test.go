@@ -16,8 +16,9 @@ func TestParseRoundTrip(t *testing.T) {
 		{"seed=7,kind=panic", "seed=7,kind=panic"},
 		{"seed=0,kind=stall+panic", "seed=0,kind=panic+stall"},
 		{"kind=overflow,seed=12", "seed=12,kind=overflow"},
-		{"seed=3,kind=all,rate=0.25", "seed=3,kind=badcfg+overflow+panic+snapcorrupt+stall,rate=0.25"},
+		{"seed=3,kind=all,rate=0.25", "seed=3,kind=badcfg+conndrop+netstall+overflow+panic+partialwrite+snapcorrupt+stall+storefail,rate=0.25"},
 		{" seed=1 , kind=snapcorrupt ", "seed=1,kind=snapcorrupt"},
+		{"seed=9,kind=conndrop+netstall+partialwrite+storefail", "seed=9,kind=conndrop+netstall+partialwrite+storefail"},
 	}
 	for _, c := range cases {
 		in, err := faultinject.Parse(c.spec)

@@ -1,0 +1,85 @@
+package netprof_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/netprof"
+	"pathprof/internal/profile"
+)
+
+// wirePath builds a placeholder path the way snapshot.Decode does:
+// edges carrying only IDs.
+func wirePath(ids ...int) cfg.Path {
+	p := make(cfg.Path, len(ids))
+	for i, id := range ids {
+		p[i] = &cfg.DAGEdge{ID: id}
+	}
+	return p
+}
+
+func TestExpectedFromWirePaths(t *testing.T) {
+	pp := profile.NewPathProfile("f")
+	pp.Add(wirePath(1, 2), 60) // dominant
+	pp.Add(wirePath(1, 3), 30)
+	pp.Add(wirePath(4), 5)
+	cold := profile.NewPathProfile("g")
+	cold.Add(wirePath(9), 3) // below threshold
+
+	got := netprof.Expected(map[string]*profile.PathProfile{"f": pp, "g": cold}, 50)
+	if len(got) != 1 {
+		t.Fatalf("Expected returned %d predictions, want 1: %+v", len(got), got)
+	}
+	e := got[0]
+	if e.Func != "f" || e.Head != "entry" || e.Count != 95 || e.Hits != 60 {
+		t.Errorf("prediction = %+v", e)
+	}
+	if !reflect.DeepEqual(e.Path, []int{1, 2}) {
+		t.Errorf("predicted path = %v, want [1 2]", e.Path)
+	}
+
+	// Deterministic: same profile, same output.
+	again := netprof.Expected(map[string]*profile.PathProfile{"f": pp, "g": cold}, 50)
+	if !reflect.DeepEqual(got, again) {
+		t.Error("Expected is not deterministic")
+	}
+}
+
+// TestExpectedLoopHeads: in-process paths that restart at a loop
+// header (first edge is a dummy with a destination block) get their
+// own head, exactly as Observe groups them.
+func TestExpectedLoopHeads(t *testing.T) {
+	header := &cfg.Block{ID: 7}
+	loop := cfg.Path{
+		&cfg.DAGEdge{ID: 11, Kind: cfg.EntryDummy, Dst: header},
+		&cfg.DAGEdge{ID: 12},
+	}
+	entry := wirePath(1, 2)
+	pp := profile.NewPathProfile("f")
+	pp.Add(entry, 80)
+	pp.Add(loop, 120)
+
+	got := netprof.Expected(map[string]*profile.PathProfile{"f": pp}, 50)
+	if len(got) != 2 {
+		t.Fatalf("got %d predictions, want 2 (entry + loop head): %+v", len(got), got)
+	}
+	if got[0].Head != "entry" || got[1].Head != "b7" {
+		t.Errorf("heads = %q, %q; want entry, b7", got[0].Head, got[1].Head)
+	}
+	if got[1].Count != 120 || got[1].Share != 1.0 {
+		t.Errorf("loop head prediction = %+v", got[1])
+	}
+}
+
+// TestExpectedTieBreak: equal counts break toward the smaller edge-ID
+// sequence so serving is stable across runs.
+func TestExpectedTieBreak(t *testing.T) {
+	pp := profile.NewPathProfile("f")
+	pp.Add(wirePath(5, 1), 50)
+	pp.Add(wirePath(2, 9), 50)
+	got := netprof.Expected(map[string]*profile.PathProfile{"f": pp}, 10)
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Path, []int{2, 9}) {
+		t.Fatalf("tie break chose %+v, want path [2 9]", got)
+	}
+}

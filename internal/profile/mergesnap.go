@@ -1,0 +1,49 @@
+package profile
+
+// NewSnapshot returns an empty snapshot ready to merge into.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Edges:  map[string]*EdgeProfile{},
+		Paths:  map[string]*PathProfile{},
+		Tables: map[string]*Table{},
+	}
+}
+
+// MergeSnapshot folds other into s with the same deterministic
+// routine-ordered fold the collector uses for shards: routines in
+// name order, component merges unchanged. Folding a fixed sequence of
+// snapshots in a fixed order therefore yields a bit-identical result
+// (fingerprint included) on every run — the property the profile
+// service's acked-implies-durable drill checks. other is not
+// modified.
+//
+// Counts are saturating and Saturated flags propagate, exactly as in
+// shard merges; path insertion order in s follows first contact, so
+// different fold orders can permute (but never change) the path set.
+func (s *Snapshot) MergeSnapshot(other *Snapshot) {
+	for _, fn := range sortedKeys(other.Edges) {
+		dst := s.Edges[fn]
+		if dst == nil {
+			dst = NewEdgeProfile(fn)
+			s.Edges[fn] = dst
+		}
+		dst.Merge(other.Edges[fn])
+	}
+	for _, fn := range sortedKeys(other.Paths) {
+		dst := s.Paths[fn]
+		if dst == nil {
+			dst = NewPathProfile(fn)
+			s.Paths[fn] = dst
+		}
+		dst.Merge(other.Paths[fn])
+	}
+	for _, fn := range sortedKeys(other.Tables) {
+		src := other.Tables[fn]
+		dst := s.Tables[fn]
+		if dst == nil {
+			dst = NewTable(src.Kind, src.N, src.Size())
+			s.Tables[fn] = dst
+		}
+		dst.Merge(src)
+	}
+}

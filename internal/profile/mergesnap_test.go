@@ -1,0 +1,92 @@
+package profile_test
+
+import (
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/profile"
+)
+
+func mkSnap(fn string, edge int64, pathID int, count int64) *profile.Snapshot {
+	s := profile.NewSnapshot()
+	ep := profile.NewEdgeProfile(fn)
+	ep.Add(0, 1, edge)
+	ep.Calls = 1
+	s.Edges[fn] = ep
+	pp := profile.NewPathProfile(fn)
+	pp.Add(cfg.Path{&cfg.DAGEdge{ID: pathID}}, count)
+	s.Paths[fn] = pp
+	tab := profile.NewTable(profile.ArrayTable, 4, 12)
+	tab.Add(int64(pathID%4), count)
+	s.Tables[fn] = tab
+	return s
+}
+
+// TestMergeSnapshotDeterministicFold: folding the same sequence twice
+// gives bit-identical aggregates, the fold accumulates counts, and
+// sources are left untouched.
+func TestMergeSnapshotDeterministicFold(t *testing.T) {
+	seq := []*profile.Snapshot{
+		mkSnap("b", 5, 1, 10),
+		mkSnap("a", 3, 2, 7),
+		mkSnap("b", 2, 1, 1),
+	}
+	fold := func() *profile.Snapshot {
+		agg := profile.NewSnapshot()
+		for _, s := range seq {
+			agg.MergeSnapshot(s)
+		}
+		return agg
+	}
+	a, b := fold(), fold()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same fold order produced different fingerprints")
+	}
+	if got := a.Edges["b"].Get(0, 1); got != 7 {
+		t.Errorf("edge count = %d, want 7", got)
+	}
+	if got := a.Paths["b"].Total(); got != 11 {
+		t.Errorf("path total = %d, want 11", got)
+	}
+	if got := seq[0].Edges["b"].Get(0, 1); got != 5 {
+		t.Errorf("source snapshot mutated: %d", got)
+	}
+
+	// Disjoint-routine folds commute bit-identically.
+	x := profile.NewSnapshot()
+	x.MergeSnapshot(seq[0])
+	x.MergeSnapshot(seq[1])
+	y := profile.NewSnapshot()
+	y.MergeSnapshot(seq[1])
+	y.MergeSnapshot(seq[0])
+	if x.Fingerprint() != y.Fingerprint() {
+		t.Error("disjoint-routine fold order changed the fingerprint")
+	}
+}
+
+// TestMergeSnapshotMatchesShardFold: merging per-shard snapshots
+// through MergeSnapshot in shard-index order equals the collector's
+// own Merge — they are the same fold.
+func TestMergeSnapshotMatchesShardFold(t *testing.T) {
+	c := profile.NewCollector(3)
+	for i := 0; i < 3; i++ {
+		sh := c.Shard(i)
+		ep := sh.EdgeProfile("f")
+		ep.Add(0, 1, int64(i+1)*5)
+		sh.PathProfile("f").Add(cfg.Path{&cfg.DAGEdge{ID: i}}, int64(i+1))
+	}
+	want := c.Merge().Fingerprint()
+
+	agg := profile.NewSnapshot()
+	for i := 0; i < 3; i++ {
+		one := profile.NewCollector(1)
+		sh := one.Shard(0)
+		ep := sh.EdgeProfile("f")
+		ep.Add(0, 1, int64(i+1)*5)
+		sh.PathProfile("f").Add(cfg.Path{&cfg.DAGEdge{ID: i}}, int64(i+1))
+		agg.MergeSnapshot(one.Merge())
+	}
+	if agg.Fingerprint() != want {
+		t.Error("MergeSnapshot fold diverged from the collector shard fold")
+	}
+}

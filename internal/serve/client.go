@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff computes deterministic jittered exponential retry delays.
+// Delay is a pure function of (seed, key, attempt): a fixed seed and
+// key sequence yields a fixed schedule, so retry behavior in drills
+// and tests is exactly reproducible, while distinct keys still spread
+// their retries apart (no thundering herd after a shared 429).
+type Backoff struct {
+	// Base is the attempt-0 ceiling; each attempt doubles it up to
+	// Max. Defaults: 50ms base, 5s max.
+	Base, Max time.Duration
+	// Seed feeds the jitter hash.
+	Seed uint64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 5 * time.Second
+}
+
+// Delay returns the wait before retry number attempt (attempt 0 is
+// the delay after the first failure) for the given idempotency key:
+// exponential growth with deterministic jitter in [ceiling/2,
+// ceiling].
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	ceiling := b.base()
+	for i := 0; i < attempt && ceiling < b.max(); i++ {
+		ceiling *= 2
+	}
+	if ceiling > b.max() {
+		ceiling = b.max()
+	}
+	half := ceiling / 2
+	if half <= 0 {
+		return ceiling
+	}
+	r := hash64(fmt.Sprintf("%d\x00%s\x00%d", b.Seed, key, attempt))
+	return half + time.Duration(r%uint64(half))
+}
+
+// Client publishes snapshots to a profile server with bounded,
+// deadline-propagating retries. The zero value needs only BaseURL.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9523".
+	BaseURL string
+	// HTTP is the transport; http.DefaultClient when nil.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per publish (default 8).
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt (default 5s),
+	// within the caller's overall ctx deadline.
+	AttemptTimeout time.Duration
+	// Backoff paces the retries.
+	Backoff Backoff
+	// Sleep is swappable for fake-clock tests; time.Sleep when nil.
+	// It must return early if ctx ends.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+func (c *Client) attemptTimeout() time.Duration {
+	if c.AttemptTimeout > 0 {
+		return c.AttemptTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PublishResult is the client-side view of a successful publish.
+type PublishResult struct {
+	Ack      Ack
+	Attempts int
+}
+
+// errPermanent marks a response retrying cannot fix.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+
+func (e errPermanent) Unwrap() error { return e.err }
+
+// Publish POSTs snapshot bytes to tenant, retrying transient failures
+// (429/503, dropped connections, per-attempt timeouts) with jittered
+// exponential backoff until the server acks, the ctx deadline passes,
+// or attempts run out. key is the idempotency key: every retry
+// carries the same key, so a snapshot whose ack was lost to a dropped
+// connection is never double-counted.
+func (c *Client) Publish(ctx context.Context, tenant, key string, data []byte) (PublishResult, error) {
+	if key == "" {
+		key = fmt.Sprintf("sha:%016x", hash64(string(data)))
+	}
+	url := c.BaseURL + "/v1/profiles/" + tenant
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.Backoff.Delay(key, attempt-1)); err != nil {
+				return PublishResult{}, fmt.Errorf("serve: publish %s: %w (last attempt: %v)", tenant, err, lastErr)
+			}
+		}
+		ack, err := c.attempt(ctx, url, tenant, key, data, attempt)
+		if err == nil {
+			return PublishResult{Ack: ack, Attempts: attempt + 1}, nil
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return PublishResult{}, fmt.Errorf("serve: publish %s: %w", tenant, perm.err)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return PublishResult{}, fmt.Errorf("serve: publish %s: %w (last attempt: %v)", tenant, ctx.Err(), lastErr)
+		}
+	}
+	return PublishResult{}, fmt.Errorf("serve: publish %s: %d attempts exhausted: %w", tenant, c.maxAttempts(), lastErr)
+}
+
+// attempt is one try: deadline-bounded, carrying the idempotency key
+// and the attempt ordinal (which chaos middleware folds into its
+// fault site, so injected drops do not repeat forever).
+func (c *Client) attempt(ctx context.Context, url, tenant, key string, data []byte, attempt int) (Ack, error) {
+	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return Ack{}, errPermanent{err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-PPP-Key", key)
+	req.Header.Set("X-PPP-Attempt", strconv.Itoa(attempt))
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Transport errors (dropped connection, attempt timeout) are
+		// retryable: the commit may or may not have landed, and the
+		// idempotency key makes the retry safe either way.
+		return Ack{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Ack{}, err
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		var ack Ack
+		if err := json.Unmarshal(body, &ack); err != nil {
+			return Ack{}, fmt.Errorf("bad ack body: %w", err)
+		}
+		return ack, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		return Ack{}, fmt.Errorf("server %d: %s", resp.StatusCode, firstLine(body))
+	default:
+		// 400/404/413: the server quarantined or refused the request
+		// itself; a retry would send the same bytes to the same fate.
+		return Ack{}, errPermanent{fmt.Errorf("server %d: %s", resp.StatusCode, firstLine(body))}
+	}
+}
+
+// Fetch GETs the tenant's merged aggregate bytes (and fingerprint).
+func (c *Client) Fetch(ctx context.Context, tenant string) ([]byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/profiles/"+tenant, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("serve: fetch %s: server %d: %s", tenant, resp.StatusCode, firstLine(body))
+	}
+	return body, resp.Header.Get("X-PPP-Fingerprint"), nil
+}
+
+// FetchLog GETs the tenant's commit log.
+func (c *Client) FetchLog(ctx context.Context, tenant string) ([]LogEntry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/profiles/"+tenant+"/log", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: fetch log %s: server %d: %s", tenant, resp.StatusCode, firstLine(body))
+	}
+	var log []LogEntry
+	if err := json.Unmarshal(body, &log); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	return string(b)
+}

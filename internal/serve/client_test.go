@@ -1,0 +1,154 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pathprof/internal/serve"
+)
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	b := serve.Backoff{Base: 50 * time.Millisecond, Max: 5 * time.Second, Seed: 42}
+	var first []time.Duration
+	for attempt := 0; attempt < 10; attempt++ {
+		first = append(first, b.Delay("key-1", attempt))
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		if again := b.Delay("key-1", attempt); again != first[attempt] {
+			t.Fatalf("attempt %d: delay %v then %v — schedule is not deterministic", attempt, first[attempt], again)
+		}
+	}
+	// Jitter stays inside [ceiling/2, ceiling] with the exponential
+	// ceiling clamped at Max.
+	ceiling := b.Base
+	for attempt, d := range first {
+		if d < ceiling/2 || d > ceiling {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, ceiling/2, ceiling)
+		}
+		if ceiling < b.Max {
+			ceiling *= 2
+		}
+		if ceiling > b.Max {
+			ceiling = b.Max
+		}
+	}
+	// Distinct keys and seeds de-correlate (no thundering herd).
+	if b.Delay("key-1", 3) == b.Delay("key-2", 3) &&
+		b.Delay("key-1", 4) == b.Delay("key-2", 4) {
+		t.Error("distinct keys share the whole schedule")
+	}
+}
+
+// TestPublishBackoffFakeClock drives the full retry loop against a
+// server that answers 429 twice then acks, with a fake clock standing
+// in for Sleep: the waits the client would take are exactly the
+// deterministic backoff schedule, and no real time is spent.
+func TestPublishBackoffFakeClock(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(serve.Ack{Tenant: "app", Seq: 7, Fingerprint: "00"})
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &serve.Client{
+		BaseURL: ts.URL,
+		Backoff: serve.Backoff{Base: 100 * time.Millisecond, Max: time.Second, Seed: 9},
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	res, err := c.Publish(context.Background(), "app", "k", encodeSnap(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 || res.Ack.Seq != 7 {
+		t.Fatalf("result = %+v, want 3 attempts, seq 7", res)
+	}
+	want := []time.Duration{c.Backoff.Delay("k", 0), c.Backoff.Delay("k", 1)}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("slept %v, want the backoff schedule %v", slept, want)
+	}
+}
+
+func TestPublishPermanentErrorsDoNotRetry(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, "corrupt snapshot", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &serve.Client{BaseURL: ts.URL, Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+	if _, err := c.Publish(context.Background(), "app", "k", []byte("junk")); err == nil {
+		t.Fatal("publish of quarantined bytes succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("client retried a permanent 400: %d attempts", calls)
+	}
+}
+
+func TestPublishHonorsContextDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &serve.Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 100,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the deadline lands while the client is backing off
+			return ctx.Err()
+		},
+	}
+	_, err := c.Publish(ctx, "app", "k", encodeSnap(0, 0))
+	if err == nil {
+		t.Fatal("publish outlived its context")
+	}
+	if got := fmt.Sprint(err); got == "" || ctx.Err() == nil {
+		t.Errorf("unexpected error state: %v", err)
+	}
+}
+
+func TestPublishExhaustsAttempts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	var slept int
+	c := &serve.Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 3,
+		Sleep:       func(ctx context.Context, d time.Duration) error { slept++; return nil },
+	}
+	if _, err := c.Publish(context.Background(), "app", "k", encodeSnap(0, 0)); err == nil {
+		t.Fatal("publish succeeded against a permanently full queue")
+	}
+	if slept != 2 {
+		t.Errorf("slept %d times for 3 attempts, want 2", slept)
+	}
+}

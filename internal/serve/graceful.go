@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Graceful runs an HTTP handler with clean draining shutdown: when
+// the context ends (typically via SignalContext), in-flight requests
+// get a drain window to finish, OnDrain hooks run (the profile
+// server's queue drain), and only then does Wait return. Shared by
+// pppd, pppbench -serve, and pppc -serve so every long-running
+// surface in the repo stops the same way.
+type Graceful struct {
+	// Handler is the surface to serve. Required.
+	Handler http.Handler
+	// Drain bounds how long shutdown waits for in-flight requests and
+	// OnDrain hooks. Default 5s.
+	Drain time.Duration
+	// OnDrain hooks run after the listener closes and in-flight
+	// requests finish — e.g. Server.Shutdown to commit the queue.
+	OnDrain []func(ctx context.Context) error
+	// Log receives progress lines; io.Discard when nil.
+	Log io.Writer
+
+	srv *http.Server
+}
+
+func (g *Graceful) log() io.Writer {
+	if g.Log != nil {
+		return g.Log
+	}
+	return io.Discard
+}
+
+func (g *Graceful) drain() time.Duration {
+	if g.Drain > 0 {
+		return g.Drain
+	}
+	return 5 * time.Second
+}
+
+// Start begins serving on ln in a background goroutine and returns
+// immediately. Serve errors surface from Wait.
+func (g *Graceful) Start(ln net.Listener) <-chan error {
+	g.srv = &http.Server{Handler: g.Handler}
+	errc := make(chan error, 1)
+	go func() {
+		if err := g.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	return errc
+}
+
+// Wait blocks until ctx ends, then shuts down within the drain
+// window: stop accepting, finish in-flight requests, run OnDrain
+// hooks. Returns the first error from the serve loop, the HTTP
+// shutdown, or a hook; nil on a clean drain.
+func (g *Graceful) Wait(ctx context.Context, serveErr <-chan error) error {
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; still run drain hooks so
+		// queued work commits.
+		hookErr := g.runHooks(context.Background())
+		if err != nil {
+			return err
+		}
+		return hookErr
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(g.log(), "shutdown: draining (up to %v)\n", g.drain())
+	dctx, cancel := context.WithTimeout(context.Background(), g.drain())
+	defer cancel()
+	err := g.srv.Shutdown(dctx)
+	if hookErr := g.runHooks(dctx); err == nil {
+		err = hookErr
+	}
+	if err != nil {
+		fmt.Fprintf(g.log(), "shutdown: %v\n", err)
+		return err
+	}
+	fmt.Fprintf(g.log(), "shutdown: clean\n")
+	return nil
+}
+
+func (g *Graceful) runHooks(ctx context.Context) error {
+	var first error
+	for _, hook := range g.OnDrain {
+		if err := hook(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. A
+// second signal during the drain kills the process via the restored
+// default handler, so a stuck drain can always be escaped.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

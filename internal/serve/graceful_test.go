@@ -1,0 +1,81 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pathprof/internal/serve"
+)
+
+// TestGracefulDrainRunsHooks covers the shared shutdown path used by
+// pppd, pppbench -serve, and pppc -serve: cancelling the context stops
+// the listener, runs OnDrain hooks, and Wait returns nil on a clean
+// drain.
+func TestGracefulDrainRunsHooks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained bool
+	var log strings.Builder
+	g := &serve.Graceful{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "ok")
+		}),
+		Drain:   2 * time.Second,
+		OnDrain: []func(ctx context.Context) error{func(ctx context.Context) error { drained = true; return nil }},
+		Log:     &log,
+	}
+	errc := g.Start(ln)
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d before shutdown", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Wait(ctx, errc); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !drained {
+		t.Error("OnDrain hook never ran")
+	}
+	if !strings.Contains(log.String(), "shutdown: clean") {
+		t.Errorf("log missing clean-shutdown line: %q", log.String())
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestGracefulListenerErrorStillDrains: if the serve loop dies on its
+// own, queued work still commits via the OnDrain hooks.
+func TestGracefulListenerErrorStillDrains(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained bool
+	g := &serve.Graceful{
+		Handler: http.NotFoundHandler(),
+		OnDrain: []func(ctx context.Context) error{func(ctx context.Context) error { drained = true; return nil }},
+	}
+	errc := g.Start(ln)
+	ln.Close() // the listener dies out from under the server
+	if err := g.Wait(context.Background(), errc); err == nil {
+		t.Fatal("Wait swallowed the listener error")
+	}
+	if !drained {
+		t.Error("OnDrain hook skipped after listener error")
+	}
+}

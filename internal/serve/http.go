@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pathprof/internal/core"
+	"pathprof/internal/faultinject"
+	"pathprof/internal/instr"
+	"pathprof/internal/netprof"
+	"pathprof/internal/planir"
+	"pathprof/internal/snapshot"
+	"pathprof/internal/telemetry"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/profiles/{tenant}       ingest a PPSNAP snapshot → Ack JSON
+//	GET  /v1/profiles/{tenant}       merged aggregate as PPSNAP bytes
+//	GET  /v1/profiles/{tenant}/info  aggregate summary JSON
+//	GET  /v1/profiles/{tenant}/log   commit log JSON (the fold order)
+//	GET  /v1/hot/{tenant}            NET hot-path predictions JSON
+//	GET  /v1/plans/{tenant}          instrumentation plan IR (PPPLAN bytes)
+//	GET  /v1/tenants                 tenant list JSON
+//	GET  /healthz                    liveness + drain status
+//	/metrics, /debug/..., /trace.*   telemetry exposition (when configured)
+//
+// The whole surface sits behind the chaos middleware so conndrop and
+// netstall faults exercise every endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/profiles/{tenant}", s.handleIngest)
+	mux.HandleFunc("GET /v1/profiles/{tenant}", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/profiles/{tenant}/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/profiles/{tenant}/log", s.handleLog)
+	mux.HandleFunc("GET /v1/hot/{tenant}", s.handleHot)
+	mux.HandleFunc("GET /v1/plans/{tenant}", s.handlePlans)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Registry != nil {
+		mux.Handle("/", s.cfg.Registry.Handler())
+	}
+	return s.chaos(mux)
+}
+
+// retryHint attaches the backpressure hint clients honor.
+func (s *Server) retryHint(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+}
+
+// shed refuses a read/plan request when ingest needs the headroom:
+// the degradation ladder drops read traffic first, so writers keep
+// making durable progress while the queue drains.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request) bool {
+	if !s.overloaded() {
+		return false
+	}
+	s.met.bump(s.met.shed)
+	s.trace.Emit(telemetry.Event{
+		Unit: "serve", Routine: r.PathValue("tenant"), Kind: telemetry.EvShed,
+		Detail: "read shed under ingest overload: " + r.URL.Path,
+	})
+	s.retryHint(w)
+	http.Error(w, "overloaded: read traffic shed while the ingest queue drains", http.StatusServiceUnavailable)
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tenantName := r.PathValue("tenant")
+	if !ValidTenant(tenantName) {
+		http.Error(w, "invalid tenant name", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.quarantine(tenantName, fmt.Sprintf("oversized snapshot (> %d bytes)", s.cfg.MaxSnapshotBytes))
+			http.Error(w, "snapshot exceeds size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap, err := snapshot.Decode(body)
+	if err != nil {
+		// Whole-request quarantine: corrupt bytes never reach a merge,
+		// and the rejection is accounted, not silent.
+		s.quarantine(tenantName, "corrupt snapshot: "+err.Error())
+		http.Error(w, "corrupt snapshot: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := r.Header.Get("X-PPP-Key")
+	if key == "" {
+		// Content-derived idempotency: byte-identical retries dedupe
+		// even from clients that never set a key.
+		key = fmt.Sprintf("sha:%016x", hash64(string(body)))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	ack, code, err := s.Ingest(ctx, tenantName, key, snap)
+	if err != nil {
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			s.retryHint(w)
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, ack)
+}
+
+func (s *Server) quarantine(tenantName, detail string) {
+	s.met.bump(s.met.quarantined)
+	s.trace.Emit(telemetry.Event{
+		Unit: "serve", Routine: tenantName, Kind: telemetry.EvQuarantine,
+		Detail: detail,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	data, fp := s.AggregateBytes(r.PathValue("tenant"))
+	if data == nil {
+		http.Error(w, "no aggregate for tenant", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-PPP-Fingerprint", fp)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	info, ok := s.Info(r.PathValue("tenant"))
+	if !ok {
+		http.Error(w, "unknown tenant", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	log := s.CommitLog(r.PathValue("tenant"))
+	if log == nil {
+		log = []LogEntry{}
+	}
+	writeJSON(w, log)
+}
+
+func (s *Server) handleHot(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	agg := s.Aggregate(r.PathValue("tenant"))
+	if agg == nil {
+		http.Error(w, "no aggregate for tenant", http.StatusNotFound)
+		return
+	}
+	threshold := int64(1)
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad threshold", http.StatusBadRequest)
+			return
+		}
+		threshold = n
+	}
+	exp := netprof.Expected(agg.Paths, threshold)
+	if exp == nil {
+		exp = []netprof.Expectation{}
+	}
+	writeJSON(w, exp)
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	tenantName := r.PathValue("tenant")
+	if !ValidTenant(tenantName) || s.cfg.Program == nil {
+		http.Error(w, "plan serving not configured for tenant", http.StatusNotFound)
+		return
+	}
+	source, ok := s.cfg.Program(tenantName)
+	if !ok {
+		http.Error(w, "plan serving not configured for tenant", http.StatusNotFound)
+		return
+	}
+	profiler := r.URL.Query().Get("profiler")
+	if profiler == "" {
+		profiler = "PPP"
+	}
+	var tech instr.Techniques
+	found := false
+	for _, p := range core.Profilers() {
+		if p.Name == profiler {
+			tech, found = p.Tech, true
+			break
+		}
+	}
+	if !found {
+		http.Error(w, fmt.Sprintf("unknown profiler %q (want PP, TPP, or PPP)", profiler), http.StatusBadRequest)
+		return
+	}
+	pl, err := instr.ParsePlacement(r.URL.Query().Get("placement"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	staged, err := s.stagedFor(tenantName, source)
+	if err != nil {
+		http.Error(w, "stage tenant program: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Guide planning with the live merged aggregate when one exists;
+	// without one, fall back to the staging run's own profile.
+	agg := s.Aggregate(tenantName)
+	var plans map[string]*instr.Plan
+	if agg != nil {
+		plans, err = staged.PlansGuided(tenantName, tech, pl, agg.Edges)
+	} else {
+		plans, err = staged.PlansFor(tenantName, tech, pl)
+	}
+	if err != nil {
+		http.Error(w, "build plans: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	prog := planir.FromPlans(plans)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-PPP-Plan-Fingerprint", fmt.Sprintf("%016x", prog.Fingerprint()))
+	_, _ = w.Write(prog.Encode())
+}
+
+// stagedFor stages a tenant's program once and caches the result on
+// the tenant; concurrent first requests serialize on the Once.
+func (s *Server) stagedFor(tenantName, source string) (*core.Staged, error) {
+	t := s.tenantFor(tenantName)
+	t.stageOnce.Do(func() {
+		t.staged, t.stageErr = core.NewPipeline(tenantName, source).Stage()
+	})
+	return t.staged, t.stageErr
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	writeJSON(w, s.TenantNames())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"queue\":%d}\n", status, s.QueueLen())
+}
+
+// chaosSite derives the deterministic fault site for a request. The
+// client's attempt counter participates, so a retry of a dropped
+// request draws a fresh decision instead of dropping forever.
+func chaosSite(r *http.Request) uint64 {
+	return hash64(r.Method + " " + r.URL.Path + "#" +
+		r.Header.Get("X-PPP-Key") + "#" + r.Header.Get("X-PPP-Attempt"))
+}
+
+// chaos wraps the surface with deterministic network fault injection.
+// ConnDrop severs the connection without a response — before the
+// handler runs (nothing committed; the retry is a fresh ingest) or
+// after it (committed but unacked; the retry must dedupe), the phase
+// chosen deterministically per site. NetStall buffers the response
+// and sits on it past the client's attempt deadline.
+func (s *Server) chaos(next http.Handler) http.Handler {
+	inj := s.cfg.Inject
+	if !inj.Active(faultinject.ConnDrop) && !inj.Active(faultinject.NetStall) {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		site := chaosSite(r)
+		drop := inj.Hit(faultinject.ConnDrop, site)
+		stall := inj.Hit(faultinject.NetStall, site)
+		if drop && inj.Rand(faultinject.ConnDrop, site^0x9e37)&1 == 0 {
+			s.emitChaos(r, "conndrop before processing")
+			panic(http.ErrAbortHandler)
+		}
+		if !drop && !stall {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// Buffer the response so the fault lands after the handler's
+		// side effects (the commit) but before any byte reaches the
+		// client.
+		rec := &bufferedResponse{header: http.Header{}, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if stall {
+			s.emitChaos(r, "netstall holding response")
+			time.Sleep(s.cfg.StallTime)
+		}
+		if drop {
+			s.emitChaos(r, "conndrop after processing")
+			panic(http.ErrAbortHandler)
+		}
+		rec.copyTo(w)
+	})
+}
+
+func (s *Server) emitChaos(r *http.Request, detail string) {
+	s.trace.Emit(telemetry.Event{
+		Unit: "serve", Routine: r.PathValue("tenant"), Kind: telemetry.EvFaultInject,
+		Detail: detail + ": " + r.Method + " " + r.URL.Path,
+	})
+}
+
+// bufferedResponse captures a handler's response without forwarding
+// it, so chaos faults can discard or delay a fully computed response.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) { b.code = code }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
+	for k, vs := range b.header { //ppp:allow(mapiter) — header write order is not semantic
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(b.code)
+	_, _ = w.Write(b.body.Bytes())
+}

@@ -1,0 +1,634 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathprof/internal/core"
+	"pathprof/internal/faultinject"
+	"pathprof/internal/profile"
+	"pathprof/internal/snapshot"
+	"pathprof/internal/telemetry"
+)
+
+// Config tunes the service's robustness envelope. The zero value is
+// usable; New fills defaults.
+type Config struct {
+	// Store is where acked aggregates become durable. Required.
+	Store Store
+	// QueueDepth bounds the ingest queue; a full queue answers 429.
+	// Default 256.
+	QueueDepth int
+	// BatchMax caps how many queued snapshots one commit folds; a
+	// deeper queue stretches the save cadence up to this, so one
+	// fsync amortizes over more acks. Default 64.
+	BatchMax int
+	// MaxSnapshotBytes caps an ingest body; larger requests are
+	// quarantined with 413. Default 8 MiB.
+	MaxSnapshotBytes int64
+	// RequestTimeout bounds how long an ingest waits for its commit
+	// before answering 503 (the commit may still land; the client's
+	// retry is deduplicated). Default 10s.
+	RequestTimeout time.Duration
+	// ShedThreshold is the queue fill ratio at which read and plan
+	// traffic sheds with 503 so ingest keeps its headroom. Default
+	// 0.75.
+	ShedThreshold float64
+	// RetryAfter is the hint attached to 429/503 responses. Default 1s.
+	RetryAfter time.Duration
+	// StallTime is how long an injected netstall delays a response.
+	// Default 250ms.
+	StallTime time.Duration
+	// Registry receives ingest/merge/shed/quarantine metrics and
+	// decision-trace events; nil keeps every sink on its no-op path.
+	Registry *telemetry.Registry
+	// Inject drives deterministic network/store chaos (conndrop,
+	// netstall, partialwrite, storefail); nil injects nothing. Store
+	// faults apply only when Store is not already a FaultStore.
+	Inject *faultinject.Injector
+	// Program resolves a tenant to mini-C source for the plan-serving
+	// endpoint; nil or !ok disables plan serving for that tenant.
+	Program func(tenant string) (string, bool)
+}
+
+func (c *Config) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ShedThreshold <= 0 || c.ShedThreshold > 1 {
+		c.ShedThreshold = 0.75
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.StallTime <= 0 {
+		c.StallTime = 250 * time.Millisecond
+	}
+}
+
+// Ack is the server's acknowledgement of one ingested snapshot: its
+// commit sequence within the tenant (the fold order, which the
+// acked-implies-durable drill replays) and the aggregate fingerprint
+// after the commit that included it.
+type Ack struct {
+	Tenant      string `json:"tenant"`
+	Seq         uint64 `json:"seq"`
+	Fingerprint string `json:"fingerprint"`
+	Deduped     bool   `json:"deduped,omitempty"`
+}
+
+// LogEntry records one committed ingest in fold order.
+type LogEntry struct {
+	Seq uint64 `json:"seq"`
+	Key string `json:"key"`
+}
+
+// TenantInfo is the JSON shape of a tenant's aggregate summary.
+type TenantInfo struct {
+	Tenant      string   `json:"tenant"`
+	Fingerprint string   `json:"fingerprint"`
+	Acked       uint64   `json:"acked"`
+	Bytes       int      `json:"bytes"`
+	Routines    int      `json:"routines"`
+	Saturated   []string `json:"saturated,omitempty"`
+}
+
+// tenant is one program's aggregate and its commit bookkeeping. All
+// mutable fields are guarded by Server.mu; only the committer
+// goroutine writes them after creation.
+type tenant struct {
+	name     string
+	agg      *profile.Snapshot
+	aggBytes []byte
+	fp       uint64
+	nextSeq  uint64
+	seqs     map[string]uint64
+	log      []LogEntry
+
+	stageOnce sync.Once
+	staged    *core.Staged
+	stageErr  error
+}
+
+// ingestItem is one queued snapshot awaiting commit.
+type ingestItem struct {
+	tenant, key string
+	snap        *profile.Snapshot
+	done        chan ackResult
+}
+
+type ackResult struct {
+	ack  Ack
+	code int
+	err  error
+}
+
+// Server is the profile service. Construct with New, start the
+// committer with Start, and stop with Shutdown.
+type Server struct {
+	cfg   Config
+	queue chan *ingestItem
+	quit  chan struct{}
+	done  chan struct{}
+
+	draining atomic.Bool
+	started  atomic.Bool
+	quitOnce sync.Once
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	met   serveMetrics
+	trace *telemetry.Trace
+}
+
+// serveMetrics holds the service's telemetry cells. Cells are
+// single-writer by contract, and the server's writers are many HTTP
+// handler goroutines plus the committer, so every bump serializes
+// through one mutex — these are request-rate counters, nowhere near a
+// hot loop.
+type serveMetrics struct {
+	mu sync.Mutex
+
+	ingest, acked, deduped, quarantined *telemetry.Cell
+	backpressure, shed, waitTimeout     *telemetry.Cell
+	saves, saveErrs, batches, merged    *telemetry.Cell
+
+	queueDepth, tenants *telemetry.Gauge
+	batchSize           *telemetry.HistCell
+}
+
+func (m *serveMetrics) bump(c *telemetry.Cell) {
+	m.mu.Lock()
+	c.Inc()
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) observeBatch(n int) {
+	m.mu.Lock()
+	m.batchSize.Observe(int64(n))
+	m.mu.Unlock()
+}
+
+// New builds a Server. cfg.Store is required; everything else
+// defaults sanely. When cfg.Inject carries store-fault kinds and the
+// store is not already fault-wrapped, New wraps it so partialwrite/
+// storefail drills need no extra wiring.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if _, wrapped := cfg.Store.(*FaultStore); !wrapped &&
+		(cfg.Inject.Active(faultinject.StoreFail) || cfg.Inject.Active(faultinject.PartialWrite)) {
+		cfg.Store = NewFaultStore(cfg.Store, cfg.Inject)
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *ingestItem, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		tenants: map[string]*tenant{},
+	}
+	reg := cfg.Registry
+	c := func(name, help string) *telemetry.Cell { return reg.Counter(name, help).Cell(0) }
+	s.met.ingest = c("ppp_serve_ingest_requests_total", "snapshots POSTed (accepted into the pipeline or rejected)")
+	s.met.acked = c("ppp_serve_ingest_acked_total", "snapshots acknowledged after a durable commit")
+	s.met.deduped = c("ppp_serve_ingest_deduped_total", "retried snapshots answered from the idempotency log")
+	s.met.quarantined = c("ppp_serve_ingest_quarantined_total", "corrupt or oversized snapshots quarantined")
+	s.met.backpressure = c("ppp_serve_backpressure_total", "ingests refused with 429 because the queue was full")
+	s.met.shed = c("ppp_serve_shed_total", "read/plan requests shed with 503 under overload")
+	s.met.waitTimeout = c("ppp_serve_ingest_wait_timeouts_total", "ingests that timed out waiting for their commit")
+	s.met.saves = c("ppp_serve_store_saves_total", "durable store saves attempted")
+	s.met.saveErrs = c("ppp_serve_store_save_errors_total", "durable store saves that failed (batch not acked)")
+	s.met.batches = c("ppp_serve_commit_batches_total", "group commits executed")
+	s.met.merged = c("ppp_serve_commit_snapshots_total", "snapshots folded into aggregates")
+	s.met.queueDepth = reg.Gauge("ppp_serve_queue_depth", "ingest queue depth at last enqueue/dequeue")
+	s.met.tenants = reg.Gauge("ppp_serve_tenants", "tenants with in-memory state")
+	s.met.batchSize = reg.Histogram("ppp_serve_commit_batch_size", "snapshots per group commit",
+		[]int64{1, 2, 4, 8, 16, 32, 64, 128}).Cell(0)
+	if reg != nil {
+		s.trace = reg.Trace()
+	}
+	return s, nil
+}
+
+// Start launches the committer goroutine. Idempotent.
+func (s *Server) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	go s.committer()
+}
+
+// Shutdown drains cleanly: new ingest is refused, queued snapshots
+// are committed, and the committer exits. Returns ctx.Err() if the
+// drain deadline expires first (queued-but-uncommitted snapshots were
+// never acked, so nothing acknowledged is lost even then).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if !s.started.Load() {
+		return nil
+	}
+	s.quitOnce.Do(func() { close(s.quit) })
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueLen returns the current ingest queue depth (bounded by
+// construction at Config.QueueDepth).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// overloaded reports whether read traffic should shed: the ingest
+// queue has crossed the shed threshold, so merge capacity goes to
+// ingest first (reads degrade before writes are refused).
+func (s *Server) overloaded() bool {
+	return float64(len(s.queue)) >= s.cfg.ShedThreshold*float64(cap(s.queue))
+}
+
+// Ingest validates nothing (the HTTP layer already decoded snap) and
+// runs the queue/commit/ack protocol: enqueue with backpressure, wait
+// for the committer's durable ack. The returned int is an HTTP status
+// for the error cases (429 full, 503 draining/timeout/save-failure).
+func (s *Server) Ingest(ctx context.Context, tenantName, key string, snap *profile.Snapshot) (Ack, int, error) {
+	s.met.bump(s.met.ingest)
+	if s.draining.Load() {
+		return Ack{}, 503, fmt.Errorf("serve: draining")
+	}
+	item := &ingestItem{tenant: tenantName, key: key, snap: snap, done: make(chan ackResult, 1)}
+	select {
+	case s.queue <- item:
+		s.met.queueDepth.Set(float64(len(s.queue)))
+	default:
+		s.met.bump(s.met.backpressure)
+		s.trace.Emit(telemetry.Event{
+			Unit: "serve", Routine: tenantName, Kind: telemetry.EvShed,
+			Detail: "ingest queue full: 429 backpressure",
+		})
+		return Ack{}, 429, fmt.Errorf("serve: ingest queue full")
+	}
+	wait := time.NewTimer(s.cfg.RequestTimeout)
+	defer wait.Stop()
+	select {
+	case r := <-item.done:
+		return r.ack, r.code, r.err
+	case <-ctx.Done():
+		s.met.bump(s.met.waitTimeout)
+		return Ack{}, 503, fmt.Errorf("serve: %w while awaiting commit (retry is safe: acks are idempotent)", ctx.Err())
+	case <-wait.C:
+		s.met.bump(s.met.waitTimeout)
+		return Ack{}, 503, fmt.Errorf("serve: commit wait exceeded %v (retry is safe: acks are idempotent)", s.cfg.RequestTimeout)
+	}
+}
+
+// committer is the single goroutine that owns all aggregate mutation:
+// it drains the queue in arrival order, group-commits per tenant, and
+// acknowledges only after the store accepted the new aggregate.
+func (s *Server) committer() {
+	defer close(s.done)
+	for {
+		var first *ingestItem
+		select {
+		case first = <-s.queue:
+		case <-s.quit:
+			s.drainRemaining()
+			return
+		}
+		s.commitBatch(s.collect(first))
+	}
+}
+
+// collect drains up to BatchMax-1 more queued items without blocking:
+// group commit's cadence degradation. An idle service commits every
+// snapshot individually; a saturated one folds whole batches per
+// save.
+func (s *Server) collect(first *ingestItem) []*ingestItem {
+	batch := []*ingestItem{first}
+	for len(batch) < s.cfg.BatchMax {
+		select {
+		case it := <-s.queue:
+			batch = append(batch, it)
+		default:
+			s.met.queueDepth.Set(float64(len(s.queue)))
+			return batch
+		}
+	}
+	s.met.queueDepth.Set(float64(len(s.queue)))
+	return batch
+}
+
+// drainRemaining commits whatever shutdown left in the queue.
+func (s *Server) drainRemaining() {
+	for {
+		select {
+		case it := <-s.queue:
+			s.commitBatch(s.collect(it))
+		default:
+			return
+		}
+	}
+}
+
+// commitBatch groups a batch by tenant (preserving per-tenant arrival
+// order — the fold order clients' acks commit to) and commits tenants
+// in name order for deterministic processing.
+func (s *Server) commitBatch(batch []*ingestItem) {
+	s.met.bump(s.met.batches)
+	s.met.observeBatch(len(batch))
+	byTenant := map[string][]*ingestItem{}
+	var order []string
+	for _, it := range batch {
+		if _, ok := byTenant[it.tenant]; !ok {
+			order = append(order, it.tenant)
+		}
+		byTenant[it.tenant] = append(byTenant[it.tenant], it)
+	}
+	sort.Strings(order)
+	for _, tn := range order {
+		s.commitTenant(tn, byTenant[tn])
+	}
+}
+
+// commitTenant folds one tenant's batch into a scratch copy of the
+// aggregate, saves it, and only then swaps it in and acks — the
+// transactional heart of acked-implies-durable. A failed save leaves
+// the previous aggregate (in memory and on disk) untouched and nacks
+// the whole batch, so clients retry and nothing half-merged can ever
+// be served or double-counted.
+func (s *Server) commitTenant(name string, items []*ingestItem) {
+	t := s.tenantFor(name)
+
+	// Partition into fresh items (to fold) and duplicates (answered
+	// from the idempotency log). A duplicate of a fresh key in this
+	// same batch rides along and acks with the fresh item's seq.
+	var fresh []*ingestItem
+	dupOf := map[*ingestItem]uint64{}      // committed duplicates → seq
+	pending := map[string]*ingestItem{}    // batch-local key → fresh item
+	pendingDup := map[*ingestItem]string{} // batch-local duplicates → key
+	s.mu.Lock()
+	for _, it := range items {
+		if seq, ok := t.seqs[it.key]; ok {
+			dupOf[it] = seq
+			continue
+		}
+		if _, ok := pending[it.key]; ok {
+			pendingDup[it] = it.key
+			continue
+		}
+		pending[it.key] = it
+		fresh = append(fresh, it)
+	}
+	aggBytes := t.aggBytes
+	s.mu.Unlock()
+
+	if len(fresh) == 0 {
+		// Nothing to fold: every item was a known duplicate.
+		s.mu.Lock()
+		fp := t.fp
+		s.mu.Unlock()
+		for _, it := range items {
+			s.met.bump(s.met.deduped)
+			it.done <- ackResult{ack: Ack{Tenant: name, Seq: dupOf[it], Fingerprint: fpString(fp), Deduped: true}, code: 200}
+		}
+		return
+	}
+
+	next, err := cloneAggregate(aggBytes)
+	if err != nil {
+		s.nack(name, items, fmt.Errorf("serve: aggregate clone: %w", err))
+		return
+	}
+	for _, it := range fresh {
+		next.MergeSnapshot(it.snap)
+	}
+	data := snapshot.Encode(next)
+	s.met.bump(s.met.saves)
+	if err := s.cfg.Store.Save(name, data); err != nil {
+		s.met.bump(s.met.saveErrs)
+		s.trace.Emit(telemetry.Event{
+			Unit: "serve", Routine: name, Kind: telemetry.EvStoreFault,
+			Flow:   int64(len(fresh)),
+			Detail: "store save failed; batch not acked: " + err.Error(),
+		})
+		s.nackFresh(name, items, dupOf, err)
+		return
+	}
+
+	fp := next.Fingerprint()
+	s.mu.Lock()
+	t.agg = next
+	t.aggBytes = data
+	t.fp = fp
+	seqOf := map[string]uint64{}
+	for _, it := range fresh {
+		t.nextSeq++
+		t.seqs[it.key] = t.nextSeq
+		t.log = append(t.log, LogEntry{Seq: t.nextSeq, Key: it.key})
+		seqOf[it.key] = t.nextSeq
+	}
+	s.mu.Unlock()
+
+	for _, it := range items {
+		switch {
+		case dupOf[it] != 0:
+			s.met.bump(s.met.deduped)
+			it.done <- ackResult{ack: Ack{Tenant: name, Seq: dupOf[it], Fingerprint: fpString(fp), Deduped: true}, code: 200}
+		case pendingDup[it] != "":
+			s.met.bump(s.met.deduped)
+			it.done <- ackResult{ack: Ack{Tenant: name, Seq: seqOf[pendingDup[it]], Fingerprint: fpString(fp), Deduped: true}, code: 200}
+		default:
+			s.met.bump(s.met.acked)
+			s.met.bump(s.met.merged)
+			it.done <- ackResult{ack: Ack{Tenant: name, Seq: seqOf[it.key], Fingerprint: fpString(fp)}, code: 200}
+		}
+	}
+}
+
+// nack rejects every item of a batch with 503.
+func (s *Server) nack(name string, items []*ingestItem, err error) {
+	for _, it := range items {
+		it.done <- ackResult{code: 503, err: err}
+	}
+}
+
+// nackFresh rejects the items whose data did not become durable;
+// already-committed duplicates still ack (their data is durable).
+func (s *Server) nackFresh(name string, items []*ingestItem, dupOf map[*ingestItem]uint64, err error) {
+	s.mu.Lock()
+	fp := s.tenants[name].fp
+	s.mu.Unlock()
+	for _, it := range items {
+		if seq, ok := dupOf[it]; ok {
+			s.met.bump(s.met.deduped)
+			it.done <- ackResult{ack: Ack{Tenant: name, Seq: seq, Fingerprint: fpString(fp), Deduped: true}, code: 200}
+			continue
+		}
+		it.done <- ackResult{code: 503, err: fmt.Errorf("serve: durable save failed, not acked: %w", err)}
+	}
+}
+
+// tenantFor returns (creating if needed) the tenant, seeding its
+// aggregate from the durable store on first touch — the crash
+// recovery path: whatever the store's last acknowledged aggregate
+// was, the service resumes from it.
+func (s *Server) tenantFor(name string) *tenant {
+	s.mu.Lock()
+	t := s.tenants[name]
+	s.mu.Unlock()
+	if t != nil {
+		return t
+	}
+	t = &tenant{name: name, seqs: map[string]uint64{}}
+	if data, err := s.cfg.Store.Load(name); err == nil {
+		if snap, derr := snapshot.Decode(data); derr == nil {
+			t.agg = snap
+			t.aggBytes = data
+			t.fp = snap.Fingerprint()
+		}
+	}
+	s.mu.Lock()
+	if cur := s.tenants[name]; cur != nil {
+		t = cur
+	} else {
+		s.tenants[name] = t
+		s.met.tenants.Set(float64(len(s.tenants)))
+	}
+	s.mu.Unlock()
+	return t
+}
+
+// cloneAggregate deep-copies an aggregate via the codec (decode ∘
+// encode is identity, so the clone folds and fingerprints exactly
+// like the original). nil bytes clone to an empty snapshot.
+func cloneAggregate(data []byte) (*profile.Snapshot, error) {
+	if data == nil {
+		return profile.NewSnapshot(), nil
+	}
+	return snapshot.Decode(data)
+}
+
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// lookup resolves a tenant for the read paths: in-memory state when
+// it exists, else a lazy load from the durable store — so a restarted
+// server serves every recovered aggregate without waiting for a fresh
+// ingest. Unknown tenants stay nil (reads must not fabricate state).
+// Commit logs and idempotency keys are per-process: a restart starts
+// both fresh while the durable aggregate carries every acked commit.
+func (s *Server) lookup(name string) *tenant {
+	s.mu.Lock()
+	t := s.tenants[name]
+	s.mu.Unlock()
+	if t != nil {
+		return t
+	}
+	if !ValidTenant(name) {
+		return nil
+	}
+	if _, err := s.cfg.Store.Load(name); err != nil {
+		return nil
+	}
+	return s.tenantFor(name)
+}
+
+// AggregateBytes returns the current durable aggregate encoding for a
+// tenant (nil when the tenant is unknown or empty), plus its
+// fingerprint string.
+func (s *Server) AggregateBytes(name string) ([]byte, string) {
+	t := s.lookup(name)
+	if t == nil {
+		return nil, ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.aggBytes == nil {
+		return nil, ""
+	}
+	return t.aggBytes, fpString(t.fp)
+}
+
+// Aggregate returns the decoded aggregate (nil when absent). The
+// returned snapshot is the live one; callers must not mutate it.
+func (s *Server) Aggregate(name string) *profile.Snapshot {
+	t := s.lookup(name)
+	if t == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return t.agg
+}
+
+// CommitLog returns a copy of the tenant's fold order.
+func (s *Server) CommitLog(name string) []LogEntry {
+	t := s.lookup(name)
+	if t == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LogEntry(nil), t.log...)
+}
+
+// Info summarizes a tenant's aggregate, or ok=false when unknown.
+func (s *Server) Info(name string) (TenantInfo, bool) {
+	t := s.lookup(name)
+	if t == nil {
+		return TenantInfo{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := TenantInfo{
+		Tenant:      name,
+		Fingerprint: fpString(t.fp),
+		Acked:       t.nextSeq,
+		Bytes:       len(t.aggBytes),
+	}
+	if t.agg != nil {
+		info.Routines = len(t.agg.Edges)
+		info.Saturated = t.agg.SaturatedRoutines()
+	}
+	return info, true
+}
+
+// TenantNames lists tenants with in-memory state plus tenants the
+// durable store knows, sorted and deduplicated.
+func (s *Server) TenantNames() []string {
+	set := map[string]bool{}
+	if names, err := s.cfg.Store.Tenants(); err == nil {
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	s.mu.Lock()
+	for n := range s.tenants { //ppp:allow(mapiter) — sorted below
+		set[n] = true
+	}
+	s.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for n := range set { //ppp:allow(mapiter) — sorted below
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

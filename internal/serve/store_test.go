@@ -1,0 +1,213 @@
+package serve_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathprof/internal/faultinject"
+	"pathprof/internal/serve"
+	"pathprof/internal/snapshot"
+)
+
+func TestValidTenant(t *testing.T) {
+	for _, name := range []string{"app", "mcf", "a-b_c.d", "A1", "x"} {
+		if !serve.ValidTenant(name) {
+			t.Errorf("ValidTenant(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"", ".hidden", "-x", "a/b", "a b", "bad..name", "..",
+		"averyveryveryveryveryveryveryveryveryveryveryverylongtenantname-over64chars"} {
+		if serve.ValidTenant(name) {
+			t.Errorf("ValidTenant(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestMemStoreRoundTripAndIsolation(t *testing.T) {
+	ms := serve.NewMemStore()
+	if _, err := ms.Load("app"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing tenant: %v, want ErrNotExist", err)
+	}
+	data := encodeSnap(0, 0)
+	if err := ms.Save("app", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ms.Load("app")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// Mutating the returned slice must not touch the stored copy.
+	got[0] ^= 0xff
+	again, _ := ms.Load("app")
+	if !bytes.Equal(again, data) {
+		t.Error("Load aliases internal buffer")
+	}
+	names, err := ms.Tenants()
+	if err != nil || len(names) != 1 || names[0] != "app" {
+		t.Errorf("Tenants = %v, %v", names, err)
+	}
+}
+
+func TestFileStoreFallsBackPastCorruptPrimary(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := serve.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := encodeSnap(0, 0), encodeSnap(0, 1)
+	if err := fs.Save("app", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("app", v2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the primary in place; Load must fall back to .prev (v1).
+	primary := filepath.Join(dir, "app.ppsnap")
+	if err := os.WriteFile(primary, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Load("app")
+	if err != nil {
+		t.Fatalf("load with corrupt primary: %v", err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Error("fallback did not return the previous good aggregate")
+	}
+}
+
+func TestOpenFileStoreRecoversTornState(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := serve.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := encodeSnap(1, 0), encodeSnap(1, 1)
+	if err := fs.Save("app", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("app", v2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-rotation: primary moved to .prev, torn bytes in .tmp.
+	primary := filepath.Join(dir, "app.ppsnap")
+	if err := os.Rename(primary, primary+".prev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(primary+".tmp", v2[:len(v2)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery rolls back to the last acknowledged aggregate.
+	fs2, err := serve.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Load("app")
+	if err != nil {
+		t.Fatalf("load after recovery: %v", err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Error("recovery lost the last acknowledged aggregate")
+	}
+	if _, err := os.Stat(primary + ".tmp"); !os.IsNotExist(err) {
+		t.Error("stale .tmp survived reopen")
+	}
+	if _, err := snapshot.Decode(got); err != nil {
+		t.Errorf("recovered bytes corrupt: %v", err)
+	}
+}
+
+func TestFileStoreRejectsHostileTenants(t *testing.T) {
+	fs, err := serve.OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"../escape", "a/b", "..", ""} {
+		if err := fs.Save(name, encodeSnap(0, 0)); err == nil {
+			t.Errorf("Save(%q) accepted a hostile tenant name", name)
+		}
+		if _, err := fs.Load(name); err == nil {
+			t.Errorf("Load(%q) accepted a hostile tenant name", name)
+		}
+	}
+}
+
+func TestFaultStoreDeterministicPattern(t *testing.T) {
+	inj, err := faultinject.Parse("seed=5,kind=storefail+partialwrite,rate=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeSnap(0, 0)
+	pattern := func() []bool {
+		fs := serve.NewFaultStore(serve.NewMemStore(), inj)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, fs.Save("app", data) != nil)
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	var faults int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault pattern diverged at save %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("degenerate fault pattern: %d/%d saves failed", faults, len(a))
+	}
+	// Injected failures are distinguishable from real ones.
+	fs := serve.NewFaultStore(serve.NewMemStore(), inj)
+	for i := 0; i < 32; i++ {
+		if err := fs.Save("app", data); err != nil {
+			if !errors.Is(err, serve.ErrInjectedSave) {
+				t.Fatalf("injected fault not marked: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func TestFaultStorePartialWriteLeavesTornTmp(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := serve.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rate=1: every save tears (partialwrite dominates once storefail
+	// is absent from the spec).
+	inj, err := faultinject.Parse("seed=1,kind=partialwrite,rate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := serve.NewFaultStore(inner, inj)
+	data := encodeSnap(2, 2)
+	if err := fs.Save("app", data); !errors.Is(err, serve.ErrInjectedSave) {
+		t.Fatalf("partial write not injected: %v", err)
+	}
+	torn, err := os.ReadFile(filepath.Join(dir, "app.ppsnap.tmp"))
+	if err != nil {
+		t.Fatalf("no torn .tmp left behind: %v", err)
+	}
+	if len(torn) == 0 || len(torn) >= len(data) {
+		t.Errorf("torn bytes len %d, want a strict prefix of %d", len(torn), len(data))
+	}
+	// Reopen recovers past the torn write; the tenant has no durable
+	// state (nothing was ever acknowledged).
+	fs2, err := serve.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Load("app"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("load after torn-only history: %v, want ErrNotExist", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "app.ppsnap.tmp")); !os.IsNotExist(err) {
+		t.Error("torn .tmp survived recovery")
+	}
+}

@@ -1,0 +1,179 @@
+package snapshot_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/profile"
+	"pathprof/internal/snapshot"
+)
+
+// TestRecoverTornRotation is the regression test for a crash between
+// Save's two renames: the primary has been rotated to .prev but the
+// fsynced .tmp was never renamed into place. The in-flight snapshot
+// was never acknowledged, so recovery must roll back — discard the
+// .tmp and restore .prev as the primary — leaving the store at the
+// last acknowledged snapshot.
+func TestRecoverTornRotation(t *testing.T) {
+	dir := t.TempDir()
+	st := snapshot.NewStore(filepath.Join(dir, "app.ppsnap"))
+	snap1 := realSnapshot(t)
+	snap2 := realSnapshot(t)
+	snap2.Edges["work"].Add(98, 99, 7)
+	if err := st.Save(snap1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(snap2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn rotation of an in-flight third save: the
+	// primary (snap2) moved to .prev, the new bytes sit complete in
+	// .tmp, and the final rename never happened.
+	snap3 := realSnapshot(t)
+	snap3.Edges["work"].Add(98, 99, 99)
+	if err := os.Rename(st.Path(), st.PrevPath()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.TmpPath(), snapshot.Encode(snap3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !rep.RemovedTmp || !rep.RestoredPrev {
+		t.Fatalf("recovery report = %+v, want tmp removed and prev restored", rep)
+	}
+	if _, err := os.Stat(st.TmpPath()); !os.IsNotExist(err) {
+		t.Error("stale .tmp survived recovery")
+	}
+	got, fellBack, err := st.Load()
+	if err != nil || fellBack {
+		t.Fatalf("load after recovery: %v (fallback=%v)", err, fellBack)
+	}
+	if got.Fingerprint() != snap2.Fingerprint() {
+		t.Error("recovery did not restore the last acknowledged snapshot")
+	}
+
+	// Idempotent: a second recovery is a no-op.
+	rep, err = st.Recover()
+	if err != nil || rep.RemovedTmp || rep.RestoredPrev {
+		t.Errorf("second recovery not a no-op: %+v, %v", rep, err)
+	}
+
+	// The store keeps working after recovery.
+	if err := st.Save(snap3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = st.Load()
+	if err != nil || got.Fingerprint() != snap3.Fingerprint() {
+		t.Fatalf("save after recovery broken: %v", err)
+	}
+}
+
+// TestRecoverStaleTmp covers the other crash window: a torn (or even
+// complete) .tmp with the primary intact. Recovery discards the .tmp
+// and leaves the primary alone.
+func TestRecoverStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	st := snapshot.NewStore(filepath.Join(dir, "app.ppsnap"))
+	snap1 := realSnapshot(t)
+	if err := st.Save(snap1); err != nil {
+		t.Fatal(err)
+	}
+	torn := snapshot.Encode(snap1)
+	if err := os.WriteFile(st.TmpPath(), torn[:len(torn)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RemovedTmp || rep.RestoredPrev {
+		t.Fatalf("recovery report = %+v, want only tmp removed", rep)
+	}
+	got, fellBack, err := st.Load()
+	if err != nil || fellBack || got.Fingerprint() != snap1.Fingerprint() {
+		t.Fatalf("primary disturbed by recovery: %v (fallback=%v)", err, fellBack)
+	}
+}
+
+// TestRecoverCleanStore: recovery on a clean or empty store does
+// nothing and reports nothing.
+func TestRecoverCleanStore(t *testing.T) {
+	st := snapshot.NewStore(filepath.Join(t.TempDir(), "app.ppsnap"))
+	rep, err := st.Recover()
+	if err != nil || rep.RemovedTmp || rep.RestoredPrev {
+		t.Fatalf("recovery on empty store: %+v, %v", rep, err)
+	}
+	if err := st.Save(realSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = st.Recover()
+	if err != nil || rep.RemovedTmp || rep.RestoredPrev {
+		t.Fatalf("recovery on clean store: %+v, %v", rep, err)
+	}
+}
+
+// TestSaturatedMergeRoundTrip checks that a merge that saturates
+// counters survives the wire format end to end: the merged snapshot's
+// Saturated flags and fingerprint are preserved by encode∘decode, and
+// merging decoded snapshots saturates identically to merging the
+// originals (the profile-service ingest path decodes before it
+// merges).
+func TestSaturatedMergeRoundTrip(t *testing.T) {
+	build := func() *profile.Snapshot {
+		ep := profile.NewEdgeProfile("f")
+		ep.Add(0, 1, profile.CounterMax-1)
+		ep.Calls = 3
+		pp := profile.NewPathProfile("f")
+		pp.Add(cfg.Path{&cfg.DAGEdge{ID: 4}, &cfg.DAGEdge{ID: 7}}, profile.CounterMax-2)
+		tab := profile.NewTable(profile.ArrayTable, 2, 6)
+		tab.Add(1, profile.CounterMax-1)
+		return &profile.Snapshot{
+			Edges:  map[string]*profile.EdgeProfile{"f": ep},
+			Paths:  map[string]*profile.PathProfile{"f": pp},
+			Tables: map[string]*profile.Table{"f": tab},
+		}
+	}
+
+	a, b := build(), build()
+	a.MergeSnapshot(b) // every counter crosses CounterMax and clamps
+	if !a.Edges["f"].Saturated || !a.Paths["f"].Saturated || !a.Tables["f"].Saturated {
+		t.Fatalf("merge did not saturate: edges=%v paths=%v tables=%v",
+			a.Edges["f"].Saturated, a.Paths["f"].Saturated, a.Tables["f"].Saturated)
+	}
+	if got := a.Edges["f"].Get(0, 1); got != profile.CounterMax {
+		t.Fatalf("saturated edge count = %d, want clamp at CounterMax", got)
+	}
+
+	back, err := snapshot.Decode(snapshot.Encode(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Edges["f"].Saturated || !back.Paths["f"].Saturated || !back.Tables["f"].Saturated {
+		t.Error("saturation flags lost in the codec round trip")
+	}
+	if back.Fingerprint() != a.Fingerprint() {
+		t.Error("round trip changed the saturated snapshot fingerprint")
+	}
+
+	// Ingest-path shape: decode two clean snapshots, merge the decoded
+	// copies, and the result is bit-identical to merging the originals.
+	da, err := snapshot.Decode(snapshot.Encode(build()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := snapshot.Decode(snapshot.Encode(build()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da.MergeSnapshot(db)
+	if da.Fingerprint() != a.Fingerprint() {
+		t.Error("merging decoded snapshots diverged from merging the originals")
+	}
+}

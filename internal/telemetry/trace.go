@@ -64,6 +64,13 @@ const (
 	// EvValidate: translation validation checked a compiled routine
 	// against its plan IR; Flow carries the violation count.
 	EvValidate
+	// EvShed: the profile service refused work under overload — a
+	// read/plan request shed ahead of ingest, or ingest itself pushed
+	// back when the bounded queue filled.
+	EvShed
+	// EvStoreFault: a durable store save failed (or tore); the batch
+	// it carried was not acknowledged.
+	EvStoreFault
 )
 
 var eventKindNames = [...]string{
@@ -85,6 +92,8 @@ var eventKindNames = [...]string{
 	EvPlacement:   "placement",
 	EvProof:       "proof",
 	EvValidate:    "validate",
+	EvShed:        "shed",
+	EvStoreFault:  "store-fault",
 }
 
 func (k EventKind) String() string {
