@@ -18,7 +18,13 @@
 //	GET  /v1/profiles/{tenant}/log   commit log (fold order)
 //	GET  /v1/hot/{tenant}            NET hot-path predictions
 //	GET  /v1/plans/{tenant}          instrumentation plan IR for built-in workloads
+//	GET  /v1/drift/{tenant}          profile-drift report (live aggregate vs served guide)
+//	GET  /debug/ppp                  live ops dashboard
 //	GET  /v1/tenants, /healthz, /metrics, /debug/..., /trace.*
+//
+// Every request emits one structured access-log line on stderr
+// (tenant, endpoint, status, duration, trace ID, retry attempt);
+// -quiet disables it.
 //
 // An acknowledged snapshot is durable: pppd acks only after the
 // updated aggregate is committed to the store, so a crash and restart
@@ -53,6 +59,7 @@ func run() int {
 	shed := flag.Float64("shed", 0.75, "queue fill ratio above which read/plan traffic sheds with 503")
 	drain := flag.Duration("drain", 5*time.Second, "shutdown drain window for in-flight requests and the queue")
 	faults := flag.String("faults", "", "deterministic chaos spec: seed=N,kind=conndrop+netstall+partialwrite+storefail[,rate=r]")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
 	flag.Parse()
 
 	fail := func(format string, a ...interface{}) int {
@@ -84,7 +91,7 @@ func run() int {
 	}
 
 	reg := telemetry.NewRegistry(1)
-	server, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Store:            store,
 		QueueDepth:       *queue,
 		BatchMax:         *batch,
@@ -100,7 +107,11 @@ func run() int {
 			}
 			return w.Source, true
 		},
-	})
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	server, err := serve.New(cfg)
 	if err != nil {
 		return fail("%v", err)
 	}

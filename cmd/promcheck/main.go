@@ -3,6 +3,11 @@
 // checker. CI pipes a live /metrics response through it to catch
 // malformed exposition before a real scraper would.
 //
+// Beyond line syntax, every family declared `# TYPE <name> histogram`
+// is cross-checked as a histogram: strictly increasing `le` bounds,
+// monotone cumulative bucket counts, a terminal `+Inf` bucket, and
+// `_sum`/`_count` series consistent with the buckets.
+//
 // Usage:
 //
 //	curl -s localhost:8080/metrics | promcheck

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, input string) int {
+	t.Helper()
+	return run(nil, strings.NewReader(input), io.Discard)
+}
+
+func TestGoodHistogramPasses(t *testing.T) {
+	input := `# TYPE ppp_serve_ack_e2e_us histogram
+ppp_serve_ack_e2e_us_bucket{le="100"} 2
+ppp_serve_ack_e2e_us_bucket{le="1000"} 5
+ppp_serve_ack_e2e_us_bucket{le="+Inf"} 6
+ppp_serve_ack_e2e_us_sum 4200
+ppp_serve_ack_e2e_us_count 6
+`
+	if got := check(t, input); got != 0 {
+		t.Fatalf("well-formed histogram rejected: exit %d", got)
+	}
+}
+
+func TestLabeledHistogramGroupsPass(t *testing.T) {
+	input := `# TYPE ppp_serve_http_duration_us histogram
+ppp_serve_http_duration_us_bucket{endpoint="ingest",le="100"} 1
+ppp_serve_http_duration_us_bucket{endpoint="ingest",le="+Inf"} 1
+ppp_serve_http_duration_us_sum{endpoint="ingest"} 80
+ppp_serve_http_duration_us_count{endpoint="ingest"} 1
+ppp_serve_http_duration_us_bucket{endpoint="metrics",le="100"} 3
+ppp_serve_http_duration_us_bucket{endpoint="metrics",le="+Inf"} 4
+ppp_serve_http_duration_us_sum{endpoint="metrics"} 500
+ppp_serve_http_duration_us_count{endpoint="metrics"} 4
+`
+	if got := check(t, input); got != 0 {
+		t.Fatalf("labeled histogram groups rejected: exit %d", got)
+	}
+}
+
+func TestNonMonotoneBucketsFail(t *testing.T) {
+	input := `# TYPE h histogram
+h_bucket{le="10"} 5
+h_bucket{le="100"} 3
+h_bucket{le="+Inf"} 5
+h_sum 40
+h_count 5
+`
+	if got := check(t, input); got != 1 {
+		t.Fatalf("decreasing cumulative counts accepted: exit %d", got)
+	}
+}
+
+func TestMissingInfBucketFails(t *testing.T) {
+	input := `# TYPE h histogram
+h_bucket{le="10"} 5
+h_bucket{le="100"} 7
+h_sum 40
+h_count 7
+`
+	if got := check(t, input); got != 1 {
+		t.Fatalf("missing +Inf bucket accepted: exit %d", got)
+	}
+}
+
+func TestCountBucketMismatchFails(t *testing.T) {
+	input := `# TYPE h histogram
+h_bucket{le="10"} 5
+h_bucket{le="+Inf"} 7
+h_sum 40
+h_count 9
+`
+	if got := check(t, input); got != 1 {
+		t.Fatalf("_count disagreeing with +Inf bucket accepted: exit %d", got)
+	}
+}
+
+func TestMissingSumFails(t *testing.T) {
+	input := `# TYPE h histogram
+h_bucket{le="+Inf"} 2
+h_count 2
+`
+	if got := check(t, input); got != 1 {
+		t.Fatalf("missing _sum accepted: exit %d", got)
+	}
+}

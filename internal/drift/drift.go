@@ -1,0 +1,224 @@
+// Package drift measures how far a tenant's live aggregate profile
+// has moved from the guide profile its served plans were built on.
+// It is the promotion sensor for the adaptive re-instrumentation
+// loop: when divergence crosses a threshold (or the hot-path sets
+// stop overlapping), the plans the service hands out are optimizing
+// yesterday's workload and a replan is worth its cost.
+//
+// Two complementary metrics, both computed over the per-routine edge
+// profiles the service already aggregates:
+//
+//   - Flow divergence: total-variation distance between the guide's
+//     and the live profile's normalized flow distributions over
+//     (routine, edge) items — 0 when identical, 1 when disjoint.
+//     Weighted by flow, so a shift in a hot loop moves it far more
+//     than churn in cold cleanup code.
+//
+//   - Hot overlap: Jaccard overlap of the hot-edge sets, where a
+//     profile's hot set is the minimal count-descending prefix of
+//     its items covering HotFlowFrac of total flow. This catches the
+//     failure mode TV distance underweights: the *identity* of the
+//     paths worth optimizing changing even while mass stays spread
+//     similarly.
+//
+// All folds iterate in sorted key order so reports are deterministic
+// for a given pair of profiles.
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pathprof/internal/profile"
+)
+
+// Options tune the drift verdict.
+type Options struct {
+	// HotFlowFrac is the fraction of total flow a profile's hot set
+	// must cover (default 0.9).
+	HotFlowFrac float64
+	// DivergenceThreshold marks the tenant drifted when flow
+	// divergence reaches it (default 0.25).
+	DivergenceThreshold float64
+	// OverlapFloor marks the tenant drifted when hot overlap falls to
+	// or below it (default 0.5).
+	OverlapFloor float64
+}
+
+// fill applies defaults for zero fields.
+func (o Options) fill() Options {
+	if o.HotFlowFrac <= 0 || o.HotFlowFrac > 1 {
+		o.HotFlowFrac = 0.9
+	}
+	if o.DivergenceThreshold <= 0 {
+		o.DivergenceThreshold = 0.25
+	}
+	if o.OverlapFloor <= 0 {
+		o.OverlapFloor = 0.5
+	}
+	return o
+}
+
+// Report is one tenant's drift verdict, shaped for the
+// /v1/drift/{tenant} endpoint and the dashboard.
+type Report struct {
+	Tenant             string  `json:"tenant"`
+	GuideSeq           uint64  `json:"guide_seq"`
+	LiveSeq            uint64  `json:"live_seq"`
+	CommitsSinceReplan uint64  `json:"commits_since_replan"`
+	SecsSinceReplan    float64 `json:"secs_since_replan"`
+	FlowDivergence     float64 `json:"flow_divergence"`
+	HotOverlap         float64 `json:"hot_overlap"`
+	HotGuide           int     `json:"hot_guide"`
+	HotLive            int     `json:"hot_live"`
+	HotShared          int     `json:"hot_shared"`
+	Drifted            bool    `json:"drifted"`
+	Reason             string  `json:"reason,omitempty"`
+}
+
+// flowKey identifies one (routine, edge) flow item.
+type flowKey struct {
+	routine  string
+	src, dst int
+}
+
+func (k flowKey) String() string {
+	return fmt.Sprintf("%s:b%d->b%d", k.routine, k.src, k.dst)
+}
+
+// flatten folds a per-routine edge-profile map into one flow
+// distribution over (routine, edge) items.
+func flatten(edges map[string]*profile.EdgeProfile) map[flowKey]int64 {
+	out := map[flowKey]int64{}
+	for name, ep := range edges { //ppp:allow(mapiter) — consumers sort
+		if ep == nil {
+			continue
+		}
+		for k, v := range ep.Freq() { //ppp:allow(mapiter) — consumers sort
+			if v > 0 {
+				out[flowKey{routine: name, src: k.Src, dst: k.Dst}] += v
+			}
+		}
+	}
+	return out
+}
+
+// sortedKeys returns the union of both distributions' keys in
+// deterministic order.
+func sortedKeys(a, b map[flowKey]int64) []flowKey {
+	seen := map[flowKey]bool{}
+	keys := make([]flowKey, 0, len(a)+len(b))
+	for k := range a { //ppp:allow(mapiter) — sorted below
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b { //ppp:allow(mapiter) — sorted below
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].routine != keys[j].routine {
+			return keys[i].routine < keys[j].routine
+		}
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	return keys
+}
+
+// total sums a distribution's flow.
+func total(d map[flowKey]int64) int64 {
+	var n int64
+	for _, v := range d { //ppp:allow(mapiter) — commutative int sum
+		n += v
+	}
+	return n
+}
+
+// divergence is the total-variation distance between the normalized
+// distributions: 0.5 · Σ |p(k) − q(k)| over the union of items,
+// folded in sorted key order so the float sum is deterministic.
+func divergence(guide, live map[flowKey]int64) float64 {
+	gTotal, lTotal := total(guide), total(live)
+	if gTotal == 0 && lTotal == 0 {
+		return 0
+	}
+	if gTotal == 0 || lTotal == 0 {
+		return 1
+	}
+	var sum float64
+	for _, k := range sortedKeys(guide, live) {
+		p := float64(guide[k]) / float64(gTotal)
+		q := float64(live[k]) / float64(lTotal)
+		sum += math.Abs(p - q)
+	}
+	return sum / 2
+}
+
+// hotSet returns the minimal count-descending prefix of the
+// distribution's items covering frac of its total flow. Ties break on
+// sorted key order so the set is deterministic.
+func hotSet(d map[flowKey]int64, frac float64) map[flowKey]bool {
+	tot := total(d)
+	if tot == 0 {
+		return nil
+	}
+	keys := make([]flowKey, 0, len(d))
+	for k := range d { //ppp:allow(mapiter) — sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if d[keys[i]] != d[keys[j]] {
+			return d[keys[i]] > d[keys[j]]
+		}
+		if keys[i].routine != keys[j].routine {
+			return keys[i].routine < keys[j].routine
+		}
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	need := int64(math.Ceil(frac * float64(tot)))
+	hot := map[flowKey]bool{}
+	var covered int64
+	for _, k := range keys {
+		if covered >= need {
+			break
+		}
+		hot[k] = true
+		covered += d[k]
+	}
+	return hot
+}
+
+// overlap is the Jaccard overlap |a∩b| / |a∪b|; 1 when both are
+// empty (nothing to disagree about).
+func overlap(a, b map[flowKey]bool) (jaccard float64, shared int) {
+	if len(a) == 0 && len(b) == 0 {
+		return 1, 0
+	}
+	union := len(b)
+	for k := range a { //ppp:allow(mapiter) — counting only
+		if b[k] {
+			shared++
+		} else {
+			union++
+		}
+	}
+	return float64(shared) / float64(union), shared
+}
+
+// Compare computes the drift report between a guide profile and a
+// live aggregate (both per-routine edge-profile maps). Seq and
+// cadence fields are left for the caller (Monitor) to fill.
+func Compare(guide, live map[string]*profile.EdgeProfile, opts Options) Report {
+	return compareFlows(flatten(guide), flatten(live), opts)
+}

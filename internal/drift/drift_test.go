@@ -1,0 +1,192 @@
+package drift
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pathprof/internal/profile"
+	"pathprof/internal/telemetry"
+)
+
+// edges builds a per-routine edge-profile map from (src, dst, count)
+// triples for one routine.
+func edges(routine string, triples ...[3]int64) map[string]*profile.EdgeProfile {
+	ep := profile.NewEdgeProfile(routine)
+	for _, tr := range triples {
+		ep.Add(int(tr[0]), int(tr[1]), tr[2])
+	}
+	return map[string]*profile.EdgeProfile{routine: ep}
+}
+
+func TestCompareIdenticalProfilesNoDrift(t *testing.T) {
+	guide := edges("work", [3]int64{0, 1, 900}, [3]int64{1, 2, 90}, [3]int64{2, 3, 10})
+	live := edges("work", [3]int64{0, 1, 900}, [3]int64{1, 2, 90}, [3]int64{2, 3, 10})
+	rep := Compare(guide, live, Options{})
+	if rep.FlowDivergence != 0 {
+		t.Fatalf("identical profiles diverge: %v", rep.FlowDivergence)
+	}
+	if rep.HotOverlap != 1 {
+		t.Fatalf("identical hot sets overlap %v, want 1", rep.HotOverlap)
+	}
+	if rep.Drifted {
+		t.Fatalf("identical profiles marked drifted: %s", rep.Reason)
+	}
+}
+
+func TestCompareScaledProfileNoDrift(t *testing.T) {
+	// Same shape, 10x the flow: distributions are identical, so more
+	// traffic alone is not drift.
+	guide := edges("work", [3]int64{0, 1, 900}, [3]int64{1, 2, 100})
+	live := edges("work", [3]int64{0, 1, 9000}, [3]int64{1, 2, 1000})
+	rep := Compare(guide, live, Options{})
+	if rep.Drifted {
+		t.Fatalf("scaled profile marked drifted (divergence %v): %s", rep.FlowDivergence, rep.Reason)
+	}
+}
+
+func TestCompareShiftedWorkloadDrifts(t *testing.T) {
+	// The hot edge moves: 0->1 dominated the guide, 5->6 dominates live.
+	guide := edges("work", [3]int64{0, 1, 950}, [3]int64{5, 6, 50})
+	live := edges("work", [3]int64{0, 1, 50}, [3]int64{5, 6, 950})
+	rep := Compare(guide, live, Options{})
+	if !rep.Drifted {
+		t.Fatalf("shifted workload not marked drifted: divergence %v, overlap %v", rep.FlowDivergence, rep.HotOverlap)
+	}
+	if rep.FlowDivergence < 0.5 {
+		t.Fatalf("shifted workload divergence %v, want >= 0.5", rep.FlowDivergence)
+	}
+	if rep.Reason == "" {
+		t.Fatalf("drifted report carries no reason")
+	}
+}
+
+func TestCompareDisjointRoutinesFullDivergence(t *testing.T) {
+	guide := edges("alpha", [3]int64{0, 1, 100})
+	live := edges("beta", [3]int64{0, 1, 100})
+	rep := Compare(guide, live, Options{})
+	if rep.FlowDivergence != 1 {
+		t.Fatalf("disjoint profiles diverge %v, want 1", rep.FlowDivergence)
+	}
+	if rep.HotOverlap != 0 {
+		t.Fatalf("disjoint hot sets overlap %v, want 0", rep.HotOverlap)
+	}
+}
+
+func TestMonitorAdoptsGuideAndFiresOnShift(t *testing.T) {
+	reg := telemetry.NewRegistry(1)
+	m := NewMonitor(reg, Options{})
+	clock := time.Unix(1000, 0)
+	m.SetNow(func() time.Time { return clock })
+
+	steady := edges("work", [3]int64{0, 1, 900}, [3]int64{1, 2, 100})
+
+	// First commit adopts the guide: zero drift by construction.
+	rep := m.ObserveCommit("mcf", steady, 1)
+	if rep.Drifted || rep.FlowDivergence != 0 {
+		t.Fatalf("first commit drifted: %+v", rep)
+	}
+
+	// More of the same shape: still flat.
+	clock = clock.Add(time.Minute)
+	bigger := edges("work", [3]int64{0, 1, 1800}, [3]int64{1, 2, 200})
+	rep = m.ObserveCommit("mcf", bigger, 2)
+	if rep.Drifted {
+		t.Fatalf("unshifted tenant drifted: %+v", rep)
+	}
+	if rep.CommitsSinceReplan != 1 {
+		t.Fatalf("commits since replan = %d, want 1", rep.CommitsSinceReplan)
+	}
+	if rep.SecsSinceReplan != 60 {
+		t.Fatalf("secs since replan = %v, want 60", rep.SecsSinceReplan)
+	}
+
+	// The workload mix shifts: the monitor must fire.
+	clock = clock.Add(time.Minute)
+	shifted := edges("work", [3]int64{0, 1, 1800}, [3]int64{1, 2, 200}, [3]int64{7, 8, 20000})
+	rep = m.ObserveCommit("mcf", shifted, 3)
+	if !rep.Drifted {
+		t.Fatalf("shifted tenant not drifted: %+v", rep)
+	}
+
+	// An unshifted tenant observed in parallel stays flat.
+	rep2 := m.ObserveCommit("gcc", steady, 1)
+	rep2 = m.ObserveCommit("gcc", edges("work", [3]int64{0, 1, 2700}, [3]int64{1, 2, 300}), 2)
+	if rep2.Drifted {
+		t.Fatalf("parallel unshifted tenant drifted: %+v", rep2)
+	}
+
+	// Edge-triggered decision-trace event for the drift transition.
+	evs := reg.Trace().Snapshot()
+	var driftEvents int
+	for _, e := range evs {
+		if e.Kind == telemetry.EvDrift && e.Routine == "mcf" {
+			driftEvents++
+			if !strings.Contains(e.Detail, "divergence") && !strings.Contains(e.Detail, "overlap") {
+				t.Fatalf("drift event detail %q names no metric", e.Detail)
+			}
+		}
+	}
+	if driftEvents != 1 {
+		t.Fatalf("drift transitions emitted %d events, want 1 (edge-triggered)", driftEvents)
+	}
+
+	// Report endpoint view agrees; tenants are listed sorted.
+	got, ok := m.Report("mcf")
+	if !ok || !got.Drifted {
+		t.Fatalf("Report(mcf) = %+v, %v", got, ok)
+	}
+	if names := m.Tenants(); len(names) != 2 || names[0] != "gcc" || names[1] != "mcf" {
+		t.Fatalf("Tenants() = %v", names)
+	}
+
+	// Replanning resets the envelope: guide becomes the live shape.
+	m.SetGuide("mcf", shifted, 3)
+	rep = m.ObserveCommit("mcf", shifted, 4)
+	if rep.Drifted {
+		t.Fatalf("post-replan commit still drifted: %+v", rep)
+	}
+	// ... and the recovery transition emits exactly one more event.
+	var recoveries int
+	for _, e := range reg.Trace().Snapshot() {
+		if e.Kind == telemetry.EvDrift && e.Routine == "mcf" && strings.Contains(e.Detail, "recovered") {
+			recoveries++
+		}
+	}
+	if recoveries != 1 {
+		t.Fatalf("recovery transitions emitted %d events, want 1", recoveries)
+	}
+}
+
+func TestMonitorPublishesGauges(t *testing.T) {
+	reg := telemetry.NewRegistry(1)
+	m := NewMonitor(reg, Options{})
+	m.ObserveCommit("mcf", edges("work", [3]int64{0, 1, 100}), 1)
+	m.ObserveCommit("mcf", edges("work", [3]int64{9, 10, 5000}), 2)
+	var found bool
+	for _, g := range reg.GaugeStats() {
+		if g.Name == `ppp_drift_flow_divergence{tenant="mcf"}` {
+			found = true
+			if g.Value < 0.25 {
+				t.Fatalf("divergence gauge %v did not cross threshold", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no per-tenant divergence gauge published; gauges: %+v", reg.GaugeStats())
+	}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	m.SetGuide("x", nil, 1)
+	if rep := m.ObserveCommit("x", nil, 1); rep.Tenant != "x" {
+		t.Fatalf("nil monitor ObserveCommit = %+v", rep)
+	}
+	if _, ok := m.Report("x"); ok {
+		t.Fatalf("nil monitor has a report")
+	}
+	if names := m.Tenants(); names != nil {
+		t.Fatalf("nil monitor lists tenants: %v", names)
+	}
+}

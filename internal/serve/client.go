@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"pathprof/internal/telemetry"
 )
 
 // Backoff computes deterministic jittered exponential retry delays.
@@ -76,6 +78,9 @@ type Client struct {
 	// Sleep is swappable for fake-clock tests; time.Sleep when nil.
 	// It must return early if ctx ends.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Spans receives one client-send span per publish attempt; nil
+	// emits nothing.
+	Spans *telemetry.SpanRing
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -113,11 +118,43 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// AttemptTiming is one publish attempt as the client observed it:
+// how long it waited in backoff before sending, the round-trip time,
+// and the outcome (HTTP status, or 0 with Err set for transport
+// failures). Comparing RTT against the server's ack-e2e histogram
+// exposes client-vs-server latency skew — queueing, transport, and
+// chaos delays the server never sees.
+type AttemptTiming struct {
+	Attempt int           `json:"attempt"`
+	Wait    time.Duration `json:"wait_ns"`
+	RTT     time.Duration `json:"rtt_ns"`
+	Status  int           `json:"status"`
+	Err     string        `json:"err,omitempty"`
+}
+
 // PublishResult is the client-side view of a successful publish.
 type PublishResult struct {
 	Ack      Ack
 	Attempts int
+	// TraceID is the trace the attempts were published under (echoed
+	// by the server on the ack).
+	TraceID string
+	// Timings records every attempt, successful last.
+	Timings []AttemptTiming
 }
+
+// PublishError is a failed publish with its full attempt history, so
+// callers can report where the time went even on failure.
+type PublishError struct {
+	Tenant, Key, TraceID string
+	Attempts             int
+	Timings              []AttemptTiming
+	Err                  error
+}
+
+func (e *PublishError) Error() string { return e.Err.Error() }
+
+func (e *PublishError) Unwrap() error { return e.Err }
 
 // errPermanent marks a response retrying cannot fix.
 type errPermanent struct{ err error }
@@ -136,68 +173,92 @@ func (c *Client) Publish(ctx context.Context, tenant, key string, data []byte) (
 	if key == "" {
 		key = fmt.Sprintf("sha:%016x", hash64(string(data)))
 	}
+	// Same derivation the server uses when the header is missing, so
+	// both sides agree on the trace even across lost responses.
+	traceID := TraceIDForKey(key)
 	url := c.BaseURL + "/v1/profiles/" + tenant
 	var lastErr error
+	var timings []AttemptTiming
+	fail := func(err error) (PublishResult, error) {
+		return PublishResult{}, &PublishError{
+			Tenant: tenant, Key: key, TraceID: traceID,
+			Attempts: len(timings), Timings: timings, Err: err,
+		}
+	}
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		var wait time.Duration
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.Backoff.Delay(key, attempt-1)); err != nil {
-				return PublishResult{}, fmt.Errorf("serve: publish %s: %w (last attempt: %v)", tenant, err, lastErr)
+			wait = c.Backoff.Delay(key, attempt-1)
+			if err := c.sleep(ctx, wait); err != nil {
+				return fail(fmt.Errorf("serve: publish %s: %w (last attempt: %v)", tenant, err, lastErr))
 			}
 		}
-		ack, err := c.attempt(ctx, url, tenant, key, data, attempt)
+		sent := time.Now()
+		ack, status, err := c.attempt(ctx, url, tenant, key, traceID, data, attempt)
+		tm := AttemptTiming{Attempt: attempt, Wait: wait, RTT: time.Since(sent), Status: status}
+		if err != nil {
+			tm.Err = err.Error()
+		}
+		timings = append(timings, tm)
+		c.Spans.Emit(telemetry.Span{
+			Trace: traceID, Tenant: tenant, Stage: telemetry.StageClientSend,
+			Attempt: attempt, Status: status, DurUS: tm.RTT.Microseconds(),
+		})
 		if err == nil {
-			return PublishResult{Ack: ack, Attempts: attempt + 1}, nil
+			return PublishResult{Ack: ack, Attempts: attempt + 1, TraceID: traceID, Timings: timings}, nil
 		}
 		var perm errPermanent
 		if errors.As(err, &perm) {
-			return PublishResult{}, fmt.Errorf("serve: publish %s: %w", tenant, perm.err)
+			return fail(fmt.Errorf("serve: publish %s: %w", tenant, perm.err))
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return PublishResult{}, fmt.Errorf("serve: publish %s: %w (last attempt: %v)", tenant, ctx.Err(), lastErr)
+			return fail(fmt.Errorf("serve: publish %s: %w (last attempt: %v)", tenant, ctx.Err(), lastErr))
 		}
 	}
-	return PublishResult{}, fmt.Errorf("serve: publish %s: %d attempts exhausted: %w", tenant, c.maxAttempts(), lastErr)
+	return fail(fmt.Errorf("serve: publish %s: %d attempts exhausted: %w", tenant, c.maxAttempts(), lastErr))
 }
 
-// attempt is one try: deadline-bounded, carrying the idempotency key
-// and the attempt ordinal (which chaos middleware folds into its
-// fault site, so injected drops do not repeat forever).
-func (c *Client) attempt(ctx context.Context, url, tenant, key string, data []byte, attempt int) (Ack, error) {
+// attempt is one try: deadline-bounded, carrying the idempotency key,
+// the trace ID, and the attempt ordinal (which chaos middleware folds
+// into its fault site, so injected drops do not repeat forever). The
+// returned status is the HTTP code, or 0 for transport failures.
+func (c *Client) attempt(ctx context.Context, url, tenant, key, traceID string, data []byte, attempt int) (Ack, int, error) {
 	actx, cancel := context.WithTimeout(ctx, c.attemptTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(data))
 	if err != nil {
-		return Ack{}, errPermanent{err}
+		return Ack{}, 0, errPermanent{err}
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set("X-PPP-Key", key)
 	req.Header.Set("X-PPP-Attempt", strconv.Itoa(attempt))
+	req.Header.Set("X-PPP-Trace", traceID)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// Transport errors (dropped connection, attempt timeout) are
 		// retryable: the commit may or may not have landed, and the
 		// idempotency key makes the retry safe either way.
-		return Ack{}, err
+		return Ack{}, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return Ack{}, err
+		return Ack{}, resp.StatusCode, err
 	}
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		var ack Ack
 		if err := json.Unmarshal(body, &ack); err != nil {
-			return Ack{}, fmt.Errorf("bad ack body: %w", err)
+			return Ack{}, resp.StatusCode, fmt.Errorf("bad ack body: %w", err)
 		}
-		return ack, nil
+		return ack, resp.StatusCode, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-		return Ack{}, fmt.Errorf("server %d: %s", resp.StatusCode, firstLine(body))
+		return Ack{}, resp.StatusCode, fmt.Errorf("server %d: %s", resp.StatusCode, firstLine(body))
 	default:
 		// 400/404/413: the server quarantined or refused the request
 		// itself; a retry would send the same bytes to the same fate.
-		return Ack{}, errPermanent{fmt.Errorf("server %d: %s", resp.StatusCode, firstLine(body))}
+		return Ack{}, resp.StatusCode, errPermanent{fmt.Errorf("server %d: %s", resp.StatusCode, firstLine(body))}
 	}
 }
 

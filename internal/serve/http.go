@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"pathprof/internal/core"
@@ -28,12 +29,17 @@ import (
 //	GET  /v1/profiles/{tenant}/log   commit log JSON (the fold order)
 //	GET  /v1/hot/{tenant}            NET hot-path predictions JSON
 //	GET  /v1/plans/{tenant}          instrumentation plan IR (PPPLAN bytes)
+//	GET  /v1/drift/{tenant}          profile-drift report JSON
 //	GET  /v1/tenants                 tenant list JSON
 //	GET  /healthz                    liveness + drain status
+//	GET  /debug/ppp                  live ops dashboard (HTML)
 //	/metrics, /debug/..., /trace.*   telemetry exposition (when configured)
 //
-// The whole surface sits behind the chaos middleware so conndrop and
-// netstall faults exercise every endpoint.
+// The whole surface sits behind the observation middleware (RED
+// metrics + access log) and then the chaos middleware, so conndrop
+// and netstall faults exercise every endpoint and observed status
+// codes are what the handler computed even when chaos discards the
+// response.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/profiles/{tenant}", s.handleIngest)
@@ -42,12 +48,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/profiles/{tenant}/log", s.handleLog)
 	mux.HandleFunc("GET /v1/hot/{tenant}", s.handleHot)
 	mux.HandleFunc("GET /v1/plans/{tenant}", s.handlePlans)
+	mux.HandleFunc("GET /v1/drift/{tenant}", s.handleDrift)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/ppp", s.handleDashboard)
 	if s.cfg.Registry != nil {
 		mux.Handle("/", s.cfg.Registry.Handler())
 	}
-	return s.chaos(mux)
+	return s.chaos(s.observe(mux))
+}
+
+// TraceIDForKey derives the trace ID the service uses when a request
+// carries no X-PPP-Trace header. Client and server compute the same
+// derivation from the idempotency key, so retried attempts and their
+// committer work share one trace even with no header propagation.
+func TraceIDForKey(key string) string {
+	return fmt.Sprintf("t%016x", hash64("trace\x00"+key))
 }
 
 // retryHint attaches the backpressure hint clients honor.
@@ -80,7 +96,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	admitStart := time.Now()
 	tenantName := r.PathValue("tenant")
+	traceID := r.Header.Get("X-PPP-Trace")
+	attempt, _ := strconv.Atoi(r.Header.Get("X-PPP-Attempt"))
+	admitSpan := func(status int, detail string) {
+		if traceID == "" {
+			traceID = "t-unkeyed"
+		}
+		s.spans.Emit(telemetry.Span{
+			Trace: traceID, Tenant: tenantName, Stage: telemetry.StageAdmit,
+			Attempt: attempt, Status: status,
+			DurUS: time.Since(admitStart).Microseconds(), Detail: detail,
+		})
+	}
 	if !ValidTenant(tenantName) {
 		http.Error(w, "invalid tenant name", http.StatusBadRequest)
 		return
@@ -90,9 +119,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.quarantine(tenantName, fmt.Sprintf("oversized snapshot (> %d bytes)", s.cfg.MaxSnapshotBytes))
+			admitSpan(http.StatusRequestEntityTooLarge, "oversized snapshot")
 			http.Error(w, "snapshot exceeds size limit", http.StatusRequestEntityTooLarge)
 			return
 		}
+		admitSpan(http.StatusBadRequest, "body read failed")
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -101,6 +132,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Whole-request quarantine: corrupt bytes never reach a merge,
 		// and the rejection is accounted, not silent.
 		s.quarantine(tenantName, "corrupt snapshot: "+err.Error())
+		admitSpan(http.StatusBadRequest, "corrupt snapshot")
 		http.Error(w, "corrupt snapshot: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -110,9 +142,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// even from clients that never set a key.
 		key = fmt.Sprintf("sha:%016x", hash64(string(body)))
 	}
+	if traceID == "" {
+		// No propagated trace: derive one from the idempotency key so
+		// retried attempts still stitch (the client derives the same).
+		traceID = TraceIDForKey(key)
+	}
+	// Echo the effective trace ID so clients and the access log see
+	// the ID the committer's spans will carry.
+	w.Header().Set("X-PPP-Trace", traceID)
+	admitSpan(0, "")
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	ack, code, err := s.Ingest(ctx, tenantName, key, snap)
+	ack, code, err := s.ingest(ctx, tenantName, key, traceID, attempt, snap)
 	if err != nil {
 		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 			s.retryHint(w)
@@ -246,6 +287,12 @@ func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "build plans: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if agg != nil {
+		// The plans just served were built from this aggregate: freeze
+		// it as the tenant's guide so drift is measured against what
+		// the optimizer is actually acting on.
+		s.drift.SetGuide(tenantName, agg.Edges, s.ackedSeq(tenantName))
+	}
 	prog := planir.FromPlans(plans)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-PPP-Plan-Fingerprint", fmt.Sprintf("%016x", prog.Fingerprint()))
@@ -267,6 +314,176 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.TenantNames())
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w, r) {
+		return
+	}
+	rep, ok := s.drift.Report(r.PathValue("tenant"))
+	if !ok {
+		http.Error(w, "no drift report for tenant (no commits scored yet)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// handleDashboard serves the live ops view: service state and the
+// per-tenant drift table first, then the generic registry sections
+// (histogram quantiles, gauges, counters, recent trace events).
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	page := s.cfg.Registry.DashboardPage("pppd — profile service")
+	service := telemetry.DashSection{
+		Title: "Service",
+		Cols:  []string{"queue depth", "queue cap", "draining", "tenants"},
+		Rows: [][]string{{
+			strconv.Itoa(s.QueueLen()), strconv.Itoa(cap(s.queue)),
+			strconv.FormatBool(s.Draining()), strconv.Itoa(len(s.TenantNames())),
+		}},
+	}
+	driftSec := telemetry.DashSection{
+		Title: "Profile drift",
+		Note:  "live aggregate vs the guide profile served plans were built on",
+		Cols:  []string{"tenant", "state", "flow divergence", "hot overlap", "commits since replan", "secs since replan"},
+	}
+	for _, name := range s.drift.Tenants() {
+		rep, ok := s.drift.Report(name)
+		if !ok {
+			continue
+		}
+		state := "ok"
+		if rep.Drifted {
+			state = "DRIFTED"
+		}
+		driftSec.Rows = append(driftSec.Rows, []string{
+			rep.Tenant, state,
+			strconv.FormatFloat(rep.FlowDivergence, 'f', 3, 64),
+			strconv.FormatFloat(rep.HotOverlap, 'f', 3, 64),
+			strconv.FormatUint(rep.CommitsSinceReplan, 10),
+			strconv.FormatFloat(rep.SecsSinceReplan, 'f', 1, 64),
+		})
+	}
+	front := []telemetry.DashSection{service}
+	if len(driftSec.Rows) > 0 {
+		front = append(front, driftSec)
+	}
+	page.Sections = append(front, page.Sections...)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := telemetry.RenderDashboard(w, page); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// endpointOf classifies a request for RED metrics and the access log.
+// Go 1.22 has no Request.Pattern yet, so the classification is by
+// method and path shape.
+func endpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case r.Method == http.MethodPost && strings.HasPrefix(p, "/v1/profiles/"):
+		return "ingest"
+	case strings.HasPrefix(p, "/v1/profiles/") && strings.HasSuffix(p, "/info"):
+		return "info"
+	case strings.HasPrefix(p, "/v1/profiles/") && strings.HasSuffix(p, "/log"):
+		return "log"
+	case strings.HasPrefix(p, "/v1/profiles/"):
+		return "snapshot"
+	case strings.HasPrefix(p, "/v1/hot/"):
+		return "hot"
+	case strings.HasPrefix(p, "/v1/plans/"):
+		return "plans"
+	case strings.HasPrefix(p, "/v1/drift/"):
+		return "drift"
+	case p == "/v1/tenants":
+		return "tenants"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/debug/ppp":
+		return "dashboard"
+	case p == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(p, "/trace."):
+		return "trace"
+	case strings.HasPrefix(p, "/debug/"):
+		return "debug"
+	default:
+		return "other"
+	}
+}
+
+// redFor returns (creating if needed) the endpoint's RED series.
+func (s *Server) redFor(endpoint string) *redSeries {
+	s.redMu.Lock()
+	defer s.redMu.Unlock()
+	rs := s.red[endpoint]
+	if rs == nil {
+		reg := s.cfg.Registry
+		label := fmt.Sprintf("{endpoint=%q}", endpoint)
+		rs = &redSeries{
+			requests: reg.Counter("ppp_serve_http_requests_total"+label,
+				"HTTP requests by endpoint").Cell(0),
+			errors: reg.Counter("ppp_serve_http_errors_total"+label,
+				"HTTP responses with status >= 400 by endpoint").Cell(0),
+			dur: reg.Histogram("ppp_serve_http_duration_us"+label,
+				"HTTP request duration by endpoint, microseconds", usBounds).Cell(0),
+		}
+		s.red[endpoint] = rs
+	}
+	return rs
+}
+
+// statusWriter records the status a handler chose so middleware can
+// observe it after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// observe wraps the surface with RED metrics and the structured
+// access log. It runs inside the chaos middleware, so a discarded
+// response still observes the status the handler computed. The Go
+// 1.22 mux records path values on the request in place, so
+// r.PathValue is readable here after next.ServeHTTP.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		durUS := time.Since(start).Microseconds()
+		ep := endpointOf(r)
+		rs := s.redFor(ep)
+		s.met.bump(rs.requests)
+		if sw.code >= 400 {
+			s.met.bump(rs.errors)
+		}
+		s.met.observeHist(rs.dur, durUS)
+		if s.cfg.AccessLog == nil {
+			return
+		}
+		traceID := sw.Header().Get("X-PPP-Trace")
+		if traceID == "" {
+			traceID = r.Header.Get("X-PPP-Trace")
+		}
+		if traceID == "" {
+			traceID = "-"
+		}
+		tenantName := r.PathValue("tenant")
+		if tenantName == "" {
+			tenantName = "-"
+		}
+		attempt := r.Header.Get("X-PPP-Attempt")
+		if attempt == "" {
+			attempt = "0"
+		}
+		fmt.Fprintf(s.cfg.AccessLog,
+			"ppp-access tenant=%s endpoint=%s status=%d dur_us=%d trace=%s attempt=%s\n",
+			tenantName, ep, sw.code, durUS, traceID, attempt)
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -3,12 +3,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pathprof/internal/core"
+	"pathprof/internal/drift"
 	"pathprof/internal/faultinject"
 	"pathprof/internal/profile"
 	"pathprof/internal/snapshot"
@@ -53,6 +55,13 @@ type Config struct {
 	// Program resolves a tenant to mini-C source for the plan-serving
 	// endpoint; nil or !ok disables plan serving for that tenant.
 	Program func(tenant string) (string, bool)
+	// AccessLog receives one structured line per HTTP request (tenant,
+	// endpoint, status, duration, trace ID, retry attempt); nil
+	// disables access logging.
+	AccessLog io.Writer
+	// Drift tunes the profile-drift monitor; the zero value uses the
+	// package defaults.
+	Drift drift.Options
 }
 
 func (c *Config) fill() {
@@ -123,11 +132,18 @@ type tenant struct {
 	stageErr  error
 }
 
-// ingestItem is one queued snapshot awaiting commit.
+// ingestItem is one queued snapshot awaiting commit. traceID and
+// attempt ride along so the committer's spans stitch to the client's;
+// admitAt/enqueueAt anchor the ack-e2e and queue-wait measurements.
 type ingestItem struct {
 	tenant, key string
 	snap        *profile.Snapshot
 	done        chan ackResult
+
+	traceID   string
+	attempt   int
+	admitAt   time.Time
+	enqueueAt time.Time
 }
 
 type ackResult struct {
@@ -153,6 +169,18 @@ type Server struct {
 
 	met   serveMetrics
 	trace *telemetry.Trace
+	spans *telemetry.SpanRing
+	drift *drift.Monitor
+
+	redMu sync.Mutex
+	red   map[string]*redSeries
+}
+
+// redSeries is one endpoint's RED triple: request count, error count,
+// duration distribution.
+type redSeries struct {
+	requests, errors *telemetry.Cell
+	dur              *telemetry.HistCell
 }
 
 // serveMetrics holds the service's telemetry cells. Cells are
@@ -169,6 +197,9 @@ type serveMetrics struct {
 
 	queueDepth, tenants *telemetry.Gauge
 	batchSize           *telemetry.HistCell
+
+	queueWait, commitMerge *telemetry.HistCell
+	storeSave, ackE2E      *telemetry.HistCell
 }
 
 func (m *serveMetrics) bump(c *telemetry.Cell) {
@@ -181,6 +212,23 @@ func (m *serveMetrics) observeBatch(n int) {
 	m.mu.Lock()
 	m.batchSize.Observe(int64(n))
 	m.mu.Unlock()
+}
+
+// observeHist records one value into a stage or endpoint histogram
+// under the metrics mutex (same single-writer discipline as bump).
+func (m *serveMetrics) observeHist(h *telemetry.HistCell, v int64) {
+	m.mu.Lock()
+	h.Observe(v)
+	m.mu.Unlock()
+}
+
+// usBounds is the shared microsecond bucket layout for the stage and
+// endpoint latency histograms: 50µs to 5s.
+var usBounds = []int64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
 }
 
 // New builds a Server. cfg.Store is required; everything else
@@ -202,6 +250,7 @@ func New(cfg Config) (*Server, error) {
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 		tenants: map[string]*tenant{},
+		red:     map[string]*redSeries{},
 	}
 	reg := cfg.Registry
 	c := func(name, help string) *telemetry.Cell { return reg.Counter(name, help).Cell(0) }
@@ -220,9 +269,16 @@ func New(cfg Config) (*Server, error) {
 	s.met.tenants = reg.Gauge("ppp_serve_tenants", "tenants with in-memory state")
 	s.met.batchSize = reg.Histogram("ppp_serve_commit_batch_size", "snapshots per group commit",
 		[]int64{1, 2, 4, 8, 16, 32, 64, 128}).Cell(0)
+	h := func(name, help string) *telemetry.HistCell { return reg.Histogram(name, help, usBounds).Cell(0) }
+	s.met.queueWait = h("ppp_serve_queue_wait_us", "time an ingest spent in the bounded queue before its committer dequeued it, microseconds")
+	s.met.commitMerge = h("ppp_serve_commit_merge_us", "time the committer spent cloning, folding, and encoding one tenant batch, microseconds")
+	s.met.storeSave = h("ppp_serve_store_save_us", "time one durable store save took, microseconds")
+	s.met.ackE2E = h("ppp_serve_ack_e2e_us", "admission-to-ack latency of successfully committed ingests, microseconds")
 	if reg != nil {
 		s.trace = reg.Trace()
+		s.spans = reg.Spans()
 	}
+	s.drift = drift.NewMonitor(reg, cfg.Drift)
 	return s, nil
 }
 
@@ -271,11 +327,22 @@ func (s *Server) overloaded() bool {
 // for the committer's durable ack. The returned int is an HTTP status
 // for the error cases (429 full, 503 draining/timeout/save-failure).
 func (s *Server) Ingest(ctx context.Context, tenantName, key string, snap *profile.Snapshot) (Ack, int, error) {
+	return s.ingest(ctx, tenantName, key, TraceIDForKey(key), 0, snap)
+}
+
+// ingest is Ingest plus the trace identity the HTTP layer extracted
+// (or derived) from the request, so committer spans stitch to the
+// client's attempts.
+func (s *Server) ingest(ctx context.Context, tenantName, key, traceID string, attempt int, snap *profile.Snapshot) (Ack, int, error) {
 	s.met.bump(s.met.ingest)
 	if s.draining.Load() {
 		return Ack{}, 503, fmt.Errorf("serve: draining")
 	}
-	item := &ingestItem{tenant: tenantName, key: key, snap: snap, done: make(chan ackResult, 1)}
+	item := &ingestItem{
+		tenant: tenantName, key: key, snap: snap, done: make(chan ackResult, 1),
+		traceID: traceID, attempt: attempt, admitAt: time.Now(),
+	}
+	item.enqueueAt = item.admitAt
 	select {
 	case s.queue <- item:
 		s.met.queueDepth.Set(float64(len(s.queue)))
@@ -355,6 +422,15 @@ func (s *Server) drainRemaining() {
 func (s *Server) commitBatch(batch []*ingestItem) {
 	s.met.bump(s.met.batches)
 	s.met.observeBatch(len(batch))
+	dequeued := time.Now()
+	for _, it := range batch {
+		waitUS := dequeued.Sub(it.enqueueAt).Microseconds()
+		s.met.observeHist(s.met.queueWait, waitUS)
+		s.spans.Emit(telemetry.Span{
+			Trace: it.traceID, Tenant: it.tenant, Stage: telemetry.StageQueueWait,
+			Attempt: it.attempt, DurUS: waitUS,
+		})
+	}
 	byTenant := map[string][]*ingestItem{}
 	var order []string
 	for _, it := range batch {
@@ -408,11 +484,12 @@ func (s *Server) commitTenant(name string, items []*ingestItem) {
 		s.mu.Unlock()
 		for _, it := range items {
 			s.met.bump(s.met.deduped)
-			it.done <- ackResult{ack: Ack{Tenant: name, Seq: dupOf[it], Fingerprint: fpString(fp), Deduped: true}, code: 200}
+			s.finish(it, ackResult{ack: Ack{Tenant: name, Seq: dupOf[it], Fingerprint: fpString(fp), Deduped: true}, code: 200})
 		}
 		return
 	}
 
+	mergeStart := time.Now()
 	next, err := cloneAggregate(aggBytes)
 	if err != nil {
 		s.nack(name, items, fmt.Errorf("serve: aggregate clone: %w", err))
@@ -422,15 +499,37 @@ func (s *Server) commitTenant(name string, items []*ingestItem) {
 		next.MergeSnapshot(it.snap)
 	}
 	data := snapshot.Encode(next)
+	mergeUS := time.Since(mergeStart).Microseconds()
+	s.met.observeHist(s.met.commitMerge, mergeUS)
+	for _, it := range fresh {
+		s.spans.Emit(telemetry.Span{
+			Trace: it.traceID, Tenant: name, Stage: telemetry.StageCommitMerge,
+			Attempt: it.attempt, DurUS: mergeUS,
+		})
+	}
 	s.met.bump(s.met.saves)
-	if err := s.cfg.Store.Save(name, data); err != nil {
+	saveStart := time.Now()
+	saveErr := s.cfg.Store.Save(name, data)
+	saveUS := time.Since(saveStart).Microseconds()
+	s.met.observeHist(s.met.storeSave, saveUS)
+	saveStatus, saveDetail := 0, ""
+	if saveErr != nil {
+		saveStatus, saveDetail = 503, "store save failed"
+	}
+	for _, it := range fresh {
+		s.spans.Emit(telemetry.Span{
+			Trace: it.traceID, Tenant: name, Stage: telemetry.StageStoreSave,
+			Attempt: it.attempt, Status: saveStatus, DurUS: saveUS, Detail: saveDetail,
+		})
+	}
+	if saveErr != nil {
 		s.met.bump(s.met.saveErrs)
 		s.trace.Emit(telemetry.Event{
 			Unit: "serve", Routine: name, Kind: telemetry.EvStoreFault,
 			Flow:   int64(len(fresh)),
-			Detail: "store save failed; batch not acked: " + err.Error(),
+			Detail: "store save failed; batch not acked: " + saveErr.Error(),
 		})
-		s.nackFresh(name, items, dupOf, err)
+		s.nackFresh(name, items, dupOf, saveErr)
 		return
 	}
 
@@ -446,28 +545,53 @@ func (s *Server) commitTenant(name string, items []*ingestItem) {
 		t.log = append(t.log, LogEntry{Seq: t.nextSeq, Key: it.key})
 		seqOf[it.key] = t.nextSeq
 	}
+	liveSeq := t.nextSeq
 	s.mu.Unlock()
+
+	// Re-score drift against the guide now that the new aggregate is
+	// live. Only the committer mutates aggregates, so reading
+	// next.Edges here races with nothing.
+	s.drift.ObserveCommit(name, next.Edges, liveSeq)
 
 	for _, it := range items {
 		switch {
 		case dupOf[it] != 0:
 			s.met.bump(s.met.deduped)
-			it.done <- ackResult{ack: Ack{Tenant: name, Seq: dupOf[it], Fingerprint: fpString(fp), Deduped: true}, code: 200}
+			s.finish(it, ackResult{ack: Ack{Tenant: name, Seq: dupOf[it], Fingerprint: fpString(fp), Deduped: true}, code: 200})
 		case pendingDup[it] != "":
 			s.met.bump(s.met.deduped)
-			it.done <- ackResult{ack: Ack{Tenant: name, Seq: seqOf[pendingDup[it]], Fingerprint: fpString(fp), Deduped: true}, code: 200}
+			s.finish(it, ackResult{ack: Ack{Tenant: name, Seq: seqOf[pendingDup[it]], Fingerprint: fpString(fp), Deduped: true}, code: 200})
 		default:
 			s.met.bump(s.met.acked)
 			s.met.bump(s.met.merged)
-			it.done <- ackResult{ack: Ack{Tenant: name, Seq: seqOf[it.key], Fingerprint: fpString(fp)}, code: 200}
+			s.finish(it, ackResult{ack: Ack{Tenant: name, Seq: seqOf[it.key], Fingerprint: fpString(fp)}, code: 200})
 		}
 	}
+}
+
+// finish delivers one item's outcome: the ack-e2e histogram observes
+// successful commits, the ack span records the outcome either way, and
+// the waiting handler unblocks.
+func (s *Server) finish(it *ingestItem, res ackResult) {
+	e2eUS := time.Since(it.admitAt).Microseconds()
+	if res.code == 200 {
+		s.met.observeHist(s.met.ackE2E, e2eUS)
+	}
+	detail := ""
+	if res.ack.Deduped {
+		detail = "deduped"
+	}
+	s.spans.Emit(telemetry.Span{
+		Trace: it.traceID, Tenant: it.tenant, Stage: telemetry.StageAck,
+		Attempt: it.attempt, Status: res.code, DurUS: e2eUS, Detail: detail,
+	})
+	it.done <- res
 }
 
 // nack rejects every item of a batch with 503.
 func (s *Server) nack(name string, items []*ingestItem, err error) {
 	for _, it := range items {
-		it.done <- ackResult{code: 503, err: err}
+		s.finish(it, ackResult{code: 503, err: err})
 	}
 }
 
@@ -480,10 +604,10 @@ func (s *Server) nackFresh(name string, items []*ingestItem, dupOf map[*ingestIt
 	for _, it := range items {
 		if seq, ok := dupOf[it]; ok {
 			s.met.bump(s.met.deduped)
-			it.done <- ackResult{ack: Ack{Tenant: name, Seq: seq, Fingerprint: fpString(fp), Deduped: true}, code: 200}
+			s.finish(it, ackResult{ack: Ack{Tenant: name, Seq: seq, Fingerprint: fpString(fp), Deduped: true}, code: 200})
 			continue
 		}
-		it.done <- ackResult{code: 503, err: fmt.Errorf("serve: durable save failed, not acked: %w", err)}
+		s.finish(it, ackResult{code: 503, err: fmt.Errorf("serve: durable save failed, not acked: %w", err)})
 	}
 }
 
@@ -609,6 +733,20 @@ func (s *Server) Info(name string) (TenantInfo, bool) {
 		info.Saturated = t.agg.SaturatedRoutines()
 	}
 	return info, true
+}
+
+// Drift returns the server's profile-drift monitor.
+func (s *Server) Drift() *drift.Monitor { return s.drift }
+
+// ackedSeq returns the tenant's current commit sequence (0 when
+// unknown).
+func (s *Server) ackedSeq(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.tenants[name]; t != nil {
+		return t.nextSeq
+	}
+	return 0
 }
 
 // TenantNames lists tenants with in-memory state plus tenants the

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strconv"
+)
+
+// DashSection is one table on the live dashboard.
+type DashSection struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// DashPage is the whole dashboard: a title plus sections in display
+// order. Builders assemble it from registry snapshots; RenderDashboard
+// turns it into self-contained HTML with no external assets.
+type DashPage struct {
+	Title    string
+	Sections []DashSection
+}
+
+var dashTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<meta http-equiv="refresh" content="5">
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 1.5em; background: #14161a; color: #d6d8dc; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-bottom: .3em; color: #8ab4f8; }
+p.note { margin-top: 0; color: #8a8f98; font-size: .85em; }
+table { border-collapse: collapse; margin-bottom: 1.4em; }
+th, td { border: 1px solid #333842; padding: .25em .7em; text-align: left; font-size: .9em; }
+th { background: #1d2026; color: #aab2bf; }
+tr:nth-child(even) td { background: #181b20; }
+td.drifted { color: #f28b82; font-weight: bold; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+{{range .Sections}}<h2>{{.Title}}</h2>
+{{if .Note}}<p class="note">{{.Note}}</p>{{end}}
+<table><tr>{{range .Cols}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td{{if eq . "DRIFTED"}} class="drifted"{{end}}>{{.}}</td>{{end}}</tr>
+{{end}}</table>
+{{end}}</body></html>
+`))
+
+// RenderDashboard writes the page as HTML. Values are escaped by
+// html/template; the page auto-refreshes every 5 seconds.
+func RenderDashboard(w io.Writer, p *DashPage) error {
+	return dashTmpl.Execute(w, p)
+}
+
+// DashboardPage builds the generic registry view: histogram summaries
+// with quantiles, counters, gauges, and recent trace events. Service
+// code prepends its own sections (queue, drift, tenants) before
+// rendering.
+func (r *Registry) DashboardPage(title string) *DashPage {
+	p := &DashPage{Title: title}
+	if r == nil {
+		return p
+	}
+	if hs := r.HistStats(); len(hs) > 0 {
+		sec := DashSection{
+			Title: "Latency and size distributions",
+			Note:  "quantiles estimated from cumulative buckets (Prometheus interpolation)",
+			Cols:  []string{"histogram", "count", "p50", "p90", "p99"},
+		}
+		for _, h := range hs {
+			sec.Rows = append(sec.Rows, []string{
+				h.Name, strconv.FormatInt(h.Count, 10),
+				FormatUS(h.P50), FormatUS(h.P90), FormatUS(h.P99),
+			})
+		}
+		p.Sections = append(p.Sections, sec)
+	}
+	if gs := r.GaugeStats(); len(gs) > 0 {
+		sec := DashSection{Title: "Gauges", Cols: []string{"gauge", "value"}}
+		for _, g := range gs {
+			sec.Rows = append(sec.Rows, []string{
+				g.Name, strconv.FormatFloat(g.Value, 'g', 6, 64),
+			})
+		}
+		p.Sections = append(p.Sections, sec)
+	}
+	if cs := r.CounterStats(); len(cs) > 0 {
+		sec := DashSection{Title: "Counters", Cols: []string{"counter", "value"}}
+		for _, c := range cs {
+			sec.Rows = append(sec.Rows, []string{c.Name, strconv.FormatInt(c.Value, 10)})
+		}
+		p.Sections = append(p.Sections, sec)
+	}
+	if evs := recentEvents(r.Trace(), 20); len(evs) > 0 {
+		sec := DashSection{
+			Title: "Recent decision-trace events",
+			Cols:  []string{"kind", "unit", "routine", "detail"},
+		}
+		for _, e := range evs {
+			sec.Rows = append(sec.Rows, []string{
+				e.Kind.String(), e.Unit, e.Routine,
+				fmt.Sprintf("%s (flow %d)", e.Detail, e.Flow),
+			})
+		}
+		p.Sections = append(p.Sections, sec)
+	}
+	if emitted, dropped := r.Spans().Stats(); emitted > 0 {
+		sec := DashSection{
+			Title: "Request spans",
+			Cols:  []string{"emitted", "dropped", "retained"},
+			Rows: [][]string{{
+				strconv.FormatInt(emitted, 10),
+				strconv.FormatInt(dropped, 10),
+				strconv.Itoa(r.Spans().Len()),
+			}},
+		}
+		p.Sections = append(p.Sections, sec)
+	}
+	return p
+}
+
+// recentEvents returns up to n of the newest trace events, newest
+// first.
+func recentEvents(t *Trace, n int) []Event {
+	evs := t.Snapshot()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
+		evs[i], evs[j] = evs[j], evs[i]
+	}
+	return evs
+}

@@ -199,6 +199,84 @@ func (h *Histogram) Count() int64 {
 	return n
 }
 
+// Quantile estimates the p-quantile (0 < p <= 1) from the folded
+// buckets with Prometheus-style linear interpolation inside the
+// target bucket; observations in the +Inf bucket report the highest
+// finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum, n, _ := h.fold()
+	bounds := make([]float64, len(h.bounds))
+	for i, b := range h.bounds {
+		bounds[i] = float64(b)
+	}
+	return histQuantile(bounds, cum, n, p)
+}
+
+// histQuantile is the shared bucket-quantile estimator: bounds are the
+// ascending finite upper bounds, cum the cumulative counts with one
+// extra trailing +Inf entry, n the total count.
+func histQuantile(bounds []float64, cum []int64, n int64, p float64) float64 {
+	if n <= 0 || len(cum) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(n)
+	for i, c := range cum {
+		if float64(c) < target {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: report the highest finite bound, the
+			// standard histogram_quantile behavior.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		var prev int64
+		if i > 0 {
+			lower = bounds[i-1]
+			prev = cum[i-1]
+		}
+		inBucket := c - prev
+		if inBucket <= 0 {
+			return bounds[i]
+		}
+		frac := (target - float64(prev)) / float64(inBucket)
+		return lower + frac*(bounds[i]-lower)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// HistStat is one histogram's folded summary for dashboards and
+// reports.
+type HistStat struct {
+	Name          string
+	Count, Sum    int64
+	P50, P90, P99 float64
+}
+
+// NamedInt is one counter's folded value.
+type NamedInt struct {
+	Name  string
+	Value int64
+}
+
+// NamedFloat is one gauge's value.
+type NamedFloat struct {
+	Name  string
+	Value float64
+}
+
 // Registry owns the process's metrics and its decision trace. All
 // constructors are idempotent: asking for an existing name returns the
 // existing metric, so independent subsystems can share one registry
@@ -212,6 +290,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	trace    *Trace
+	spans    *SpanRing
 }
 
 // NewRegistry returns a registry whose counters and histograms carry
@@ -226,6 +305,7 @@ func NewRegistry(workers int) *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		trace:    NewTrace(0),
+		spans:    NewSpanRing(0),
 	}
 }
 
@@ -244,6 +324,69 @@ func (r *Registry) Trace() *Trace {
 		return nil
 	}
 	return r.trace
+}
+
+// Spans returns the registry's request-span ring; nil for a nil
+// registry (and a nil *SpanRing is itself a valid no-op sink).
+func (r *Registry) Spans() *SpanRing {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// CounterStats returns every counter's folded value, sorted by name.
+func (r *Registry) CounterStats() []NamedInt {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]NamedInt, 0, len(r.counters))
+	for name, c := range r.counters { //ppp:allow(mapiter) — sorted below
+		out = append(out, NamedInt{Name: name, Value: c.Value()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GaugeStats returns every gauge's value, sorted by name.
+func (r *Registry) GaugeStats() []NamedFloat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]NamedFloat, 0, len(r.gauges))
+	for name, g := range r.gauges { //ppp:allow(mapiter) — sorted below
+		out = append(out, NamedFloat{Name: name, Value: g.Value()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HistStats returns every histogram's folded summary (count, sum, and
+// estimated p50/p90/p99), sorted by name.
+func (r *Registry) HistStats() []HistStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists { //ppp:allow(mapiter) — sorted below
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	out := make([]HistStat, 0, len(hists))
+	for _, h := range hists {
+		_, n, sum := h.fold()
+		out = append(out, HistStat{
+			Name: h.name, Count: n, Sum: sum,
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Counter returns the named counter, creating it on first use. The
@@ -347,6 +490,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		hists = append(hists, h)
 	}
 	trace := r.trace
+	spans := r.spans
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -393,6 +537,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f = fam("ppp_trace_dropped_total", "decision-trace events dropped by the bounded ring", "counter")
 		f.lines = append(f.lines, fmt.Sprintf("ppp_trace_dropped_total %d", dropped))
 	}
+	if spans != nil {
+		emitted, dropped := spans.Stats()
+		f := fam("ppp_span_events_total", "request-scoped lifecycle spans emitted", "counter")
+		f.lines = append(f.lines, fmt.Sprintf("ppp_span_events_total %d", emitted))
+		f = fam("ppp_span_dropped_total", "request spans dropped by the bounded ring", "counter")
+		f.lines = append(f.lines, fmt.Sprintf("ppp_span_dropped_total %d", dropped))
+	}
 
 	bases := make([]string, 0, len(fams))
 	for b := range fams { //ppp:allow(mapiter) — sorted below
@@ -414,15 +565,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // ValidatePrometheus is a tiny stdlib checker for the Prometheus text
-// exposition format: metric-name syntax, loose label syntax, and a
-// parseable float value on every sample line. It exists so CI can
-// assert /metrics output stays well-formed without a Prometheus
-// dependency.
+// exposition format: metric-name syntax, loose label syntax, a
+// parseable float value on every sample line, and — for every family
+// declared `# TYPE <name> histogram` — well-formed histogram
+// exposition: strictly increasing `le` bucket bounds, monotone
+// cumulative bucket counts, a terminal `+Inf` bucket, and `_sum` and
+// `_count` series whose totals agree with the buckets. It exists so
+// CI can assert /metrics output stays well-formed without a
+// Prometheus dependency.
 func ValidatePrometheus(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
-	samples := 0
+	var samples []promSample
+	types := map[string]string{}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -433,20 +589,175 @@ func ValidatePrometheus(r io.Reader) error {
 			if err := validateCommentLine(line); err != nil {
 				return fmt.Errorf("line %d: %w", lineNo, err)
 			}
+			if fields := strings.Fields(line); len(fields) == 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
 			continue
 		}
-		if err := validateSampleLine(line); err != nil {
+		s, err := parseSampleLine(line)
+		if err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		samples++
+		s.line = lineNo
+		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if samples == 0 {
+	if len(samples) == 0 {
 		return fmt.Errorf("no samples in exposition")
 	}
+	return validateHistograms(types, samples)
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels string // raw label body, no braces
+	value  float64
+	line   int
+}
+
+// histGroup accumulates one histogram series group (one label set
+// minus `le`) for consistency checking.
+type histGroup struct {
+	base     string
+	buckets  []histBucket
+	sum      float64
+	count    float64
+	hasSum   bool
+	hasCount bool
+	firstAt  int
+}
+
+type histBucket struct {
+	le    float64
+	value float64
+	line  int
+}
+
+// validateHistograms cross-checks every family declared as a
+// histogram: each label group must expose strictly increasing `le`
+// bounds ending in `+Inf`, cumulative counts that never decrease, a
+// `_count` equal to the `+Inf` bucket, and a `_sum` (zero when the
+// count is zero).
+func validateHistograms(types map[string]string, samples []promSample) error {
+	groups := map[string]*histGroup{}
+	group := func(base, labels string, at int) (*histGroup, error) {
+		pairs, err := parseLabels(labels)
+		if err != nil {
+			return nil, err
+		}
+		rest := make([]string, 0, len(pairs))
+		for _, p := range pairs {
+			if p.key != "le" {
+				rest = append(rest, p.key+"="+p.val)
+			}
+		}
+		sort.Strings(rest)
+		key := base + "\xff" + strings.Join(rest, ",")
+		g := groups[key]
+		if g == nil {
+			g = &histGroup{base: base, firstAt: at}
+			groups[key] = g
+		}
+		return g, nil
+	}
+	for _, s := range samples {
+		base, suffix := histSeriesBase(s.name)
+		if suffix == "" || types[base] != "histogram" {
+			continue
+		}
+		g, err := group(base, s.labels, s.line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", s.line, err)
+		}
+		switch suffix {
+		case "bucket":
+			le, ok := labelValue(s.labels, "le")
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %s has no le label", s.line, s.name)
+			}
+			bound, err := parseLe(le)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", s.line, err)
+			}
+			g.buckets = append(g.buckets, histBucket{le: bound, value: s.value, line: s.line})
+		case "sum":
+			g.sum, g.hasSum = s.value, true
+		case "count":
+			g.count, g.hasCount = s.value, true
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups { //ppp:allow(mapiter) — sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := groups[k].check(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func (g *histGroup) check() error {
+	if len(g.buckets) == 0 {
+		return fmt.Errorf("histogram %s (near line %d): no bucket series", g.base, g.firstAt)
+	}
+	sort.SliceStable(g.buckets, func(i, j int) bool { return g.buckets[i].le < g.buckets[j].le })
+	for i := 1; i < len(g.buckets); i++ {
+		prev, cur := g.buckets[i-1], g.buckets[i]
+		if cur.le == prev.le {
+			return fmt.Errorf("histogram %s: duplicate le=%g bucket (lines %d, %d)", g.base, cur.le, prev.line, cur.line)
+		}
+		if cur.value < prev.value {
+			return fmt.Errorf("histogram %s: cumulative bucket counts decrease at le=%g (line %d): %g -> %g",
+				g.base, cur.le, cur.line, prev.value, cur.value)
+		}
+	}
+	last := g.buckets[len(g.buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("histogram %s (near line %d): no terminal le=\"+Inf\" bucket", g.base, last.line)
+	}
+	if !g.hasCount {
+		return fmt.Errorf("histogram %s (near line %d): missing _count series", g.base, g.firstAt)
+	}
+	if !g.hasSum {
+		return fmt.Errorf("histogram %s (near line %d): missing _sum series", g.base, g.firstAt)
+	}
+	if g.count != last.value {
+		return fmt.Errorf("histogram %s: _count %g disagrees with +Inf bucket %g", g.base, g.count, last.value)
+	}
+	if g.count == 0 && g.sum != 0 {
+		return fmt.Errorf("histogram %s: zero observations but _sum %g", g.base, g.sum)
+	}
+	return nil
+}
+
+// histSeriesBase splits a histogram series name into its family base
+// and suffix ("bucket", "sum", or "count"); suffix is empty for
+// non-histogram-shaped names.
+func histSeriesBase(name string) (base, suffix string) {
+	for _, s := range [...]string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) && len(name) > len(s) {
+			return name[:len(name)-len(s)], s[1:]
+		}
+	}
+	return name, ""
+}
+
+// parseLe parses a bucket bound, accepting "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable le bound %q", s)
+	}
+	return v, nil
 }
 
 func validateCommentLine(line string) error {
@@ -472,62 +783,71 @@ func validateCommentLine(line string) error {
 	return nil
 }
 
-func validateSampleLine(line string) error {
+func parseSampleLine(line string) (promSample, error) {
 	rest := line
 	nameEnd := strings.IndexAny(rest, "{ \t")
 	if nameEnd < 0 {
-		return fmt.Errorf("sample with no value: %s", line)
+		return promSample{}, fmt.Errorf("sample with no value: %s", line)
 	}
-	name := rest[:nameEnd]
-	if !validMetricName(name) {
-		return fmt.Errorf("invalid metric name %q", name)
+	s := promSample{name: rest[:nameEnd]}
+	if !validMetricName(s.name) {
+		return promSample{}, fmt.Errorf("invalid metric name %q", s.name)
 	}
 	rest = rest[nameEnd:]
 	if strings.HasPrefix(rest, "{") {
 		close := strings.IndexByte(rest, '}')
 		if close < 0 {
-			return fmt.Errorf("unterminated label set: %s", line)
+			return promSample{}, fmt.Errorf("unterminated label set: %s", line)
 		}
-		if err := validateLabels(rest[1:close]); err != nil {
-			return fmt.Errorf("%w in %s", err, line)
+		s.labels = rest[1:close]
+		if _, err := parseLabels(s.labels); err != nil {
+			return promSample{}, fmt.Errorf("%w in %s", err, line)
 		}
 		rest = rest[close+1:]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return fmt.Errorf("expected value [timestamp]: %s", line)
+		return promSample{}, fmt.Errorf("expected value [timestamp]: %s", line)
 	}
-	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
-		return fmt.Errorf("unparseable value %q", fields[0])
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return promSample{}, fmt.Errorf("unparseable value %q", fields[0])
 	}
+	s.value = v
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return fmt.Errorf("unparseable timestamp %q", fields[1])
+			return promSample{}, fmt.Errorf("unparseable timestamp %q", fields[1])
 		}
 	}
-	return nil
+	return s, nil
 }
 
-// validateLabels loosely checks `k="v",k2="v2"` label bodies. Escaped
-// quotes inside values are tolerated by scanning for the closing
-// quote with a backslash check.
-func validateLabels(body string) error {
+// labelPair is one parsed label, unquoted.
+type labelPair struct {
+	key, val string
+}
+
+// parseLabels parses `k="v",k2="v2"` label bodies. Escaped quotes
+// inside values are tolerated by scanning for the closing quote with
+// a backslash check.
+func parseLabels(body string) ([]labelPair, error) {
 	if strings.TrimSpace(body) == "" {
-		return nil
+		return nil, nil
 	}
+	var out []labelPair
 	rest := body
 	for rest != "" {
 		eq := strings.IndexByte(rest, '=')
 		if eq <= 0 {
-			return fmt.Errorf("malformed label pair")
+			return nil, fmt.Errorf("malformed label pair")
 		}
 		key := strings.TrimSpace(rest[:eq])
 		if !validLabelName(key) {
-			return fmt.Errorf("invalid label name %q", key)
+			return nil, fmt.Errorf("invalid label name %q", key)
 		}
 		rest = rest[eq+1:]
 		if !strings.HasPrefix(rest, `"`) {
-			return fmt.Errorf("unquoted label value")
+			return nil, fmt.Errorf("unquoted label value")
 		}
 		rest = rest[1:]
 		end := -1
@@ -542,18 +862,34 @@ func validateLabels(body string) error {
 			}
 		}
 		if end < 0 {
-			return fmt.Errorf("unterminated label value")
+			return nil, fmt.Errorf("unterminated label value")
 		}
+		out = append(out, labelPair{key: key, val: rest[:end]})
 		rest = rest[end+1:]
 		if rest == "" {
 			break
 		}
 		if !strings.HasPrefix(rest, ",") {
-			return fmt.Errorf("expected ',' between labels")
+			return nil, fmt.Errorf("expected ',' between labels")
 		}
 		rest = rest[1:]
 	}
-	return nil
+	return out, nil
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label
+// body; ok is false when absent or the body is malformed.
+func labelValue(body, key string) (string, bool) {
+	pairs, err := parseLabels(body)
+	if err != nil {
+		return "", false
+	}
+	for _, p := range pairs {
+		if p.key == key {
+			return p.val, true
+		}
+	}
+	return "", false
 }
 
 func validMetricName(s string) bool {

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistScrape is one histogram family reconstructed from Prometheus
+// text exposition, aggregated across its label sets — the client-side
+// view a scraper (pppload's latency experiment, the skew report)
+// computes quantiles from.
+type HistScrape struct {
+	Bounds []float64 // ascending upper bounds; last is +Inf
+	Cum    []int64   // cumulative counts aligned with Bounds
+	Count  int64
+	Sum    float64
+}
+
+// Quantile estimates the p-quantile with the same bucket
+// interpolation the server-side Histogram uses.
+func (h *HistScrape) Quantile(p float64) float64 {
+	if h == nil || len(h.Bounds) == 0 {
+		return 0
+	}
+	finite := h.Bounds
+	if math.IsInf(finite[len(finite)-1], 1) {
+		finite = finite[:len(finite)-1]
+	}
+	return histQuantile(finite, h.Cum, h.Count, p)
+}
+
+// ScrapeHistogram extracts the named histogram family from exposition
+// text, summing every label set's buckets into one distribution.
+// Returns ok=false when the family has no bucket series.
+func ScrapeHistogram(text, base string) (*HistScrape, bool) {
+	byLe := map[float64]int64{}
+	var sum float64
+	var count int64
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			continue
+		}
+		switch s.name {
+		case base + "_bucket":
+			le, ok := labelValue(s.labels, "le")
+			if !ok {
+				continue
+			}
+			bound, err := parseLe(le)
+			if err != nil {
+				continue
+			}
+			byLe[bound] += int64(s.value)
+		case base + "_sum":
+			sum += s.value
+		case base + "_count":
+			count += int64(s.value)
+		}
+	}
+	if len(byLe) == 0 {
+		return nil, false
+	}
+	out := &HistScrape{Count: count, Sum: sum}
+	for le := range byLe { //ppp:allow(mapiter) — sorted below
+		out.Bounds = append(out.Bounds, le)
+	}
+	sort.Float64s(out.Bounds)
+	out.Cum = make([]int64, len(out.Bounds))
+	for i, le := range out.Bounds {
+		out.Cum[i] = byLe[le]
+	}
+	return out, true
+}
+
+// FormatUS renders a microsecond quantity human-first: µs below 1ms,
+// ms below 1s, seconds beyond.
+func FormatUS(us float64) string {
+	switch {
+	case us < 1000:
+		return fmt.Sprintf("%.0fµs", us)
+	case us < 1e6:
+		return fmt.Sprintf("%.2fms", us/1000)
+	default:
+		return fmt.Sprintf("%.3fs", us/1e6)
+	}
+}

@@ -22,8 +22,9 @@ var (
 //	/metrics      Prometheus text format
 //	/debug/vars   expvar JSON (includes a ppp_telemetry snapshot)
 //	/debug/pprof  live profiling endpoints
-//	/trace.jsonl  decision trace as deterministic JSON lines
-//	/trace.json   decision trace as Chrome trace_event JSON
+//	/debug/ppp    live HTML dashboard (histograms, gauges, counters)
+//	/trace.jsonl  decision trace + request spans as deterministic JSON lines
+//	/trace.json   decision trace + request spans as Chrome trace_event JSON
 //	/             a plain-text index of the above
 //
 // Everything is stdlib-only. Counter reads during a live run are
@@ -48,15 +49,25 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/ppp", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := RenderDashboard(w, r.DashboardPage("pathprof telemetry")); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
 		if err := r.Trace().WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := r.Spans().WriteJSONL(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := r.Trace().WriteChrome(w); err != nil {
+		if err := WriteChromeTrace(w, r.Trace(), r.Spans()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -65,7 +76,7 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "pathprof telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/trace.jsonl\n/trace.json\n")
+		fmt.Fprint(w, "pathprof telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/ppp\n/trace.jsonl\n/trace.json\n")
 	})
 	return mux
 }
@@ -86,11 +97,17 @@ func (r *Registry) snapshotMap() map[string]interface{} {
 		out[name] = g.Value()
 	}
 	trace := r.trace
+	spans := r.spans
 	r.mu.Unlock()
 	if trace != nil {
 		emitted, dropped := trace.Stats()
 		out["ppp_trace_events_total"] = emitted
 		out["ppp_trace_dropped_total"] = dropped
+	}
+	if spans != nil {
+		emitted, dropped := spans.Stats()
+		out["ppp_span_events_total"] = emitted
+		out["ppp_span_dropped_total"] = dropped
 	}
 	return out
 }

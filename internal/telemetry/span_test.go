@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// emitSpanWorkload emits the same logical span set through `workers`
+// goroutines: each trace's spans stay on one goroutine (matching the
+// real system, where one request's lifecycle is causally ordered) but
+// traces interleave freely across goroutines.
+func emitSpanWorkload(r *SpanRing, workers int) {
+	const traces = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for tr := w; tr < traces; tr += workers {
+				trace := fmt.Sprintf("t%04d", tr)
+				tenant := fmt.Sprintf("tenant%d", tr%3)
+				for _, stage := range []SpanStage{StageClientSend, StageAdmit, StageQueueWait, StageCommitMerge, StageStoreSave, StageAck} {
+					r.Emit(Span{
+						Trace: trace, Tenant: tenant, Stage: stage,
+						Attempt: tr % 2, Status: 200, DurUS: int64(tr), // DurUS varies; export must not care
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSpanExportDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 4, 8} {
+		var runs [][]byte
+		for run := 0; run < 2; run++ {
+			r := NewSpanRing(0)
+			emitSpanWorkload(r, workers)
+			var buf bytes.Buffer
+			if err := r.WriteJSONL(&buf); err != nil {
+				t.Fatalf("workers=%d run=%d: WriteJSONL: %v", workers, run, err)
+			}
+			runs = append(runs, buf.Bytes())
+		}
+		if !bytes.Equal(runs[0], runs[1]) {
+			t.Fatalf("workers=%d: two identical runs exported different bytes", workers)
+		}
+		if want == nil {
+			want = runs[0]
+		} else if !bytes.Equal(want, runs[0]) {
+			t.Fatalf("workers=%d: export differs from single-worker export", workers)
+		}
+	}
+	if !strings.Contains(string(want), `"stage":"queue-wait"`) {
+		t.Fatalf("export missing stage field:\n%s", want[:200])
+	}
+	// The deterministic export must exclude live-only fields.
+	if strings.Contains(string(want), `"seq"`) || strings.Contains(string(want), `"dur_us"`) {
+		t.Fatalf("export leaked nondeterministic fields:\n%s", want[:200])
+	}
+}
+
+func TestSpanChromeExportDeterministic(t *testing.T) {
+	render := func(workers int) []byte {
+		r := NewSpanRing(0)
+		emitSpanWorkload(r, workers)
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, nil, r); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d: chrome export differs from single-worker export", workers)
+		}
+	}
+	if !bytes.Contains(want, []byte(`"span:tenant0"`)) {
+		t.Fatalf("chrome export missing span process names")
+	}
+}
+
+func TestSpanEmitZeroAllocNil(t *testing.T) {
+	var r *SpanRing
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(Span{Trace: "t", Stage: StageAck})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil SpanRing Emit allocated %.1f/op", allocs)
+	}
+}
+
+func TestSpanEmitZeroAllocInstalled(t *testing.T) {
+	r := NewSpanRing(64)
+	sp := Span{Trace: "t0001", Tenant: "mcf", Stage: StageQueueWait, Attempt: 1, Status: 200, DurUS: 42}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("installed SpanRing Emit allocated %.1f/op (ring must be preallocated)", allocs)
+	}
+}
+
+func TestSpanRingBound(t *testing.T) {
+	r := NewSpanRing(8)
+	for i := 0; i < 20; i++ {
+		r.Emit(Span{Trace: fmt.Sprintf("t%02d", i), Stage: StageAdmit})
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("ring retained %d spans, want 8", got)
+	}
+	emitted, dropped := r.Stats()
+	if emitted != 20 || dropped != 12 {
+		t.Fatalf("stats = (%d emitted, %d dropped), want (20, 12)", emitted, dropped)
+	}
+	// The retained spans are the newest 12..19.
+	snap := r.Snapshot()
+	if snap[0].Trace != "t12" || snap[len(snap)-1].Trace != "t19" {
+		t.Fatalf("ring did not drop oldest first: %q .. %q", snap[0].Trace, snap[len(snap)-1].Trace)
+	}
+}

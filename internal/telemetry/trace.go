@@ -71,6 +71,11 @@ const (
 	// EvStoreFault: a durable store save failed (or tore); the batch
 	// it carried was not acknowledged.
 	EvStoreFault
+	// EvDrift: the profile-drift monitor saw a tenant's live aggregate
+	// diverge from the guide profile its served plans were built on
+	// (or return inside the envelope). Flow carries the live flow
+	// running under the stale guide.
+	EvDrift
 )
 
 var eventKindNames = [...]string{
@@ -94,6 +99,7 @@ var eventKindNames = [...]string{
 	EvValidate:    "validate",
 	EvShed:        "shed",
 	EvStoreFault:  "store-fault",
+	EvDrift:       "drift",
 }
 
 func (k EventKind) String() string {
@@ -281,29 +287,31 @@ type chromeArgs struct {
 	Edge    string `json:"edge,omitempty"`
 	Flow    int64  `json:"flow,omitempty"`
 	Detail  string `json:"detail,omitempty"`
+	Trace   string `json:"trace,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Status  int    `json:"status,omitempty"`
 }
 
-// WriteChrome exports the trace as Chrome trace_event JSON (load via
-// chrome://tracing or Perfetto). Units map to processes and routines
-// to threads; event timestamps are the deterministic sorted ranks.
+// chromeTraceEvents renders decision events as Chrome trace_event
+// records: units map to processes, routines to threads, timestamps to
+// deterministic sorted ranks. It returns the records plus the number
+// of process IDs and timestamps consumed, so span records can follow
+// without colliding.
 //
 //ppp:deterministic
-func (t *Trace) WriteChrome(w io.Writer) error {
+func (t *Trace) chromeTraceEvents() (out []chromeEvent, pidsUsed, tsUsed int) {
 	if t == nil {
-		return nil
+		return nil, 0, 0
 	}
 	evs := t.sortedSnapshot()
 	pids := map[string]int{}
 	tids := map[string]int{}
-	var out struct {
-		TraceEvents []chromeEvent `json:"traceEvents"`
-	}
 	for i, e := range evs {
 		pid, ok := pids[e.Unit]
 		if !ok {
 			pid = len(pids) + 1
 			pids[e.Unit] = pid
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			out = append(out, chromeEvent{
 				Name: "process_name", Ph: "M", Pid: pid,
 				Args: chromeArgs{Name: e.Unit},
 			})
@@ -313,17 +321,42 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		if !ok {
 			tid = len(tids) + 1
 			tids[tkey] = tid
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			out = append(out, chromeEvent{
 				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 				Args: chromeArgs{Name: e.Routine},
 			})
 		}
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		out = append(out, chromeEvent{
 			Name: e.Kind.String(), Cat: "ppp", Ph: "X",
 			Ts: int64(i), Dur: 1, Pid: pid, Tid: tid,
 			Args: chromeArgs{Routine: e.Routine, Edge: e.Edge, Flow: e.Flow, Detail: e.Detail},
 		})
 	}
+	return out, len(pids), len(evs)
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON (load via
+// chrome://tracing or Perfetto). Units map to processes and routines
+// to threads; event timestamps are the deterministic sorted ranks.
+//
+//ppp:deterministic
+func (t *Trace) WriteChrome(w io.Writer) error {
+	return WriteChromeTrace(w, t, nil)
+}
+
+// WriteChromeTrace exports decision events and request spans into one
+// Chrome trace_event document: decision units first, span processes
+// after them, all timestamps deterministic ranks. Either input may be
+// nil.
+//
+//ppp:deterministic
+func WriteChromeTrace(w io.Writer, t *Trace, spans *SpanRing) error {
+	var out struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	evs, pidsUsed, tsUsed := t.chromeTraceEvents()
+	out.TraceEvents = evs
+	out.TraceEvents = append(out.TraceEvents, spans.chromeSpanEvents(pidsUsed, tsUsed)...)
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(&out); err != nil {
